@@ -1,0 +1,189 @@
+//! The adapted Threshold Algorithm baseline (§6.1).
+//!
+//! "To adapt TA for the proposed class of functions, an ordered list of the
+//! data points is maintained for each dimension. Given a query, a binary
+//! search is performed to fetch the farthest point on each of the repulsive
+//! dimensions and the closest points on the attractive dimensions. The
+//! pruning threshold is computed based on the points fetched."
+//!
+//! Every dimension is a 1-D subproblem — precisely the configuration the
+//! §5 aggregation degenerates to with zero pairs, so this reuses the
+//! workspace's certified threshold loop with single-dimension streams.
+
+use std::sync::Arc;
+
+use sdq_core::multidim::{
+    threshold_aggregate, AttractiveStream, RepulsiveStream, SortedColumn, SubproblemStream,
+};
+use sdq_core::{Dataset, DimRole, ScoredPoint, SdError, SdQuery};
+
+use crate::TopKAlgorithm;
+
+/// Per-dimension sorted lists + the TA stopping rule.
+#[derive(Debug, Clone)]
+pub struct TaIndex {
+    data: Arc<Dataset>,
+    roles: Vec<DimRole>,
+    columns: Vec<SortedColumn>,
+}
+
+impl TaIndex {
+    /// Sorts every dimension (`O(d·n log n)`).
+    pub fn build(data: impl Into<Arc<Dataset>>, roles: &[DimRole]) -> Result<Self, SdError> {
+        let data = data.into();
+        if roles.len() != data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: data.dims(),
+                got: roles.len(),
+            });
+        }
+        let columns = (0..data.dims())
+            .map(|d| SortedColumn::new(&data.column(d)))
+            .collect();
+        Ok(TaIndex {
+            data,
+            roles: roles.to_vec(),
+            columns,
+        })
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Approximate heap footprint of the sorted lists in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(SortedColumn::memory_bytes).sum()
+    }
+
+    /// Exact top-k via per-dimension bidirectional streams under the TA
+    /// threshold.
+    pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if query.dims() != self.data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: self.data.dims(),
+                got: query.dims(),
+            });
+        }
+        if self.data.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut streams: Vec<Box<dyn SubproblemStream + '_>> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(d, col)| {
+                let (q, w) = (query.point[d], query.weights[d]);
+                match self.roles[d] {
+                    DimRole::Repulsive => {
+                        Box::new(RepulsiveStream::new(col, q, w)) as Box<dyn SubproblemStream>
+                    }
+                    DimRole::Attractive => Box::new(AttractiveStream::new(col, q, w)),
+                }
+            })
+            .collect();
+        Ok(threshold_aggregate(
+            &self.data,
+            &self.roles,
+            query,
+            k,
+            &mut streams,
+        ))
+    }
+}
+
+impl TopKAlgorithm for TaIndex {
+    fn name(&self) -> &'static str {
+        "TA"
+    }
+    fn top_k(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        self.query(query, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqscan::SeqScan;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_equiv(got: &[ScoredPoint], want: &[ScoredPoint]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g.score - w.score).abs() < 1e-9,
+                "got {got:?}\nwant {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(400);
+        for _ in 0..25 {
+            let dims = rng.gen_range(1..7);
+            let n = rng.gen_range(1..200);
+            let coords: Vec<f64> = (0..n * dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let data = Dataset::from_flat(dims, coords).unwrap();
+            let roles: Vec<DimRole> = (0..dims)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        DimRole::Repulsive
+                    } else {
+                        DimRole::Attractive
+                    }
+                })
+                .collect();
+            let ta = TaIndex::build(data.clone(), &roles).unwrap();
+            let oracle = SeqScan::new(data, &roles).unwrap();
+            for _ in 0..10 {
+                let q = SdQuery::new(
+                    (0..dims).map(|_| rng.gen_range(-0.2..1.2)).collect(),
+                    (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                )
+                .unwrap();
+                let k = rng.gen_range(1..12);
+                assert_equiv(&ta.query(&q, k).unwrap(), &oracle.query(&q, k).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(2, vec![]).unwrap();
+        let roles = [DimRole::Repulsive, DimRole::Attractive];
+        let ta = TaIndex::build(data, &roles).unwrap();
+        let q = SdQuery::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(ta.query(&q, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn early_termination_happens() {
+        // On a large dataset with k = 1, TA must not fetch everything:
+        // indirectly verified by the memory of `seen` — here we just check
+        // exactness on a skewed dataset where the best point sits at the
+        // extreme of one dimension.
+        let mut rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64 / 1000.0, 0.5]).collect();
+        rows.push(vec![0.0, 100.0]); // runaway repulsive winner
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let roles = [DimRole::Attractive, DimRole::Repulsive];
+        let ta = TaIndex::build(data, &roles).unwrap();
+        let q = SdQuery::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let r = ta.query(&q, 1).unwrap();
+        assert_eq!(r[0].id.index(), 1000);
+        assert_eq!(r[0].score, 100.0);
+    }
+
+    #[test]
+    fn validation() {
+        let data = Dataset::from_flat(2, vec![0.0, 0.0]).unwrap();
+        assert!(TaIndex::build(data.clone(), &[DimRole::Repulsive]).is_err());
+        let ta = TaIndex::build(data, &[DimRole::Repulsive, DimRole::Attractive]).unwrap();
+        let q = SdQuery::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(matches!(ta.query(&q, 0), Err(SdError::ZeroK)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: R*-tree substrate operations (bulk load,
+//! incremental insert, range query, kNN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdq_data::{generate, Distribution};
+use sdq_rstar::RStarTree;
+
+fn bench_rstar(c: &mut Criterion) {
+    let dims = 4;
+    let n = 50_000;
+    let data = generate(Distribution::Uniform, n, dims, 17);
+    let flat = data.flat().to_vec();
+
+    let mut group = c.benchmark_group("rstar");
+    group.sample_size(10);
+    group.bench_function("bulk_load_50k_4d", |b| {
+        b.iter(|| RStarTree::bulk_load(dims, std::hint::black_box(&flat), 16))
+    });
+    group.bench_function("insert_1k_into_50k", |b| {
+        let extra = generate(Distribution::Uniform, 1000, dims, 18);
+        b.iter_batched(
+            || RStarTree::bulk_load(dims, &flat, 16),
+            |mut tree| {
+                for (_, p) in extra.iter() {
+                    tree.insert(p);
+                }
+                tree
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let tree = RStarTree::bulk_load(dims, &flat, 16);
+    group.bench_function("range_query", |b| {
+        b.iter(|| tree.range_query(&[0.2; 4], &[0.45; 4]))
+    });
+    group.bench_function("knn_10", |b| b.iter(|| tree.knn(&[0.5; 4], 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rstar);
+criterion_main!(benches);

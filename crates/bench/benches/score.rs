@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: scoring kernels (the innermost loops of
+//! every method).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdq_core::geometry::Angle;
+use sdq_core::score::{sd_score, sd_score_2d};
+use sdq_core::DimRole;
+use sdq_data::{generate, Distribution};
+
+fn bench_score(c: &mut Criterion) {
+    let data = generate(Distribution::Uniform, 10_000, 6, 41);
+    let roles = [
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+        DimRole::Attractive,
+        DimRole::Attractive,
+    ];
+    let weights = [0.8, 0.6, 0.4, 0.9, 0.7, 0.5];
+    let q = [0.5; 6];
+
+    let mut group = c.benchmark_group("score_kernels");
+    group.bench_function("sd_score_6d_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, p) in data.iter() {
+                acc += sd_score(p, &q, &roles, &weights);
+            }
+            acc
+        })
+    });
+    group.bench_function("sd_score_2d_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, p) in data.iter() {
+                acc += sd_score_2d(p[0], p[1], 0.5, 0.5, 1.0, 0.7);
+            }
+            acc
+        })
+    });
+    let angle = Angle::from_weights(1.0, 0.7).unwrap();
+    group.bench_function("projection_keys_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, p) in data.iter() {
+                acc += angle.u(p[0], p[1]) + angle.v(p[0], p[1]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score);
+criterion_main!(benches);

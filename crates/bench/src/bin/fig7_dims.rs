@@ -1,0 +1,6 @@
+//! Standalone runner for the `fig7_dims` experiment (see `DESIGN.md`).
+
+fn main() {
+    let cfg = sdq_bench::Config::from_args();
+    sdq_bench::experiments::fig7_dims::run(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Standalone runner for the `fig7_size` experiment (see `DESIGN.md`).
+
+fn main() {
+    let cfg = sdq_bench::Config::from_args();
+    sdq_bench::experiments::fig7_size::run(&cfg);
+}

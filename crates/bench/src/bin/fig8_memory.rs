@@ -1,0 +1,6 @@
+//! Standalone runner for the `fig8_memory` experiment (see `DESIGN.md`).
+
+fn main() {
+    let cfg = sdq_bench::Config::from_args();
+    sdq_bench::experiments::fig8_memory::run(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Standalone runner for the `table1` experiment (see `DESIGN.md`).
+
+fn main() {
+    let cfg = sdq_bench::Config::from_args();
+    sdq_bench::experiments::table1::run(&cfg);
+}

@@ -1,0 +1,28 @@
+//! Fig. 8i: SD-Index top-k memory footprint vs branching factor. Fewer,
+//! larger nodes shrink the per-angle bound storage.
+
+use sdq_core::topk::{default_angles, TopKIndex};
+
+use crate::harness::{Config, Report};
+use sdq_data::{generate, Distribution};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    let n = if cfg.full { 1_000_000 } else { 200_000 };
+    let mut report = Report::new(
+        "fig8_branching",
+        &format!("Fig. 8i: 2-D top-k index memory (MiB) vs branching factor, n = {n}"),
+        &["branching", "MiB", "nodes"],
+    );
+    let data = generate(Distribution::Uniform, n, 2, cfg.seed);
+    let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[0], c[1])).collect();
+    for b in [2usize, 4, 8, 16, 32, 50] {
+        let index = TopKIndex::build_with(&pts, &default_angles(), b).unwrap();
+        report.row(vec![
+            b.to_string(),
+            format!("{:.2}", index.memory_bytes() as f64 / (1024.0 * 1024.0)),
+            index.num_nodes().to_string(),
+        ]);
+    }
+    report.finish(cfg);
+}

@@ -1,0 +1,17 @@
+//! # sdq-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! SD-Query paper's evaluation (§6). Each figure has a dedicated binary
+//! (`cargo run --release -p sdq-bench --bin fig7_size`, …) plus the
+//! umbrella `repro_all`; Criterion micro-benchmarks live under `benches/`.
+//!
+//! Sizes default to laptop-scale so the full suite finishes in minutes;
+//! pass `--full` for paper-scale datasets (up to 10 M points). The
+//! reproduction target is the *shape* of every figure — method ordering,
+//! rough factors, crossover locations — not 2011-hardware absolute times;
+//! `EXPERIMENTS.md` records paper-vs-measured for each experiment.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Config, Report};

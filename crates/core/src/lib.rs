@@ -1,0 +1,55 @@
+//! # sdq-core
+//!
+//! Core index structures for the **SD-Query** — top-k queries over a mixture
+//! of attractive and repulsive dimensions (Ranu & Singh, PVLDB 5(3), 2011).
+//!
+//! Given a dataset of multidimensional points, a query point `q`, a set of
+//! *repulsive* dimensions `D` (distance is desirable) and *attractive*
+//! dimensions `S` (similarity is desirable) with weights `α`/`β`, the
+//! SD-Query returns the `k` points maximising
+//!
+//! ```text
+//! SD-score(p, q) = Σ_{i∈D} α_i·|p_i − q_i| − Σ_{j∈S} β_j·|p_j − q_j|
+//! ```
+//!
+//! The crate provides:
+//!
+//! * [`geometry`] — the isoline/projection machinery of §2 (Claims 1–4),
+//! * [`envelope`] — tent-envelope line sweeps (Alg. 1) and k-levels,
+//! * [`top1`] — the §3 region index for fixed `k`, `α`, `β` (O(log n) query),
+//! * [`topk`] — the §4 projection-bound tree for runtime `k`, `α`, `β`,
+//! * [`multidim`] — the §5 pairing + threshold aggregation for any number of
+//!   dimensions,
+//! * [`score`] — scoring kernels shared by indexes, baselines and tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sdq_core::{Dataset, DimRole, SdQuery, multidim::SdIndex};
+//!
+//! // Two dimensions: similarity on x (attractive), distance on y (repulsive).
+//! let data = Dataset::from_rows(2, &[
+//!     vec![1.0, 9.0],
+//!     vec![1.1, 2.0],
+//!     vec![7.0, 8.5],
+//! ]).unwrap();
+//! let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+//! let index = SdIndex::build(data, &roles).unwrap();
+//! let query = SdQuery::uniform_weights(vec![1.0, 2.0], &roles);
+//! let top = index.query(&query, 1).unwrap();
+//! assert_eq!(top[0].id.index(), 0); // same x as q, far away in y
+//! ```
+
+pub mod envelope;
+pub mod geometry;
+pub mod multidim;
+pub mod score;
+pub mod top1;
+pub mod topk;
+mod types;
+
+pub use score::{sd_score, DimRole, SdQuery};
+pub use types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SdError>;

@@ -1,0 +1,494 @@
+//! The §5 extension to arbitrary dimensions: pairing, subproblem streams
+//! and TA-style threshold aggregation.
+//!
+//! The SD-score (Eqn. 3) is re-expressed as Eqn. 10: `min(|D|, |S|)`
+//! repulsive↔attractive 2-D subproblems — each served by a §4
+//! [`TopKIndex`] — plus 1-D subproblems for the leftover dimensions. Every
+//! subproblem yields points in non-increasing subscore order together with
+//! an admissible bound; the aggregation loop fetches the per-subproblem
+//! tops, scores fetched points exactly on the *full* query, and stops once
+//! the k-th best exact score reaches the threshold `τ = Σ` (per-stream
+//! bounds) — the TA stopping rule, guaranteed optimal, but with two
+//! dimensions per subproblem, which is the source of the paper's
+//! scalability edge over classic TA (§6.2).
+
+pub mod pairing;
+pub mod stream1d;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+pub use pairing::{pair_dimensions, DimPair, PairingStrategy};
+pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
+
+use crate::geometry::Angle;
+use crate::score::{rank_cmp, sd_score_point};
+use crate::topk::arbitrary::dual_bound;
+use crate::topk::stream::{inflate, FastSet};
+use crate::topk::{default_angles, AngleQuery, TopKIndex};
+use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
+use crate::{DimRole, SdQuery};
+
+/// One subproblem of the §5 decomposition: emits `(row, subscore)` pairs in
+/// non-increasing subscore order and bounds everything not yet emitted.
+pub trait SubproblemStream {
+    /// Admissible upper bound on the subscore of every row this stream has
+    /// not yet emitted; `None` once the stream is drained (at which point
+    /// every row of the dataset has been emitted by it).
+    fn bound(&self) -> Option<f64>;
+    /// The next row in subscore order.
+    fn next(&mut self) -> Option<(u32, f64)>;
+}
+
+/// Tuning knobs for [`SdIndex::build_with`].
+#[derive(Debug, Clone)]
+pub struct SdIndexOptions {
+    /// How repulsive and attractive dimensions are matched (§5 / future
+    /// work).
+    pub pairing: PairingStrategy,
+    /// Indexed projection angles for the per-pair trees (§4.2).
+    pub angles: Vec<Angle>,
+    /// Branching factor of the per-pair trees.
+    pub branching: usize,
+}
+
+impl Default for SdIndexOptions {
+    fn default() -> Self {
+        SdIndexOptions {
+            pairing: PairingStrategy::Arbitrary,
+            angles: default_angles(),
+            branching: 8,
+        }
+    }
+}
+
+/// The multi-dimensional SD-Query index (§5): per-pair §4 trees plus
+/// sorted columns for unpaired dimensions, aggregated under a TA-style
+/// threshold at query time.
+///
+/// Dimension *roles* are fixed at build time (they determine the pairing
+/// and the physical indexes); weights and `k` are free at query time.
+#[derive(Debug, Clone)]
+pub struct SdIndex {
+    data: Arc<Dataset>,
+    roles: Vec<DimRole>,
+    pairs: Vec<DimPair>,
+    unpaired: Vec<usize>,
+    pair_indexes: Vec<TopKIndex>,
+    columns: Vec<SortedColumn>,
+}
+
+impl SdIndex {
+    /// Builds with default options (arbitrary pairing, five angles,
+    /// branching 8).
+    pub fn build(data: impl Into<Arc<Dataset>>, roles: &[DimRole]) -> Result<Self, SdError> {
+        Self::build_with(data, roles, &SdIndexOptions::default())
+    }
+
+    /// Builds with explicit options.
+    pub fn build_with(
+        data: impl Into<Arc<Dataset>>,
+        roles: &[DimRole],
+        options: &SdIndexOptions,
+    ) -> Result<Self, SdError> {
+        let data: Arc<Dataset> = data.into();
+        if roles.len() != data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: data.dims(),
+                got: roles.len(),
+            });
+        }
+        let (pairs, unpaired) = pair_dimensions(&data, roles, options.pairing);
+
+        let mut pair_indexes = Vec::with_capacity(pairs.len());
+        for p in &pairs {
+            // x = attractive dimension, y = repulsive dimension; slot order
+            // equals row order so tree slots are dataset rows.
+            let pts: Vec<(f64, f64)> = data
+                .iter()
+                .map(|(_, c)| (c[p.attractive], c[p.repulsive]))
+                .collect();
+            pair_indexes.push(TopKIndex::build_with(
+                &pts,
+                &options.angles,
+                options.branching,
+            )?);
+        }
+        let columns = unpaired
+            .iter()
+            .map(|&d| SortedColumn::new(&data.column(d)))
+            .collect();
+        Ok(SdIndex {
+            data,
+            roles: roles.to_vec(),
+            pairs,
+            unpaired,
+            pair_indexes,
+            columns,
+        })
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Build-time dimension roles.
+    pub fn roles(&self) -> &[DimRole] {
+        &self.roles
+    }
+
+    /// The 2-D subproblem pairs.
+    pub fn pairs(&self) -> &[DimPair] {
+        &self.pairs
+    }
+
+    /// Dimensions served by 1-D subproblems.
+    pub fn unpaired(&self) -> &[usize] {
+        &self.unpaired
+    }
+
+    /// Approximate heap footprint of the index structures (excluding the
+    /// shared dataset).
+    pub fn memory_bytes(&self) -> usize {
+        self.pair_indexes
+            .iter()
+            .map(TopKIndex::memory_bytes)
+            .sum::<usize>()
+            + self
+                .columns
+                .iter()
+                .map(SortedColumn::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Answers the SD-Query: the `min(k, n)` highest SD-scores under the
+    /// build-time roles and the query's runtime weights.
+    pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if query.dims() != self.data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: self.data.dims(),
+                got: query.dims(),
+            });
+        }
+        let n = self.data.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        // Assemble the subproblem streams.
+        let mut streams: Vec<Box<dyn SubproblemStream + '_>> =
+            Vec::with_capacity(self.pairs.len() + self.unpaired.len());
+        for (pair, index) in self.pairs.iter().zip(&self.pair_indexes) {
+            let alpha = query.weights[pair.repulsive];
+            let beta = query.weights[pair.attractive];
+            let qx = query.point[pair.attractive];
+            let qy = query.point[pair.repulsive];
+            streams.push(Pair2DStream::boxed(index, qx, qy, alpha, beta, n)?);
+        }
+        for (column, &dim) in self.columns.iter().zip(&self.unpaired) {
+            let w = query.weights[dim];
+            let q = query.point[dim];
+            match self.roles[dim] {
+                DimRole::Repulsive => streams.push(Box::new(RepulsiveStream::new(column, q, w))),
+                DimRole::Attractive => streams.push(Box::new(AttractiveStream::new(column, q, w))),
+            }
+        }
+
+        Ok(threshold_aggregate(
+            &self.data,
+            &self.roles,
+            query,
+            k,
+            &mut streams,
+        ))
+    }
+
+    /// Answers a batch of queries in parallel with up to `threads` workers
+    /// (scoped threads; the index is shared immutably). Results keep the
+    /// input order.
+    pub fn par_query_batch(
+        &self,
+        queries: &[SdQuery],
+        k: usize,
+        threads: usize,
+    ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
+        if threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.query(q, k)).collect();
+        }
+        let n_workers = threads.min(queries.len());
+        type Bucket = Vec<(usize, Result<Vec<ScoredPoint>, SdError>)>;
+        let buckets: Vec<Bucket> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        queries
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(n_workers)
+                            .map(|(i, q)| (i, self.query(q, k)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Vec<ScoredPoint>> = vec![Vec::new(); queries.len()];
+        for bucket in buckets {
+            for (i, r) in bucket {
+                out[i] = r?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The §5 aggregation loop, shared with the adapted-TA baseline (which uses
+/// one 1-D stream per dimension — precisely the configuration this
+/// degenerates to with zero pairs, as Fig. 7i–j observes).
+///
+/// Exact: a candidate is emitted only when its exact full score reaches the
+/// (FP-inflated) threshold `τ = Σ` stream bounds; when any stream drains,
+/// all rows have been fetched and the pool is drained directly.
+pub fn threshold_aggregate(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    streams: &mut [Box<dyn SubproblemStream + '_>],
+) -> Vec<ScoredPoint> {
+    let mut pool: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
+    let mut seen = FastSet::default();
+    let mut answers: Vec<ScoredPoint> = Vec::with_capacity(k);
+    let k_eff = k.min(data.len());
+
+    loop {
+        // Threshold over rows unseen by *every* stream.
+        let mut tau = 0.0;
+        let mut any_drained = false;
+        for s in streams.iter() {
+            match s.bound() {
+                Some(b) => tau += b,
+                None => any_drained = true,
+            }
+        }
+
+        // Emit certified candidates.
+        while answers.len() < k_eff {
+            match pool.peek() {
+                Some(&(OrdF64(s), Reverse(row))) if any_drained || s >= inflate(tau) => {
+                    pool.pop();
+                    answers.push(ScoredPoint::new(PointId::new(row), s));
+                }
+                _ => break,
+            }
+        }
+        if answers.len() >= k_eff {
+            break;
+        }
+        if any_drained && pool.is_empty() {
+            break;
+        }
+
+        // One fetch per subproblem per iteration (§5's "top point is
+        // fetched for each of the subproblems").
+        let mut progressed = false;
+        for s in streams.iter_mut() {
+            if let Some((row, _)) = s.next() {
+                progressed = true;
+                if seen.insert(row) {
+                    let score = sd_score_point(data, PointId::new(row), query, roles);
+                    pool.push((OrdF64::new(score), Reverse(row)));
+                }
+            }
+        }
+        if !progressed {
+            // Everything fetched; drain what remains.
+            while answers.len() < k_eff {
+                match pool.pop() {
+                    Some((OrdF64(s), Reverse(row))) => {
+                        answers.push(ScoredPoint::new(PointId::new(row), s))
+                    }
+                    None => break,
+                }
+            }
+            break;
+        }
+    }
+    answers.sort_by(rank_cmp);
+    answers
+}
+
+/// A 2-D subproblem stream over the lower bracketing indexed angle θ_l.
+///
+/// Emissions carry exact θ_q subscores but arrive in θ_l order — the
+/// aggregation loop only requires an admissible **bound** on unemitted
+/// rows, not ordered emission, so no reorder buffer is needed. The bound
+/// uses the monotonicity `S_p(θ_q) ≤ S_p(θ_l)` sharpened by the linear
+/// programme solved in [`scale_bound`].
+struct Pair2DStream<'a> {
+    inner: PairInner<'a>,
+}
+
+enum PairInner<'a> {
+    /// Both weights zero: every subscore is exactly 0; enumerate rows.
+    Degenerate { next_row: u32, n: u32 },
+    /// θ_q coincides with an indexed angle: one certified stream.
+    Exact {
+        aq: AngleQuery<'a>,
+        index: &'a TopKIndex,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        r: f64,
+    },
+    /// θ_q strictly between two indexed angles: dual-bracket pulls with
+    /// the LP-combined bound of `topk::arbitrary::dual_bound`.
+    Bracketed {
+        aq_l: AngleQuery<'a>,
+        aq_u: AngleQuery<'a>,
+        index: &'a TopKIndex,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        r: f64,
+        theta_q: Angle,
+        seen: crate::topk::stream::FastSet,
+        flip: bool,
+    },
+}
+
+impl<'a> Pair2DStream<'a> {
+    fn boxed(
+        index: &'a TopKIndex,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        n: usize,
+    ) -> Result<Box<dyn SubproblemStream + 'a>, SdError> {
+        if alpha == 0.0 && beta == 0.0 {
+            return Ok(Box::new(Pair2DStream {
+                inner: PairInner::Degenerate {
+                    next_row: 0,
+                    n: n as u32,
+                },
+            }));
+        }
+        let theta = Angle::from_weights(alpha, beta)?;
+        let r = alpha.hypot(beta);
+        let inner = match index.indexed_angle(&theta) {
+            Some(i) => PairInner::Exact {
+                aq: AngleQuery::new(index, i, qx, qy),
+                index,
+                qx,
+                qy,
+                alpha,
+                beta,
+                r,
+            },
+            None => {
+                let (lo, hi) = index.bracketing(&theta)?;
+                PairInner::Bracketed {
+                    aq_l: AngleQuery::new(index, lo, qx, qy),
+                    aq_u: AngleQuery::new(index, hi, qx, qy),
+                    index,
+                    qx,
+                    qy,
+                    alpha,
+                    beta,
+                    r,
+                    theta_q: theta,
+                    seen: crate::topk::stream::FastSet::default(),
+                    flip: false,
+                }
+            }
+        };
+        Ok(Box::new(Pair2DStream { inner }))
+    }
+}
+
+impl SubproblemStream for Pair2DStream<'_> {
+    fn bound(&self) -> Option<f64> {
+        match &self.inner {
+            PairInner::Degenerate { next_row, n } => (next_row < n).then_some(0.0),
+            PairInner::Exact { aq, r, .. } => aq.bound().map(|b| r * b),
+            PairInner::Bracketed {
+                aq_l,
+                aq_u,
+                r,
+                theta_q,
+                ..
+            } => {
+                // A drained side has emitted everything: nothing is unseen.
+                let bl = aq_l.bound()?;
+                let bu = aq_u.bound()?;
+                Some(*r * dual_bound(bl, bu, &aq_l.angle(), &aq_u.angle(), theta_q))
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        match &mut self.inner {
+            PairInner::Degenerate { next_row, n } => {
+                if next_row < n {
+                    let row = *next_row;
+                    *next_row += 1;
+                    Some((row, 0.0))
+                } else {
+                    None
+                }
+            }
+            PairInner::Exact {
+                aq,
+                index,
+                qx,
+                qy,
+                alpha,
+                beta,
+                ..
+            } => {
+                let (slot, _) = aq.next()?;
+                let sp = index.rescore(slot, *qx, *qy, *alpha, *beta);
+                Some((slot, sp.score))
+            }
+            PairInner::Bracketed {
+                aq_l,
+                aq_u,
+                index,
+                qx,
+                qy,
+                alpha,
+                beta,
+                seen,
+                flip,
+                ..
+            } => loop {
+                *flip = !*flip;
+                let pulled = if *flip {
+                    aq_l.next().or_else(|| aq_u.next())
+                } else {
+                    aq_u.next().or_else(|| aq_l.next())
+                };
+                let (slot, _) = pulled?;
+                if seen.insert(slot) {
+                    let sp = index.rescore(slot, *qx, *qy, *alpha, *beta);
+                    return Some((slot, sp.score));
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

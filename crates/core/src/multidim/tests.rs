@@ -1,0 +1,279 @@
+//! Oracle-equivalence tests for the multi-dimensional SD-Index.
+
+use super::*;
+use crate::score::sd_score;
+use rand::{Rng, SeedableRng};
+
+fn oracle(data: &Dataset, roles: &[DimRole], query: &SdQuery, k: usize) -> Vec<ScoredPoint> {
+    let mut all: Vec<ScoredPoint> = data
+        .iter()
+        .map(|(id, c)| ScoredPoint::new(id, sd_score(c, &query.point, roles, &query.weights)))
+        .collect();
+    all.sort_by(rank_cmp);
+    all.truncate(k);
+    all
+}
+
+fn assert_equiv(got: &[ScoredPoint], want: &[ScoredPoint]) {
+    assert_eq!(got.len(), want.len(), "length: got {got:?}\nwant {want:?}");
+    for (g, w) in got.iter().zip(want) {
+        assert!(
+            (g.score - w.score).abs() < 1e-9,
+            "score mismatch:\n got {got:?}\nwant {want:?}"
+        );
+    }
+}
+
+fn rand_dataset(rng: &mut impl Rng, n: usize, dims: usize) -> Dataset {
+    let coords: Vec<f64> = (0..n * dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+    Dataset::from_flat(dims, coords).unwrap()
+}
+
+fn rand_roles(rng: &mut impl Rng, dims: usize) -> Vec<DimRole> {
+    (0..dims)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                DimRole::Repulsive
+            } else {
+                DimRole::Attractive
+            }
+        })
+        .collect()
+}
+
+fn rand_query(rng: &mut impl Rng, dims: usize) -> SdQuery {
+    SdQuery::new(
+        (0..dims).map(|_| rng.gen_range(-0.2..1.2)).collect(),
+        (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn lib_doc_example() {
+    let data = Dataset::from_rows(2, &[vec![1.0, 9.0], vec![1.1, 2.0], vec![7.0, 8.5]]).unwrap();
+    let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+    let index = SdIndex::build(data, &roles).unwrap();
+    let query = SdQuery::uniform_weights(vec![1.0, 2.0], &roles);
+    let top = index.query(&query, 1).unwrap();
+    assert_eq!(top[0].id.index(), 0);
+}
+
+#[test]
+fn matches_oracle_across_dims_roles_weights() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(200);
+    for _ in 0..40 {
+        let dims = rng.gen_range(1..8);
+        let n = rng.gen_range(1..150);
+        let data = rand_dataset(&mut rng, n, dims);
+        let roles = rand_roles(&mut rng, dims);
+        let index = SdIndex::build(data.clone(), &roles).unwrap();
+        for _ in 0..8 {
+            let q = rand_query(&mut rng, dims);
+            let k = rng.gen_range(1..12);
+            let got = index.query(&q, k).unwrap();
+            assert_equiv(&got, &oracle(&data, &roles, &q, k));
+        }
+    }
+}
+
+#[test]
+fn six_dims_three_three_paper_config() {
+    // The paper's main benchmark configuration: 6 dims, 3 repulsive +
+    // 3 attractive.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(201);
+    let roles = vec![
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+        DimRole::Attractive,
+        DimRole::Attractive,
+    ];
+    let data = rand_dataset(&mut rng, 400, 6);
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    assert_eq!(index.pairs().len(), 3);
+    assert!(index.unpaired().is_empty());
+    for _ in 0..25 {
+        let q = rand_query(&mut rng, 6);
+        let got = index.query(&q, 5).unwrap();
+        assert_equiv(&got, &oracle(&data, &roles, &q, 5));
+    }
+}
+
+#[test]
+fn all_attractive_degenerates_to_ta() {
+    // 0 repulsive dims: no 2-D subproblems; the index must still be exact
+    // (this is the Fig. 7i boundary case).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(202);
+    let roles = vec![DimRole::Attractive; 4];
+    let data = rand_dataset(&mut rng, 200, 4);
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    assert!(index.pairs().is_empty());
+    assert_eq!(index.unpaired().len(), 4);
+    for _ in 0..15 {
+        let q = rand_query(&mut rng, 4);
+        assert_equiv(&index.query(&q, 7).unwrap(), &oracle(&data, &roles, &q, 7));
+    }
+}
+
+#[test]
+fn all_repulsive_degenerates_to_ta() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(203);
+    let roles = vec![DimRole::Repulsive; 3];
+    let data = rand_dataset(&mut rng, 200, 3);
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    assert!(index.pairs().is_empty());
+    for _ in 0..15 {
+        let q = rand_query(&mut rng, 3);
+        assert_equiv(&index.query(&q, 4).unwrap(), &oracle(&data, &roles, &q, 4));
+    }
+}
+
+#[test]
+fn single_dimension_queries() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(204);
+    for role in [DimRole::Attractive, DimRole::Repulsive] {
+        let data = rand_dataset(&mut rng, 100, 1);
+        let index = SdIndex::build(data.clone(), &[role]).unwrap();
+        for _ in 0..10 {
+            let q = rand_query(&mut rng, 1);
+            assert_equiv(&index.query(&q, 3).unwrap(), &oracle(&data, &[role], &q, 3));
+        }
+    }
+}
+
+#[test]
+fn correlation_aware_pairing_stays_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(205);
+    let data = rand_dataset(&mut rng, 300, 6);
+    let roles = rand_roles(&mut rng, 6);
+    let opts = SdIndexOptions {
+        pairing: PairingStrategy::CorrelationAware,
+        ..Default::default()
+    };
+    let index = SdIndex::build_with(data.clone(), &roles, &opts).unwrap();
+    for _ in 0..15 {
+        let q = rand_query(&mut rng, 6);
+        assert_equiv(&index.query(&q, 6).unwrap(), &oracle(&data, &roles, &q, 6));
+    }
+}
+
+#[test]
+fn zero_weights_on_some_dims() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(206);
+    let data = rand_dataset(&mut rng, 120, 4);
+    let roles = vec![
+        DimRole::Repulsive,
+        DimRole::Attractive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+    ];
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    // Zero out the weights of the first pair entirely (degenerate 2-D
+    // subproblem) and one unpaired dim.
+    let q = SdQuery::new(vec![0.5; 4], vec![0.0, 0.0, 1.0, 0.7]).unwrap();
+    assert_equiv(&index.query(&q, 5).unwrap(), &oracle(&data, &roles, &q, 5));
+    // All-zero weights: every score is 0; any k points are valid — check
+    // count and zero scores only.
+    let q = SdQuery::new(vec![0.5; 4], vec![0.0; 4]).unwrap();
+    let got = index.query(&q, 5).unwrap();
+    assert_eq!(got.len(), 5);
+    assert!(got.iter().all(|s| s.score == 0.0));
+}
+
+#[test]
+fn validation_errors() {
+    let data = Dataset::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
+    let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+    assert!(SdIndex::build(data.clone(), &[DimRole::Attractive]).is_err());
+    let index = SdIndex::build(data, &roles).unwrap();
+    let q = SdQuery::new(vec![0.0], vec![1.0]).unwrap();
+    assert!(matches!(
+        index.query(&q, 1),
+        Err(SdError::DimensionMismatch { .. })
+    ));
+    let q = SdQuery::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+    assert!(matches!(index.query(&q, 0), Err(SdError::ZeroK)));
+}
+
+#[test]
+fn empty_dataset_returns_empty() {
+    let data = Dataset::from_flat(3, vec![]).unwrap();
+    let roles = vec![DimRole::Repulsive, DimRole::Attractive, DimRole::Repulsive];
+    let index = SdIndex::build(data, &roles).unwrap();
+    let q = SdQuery::new(vec![0.0; 3], vec![1.0; 3]).unwrap();
+    assert!(index.query(&q, 5).unwrap().is_empty());
+}
+
+#[test]
+fn k_exceeding_n() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(207);
+    let data = rand_dataset(&mut rng, 7, 3);
+    let roles = rand_roles(&mut rng, 3);
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    let q = rand_query(&mut rng, 3);
+    let got = index.query(&q, 50).unwrap();
+    assert_eq!(got.len(), 7);
+    assert_equiv(&got, &oracle(&data, &roles, &q, 50));
+}
+
+#[test]
+fn parallel_batch_matches_sequential() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(208);
+    let data = rand_dataset(&mut rng, 300, 4);
+    let roles = rand_roles(&mut rng, 4);
+    let index = SdIndex::build(data, &roles).unwrap();
+    let queries: Vec<SdQuery> = (0..16).map(|_| rand_query(&mut rng, 4)).collect();
+    let seq: Vec<_> = queries.iter().map(|q| index.query(q, 5).unwrap()).collect();
+    let par = index.par_query_batch(&queries, 5, 4).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_equiv(p, s);
+    }
+}
+
+#[test]
+fn memory_accounting() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(209);
+    let data = rand_dataset(&mut rng, 500, 4);
+    let roles = vec![
+        DimRole::Repulsive,
+        DimRole::Attractive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+    ];
+    let index = SdIndex::build(data, &roles).unwrap();
+    assert!(index.memory_bytes() > 0);
+}
+
+#[test]
+fn paper_publisher_example() {
+    // §5's worked example: D = {Price}, S = {HitRate, Coverage};
+    // Price pairs with HitRate, Coverage stays a 1-D subproblem.
+    // Columns: 0 = Price (rep), 1 = HitRate (att), 2 = Coverage (att).
+    let data = Dataset::from_rows(
+        3,
+        &[
+            vec![100.0, 40.0, 60.0], // A
+            vec![40.0, 35.0, 80.0],  // B
+            vec![45.0, 42.0, 68.0],  // C
+            vec![90.0, 20.0, 85.0],  // D
+        ],
+    )
+    .unwrap();
+    let roles = vec![DimRole::Repulsive, DimRole::Attractive, DimRole::Attractive];
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+    assert_eq!(index.pairs().len(), 1);
+    assert_eq!(
+        index.pairs()[0],
+        DimPair {
+            repulsive: 0,
+            attractive: 1
+        }
+    );
+    assert_eq!(index.unpaired(), &[2]);
+    let q = SdQuery::new(vec![50.0, 38.0, 75.0], vec![1.0, 1.0, 1.0]).unwrap();
+    let got = index.query(&q, 2).unwrap();
+    assert_equiv(&got, &oracle(&data, &roles, &q, 2));
+}

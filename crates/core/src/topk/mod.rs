@@ -1,0 +1,681 @@
+//! The §4 index structure for top-k queries with runtime `k`, `α`, `β`.
+//!
+//! A balanced kd-style tree over the x-coordinates (branching factor `b`)
+//! stores, at every non-leaf node and for every *indexed angle* θ, bounds on
+//! the four projection intercepts of its subtree:
+//!
+//! * `max u` — the highest llp, `min u` — the lowest rup,
+//! * `max v` — the highest rlp, `min v` — the lowest lup,
+//!
+//! where `u = cosθ·y − sinθ·x`, `v = cosθ·y + sinθ·x` are the rotated keys
+//! equivalent to projecting on `x = −∞` / `x = +∞` (§4.1). A query walks
+//! four best-first streams (one per projection type) seeded at the root;
+//! children on the wrong side of the query axis are skipped, which realises
+//! the separating-path bound update of Alg. 3 without mutating the tree, so
+//! the index stays shareable across concurrent queries.
+//!
+//! Queries whose weight angle is not indexed are answered through the
+//! Claim 6 bracketing procedure (Alg. 4) in [`arbitrary`].
+//!
+//! Storage is `O(n + m·n/(b−1))` for `m` indexed angles; queries cost
+//! `O(k·b·log_b n + k)`; construction `O(n log n)` — the §4 bounds.
+
+pub mod arbitrary;
+pub mod packed;
+pub(crate) mod stream;
+
+use crate::geometry::Angle;
+use crate::score::{rank_cmp, sd_score_2d};
+use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
+
+pub use packed::PackedTopKIndex;
+pub use stream::AngleQuery;
+
+/// Default indexed angles: five uniformly spread over `[0°, 90°]` (§6.1
+/// uses 0, 23, 45, 67, 90; we use the exact uniform grid).
+pub fn default_angles() -> Vec<Angle> {
+    [0.0, 22.5, 45.0, 67.5, 90.0]
+        .iter()
+        .map(|&d| Angle::from_degrees(d).expect("static angles are valid"))
+        .collect()
+}
+
+/// Per-angle projection bounds of one subtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct AngleBounds {
+    pub max_u: f64,
+    pub min_u: f64,
+    pub max_v: f64,
+    pub min_v: f64,
+}
+
+impl AngleBounds {
+    const EMPTY: AngleBounds = AngleBounds {
+        max_u: f64::NEG_INFINITY,
+        min_u: f64::INFINITY,
+        max_v: f64::NEG_INFINITY,
+        min_v: f64::INFINITY,
+    };
+
+    #[inline]
+    fn extend_point(&mut self, u: f64, v: f64) {
+        self.max_u = self.max_u.max(u);
+        self.min_u = self.min_u.min(u);
+        self.max_v = self.max_v.max(v);
+        self.min_v = self.min_v.min(v);
+    }
+
+    #[inline]
+    fn extend(&mut self, other: &AngleBounds) {
+        self.max_u = self.max_u.max(other.max_u);
+        self.min_u = self.min_u.min(other.min_u);
+        self.max_v = self.max_v.max(other.max_v);
+        self.min_v = self.min_v.min(other.min_v);
+    }
+}
+
+/// A child slot: either a subtree or a single point (the paper's in-memory
+/// variant stores one point per leaf).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Child {
+    Inner(u32),
+    Point(u32),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) children: Vec<Child>,
+    /// One bound tuple per indexed angle (the hashmap of §4.2, laid out as
+    /// a dense array since the angle set is fixed at build time).
+    pub(crate) bounds: Vec<AngleBounds>,
+    pub(crate) xmin: f64,
+    pub(crate) xmax: f64,
+}
+
+/// The §4 top-k index over 2-D points (`x` attractive, `y` repulsive).
+///
+/// Point identity is the insertion slot, as in
+/// [`Top1Index`](crate::top1::Top1Index).
+#[derive(Debug, Clone)]
+pub struct TopKIndex {
+    pub(crate) branching: usize,
+    pub(crate) angles: Vec<Angle>,
+    pub(crate) xs: Vec<f64>,
+    pub(crate) ys: Vec<f64>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) n_alive: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<u32>,
+    free_nodes: Vec<u32>,
+    /// Leaves observed (at insert time) deeper than the balance limit; when
+    /// `deep_leaves / n > rebuild_threshold` the tree is rebuilt (§4.1's
+    /// |U|/n > θ policy).
+    deep_leaves: usize,
+    rebuild_threshold: f64,
+}
+
+impl TopKIndex {
+    /// Builds the index with the default five angles and branching 8.
+    pub fn build(points: &[(f64, f64)]) -> Result<Self, SdError> {
+        Self::build_with(points, &default_angles(), 8)
+    }
+
+    /// Builds the index over `points` for the given indexed `angles` and
+    /// branching factor (`≥ 2`). Angles are sorted internally; queries with
+    /// weight angles outside `[angles.first(), angles.last()]` fail with
+    /// [`SdError::AngleOutOfRange`], so covering `[0°, 90°]` is recommended
+    /// (§4.2).
+    pub fn build_with(
+        points: &[(f64, f64)],
+        angles: &[Angle],
+        branching: usize,
+    ) -> Result<Self, SdError> {
+        if branching < 2 {
+            return Err(SdError::InvalidBranching(branching));
+        }
+        if angles.is_empty() {
+            return Err(SdError::NoAngles);
+        }
+        if points.len() > u32::MAX as usize {
+            return Err(SdError::TooManyPoints(points.len()));
+        }
+        for (row, &(x, y)) in points.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(SdError::NonFiniteCoordinate {
+                    row,
+                    dim: 0,
+                    value: x,
+                });
+            }
+            if !y.is_finite() {
+                return Err(SdError::NonFiniteCoordinate {
+                    row,
+                    dim: 1,
+                    value: y,
+                });
+            }
+        }
+        let mut sorted_angles = angles.to_vec();
+        sorted_angles.sort_by_key(|a| OrdF64(a.degrees()));
+        sorted_angles.dedup_by(|a, b| (a.degrees() - b.degrees()).abs() < 1e-12);
+
+        let mut idx = TopKIndex {
+            branching,
+            angles: sorted_angles,
+            xs: points.iter().map(|p| p.0).collect(),
+            ys: points.iter().map(|p| p.1).collect(),
+            alive: vec![true; points.len()],
+            n_alive: points.len(),
+            nodes: Vec::new(),
+            root: None,
+            free_nodes: Vec::new(),
+            deep_leaves: 0,
+            rebuild_threshold: 0.25,
+        };
+        idx.rebuild();
+        Ok(idx)
+    }
+
+    /// Creates an empty index.
+    pub fn new(angles: &[Angle], branching: usize) -> Result<Self, SdError> {
+        Self::build_with(&[], angles, branching)
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.n_alive
+    }
+
+    /// `true` when no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.n_alive == 0
+    }
+
+    /// The indexed angles, ascending.
+    pub fn angles(&self) -> &[Angle] {
+        &self.angles
+    }
+
+    /// The branching factor.
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+
+    /// Sets the unbalance ratio that triggers a rebuild (default 0.25).
+    pub fn set_rebuild_threshold(&mut self, theta: f64) {
+        self.rebuild_threshold = theta.max(0.0);
+    }
+
+    /// Coordinates of a live point.
+    pub fn point(&self, id: PointId) -> Option<(f64, f64)> {
+        let slot = id.index();
+        if slot < self.xs.len() && self.alive[slot] {
+            Some((self.xs[slot], self.ys[slot]))
+        } else {
+            None
+        }
+    }
+
+    /// Approximate heap footprint in bytes: point table plus tree nodes with
+    /// their per-angle bound tuples.
+    pub fn memory_bytes(&self) -> usize {
+        let pts = self.xs.len() * 2 * std::mem::size_of::<f64>() + self.alive.len();
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + n.children.len() * std::mem::size_of::<Child>()
+                    + n.bounds.len() * std::mem::size_of::<AngleBounds>()
+            })
+            .sum();
+        pts + nodes
+    }
+
+    /// Number of live tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - self.free_nodes.len()
+    }
+
+    /// Answers a top-k query with runtime weights `α` (repulsive, on `y`)
+    /// and `β` (attractive, on `x`).
+    ///
+    /// When `arctan(β/α)` coincides with an indexed angle the certified
+    /// four-stream search answers directly; otherwise the Claim 6
+    /// bracketing procedure (Alg. 4) combines the two neighbouring indexed
+    /// angles. Results are exact either way.
+    pub fn query(
+        &self,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+    ) -> Result<Vec<ScoredPoint>, SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if !qx.is_finite() {
+            return Err(SdError::NonFiniteCoordinate {
+                row: 0,
+                dim: 0,
+                value: qx,
+            });
+        }
+        if !qy.is_finite() {
+            return Err(SdError::NonFiniteCoordinate {
+                row: 0,
+                dim: 1,
+                value: qy,
+            });
+        }
+        let theta = Angle::from_weights(alpha, beta)?;
+        if let Some(i) = self.indexed_angle(&theta) {
+            let mut aq = AngleQuery::new(self, i, qx, qy);
+            let mut out = Vec::with_capacity(k.min(self.n_alive));
+            while out.len() < k {
+                match aq.next() {
+                    Some((slot, _)) => out.push(self.rescore(slot, qx, qy, alpha, beta)),
+                    None => break,
+                }
+            }
+            out.sort_by(rank_cmp);
+            Ok(out)
+        } else {
+            arbitrary::query_bracketed(self, qx, qy, alpha, beta, k, &theta)
+        }
+    }
+
+    /// Exact SD-score of a slot under the caller's raw weights.
+    pub(crate) fn rescore(
+        &self,
+        slot: u32,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+    ) -> ScoredPoint {
+        let s = slot as usize;
+        ScoredPoint::new(
+            PointId::new(slot),
+            sd_score_2d(self.xs[s], self.ys[s], qx, qy, alpha, beta),
+        )
+    }
+
+    /// Finds an indexed angle equal to `theta` (up to 1e-12 on the sine of
+    /// the difference).
+    pub(crate) fn indexed_angle(&self, theta: &Angle) -> Option<usize> {
+        self.angles
+            .iter()
+            .position(|a| (a.sin * theta.cos - a.cos * theta.sin).abs() < 1e-12)
+    }
+
+    /// The two consecutive indexed angles bracketing `theta`.
+    pub(crate) fn bracketing(&self, theta: &Angle) -> Result<(usize, usize), SdError> {
+        let deg = theta.degrees();
+        let lo = self.angles.first().map(|a| a.degrees()).unwrap_or(0.0);
+        let hi = self.angles.last().map(|a| a.degrees()).unwrap_or(0.0);
+        if deg < lo - 1e-12 || deg > hi + 1e-12 {
+            return Err(SdError::AngleOutOfRange {
+                requested_deg: deg,
+                min_deg: lo,
+                max_deg: hi,
+            });
+        }
+        let upper = self.angles.partition_point(|a| a.degrees() < deg);
+        let upper = upper.min(self.angles.len() - 1);
+        Ok((upper.saturating_sub(1), upper))
+    }
+
+    /// Inserts a point, returning its id. `O(log_b n)` plus bound updates.
+    pub fn insert(&mut self, x: f64, y: f64) -> Result<PointId, SdError> {
+        if !x.is_finite() {
+            return Err(SdError::NonFiniteCoordinate {
+                row: self.xs.len(),
+                dim: 0,
+                value: x,
+            });
+        }
+        if !y.is_finite() {
+            return Err(SdError::NonFiniteCoordinate {
+                row: self.xs.len(),
+                dim: 1,
+                value: y,
+            });
+        }
+        let slot = self.xs.len() as u32;
+        self.xs.push(x);
+        self.ys.push(y);
+        self.alive.push(true);
+        self.n_alive += 1;
+        match self.root {
+            None => {
+                let node = self.alloc_node(vec![Child::Point(slot)]);
+                self.root = Some(node);
+            }
+            Some(root) => {
+                let depth = self.insert_rec(root, slot, 1);
+                let limit = self.depth_limit();
+                if depth > limit {
+                    self.deep_leaves += 1;
+                    if (self.deep_leaves as f64) > self.rebuild_threshold * self.n_alive as f64 {
+                        self.rebuild();
+                    }
+                }
+            }
+        }
+        Ok(PointId::new(slot))
+    }
+
+    /// Deletes a point by id; `true` on success. `O(b·log_b n)`.
+    pub fn delete(&mut self, id: PointId) -> bool {
+        let slot = id.index();
+        if slot >= self.xs.len() || !self.alive[slot] {
+            return false;
+        }
+        let Some(root) = self.root else { return false };
+        let x = self.xs[slot];
+        if !self.delete_rec(root, x, slot as u32) {
+            // The point exists in the table but not in the tree — cannot
+            // happen unless internal invariants broke.
+            debug_assert!(false, "live point missing from tree");
+            return false;
+        }
+        self.alive[slot] = false;
+        self.n_alive -= 1;
+        // Collapse a single-child root chain.
+        while let Some(r) = self.root {
+            if self.nodes[r as usize].children.len() == 1 {
+                match self.nodes[r as usize].children[0] {
+                    Child::Inner(c) => {
+                        self.free_node(r);
+                        self.root = Some(c);
+                    }
+                    Child::Point(_) => break,
+                }
+            } else if self.nodes[r as usize].children.is_empty() {
+                self.free_node(r);
+                self.root = None;
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    // ── tree internals ───────────────────────────────────────────────────
+
+    fn depth_limit(&self) -> usize {
+        if self.n_alive <= 1 {
+            return 2;
+        }
+        let b = self.branching as f64;
+        (self.n_alive as f64).log(b).ceil() as usize + 2
+    }
+
+    fn alloc_node(&mut self, children: Vec<Child>) -> u32 {
+        let mut node = Node {
+            children,
+            bounds: Vec::new(),
+            xmin: f64::INFINITY,
+            xmax: f64::NEG_INFINITY,
+        };
+        self.refresh_node(&mut node);
+        if let Some(slot) = self.free_nodes.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn free_node(&mut self, id: u32) {
+        self.nodes[id as usize].children.clear();
+        self.free_nodes.push(id);
+    }
+
+    /// Recomputes a node's x-range and per-angle bounds from its children.
+    fn refresh_node(&self, node: &mut Node) {
+        node.xmin = f64::INFINITY;
+        node.xmax = f64::NEG_INFINITY;
+        node.bounds.clear();
+        node.bounds.resize(self.angles.len(), AngleBounds::EMPTY);
+        // Split borrows: bounds updated from immutable tables.
+        let children = std::mem::take(&mut node.children);
+        for child in &children {
+            match *child {
+                Child::Point(p) => {
+                    let (x, y) = (self.xs[p as usize], self.ys[p as usize]);
+                    node.xmin = node.xmin.min(x);
+                    node.xmax = node.xmax.max(x);
+                    for (b, a) in node.bounds.iter_mut().zip(&self.angles) {
+                        b.extend_point(a.u(x, y), a.v(x, y));
+                    }
+                }
+                Child::Inner(c) => {
+                    let cn = &self.nodes[c as usize];
+                    node.xmin = node.xmin.min(cn.xmin);
+                    node.xmax = node.xmax.max(cn.xmax);
+                    for (b, cb) in node.bounds.iter_mut().zip(&cn.bounds) {
+                        b.extend(cb);
+                    }
+                }
+            }
+        }
+        node.children = children;
+    }
+
+    /// Extends a node's bounds with one point (exact for inserts).
+    fn extend_node(&mut self, node_id: u32, x: f64, y: f64) {
+        let angles = self.angles.clone();
+        let node = &mut self.nodes[node_id as usize];
+        node.xmin = node.xmin.min(x);
+        node.xmax = node.xmax.max(x);
+        for (b, a) in node.bounds.iter_mut().zip(&angles) {
+            b.extend_point(a.u(x, y), a.v(x, y));
+        }
+    }
+
+    fn child_lo(&self, child: &Child) -> f64 {
+        match *child {
+            Child::Point(p) => self.xs[p as usize],
+            Child::Inner(c) => self.nodes[c as usize].xmin,
+        }
+    }
+
+    fn insert_rec(&mut self, node_id: u32, slot: u32, depth: usize) -> usize {
+        let (x, y) = (self.xs[slot as usize], self.ys[slot as usize]);
+        self.extend_node(node_id, x, y);
+        let n_children = self.nodes[node_id as usize].children.len();
+        if n_children < self.branching {
+            // Room here: insert as a new leaf child in x order.
+            let pos = {
+                let node = &self.nodes[node_id as usize];
+                node.children.partition_point(|c| self.child_lo(c) <= x)
+            };
+            self.nodes[node_id as usize]
+                .children
+                .insert(pos, Child::Point(slot));
+            return depth + 1;
+        }
+        // Full: descend into the child whose range matches x.
+        let pos = {
+            let node = &self.nodes[node_id as usize];
+            let p = node.children.partition_point(|c| self.child_lo(c) <= x);
+            p.saturating_sub(1)
+        };
+        match self.nodes[node_id as usize].children[pos] {
+            Child::Inner(c) => self.insert_rec(c, slot, depth + 1),
+            Child::Point(p) => {
+                // Collision with a leaf: a fresh two-leaf node replaces it.
+                let pair = if self.xs[p as usize] <= x {
+                    vec![Child::Point(p), Child::Point(slot)]
+                } else {
+                    vec![Child::Point(slot), Child::Point(p)]
+                };
+                let fresh = self.alloc_node(pair);
+                self.nodes[node_id as usize].children[pos] = Child::Inner(fresh);
+                depth + 2
+            }
+        }
+    }
+
+    fn delete_rec(&mut self, node_id: u32, x: f64, slot: u32) -> bool {
+        // Candidate children: any whose x-range contains x (duplicates can
+        // straddle several children).
+        let n_children = self.nodes[node_id as usize].children.len();
+        for ci in 0..n_children {
+            let child = self.nodes[node_id as usize].children[ci];
+            match child {
+                Child::Point(p) => {
+                    if p == slot {
+                        self.nodes[node_id as usize].children.remove(ci);
+                        let mut node = std::mem::replace(
+                            &mut self.nodes[node_id as usize],
+                            Node {
+                                children: Vec::new(),
+                                bounds: Vec::new(),
+                                xmin: 0.0,
+                                xmax: 0.0,
+                            },
+                        );
+                        self.refresh_node(&mut node);
+                        self.nodes[node_id as usize] = node;
+                        return true;
+                    }
+                }
+                Child::Inner(c) => {
+                    let cn = &self.nodes[c as usize];
+                    if cn.xmin <= x && x <= cn.xmax && self.delete_rec(c, x, slot) {
+                        // Splice out a single-child inner node.
+                        let c_len = self.nodes[c as usize].children.len();
+                        if c_len == 1 {
+                            let only = self.nodes[c as usize].children[0];
+                            self.nodes[node_id as usize].children[ci] = only;
+                            self.free_node(c);
+                        } else if c_len == 0 {
+                            self.nodes[node_id as usize].children.remove(ci);
+                            self.free_node(c);
+                        }
+                        let mut node = std::mem::replace(
+                            &mut self.nodes[node_id as usize],
+                            Node {
+                                children: Vec::new(),
+                                bounds: Vec::new(),
+                                xmin: 0.0,
+                                xmax: 0.0,
+                            },
+                        );
+                        self.refresh_node(&mut node);
+                        self.nodes[node_id as usize] = node;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the balanced tree over the live points (bulk load).
+    pub fn rebuild(&mut self) {
+        self.nodes.clear();
+        self.free_nodes.clear();
+        self.deep_leaves = 0;
+        let mut order: Vec<u32> = (0..self.xs.len() as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect();
+        if order.is_empty() {
+            self.root = None;
+            return;
+        }
+        order.sort_by(|&a, &b| {
+            OrdF64(self.xs[a as usize])
+                .cmp(&OrdF64(self.xs[b as usize]))
+                .then(a.cmp(&b))
+        });
+        let root = self.build_rec(&order);
+        self.root = Some(root);
+    }
+
+    fn build_rec(&mut self, slots: &[u32]) -> u32 {
+        if slots.len() <= self.branching {
+            let children: Vec<Child> = slots.iter().map(|&s| Child::Point(s)).collect();
+            return self.alloc_node(children);
+        }
+        let b = self.branching;
+        let chunk = slots.len().div_ceil(b);
+        let mut children = Vec::with_capacity(b);
+        for part in slots.chunks(chunk) {
+            children.push(if part.len() == 1 {
+                Child::Point(part[0])
+            } else {
+                Child::Inner(self.build_rec(part))
+            });
+        }
+        self.alloc_node(children)
+    }
+
+    /// Exhaustively verifies tree invariants (tests / debugging).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.xs.len()];
+        if let Some(root) = self.root {
+            self.check_node(root, &mut seen);
+        }
+        for (i, &alive) in self.alive.iter().enumerate() {
+            assert_eq!(
+                alive, seen[i],
+                "slot {i}: alive={alive} but in-tree={}",
+                seen[i]
+            );
+        }
+    }
+
+    fn check_node(&self, node_id: u32, seen: &mut [bool]) {
+        let node = &self.nodes[node_id as usize];
+        assert!(!node.children.is_empty(), "empty non-root node");
+        let mut bounds = vec![AngleBounds::EMPTY; self.angles.len()];
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for child in &node.children {
+            match *child {
+                Child::Point(p) => {
+                    assert!(self.alive[p as usize], "dead point {p} in tree");
+                    assert!(!seen[p as usize], "point {p} appears twice");
+                    seen[p as usize] = true;
+                    let (x, y) = (self.xs[p as usize], self.ys[p as usize]);
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    for (b, a) in bounds.iter_mut().zip(&self.angles) {
+                        b.extend_point(a.u(x, y), a.v(x, y));
+                    }
+                }
+                Child::Inner(c) => {
+                    self.check_node(c, seen);
+                    let cn = &self.nodes[c as usize];
+                    xmin = xmin.min(cn.xmin);
+                    xmax = xmax.max(cn.xmax);
+                    for (b, cb) in bounds.iter_mut().zip(&cn.bounds) {
+                        b.extend(cb);
+                    }
+                }
+            }
+        }
+        assert!(
+            node.xmin <= xmin && node.xmax >= xmax,
+            "x-range not conservative"
+        );
+        for (nb, cb) in node.bounds.iter().zip(&bounds) {
+            assert!(
+                nb.max_u >= cb.max_u - 1e-12
+                    && nb.min_u <= cb.min_u + 1e-12
+                    && nb.max_v >= cb.max_v - 1e-12
+                    && nb.min_v <= cb.min_v + 1e-12,
+                "projection bounds not conservative"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

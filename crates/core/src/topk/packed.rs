@@ -1,0 +1,617 @@
+//! The disk-oriented variant of the §4 index.
+//!
+//! §4.1 closes with a disk-resident adaptation: the tree "is highly
+//! similar to B+-tree", should be **bulk-loaded bottom-up** from
+//! x-sorted data with every node "packed entirely full, except for the
+//! rightmost node", leaves hold **multiple data points** (a page), and at
+//! query time "a comparison among those points is required to identify the
+//! one with the highest score".
+//!
+//! [`PackedTopKIndex`] realises that layout in memory: an implicit
+//! array-packed tree (children of node `i` are the fixed range
+//! `[i·f, (i+1)·f)` of the level below — no pointers at all), page-sized
+//! leaves over the x-sorted point table, and per-angle projection bounds
+//! per node. Queries run the same certified four-stream threshold loop as
+//! the pointer-based index, including Claim 6 bracketing for non-indexed
+//! weight angles. The structure is immutable; updates are served by the
+//! dynamic [`TopKIndex`](super::TopKIndex) (or by rebuilding, as bulk
+//! loading is `O(n log n)`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::stream::FastSet;
+
+use super::stream::inflate;
+use super::AngleBounds;
+use crate::geometry::Angle;
+use crate::score::{rank_cmp, sd_score_2d};
+use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
+
+/// One packed node: its x-range and per-angle projection bounds. Children
+/// are implicit.
+#[derive(Debug, Clone)]
+struct PackedNode {
+    xmin: f64,
+    xmax: f64,
+    bounds: Vec<AngleBounds>,
+}
+
+/// Bulk-loaded, pointer-free top-k index with page-sized leaves (§4.1's
+/// disk-resident layout).
+///
+/// Point identity is the *input slot* of [`PackedTopKIndex::build`], as in
+/// the dynamic index.
+#[derive(Debug, Clone)]
+pub struct PackedTopKIndex {
+    fanout: usize,
+    page: usize,
+    angles: Vec<Angle>,
+    /// Points sorted by x; `ids[i]` maps back to the input slot.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ids: Vec<u32>,
+    /// `levels[0]` = leaf pages (over point ranges), last level = root.
+    levels: Vec<Vec<PackedNode>>,
+}
+
+impl PackedTopKIndex {
+    /// Bulk loads with the default five angles, page size 64 and fanout 16.
+    pub fn build(points: &[(f64, f64)]) -> Result<Self, SdError> {
+        Self::build_with(points, &super::default_angles(), 64, 16)
+    }
+
+    /// Bulk loads with explicit `angles`, leaf `page` size (points per
+    /// leaf) and inner-node `fanout`.
+    pub fn build_with(
+        points: &[(f64, f64)],
+        angles: &[Angle],
+        page: usize,
+        fanout: usize,
+    ) -> Result<Self, SdError> {
+        if fanout < 2 {
+            return Err(SdError::InvalidBranching(fanout));
+        }
+        if page < 1 {
+            return Err(SdError::InvalidBranching(page));
+        }
+        if angles.is_empty() {
+            return Err(SdError::NoAngles);
+        }
+        if points.len() > u32::MAX as usize {
+            return Err(SdError::TooManyPoints(points.len()));
+        }
+        for (row, &(x, y)) in points.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(SdError::NonFiniteCoordinate {
+                    row,
+                    dim: 0,
+                    value: x,
+                });
+            }
+            if !y.is_finite() {
+                return Err(SdError::NonFiniteCoordinate {
+                    row,
+                    dim: 1,
+                    value: y,
+                });
+            }
+        }
+        let mut sorted_angles = angles.to_vec();
+        sorted_angles.sort_by_key(|a| OrdF64(a.degrees()));
+        sorted_angles.dedup_by(|a, b| (a.degrees() - b.degrees()).abs() < 1e-12);
+
+        // Sort by x; ids keep the caller-visible identity.
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            OrdF64(points[a as usize].0)
+                .cmp(&OrdF64(points[b as usize].0))
+                .then(a.cmp(&b))
+        });
+        let xs: Vec<f64> = order.iter().map(|&i| points[i as usize].0).collect();
+        let ys: Vec<f64> = order.iter().map(|&i| points[i as usize].1).collect();
+
+        let mut index = PackedTopKIndex {
+            fanout,
+            page,
+            angles: sorted_angles,
+            xs,
+            ys,
+            ids: order,
+            levels: Vec::new(),
+        };
+        index.pack();
+        Ok(index)
+    }
+
+    /// Builds all levels bottom-up, every node full except the rightmost.
+    fn pack(&mut self) {
+        self.levels.clear();
+        let n = self.xs.len();
+        if n == 0 {
+            return;
+        }
+        // Leaf pages.
+        let mut leaves = Vec::with_capacity(n.div_ceil(self.page));
+        for start in (0..n).step_by(self.page) {
+            let end = (start + self.page).min(n);
+            let mut node = PackedNode {
+                xmin: f64::INFINITY,
+                xmax: f64::NEG_INFINITY,
+                bounds: vec![AngleBounds::EMPTY; self.angles.len()],
+            };
+            for i in start..end {
+                let (x, y) = (self.xs[i], self.ys[i]);
+                node.xmin = node.xmin.min(x);
+                node.xmax = node.xmax.max(x);
+                for (b, a) in node.bounds.iter_mut().zip(&self.angles) {
+                    b.extend_point(a.u(x, y), a.v(x, y));
+                }
+            }
+            leaves.push(node);
+        }
+        self.levels.push(leaves);
+        // Inner levels.
+        while self.levels.last().unwrap().len() > 1 {
+            let below = self.levels.last().unwrap();
+            let mut level = Vec::with_capacity(below.len().div_ceil(self.fanout));
+            for start in (0..below.len()).step_by(self.fanout) {
+                let end = (start + self.fanout).min(below.len());
+                let mut node = PackedNode {
+                    xmin: f64::INFINITY,
+                    xmax: f64::NEG_INFINITY,
+                    bounds: vec![AngleBounds::EMPTY; self.angles.len()],
+                };
+                for child in &below[start..end] {
+                    node.xmin = node.xmin.min(child.xmin);
+                    node.xmax = node.xmax.max(child.xmax);
+                    for (b, cb) in node.bounds.iter_mut().zip(&child.bounds) {
+                        b.extend(cb);
+                    }
+                }
+                level.push(node);
+            }
+            self.levels.push(level);
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes; pointer-free packing makes this
+    /// noticeably smaller than the dynamic tree at equal parameters.
+    pub fn memory_bytes(&self) -> usize {
+        let pts = self.xs.len() * (2 * 8 + 4);
+        let nodes: usize = self
+            .levels
+            .iter()
+            .flatten()
+            .map(|n| {
+                std::mem::size_of::<PackedNode>()
+                    + n.bounds.len() * std::mem::size_of::<AngleBounds>()
+            })
+            .sum();
+        pts + nodes
+    }
+
+    /// Answers a top-k query with runtime weights, exactly as
+    /// [`TopKIndex::query`](super::TopKIndex::query).
+    pub fn query(
+        &self,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+    ) -> Result<Vec<ScoredPoint>, SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if !qx.is_finite() || !qy.is_finite() {
+            return Err(SdError::NonFiniteCoordinate {
+                row: 0,
+                dim: usize::from(qx.is_finite()),
+                value: if qx.is_finite() { qy } else { qx },
+            });
+        }
+        let theta = Angle::from_weights(alpha, beta)?;
+        let exact = self
+            .angles
+            .iter()
+            .position(|a| (a.sin * theta.cos - a.cos * theta.sin).abs() < 1e-12);
+        let mut out = if let Some(i) = exact {
+            let mut aq = PackedAngleQuery::new(self, i, qx, qy);
+            let mut out = Vec::with_capacity(k.min(self.len()));
+            while out.len() < k {
+                match aq.next() {
+                    Some((pos, _)) => out.push(self.rescore(pos, qx, qy, alpha, beta)),
+                    None => break,
+                }
+            }
+            out
+        } else {
+            self.query_bracketed(qx, qy, alpha, beta, k, &theta)?
+        };
+        out.sort_by(rank_cmp);
+        out.truncate(k);
+        Ok(out)
+    }
+
+    /// Claim 6 over the packed layout (same procedure as
+    /// `topk::arbitrary`).
+    fn query_bracketed(
+        &self,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+        theta: &Angle,
+    ) -> Result<Vec<ScoredPoint>, SdError> {
+        let deg = theta.degrees();
+        let lo_deg = self.angles.first().map(|a| a.degrees()).unwrap_or(0.0);
+        let hi_deg = self.angles.last().map(|a| a.degrees()).unwrap_or(0.0);
+        if deg < lo_deg - 1e-12 || deg > hi_deg + 1e-12 {
+            return Err(SdError::AngleOutOfRange {
+                requested_deg: deg,
+                min_deg: lo_deg,
+                max_deg: hi_deg,
+            });
+        }
+        let hi = self
+            .angles
+            .partition_point(|a| a.degrees() < deg)
+            .min(self.angles.len() - 1);
+        let lo = hi.saturating_sub(1);
+
+        let mut aq_l = PackedAngleQuery::new(self, lo, qx, qy);
+        let mut needed: std::collections::HashSet<usize> =
+            std::collections::HashSet::with_capacity(k);
+        for _ in 0..k {
+            match aq_l.next() {
+                Some((pos, _)) => {
+                    needed.insert(pos);
+                }
+                None => break,
+            }
+        }
+        let mut aq_u = PackedAngleQuery::new(self, hi, qx, qy);
+        let mut candidates: Vec<usize> = Vec::with_capacity(2 * k);
+        let mut last_score = f64::INFINITY;
+        while !needed.is_empty() {
+            match aq_u.next() {
+                Some((pos, s)) => {
+                    needed.remove(&pos);
+                    candidates.push(pos);
+                    last_score = s;
+                }
+                None => break,
+            }
+        }
+        if last_score.is_finite() {
+            let slack = 1e-9 * (1.0 + last_score.abs());
+            while let Some((pos, s)) = aq_u.next() {
+                candidates.push(pos);
+                if s < last_score - slack {
+                    break;
+                }
+            }
+        }
+        Ok(candidates
+            .iter()
+            .map(|&pos| self.rescore(pos, qx, qy, alpha, beta))
+            .collect())
+    }
+
+    fn rescore(&self, pos: usize, qx: f64, qy: f64, alpha: f64, beta: f64) -> ScoredPoint {
+        ScoredPoint::new(
+            PointId::new(self.ids[pos]),
+            sd_score_2d(self.xs[pos], self.ys[pos], qx, qy, alpha, beta),
+        )
+    }
+}
+
+/// Heap entry of the packed stream: a node `(level, idx)` or a point
+/// (`level == u32::MAX`, idx = sorted position).
+type Entry = (OrdF64, Reverse<u32>, u32);
+
+const POINT_LEVEL: u32 = u32::MAX;
+
+/// Certified incremental next-best over the packed layout — the
+/// array-packed twin of [`super::AngleQuery`].
+struct PackedAngleQuery<'a> {
+    index: &'a PackedTopKIndex,
+    angle: Angle,
+    qx: f64,
+    qy: f64,
+    /// One four-variant stream per projection type: llp, rlp, lup, rup.
+    heaps: [BinaryHeap<Entry>; 4],
+    pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    seen: FastSet,
+}
+
+impl<'a> PackedAngleQuery<'a> {
+    fn new(index: &'a PackedTopKIndex, angle_i: usize, qx: f64, qy: f64) -> Self {
+        let mut q = PackedAngleQuery {
+            index,
+            angle: index.angles[angle_i],
+            qx,
+            qy,
+            heaps: Default::default(),
+            pool: BinaryHeap::new(),
+            seen: FastSet::default(),
+        };
+        if !index.levels.is_empty() {
+            let root_level = (index.levels.len() - 1) as u32;
+            for kind in 0..4 {
+                q.push_node(kind, angle_i, root_level, 0);
+            }
+        }
+        q
+    }
+
+    /// kind: 0 = llp (x ≥ qx, max u), 1 = rlp (x < qx, max v),
+    /// 2 = lup (x ≥ qx, min v), 3 = rup (x < qx, min u).
+    fn push_node(&mut self, kind: usize, angle_i: usize, level: u32, idx: u32) {
+        let node = &self.index.levels[level as usize][idx as usize];
+        let left_side = kind == 1 || kind == 3;
+        let valid = if left_side {
+            node.xmin < self.qx
+        } else {
+            node.xmax >= self.qx
+        };
+        if !valid {
+            return;
+        }
+        let b = &node.bounds[angle_i];
+        let prio = match kind {
+            0 => b.max_u,
+            1 => b.max_v,
+            2 => -b.min_v,
+            _ => -b.min_u,
+        };
+        self.heaps[kind].push((OrdF64::new(prio), Reverse(level), idx));
+    }
+
+    fn push_point(&mut self, kind: usize, pos: u32) {
+        let (x, y) = (self.index.xs[pos as usize], self.index.ys[pos as usize]);
+        let left_side = kind == 1 || kind == 3;
+        let valid = if left_side { x < self.qx } else { x >= self.qx };
+        if !valid {
+            return;
+        }
+        let a = &self.angle;
+        let prio = match kind {
+            0 => a.u(x, y),
+            1 => a.v(x, y),
+            2 => -a.v(x, y),
+            _ => -a.u(x, y),
+        };
+        self.heaps[kind].push((OrdF64::new(prio), Reverse(POINT_LEVEL), pos));
+    }
+
+    fn stream_bound(&self, kind: usize) -> Option<f64> {
+        let a = &self.angle;
+        self.heaps[kind]
+            .peek()
+            .map(|&(OrdF64(p), _, _)| match kind {
+                0 => p + a.sin * self.qx - a.cos * self.qy,
+                1 => p - a.sin * self.qx - a.cos * self.qy,
+                2 => a.cos * self.qy + p + a.sin * self.qx,
+                _ => a.cos * self.qy + p - a.sin * self.qx,
+            })
+    }
+
+    /// Pops one stream element; emits a point position when it surfaces.
+    fn pull(&mut self, kind: usize) -> Option<u32> {
+        // The angle index is recoverable from the stored angle.
+        let angle_i = self
+            .index
+            .angles
+            .iter()
+            .position(|a| a.cos == self.angle.cos && a.sin == self.angle.sin)
+            .expect("angle is indexed");
+        while let Some((_, Reverse(level), idx)) = self.heaps[kind].pop() {
+            if level == POINT_LEVEL {
+                return Some(idx);
+            }
+            if level == 0 {
+                // Leaf page: surface its points individually (the paper's
+                // in-leaf comparison step).
+                let start = idx as usize * self.index.page;
+                let end = (start + self.index.page).min(self.index.xs.len());
+                for pos in start..end {
+                    self.push_point(kind, pos as u32);
+                }
+            } else {
+                let child_level = level - 1;
+                let start = idx as usize * self.index.fanout;
+                let end =
+                    (start + self.index.fanout).min(self.index.levels[child_level as usize].len());
+                for c in start..end {
+                    self.push_node(kind, angle_i, child_level, c as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Next-best `(sorted position, normalised score)`.
+    fn next(&mut self) -> Option<(usize, f64)> {
+        loop {
+            let threshold = (0..4)
+                .filter_map(|kind| self.stream_bound(kind))
+                .fold(None, |acc: Option<f64>, b| {
+                    Some(acc.map_or(b, |a| a.max(b)))
+                });
+            if let Some(&(OrdF64(best), Reverse(pos))) = self.pool.peek() {
+                let dominated = match threshold {
+                    Some(t) => best >= inflate(t),
+                    None => true,
+                };
+                if dominated {
+                    self.pool.pop();
+                    return Some((pos as usize, best));
+                }
+            } else if threshold.is_none() {
+                return None;
+            }
+            let best_kind = (0..4)
+                .filter_map(|kind| self.stream_bound(kind).map(|b| (kind, b)))
+                .max_by(|a, b| OrdF64(a.1).cmp(&OrdF64(b.1)))
+                .map(|(kind, _)| kind);
+            let Some(kind) = best_kind else { continue };
+            if let Some(pos) = self.pull(kind) {
+                if self.seen.insert(pos) {
+                    let s = self.angle.normalized_score(
+                        self.index.xs[pos as usize],
+                        self.index.ys[pos as usize],
+                        self.qx,
+                        self.qy,
+                    );
+                    self.pool.push((OrdF64::new(s), Reverse(pos)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(
+        pts: &[(f64, f64)],
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+    ) -> Vec<ScoredPoint> {
+        let mut all: Vec<ScoredPoint> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                ScoredPoint::new(
+                    PointId::new(i as u32),
+                    sd_score_2d(x, y, qx, qy, alpha, beta),
+                )
+            })
+            .collect();
+        all.sort_by(rank_cmp);
+        all.truncate(k);
+        all
+    }
+
+    fn assert_equiv(got: &[ScoredPoint], want: &[ScoredPoint]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g.score - w.score).abs() < 1e-9,
+                "got {got:?}\nwant {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matches_oracle_indexed_and_bracketed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(900);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..300);
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect();
+            let index = PackedTopKIndex::build(&pts).unwrap();
+            for _ in 0..10 {
+                let (qx, qy) = (rng.gen_range(-0.2..1.2), rng.gen_range(-0.2..1.2));
+                let (alpha, beta): (f64, f64) = (rng.gen_range(0.0..1.0), rng.gen_range(0.01..1.0));
+                let k = rng.gen_range(1..9);
+                let got = index.query(qx, qy, alpha, beta, k).unwrap();
+                assert_equiv(&got, &oracle(&pts, qx, qy, alpha, beta, k));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_agrees_with_dynamic_index() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(901);
+        let pts: Vec<(f64, f64)> = (0..500)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let packed = PackedTopKIndex::build(&pts).unwrap();
+        let dynamic = super::super::TopKIndex::build(&pts).unwrap();
+        for _ in 0..30 {
+            let (qx, qy) = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let (alpha, beta): (f64, f64) = (rng.gen_range(0.01..1.0), rng.gen_range(0.01..1.0));
+            let a = packed.query(qx, qy, alpha, beta, 7).unwrap();
+            let b = dynamic.query(qx, qy, alpha, beta, 7).unwrap();
+            assert_equiv(&a, &b);
+        }
+    }
+
+    #[test]
+    fn packed_is_smaller_than_dynamic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(902);
+        let pts: Vec<(f64, f64)> = (0..20_000)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let packed = PackedTopKIndex::build(&pts).unwrap();
+        let dynamic = super::super::TopKIndex::build(&pts).unwrap();
+        assert!(
+            packed.memory_bytes() < dynamic.memory_bytes(),
+            "packed {} vs dynamic {}",
+            packed.memory_bytes(),
+            dynamic.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn page_and_fanout_validation() {
+        assert!(matches!(
+            PackedTopKIndex::build_with(&[], &super::super::default_angles(), 64, 1),
+            Err(SdError::InvalidBranching(1))
+        ));
+        assert!(matches!(
+            PackedTopKIndex::build_with(&[], &super::super::default_angles(), 0, 8),
+            Err(SdError::InvalidBranching(0))
+        ));
+        assert!(matches!(
+            PackedTopKIndex::build_with(&[], &[], 64, 8),
+            Err(SdError::NoAngles)
+        ));
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let empty = PackedTopKIndex::build(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.query(0.0, 0.0, 1.0, 1.0, 3).unwrap().is_empty());
+        let one = PackedTopKIndex::build(&[(0.3, 0.7)]).unwrap();
+        let r = one.query(0.0, 0.0, 1.0, 1.0, 3).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0].score - (0.7 - 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_pages_and_fanouts_still_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(903);
+        let pts: Vec<(f64, f64)> = (0..97)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        for (page, fanout) in [(1, 2), (2, 2), (3, 5), (97, 2)] {
+            let index =
+                PackedTopKIndex::build_with(&pts, &super::super::default_angles(), page, fanout)
+                    .unwrap();
+            let got = index.query(0.4, 0.6, 1.0, 1.0, 5).unwrap();
+            assert_equiv(&got, &oracle(&pts, 0.4, 0.6, 1.0, 1.0, 5));
+        }
+    }
+}

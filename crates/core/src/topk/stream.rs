@@ -1,0 +1,336 @@
+//! Query-time machinery of Alg. 2/3: per-projection-type best-first streams
+//! over the bound tree, and the certified top-k loop at one indexed angle.
+//!
+//! ## Relation to the paper
+//!
+//! Alg. 3 finds the separating path and *mutates* bounds along it so the
+//! root bound only reflects projections incident on the query axis; Alg. 2
+//! then repeatedly extracts per-type top projections. We realise the same
+//! pruning without mutation: each stream runs a best-first search whose
+//! frontier is seeded at the root, skipping children entirely on the wrong
+//! side of the axis. Popping the frontier in bound order visits exactly the
+//! nodes the mutated search would, and the index remains immutable during
+//! queries.
+//!
+//! Alg. 2's loop adds the best *projected* candidate straight to the answer
+//! set and stops after `k + 3` searches. Projected order equals score order
+//! only within the correct point group (`y_p ≥ y_q` for lower streams);
+//! a stream head from the other group merely *upper-bounds* its own score.
+//! [`AngleQuery`] therefore runs the standard certified threshold loop —
+//! emit a pooled candidate only once its exact score dominates every
+//! remaining stream bound — which is provably exact for every input and
+//! performs the paper's `k + 3` pulls on the common path.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative (Fibonacci) hasher for the u32 seen-sets on the hot pull
+/// path; SipHash's DoS resistance buys nothing for internal slot ids and
+/// costs measurably per pull.
+#[derive(Default)]
+pub(crate) struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.0 = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Seen-set keyed by point slot.
+pub(crate) type FastSet = HashSet<u32, BuildHasherDefault<FastHasher>>;
+
+use super::{Child, TopKIndex};
+use crate::geometry::Angle;
+use crate::types::OrdF64;
+
+/// Relative slack added to thresholds so floating-point rounding between
+/// the rotated-key bounds and direct scoring can never cause a premature
+/// emission.
+const EPS_REL: f64 = 1e-12;
+
+#[inline]
+pub(crate) fn inflate(threshold: f64) -> f64 {
+    threshold + EPS_REL * (1.0 + threshold.abs())
+}
+
+/// The four stream kinds, mirroring the projection types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StreamKind {
+    /// Highest llp first — points with `x ≥ x_q`, key `u` descending.
+    Llp,
+    /// Highest rlp first — points with `x < x_q`, key `v` descending.
+    Rlp,
+    /// Lowest lup first — points with `x ≥ x_q`, key `v` ascending.
+    Lup,
+    /// Lowest rup first — points with `x < x_q`, key `u` ascending.
+    Rup,
+}
+
+impl StreamKind {
+    const ALL: [StreamKind; 4] = [
+        StreamKind::Llp,
+        StreamKind::Rlp,
+        StreamKind::Lup,
+        StreamKind::Rup,
+    ];
+
+    /// Streams over points left of the axis?
+    #[inline]
+    fn left_side(self) -> bool {
+        matches!(self, StreamKind::Rlp | StreamKind::Rup)
+    }
+}
+
+/// Best-first stream of one projection type at one indexed angle.
+///
+/// Emits `(slot, priority)` pairs in non-increasing priority order, where
+/// priority is the (sign-normalised) projection key; the head priority is
+/// an admissible bound for everything not yet emitted.
+pub(crate) struct TypeStream<'a> {
+    index: &'a TopKIndex,
+    angle_i: usize,
+    kind: StreamKind,
+    qx: f64,
+    heap: BinaryHeap<(OrdF64, Reverse<u32>, bool)>, // (priority, entry id, is_point)
+}
+
+impl<'a> TypeStream<'a> {
+    pub(crate) fn new(index: &'a TopKIndex, angle_i: usize, kind: StreamKind, qx: f64) -> Self {
+        let mut s = TypeStream {
+            index,
+            angle_i,
+            kind,
+            qx,
+            heap: BinaryHeap::new(),
+        };
+        if let Some(root) = index.root {
+            s.push_node(root);
+        }
+        s
+    }
+
+    #[inline]
+    fn node_valid(&self, node: &super::Node) -> bool {
+        if self.kind.left_side() {
+            node.xmin < self.qx
+        } else {
+            node.xmax >= self.qx
+        }
+    }
+
+    #[inline]
+    fn point_valid(&self, x: f64) -> bool {
+        if self.kind.left_side() {
+            x < self.qx
+        } else {
+            x >= self.qx
+        }
+    }
+
+    #[inline]
+    fn node_priority(&self, node: &super::Node) -> f64 {
+        let b = &node.bounds[self.angle_i];
+        match self.kind {
+            StreamKind::Llp => b.max_u,
+            StreamKind::Rlp => b.max_v,
+            StreamKind::Lup => -b.min_v,
+            StreamKind::Rup => -b.min_u,
+        }
+    }
+
+    #[inline]
+    fn point_priority(&self, slot: u32) -> f64 {
+        let (x, y) = (self.index.xs[slot as usize], self.index.ys[slot as usize]);
+        let a = &self.index.angles[self.angle_i];
+        match self.kind {
+            StreamKind::Llp => a.u(x, y),
+            StreamKind::Rlp => a.v(x, y),
+            StreamKind::Lup => -a.v(x, y),
+            StreamKind::Rup => -a.u(x, y),
+        }
+    }
+
+    fn push_node(&mut self, node_id: u32) {
+        let node = &self.index.nodes[node_id as usize];
+        if !self.node_valid(node) {
+            return;
+        }
+        self.heap.push((
+            OrdF64::new(self.node_priority(node)),
+            Reverse(node_id),
+            false,
+        ));
+    }
+
+    fn push_point(&mut self, slot: u32) {
+        if !self.point_valid(self.index.xs[slot as usize]) {
+            return;
+        }
+        self.heap
+            .push((OrdF64::new(self.point_priority(slot)), Reverse(slot), true));
+    }
+
+    /// Admissible bound on the priority of the next emission.
+    #[inline]
+    pub(crate) fn head_priority(&self) -> Option<f64> {
+        self.heap.peek().map(|(OrdF64(p), _, _)| *p)
+    }
+
+    /// Upper bound, in normalised-score units at this stream's angle, on
+    /// the score of every point this stream has not yet emitted.
+    pub(crate) fn score_bound(&self, qy: f64) -> Option<f64> {
+        let a = &self.index.angles[self.angle_i];
+        self.head_priority().map(|p| match self.kind {
+            StreamKind::Llp => p + a.sin * self.qx - a.cos * qy,
+            StreamKind::Rlp => p - a.sin * self.qx - a.cos * qy,
+            StreamKind::Lup => a.cos * qy + p + a.sin * self.qx,
+            StreamKind::Rup => a.cos * qy + p - a.sin * self.qx,
+        })
+    }
+
+    /// Emits the next point (slot, priority), or `None` when drained.
+    pub(crate) fn pull(&mut self) -> Option<(u32, f64)> {
+        // Copy the shared reference out so child iteration does not hold a
+        // borrow of `self` while the heap is pushed to.
+        let index = self.index;
+        while let Some((OrdF64(prio), Reverse(id), is_point)) = self.heap.pop() {
+            if is_point {
+                return Some((id, prio));
+            }
+            for child in &index.nodes[id as usize].children {
+                match *child {
+                    Child::Inner(c) => self.push_node(c),
+                    Child::Point(p) => self.push_point(p),
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Certified incremental top-k at one *indexed* angle: successive calls to
+/// [`AngleQuery::next`] yield points in exact non-increasing normalised
+/// score order.
+///
+/// This is the engine behind direct queries (indexed angle), the Claim 6
+/// bracketing procedure, and the 2-D subproblem streams of §5.
+pub struct AngleQuery<'a> {
+    index: &'a TopKIndex,
+    streams: Vec<TypeStream<'a>>,
+    pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    seen: FastSet,
+    qx: f64,
+    qy: f64,
+    angle: Angle,
+}
+
+impl<'a> AngleQuery<'a> {
+    /// Starts a query at indexed angle `angle_i` for query point `(qx, qy)`.
+    pub(crate) fn new(index: &'a TopKIndex, angle_i: usize, qx: f64, qy: f64) -> Self {
+        let streams = StreamKind::ALL
+            .iter()
+            .map(|&k| TypeStream::new(index, angle_i, k, qx))
+            .collect();
+        AngleQuery {
+            index,
+            streams,
+            pool: BinaryHeap::new(),
+            seen: FastSet::default(),
+            qx,
+            qy,
+            angle: index.angles[angle_i],
+        }
+    }
+
+    /// The angle this query runs at.
+    pub fn angle(&self) -> Angle {
+        self.angle
+    }
+
+    /// Upper bound on the normalised score of every point not yet returned
+    /// *nor currently pooled*; `None` once all streams drained.
+    fn threshold(&self) -> Option<f64> {
+        self.streams
+            .iter()
+            .filter_map(|s| s.score_bound(self.qy))
+            .fold(None, |acc, b| {
+                Some(match acc {
+                    Some(a) if a >= b => a,
+                    _ => b,
+                })
+            })
+    }
+
+    /// Upper bound on the normalised score of every point not yet
+    /// *returned* by [`AngleQuery::next`] (pooled candidates included);
+    /// `None` once the query is fully drained.
+    pub fn bound(&self) -> Option<f64> {
+        let t = self.threshold();
+        let p = self.pool.peek().map(|&(OrdF64(s), _)| s);
+        match (t, p) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Yields the next-best point as `(slot, normalised score)`.
+    ///
+    /// Deliberately named like `Iterator::next`; the certified stream is
+    /// stateful and fallible-free, but an `Iterator` impl would hide the
+    /// `bound()` coupling callers rely on.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u32, f64)> {
+        loop {
+            let threshold = self.threshold();
+            if let Some(&(OrdF64(best), Reverse(slot))) = self.pool.peek() {
+                // Emit only once the pooled best dominates every stream
+                // bound with slack to spare, so FP skew between key-space
+                // bounds and direct scoring can never emit prematurely.
+                let dominated = match threshold {
+                    Some(t) => best >= inflate(t),
+                    None => true,
+                };
+                if dominated {
+                    self.pool.pop();
+                    return Some((slot, best));
+                }
+            } else if threshold.is_none() {
+                return None;
+            }
+            // Pull one point from the stream with the highest bound.
+            let best_stream = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.score_bound(self.qy).map(|b| (i, b)))
+                .max_by(|a, b| OrdF64(a.1).cmp(&OrdF64(b.1)))
+                .map(|(i, _)| i);
+            let Some(si) = best_stream else { continue };
+            if let Some((slot, _)) = self.streams[si].pull() {
+                if self.seen.insert(slot) {
+                    let s = slot as usize;
+                    let score = self.angle.normalized_score(
+                        self.index.xs[s],
+                        self.index.ys[s],
+                        self.qx,
+                        self.qy,
+                    );
+                    self.pool.push((OrdF64::new(score), Reverse(slot)));
+                }
+            }
+        }
+    }
+}

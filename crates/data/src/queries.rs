@@ -1,0 +1,55 @@
+//! Query workloads: §6.1 runs every experiment over 100 query points drawn
+//! from a uniform distribution, with `α`, `β` weights from `U(0, 1)`.
+
+use rand::{Rng, SeedableRng};
+use sdq_core::SdQuery;
+
+/// `count` uniform query points in `[0, 1]^dims` with `U(0, 1)` weights.
+pub fn uniform_queries(count: usize, dims: usize, seed: u64) -> Vec<SdQuery> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let point: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let weights: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            SdQuery::new(point, weights).expect("generated queries are valid")
+        })
+        .collect()
+}
+
+/// Like [`uniform_queries`] but with all weights fixed to 1 (`α = β = 1`).
+pub fn uniform_queries_unit_weights(count: usize, dims: usize, seed: u64) -> Vec<SdQuery> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let point: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            SdQuery::new(point, vec![1.0; dims]).expect("generated queries are valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_workload() {
+        let qs = uniform_queries(100, 6, 42);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert_eq!(q.dims(), 6);
+            assert!(q.point.iter().all(|&v| (0.0..1.0).contains(&v)));
+            assert!(q.weights.iter().all(|&w| (0.0..1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn unit_weight_variant() {
+        let qs = uniform_queries_unit_weights(10, 2, 1);
+        assert!(qs.iter().all(|q| q.weights.iter().all(|&w| w == 1.0)));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform_queries(5, 3, 9), uniform_queries(5, 3, 9));
+    }
+}

@@ -1,0 +1,71 @@
+//! Small sampling helpers on top of `rand` (normal and log-normal via
+//! Box–Muller, to avoid a `rand_distr` dependency).
+
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller transform).
+pub fn std_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `N(mean, std)` sample.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * std_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(ln median, sigma))`.
+pub fn log_normal(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    (normal(rng, median.ln(), sigma)).exp()
+}
+
+/// Clamp helper used by every generator.
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 400.0, 0.35)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 400.0).abs() < 10.0, "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(-1.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(2.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut b = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(std_normal(&mut a), std_normal(&mut b));
+        }
+    }
+}

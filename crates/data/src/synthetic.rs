@@ -1,0 +1,147 @@
+//! The three synthetic distributions of §6.1 (after Börzsönyi et al., "The
+//! Skyline Operator"): independent/uniform, correlated, anti-correlated.
+//! Coordinates live in `[0, 1]`.
+
+use rand::{Rng, SeedableRng};
+use sdq_core::Dataset;
+
+use crate::rng::{clamp, normal, std_normal};
+
+/// The §6.1 data distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Distribution {
+    /// Every coordinate i.i.d. `U(0, 1)`.
+    Uniform,
+    /// Points hug the main diagonal: a common base value per point plus
+    /// small per-dimension jitter.
+    Correlated,
+    /// Points hug the anti-diagonal hyperplane `Σ x_i = d/2`: dimensions
+    /// trade off against each other.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// All three, in the order the paper's figures present them.
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ];
+
+    /// Display label used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Correlated => "correlated",
+            Distribution::AntiCorrelated => "anti-correlated",
+        }
+    }
+}
+
+/// Generates `n` points of `dims` dimensions; deterministic per seed.
+pub fn generate(dist: Distribution, n: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n * dims);
+    match dist {
+        Distribution::Uniform => {
+            for _ in 0..n * dims {
+                coords.push(rng.gen_range(0.0..1.0));
+            }
+        }
+        Distribution::Correlated => {
+            for _ in 0..n {
+                let base: f64 = rng.gen_range(0.0..1.0);
+                for _ in 0..dims {
+                    coords.push(clamp(base + 0.05 * std_normal(&mut rng), 0.0, 1.0));
+                }
+            }
+        }
+        Distribution::AntiCorrelated => {
+            let mut jitter = vec![0.0f64; dims];
+            for _ in 0..n {
+                let base = clamp(normal(&mut rng, 0.5, 0.05), 0.0, 1.0);
+                let mut sum = 0.0;
+                for j in jitter.iter_mut() {
+                    *j = rng.gen_range(-0.35..0.35);
+                    sum += *j;
+                }
+                let mean = sum / dims as f64;
+                for &j in &jitter {
+                    coords.push(clamp(base + j - mean, 0.0, 1.0));
+                }
+            }
+        }
+    }
+    Dataset::from_flat(dims, coords).expect("generated coordinates are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        cov / (vx * vy).sqrt()
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        for dist in Distribution::ALL {
+            let d = generate(dist, 500, 4, 42);
+            assert_eq!(d.len(), 500);
+            assert_eq!(d.dims(), 4);
+            assert!(d.flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Distribution::Correlated, 100, 3, 7);
+        let b = generate(Distribution::Correlated, 100, 3, 7);
+        assert_eq!(a, b);
+        let c = generate(Distribution::Correlated, 100, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let n = 20_000;
+        let uni = generate(Distribution::Uniform, n, 2, 1);
+        let cor = generate(Distribution::Correlated, n, 2, 1);
+        let anti = generate(Distribution::AntiCorrelated, n, 2, 1);
+        let r_uni = pearson(&uni.column(0), &uni.column(1));
+        let r_cor = pearson(&cor.column(0), &cor.column(1));
+        let r_anti = pearson(&anti.column(0), &anti.column(1));
+        assert!(r_uni.abs() < 0.05, "uniform corr {r_uni}");
+        assert!(r_cor > 0.85, "correlated corr {r_cor}");
+        assert!(r_anti < -0.5, "anti-correlated corr {r_anti}");
+    }
+
+    #[test]
+    fn anti_correlated_sums_concentrate() {
+        let dims = 4;
+        let d = generate(Distribution::AntiCorrelated, 5000, dims, 3);
+        let sums: Vec<f64> = (0..d.len())
+            .map(|i| (0..dims).map(|j| d.flat()[i * dims + j]).sum::<f64>())
+            .collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        assert!((mean - dims as f64 * 0.5).abs() < 0.05, "mean sum {mean}");
+        let var = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sums.len() as f64;
+        // Much tighter than independent uniform (var = d/12 ≈ 0.33).
+        assert!(var < 0.15, "sum variance {var}");
+    }
+
+    #[test]
+    fn zero_points_and_one_dim() {
+        let d = generate(Distribution::Uniform, 0, 3, 1);
+        assert!(d.is_empty());
+        let d = generate(Distribution::AntiCorrelated, 10, 1, 1);
+        assert_eq!(d.dims(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Brute-force oracle and invariant tests for the R*-tree.
+
+use super::*;
+use rand::{Rng, SeedableRng};
+
+fn rand_flat(rng: &mut impl Rng, n: usize, dims: usize) -> Vec<f64> {
+    (0..n * dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn brute_range(flat: &[f64], dims: usize, alive: &[bool], lo: &[f64], hi: &[f64]) -> Vec<u32> {
+    (0..alive.len())
+        .filter(|&i| {
+            alive[i]
+                && (0..dims).all(|d| {
+                    let v = flat[i * dims + d];
+                    lo[d] <= v && v <= hi[d]
+                })
+        })
+        .map(|i| i as u32)
+        .collect()
+}
+
+#[test]
+fn empty_tree() {
+    let t = RStarTree::new(3, 8);
+    assert!(t.is_empty());
+    assert_eq!(t.height(), 0);
+    assert!(t.range_query(&[0.0; 3], &[1.0; 3]).is_empty());
+    assert!(t.knn(&[0.0; 3], 5).is_empty());
+    t.check_invariants();
+}
+
+#[test]
+fn insert_then_range_matches_bruteforce() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(300);
+    for dims in [1, 2, 4] {
+        let n = 400;
+        let flat = rand_flat(&mut rng, n, dims);
+        let mut t = RStarTree::new(dims, 8);
+        for i in 0..n {
+            t.insert(&flat[i * dims..(i + 1) * dims]);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), n);
+        let alive = vec![true; n];
+        for _ in 0..30 {
+            let lo: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..0.8)).collect();
+            let hi: Vec<f64> = lo.iter().map(|&l| l + rng.gen_range(0.0..0.4)).collect();
+            let mut got = t.range_query(&lo, &hi);
+            got.sort_unstable();
+            let want = brute_range(&flat, dims, &alive, &lo, &hi);
+            assert_eq!(got, want);
+        }
+    }
+}
+
+#[test]
+fn bulk_load_matches_bruteforce() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+    for dims in [2, 3, 6] {
+        for n in [1, 5, 37, 1000] {
+            let flat = rand_flat(&mut rng, n, dims);
+            let t = RStarTree::bulk_load(dims, &flat, 12);
+            t.check_invariants();
+            assert_eq!(t.len(), n);
+            let alive = vec![true; n];
+            for _ in 0..15 {
+                let lo: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..0.8)).collect();
+                let hi: Vec<f64> = lo.iter().map(|&l| l + rng.gen_range(0.0..0.5)).collect();
+                let mut got = t.range_query(&lo, &hi);
+                got.sort_unstable();
+                assert_eq!(got, brute_range(&flat, dims, &alive, &lo, &hi));
+            }
+        }
+    }
+}
+
+#[test]
+fn bulk_load_is_balanced_and_packed() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(302);
+    let n = 10_000;
+    let flat = rand_flat(&mut rng, n, 2);
+    let bulk = RStarTree::bulk_load(2, &flat, 16);
+    // STR packs close to full: height must be near log_16(n).
+    assert!(
+        bulk.height() <= 5,
+        "height {} too tall for packed tree",
+        bulk.height()
+    );
+    let mut incremental = RStarTree::new(2, 16);
+    for i in 0..n {
+        incremental.insert(&flat[i * 2..(i + 1) * 2]);
+    }
+    assert!(bulk.memory_bytes() <= incremental.memory_bytes());
+}
+
+#[test]
+fn knn_matches_bruteforce() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(303);
+    let dims = 3;
+    let n = 500;
+    let flat = rand_flat(&mut rng, n, dims);
+    let t = RStarTree::bulk_load(dims, &flat, 10);
+    for _ in 0..20 {
+        let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let k = rng.gen_range(1..20);
+        let got = t.knn(&q, k);
+        let mut want: Vec<(u32, f64)> = (0..n)
+            .map(|i| {
+                let d2: f64 = (0..dims).map(|d| (flat[i * dims + d] - q[d]).powi(2)).sum();
+                (i as u32, d2)
+            })
+            .collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        want.truncate(k);
+        assert_eq!(got.len(), k);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-12, "knn distance mismatch");
+        }
+        // Results must be sorted ascending by distance.
+        for pair in got.windows(2) {
+            assert!(pair[0].1 <= pair[1].1 + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn best_first_search_exactness() {
+    // Score = -|x - 0.5| summed over dims (maximise closeness to centre);
+    // the MBR bound is the per-dim minimum distance.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(304);
+    let dims = 4;
+    let n = 800;
+    let flat = rand_flat(&mut rng, n, dims);
+    let t = RStarTree::bulk_load(dims, &flat, 9);
+    let q = vec![0.5; dims];
+    let got = t.search_best_first(
+        10,
+        |rect| -(0..dims).map(|d| rect.min_dist_dim(d, 0.5)).sum::<f64>(),
+        |p| -p.iter().map(|v| (v - 0.5).abs()).sum::<f64>(),
+    );
+    let mut want: Vec<f64> = (0..n)
+        .map(|i| {
+            -(0..dims)
+                .map(|d| (flat[i * dims + d] - q[d]).abs())
+                .sum::<f64>()
+        })
+        .collect();
+    want.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g.1 - w).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn delete_matches_bruteforce_with_invariants() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(305);
+    let dims = 2;
+    let n = 300;
+    let flat = rand_flat(&mut rng, n, dims);
+    let mut t = RStarTree::bulk_load(dims, &flat, 8);
+    let mut alive = vec![true; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for (step, &victim) in order.iter().enumerate() {
+        assert!(
+            t.delete(victim as u32),
+            "delete {victim} failed at step {step}"
+        );
+        assert!(!t.delete(victim as u32), "double delete must fail");
+        alive[victim] = false;
+        if step % 25 == 0 {
+            t.check_invariants();
+            let lo = [0.2, 0.2];
+            let hi = [0.7, 0.9];
+            let mut got = t.range_query(&lo, &hi);
+            got.sort_unstable();
+            assert_eq!(got, brute_range(&flat, dims, &alive, &lo, &hi));
+        }
+    }
+    assert!(t.is_empty());
+    t.check_invariants();
+}
+
+#[test]
+fn interleaved_insert_delete() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(306);
+    let dims = 3;
+    let mut t = RStarTree::new(dims, 6);
+    let mut flat: Vec<f64> = Vec::new();
+    let mut alive: Vec<bool> = Vec::new();
+    for step in 0..600 {
+        if step % 3 != 0 || alive.iter().filter(|&&a| a).count() == 0 {
+            let p: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let id = t.insert(&p);
+            assert_eq!(id as usize, alive.len());
+            flat.extend_from_slice(&p);
+            alive.push(true);
+        } else {
+            let live: Vec<usize> = alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(|(i, _)| i)
+                .collect();
+            let victim = live[rng.gen_range(0..live.len())];
+            assert!(t.delete(victim as u32));
+            alive[victim] = false;
+        }
+        if step % 50 == 0 {
+            t.check_invariants();
+        }
+    }
+    t.check_invariants();
+    let lo = vec![0.1; dims];
+    let hi = vec![0.6; dims];
+    let mut got = t.range_query(&lo, &hi);
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&flat, dims, &alive, &lo, &hi));
+}
+
+#[test]
+fn duplicate_points_supported() {
+    let mut t = RStarTree::new(2, 4);
+    let ids: Vec<u32> = (0..20).map(|_| t.insert(&[0.5, 0.5])).collect();
+    t.check_invariants();
+    assert_eq!(t.len(), 20);
+    assert_eq!(t.range_query(&[0.5, 0.5], &[0.5, 0.5]).len(), 20);
+    for id in ids {
+        assert!(t.delete(id));
+    }
+    assert!(t.is_empty());
+}
+
+#[test]
+fn point_accessor() {
+    let mut t = RStarTree::new(2, 4);
+    let id = t.insert(&[0.25, 0.75]);
+    assert_eq!(t.point(id), Some(&[0.25, 0.75][..]));
+    assert_eq!(t.point(99), None);
+    t.delete(id);
+    assert_eq!(t.point(id), None);
+}
+
+#[test]
+fn node_capacity_respected_under_stress() {
+    // Sequential (sorted) inserts are the classic R-tree worst case;
+    // forced reinsertion must keep the structure legal.
+    let mut t = RStarTree::new(2, 5);
+    for i in 0..500 {
+        t.insert(&[i as f64, (i % 7) as f64]);
+    }
+    t.check_invariants();
+    assert_eq!(t.len(), 500);
+    let got = t.range_query(&[100.0, 0.0], &[199.0, 7.0]);
+    assert_eq!(got.len(), 100);
+}
+
+#[test]
+fn memory_accounting_positive() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(307);
+    let flat = rand_flat(&mut rng, 200, 2);
+    let t = RStarTree::bulk_load(2, &flat, 8);
+    assert!(t.memory_bytes() > 200 * 2 * 8);
+}

@@ -1,0 +1,16 @@
+//! # sdq — SD-Query facade
+//!
+//! Umbrella crate re-exporting the whole SD-Query workspace: the core index
+//! structures ([`sdq_core`]), the evaluation baselines
+//! ([`sdq_baselines`]), the R*-tree substrate ([`sdq_rstar`]) and the
+//! workload generators ([`sdq_data`]).
+//!
+//! See the repository `README.md` for a guided tour and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+pub use sdq_baselines as baselines;
+pub use sdq_core as core;
+pub use sdq_data as data;
+pub use sdq_rstar as rstar;
+
+pub use sdq_core::{sd_score, Dataset, DimRole, PointId, ScoredPoint, SdError, SdQuery};

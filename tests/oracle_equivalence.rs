@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: every index structure and baseline must
+//! agree with the sequential-scan oracle on every distribution, any mix of
+//! roles, runtime weights and k.
+
+use std::sync::Arc;
+
+use sdq::baselines::{BrsIndex, PeIndex, SeqScan, TaIndex, TopKAlgorithm};
+use sdq::core::multidim::{PairingStrategy, SdIndex, SdIndexOptions};
+use sdq::data::{generate, uniform_queries, Distribution};
+use sdq::{DimRole, ScoredPoint};
+
+fn assert_equiv(method: &str, got: &[ScoredPoint], want: &[ScoredPoint], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{method} length mismatch ({ctx})");
+    for (g, w) in got.iter().zip(want) {
+        assert!(
+            (g.score - w.score).abs() < 1e-9,
+            "{method} mismatch ({ctx}):\n got {got:?}\nwant {want:?}"
+        );
+    }
+}
+
+fn roles_for(dims: usize, attractive: usize) -> Vec<DimRole> {
+    (0..dims)
+        .map(|d| {
+            if d < attractive {
+                DimRole::Attractive
+            } else {
+                DimRole::Repulsive
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_methods_agree_across_distributions_and_dims() {
+    for dist in Distribution::ALL {
+        for dims in [1usize, 2, 3, 6] {
+            let n = 400;
+            let data = Arc::new(generate(dist, n, dims, 0xBEEF + dims as u64));
+            for attractive in [0, dims / 2, dims] {
+                let roles = roles_for(dims, attractive);
+                let oracle = SeqScan::new(data.clone(), &roles).unwrap();
+                let methods: Vec<Box<dyn TopKAlgorithm>> = vec![
+                    Box::new(SdIndex::build(data.clone(), &roles).unwrap()),
+                    Box::new(TaIndex::build(data.clone(), &roles).unwrap()),
+                    Box::new(BrsIndex::build(&data, &roles).unwrap()),
+                    Box::new(PeIndex::build(data.clone(), &roles).unwrap()),
+                ];
+                let queries = uniform_queries(6, dims, 0xCAFE);
+                for q in &queries {
+                    for k in [1usize, 5, 17] {
+                        let want = oracle.query(q, k).unwrap();
+                        for m in &methods {
+                            let got = m.top_k(q, k).unwrap();
+                            let ctx =
+                                format!("{} dims={dims} att={attractive} k={k}", dist.label());
+                            assert_equiv(m.name(), &got, &want, &ctx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn k_equals_n_and_beyond() {
+    let data = Arc::new(generate(Distribution::Uniform, 23, 4, 7));
+    let roles = roles_for(4, 2);
+    let oracle = SeqScan::new(data.clone(), &roles).unwrap();
+    let sd = SdIndex::build(data.clone(), &roles).unwrap();
+    let queries = uniform_queries(4, 4, 11);
+    for q in &queries {
+        for k in [23usize, 24, 100] {
+            assert_equiv(
+                "SD-Index",
+                &sd.query(q, k).unwrap(),
+                &oracle.query(q, k).unwrap(),
+                "k≥n",
+            );
+        }
+    }
+}
+
+#[test]
+fn correlation_aware_pairing_agrees_with_oracle() {
+    let data = Arc::new(generate(Distribution::Correlated, 500, 6, 13));
+    let roles = roles_for(6, 3);
+    let oracle = SeqScan::new(data.clone(), &roles).unwrap();
+    let opts = SdIndexOptions {
+        pairing: PairingStrategy::CorrelationAware,
+        ..Default::default()
+    };
+    let sd = SdIndex::build_with(data, &roles, &opts).unwrap();
+    for q in &uniform_queries(10, 6, 17) {
+        assert_equiv(
+            "SD-Index(corr)",
+            &sd.query(q, 8).unwrap(),
+            &oracle.query(q, 8).unwrap(),
+            "",
+        );
+    }
+}
+
+#[test]
+fn batch_parallel_query_agrees() {
+    let data = Arc::new(generate(Distribution::AntiCorrelated, 600, 4, 19));
+    let roles = roles_for(4, 2);
+    let sd = SdIndex::build(data, &roles).unwrap();
+    let queries = uniform_queries(24, 4, 23);
+    let sequential: Vec<_> = queries.iter().map(|q| sd.query(q, 5).unwrap()).collect();
+    let parallel = sd.par_query_batch(&queries, 5, 4).unwrap();
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_equiv("par_query_batch", p, s, "");
+    }
+}
+
+#[test]
+fn facade_reexports_work() {
+    // The umbrella crate must expose the full workflow.
+    let data = sdq::Dataset::from_rows(2, &[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    let roles = vec![sdq::DimRole::Attractive, sdq::DimRole::Repulsive];
+    let idx = sdq::core::multidim::SdIndex::build(data, &roles).unwrap();
+    let q = sdq::SdQuery::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+    assert_eq!(idx.query(&q, 1).unwrap()[0].score, 1.0);
+    let _ = sdq::sd_score(&[0.0, 1.0], &[0.0, 0.0], &roles, &[1.0, 1.0]);
+}
