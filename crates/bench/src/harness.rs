@@ -6,7 +6,7 @@ use std::time::Instant;
 use sdq_core::{ScoredPoint, SdQuery};
 
 /// Harness configuration parsed from the command line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Config {
     /// Paper-scale sizes instead of laptop-scale defaults.
     pub full: bool,
@@ -16,6 +16,9 @@ pub struct Config {
     pub seed: u64,
     /// Where CSV copies of each report land.
     pub out_dir: std::path::PathBuf,
+    /// Optional snapshot whose stored SD-index replaces in-memory rebuilds
+    /// when its dataset/roles match the experiment's workload.
+    pub snapshot: Option<std::path::PathBuf>,
 }
 
 impl Default for Config {
@@ -25,37 +28,58 @@ impl Default for Config {
             queries: 100,
             seed: 0x5D9E57,
             out_dir: std::path::PathBuf::from("results"),
+            snapshot: None,
         }
     }
 }
 
+/// Flags accepted by [`Config::parse`], shown on parse errors.
+pub const CONFIG_USAGE: &str =
+    "flags: [--full] [--queries N] [--seed S] [--out DIR] [--snapshot PATH]";
+
 impl Config {
-    /// Parses `--full`, `--queries N`, `--seed S`, `--out DIR`.
-    pub fn from_args() -> Self {
+    /// Parses `--full`, `--queries N`, `--seed S`, `--out DIR`,
+    /// `--snapshot PATH`. Unknown flags (and malformed values) are errors —
+    /// a typo must not silently run a different experiment than intended.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut cfg = Config::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => cfg.full = true,
                 "--queries" => {
-                    cfg.queries = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--queries needs a number");
+                    let raw = args.next().ok_or("--queries needs a number")?;
+                    cfg.queries = raw
+                        .parse()
+                        .map_err(|_| format!("--queries: cannot parse {raw:?}"))?;
                 }
                 "--seed" => {
-                    cfg.seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a number");
+                    let raw = args.next().ok_or("--seed needs a number")?;
+                    cfg.seed = raw
+                        .parse()
+                        .map_err(|_| format!("--seed: cannot parse {raw:?}"))?;
                 }
                 "--out" => {
-                    cfg.out_dir = args.next().expect("--out needs a directory").into();
+                    cfg.out_dir = args.next().ok_or("--out needs a directory")?.into();
                 }
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                "--snapshot" => {
+                    cfg.snapshot = Some(args.next().ok_or("--snapshot needs a path")?.into());
+                }
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        cfg
+        Ok(cfg)
+    }
+
+    /// Parses the process arguments, exiting with the usage string on error.
+    pub fn from_args() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{CONFIG_USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Picks the laptop-scale or paper-scale variant of a size ladder.
@@ -164,5 +188,56 @@ impl Report {
         if let Err(e) = std::fs::write(&path, csv) {
             eprintln!("cannot write {path:?}: {e}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cfg = Config::parse(args(&[])).unwrap();
+        assert_eq!(cfg, Config::default());
+    }
+
+    #[test]
+    fn parse_known_flags() {
+        let cfg = Config::parse(args(&[
+            "--full",
+            "--queries",
+            "7",
+            "--seed",
+            "12",
+            "--out",
+            "/tmp/x",
+            "--snapshot",
+            "idx.sdq",
+        ]))
+        .unwrap();
+        assert!(cfg.full);
+        assert_eq!(cfg.queries, 7);
+        assert_eq!(cfg.seed, 12);
+        assert_eq!(cfg.out_dir, std::path::PathBuf::from("/tmp/x"));
+        assert_eq!(cfg.snapshot, Some(std::path::PathBuf::from("idx.sdq")));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        let err = Config::parse(args(&["--fulll"])).unwrap_err();
+        assert!(err.contains("--fulll"), "{err}");
+        assert!(Config::parse(args(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_or_bad_values() {
+        assert!(Config::parse(args(&["--queries"])).is_err());
+        assert!(Config::parse(args(&["--queries", "many"])).is_err());
+        assert!(Config::parse(args(&["--seed", "0x12"])).is_err());
+        assert!(Config::parse(args(&["--snapshot"])).is_err());
     }
 }

@@ -20,7 +20,10 @@
 //! * [`topk`] — the §4 projection-bound tree for runtime `k`, `α`, `β`,
 //! * [`multidim`] — the §5 pairing + threshold aggregation for any number of
 //!   dimensions,
-//! * [`score`] — scoring kernels shared by indexes, baselines and tests.
+//! * [`score`] — scoring kernels shared by indexes, baselines and tests,
+//! * [`codec`] — serde-free binary round-trips of datasets and indexes (the
+//!   foundation of the `sdq-store` snapshot layer; see its module docs for a
+//!   persistence example).
 //!
 //! ## Quick start
 //!
@@ -40,6 +43,7 @@
 //! assert_eq!(top[0].id.index(), 0); // same x as q, far away in y
 //! ```
 
+pub mod codec;
 pub mod envelope;
 pub mod geometry;
 pub mod multidim;

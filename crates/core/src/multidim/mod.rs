@@ -71,12 +71,12 @@ impl Default for SdIndexOptions {
 /// and the physical indexes); weights and `k` are free at query time.
 #[derive(Debug, Clone)]
 pub struct SdIndex {
-    data: Arc<Dataset>,
-    roles: Vec<DimRole>,
-    pairs: Vec<DimPair>,
-    unpaired: Vec<usize>,
-    pair_indexes: Vec<TopKIndex>,
-    columns: Vec<SortedColumn>,
+    pub(crate) data: Arc<Dataset>,
+    pub(crate) roles: Vec<DimRole>,
+    pub(crate) pairs: Vec<DimPair>,
+    pub(crate) unpaired: Vec<usize>,
+    pub(crate) pair_indexes: Vec<TopKIndex>,
+    pub(crate) columns: Vec<SortedColumn>,
 }
 
 impl SdIndex {

@@ -15,7 +15,7 @@ use crate::multidim::SubproblemStream;
 /// A dimension's values sorted ascending, each tagged with its row id.
 #[derive(Debug, Clone)]
 pub struct SortedColumn {
-    entries: Vec<(f64, u32)>,
+    pub(crate) entries: Vec<(f64, u32)>,
 }
 
 impl SortedColumn {

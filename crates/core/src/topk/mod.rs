@@ -106,12 +106,12 @@ pub struct TopKIndex {
     pub(crate) n_alive: usize,
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: Option<u32>,
-    free_nodes: Vec<u32>,
+    pub(crate) free_nodes: Vec<u32>,
     /// Leaves observed (at insert time) deeper than the balance limit; when
     /// `deep_leaves / n > rebuild_threshold` the tree is rebuilt (§4.1's
     /// |U|/n > θ policy).
-    deep_leaves: usize,
-    rebuild_threshold: f64,
+    pub(crate) deep_leaves: usize,
+    pub(crate) rebuild_threshold: f64,
 }
 
 impl TopKIndex {

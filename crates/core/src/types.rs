@@ -69,6 +69,18 @@ pub enum SdError {
     InvalidBranching(usize),
     /// No indexed angles were supplied.
     NoAngles,
+    /// A snapshot file or stream could not be read or written.
+    SnapshotIo(String),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    SnapshotBadMagic,
+    /// The snapshot was written by an unsupported (newer) format version.
+    SnapshotVersion { found: u32, supported: u32 },
+    /// A section's checksum does not match its payload: bit rot or a
+    /// truncated/tampered file.
+    SnapshotChecksum { section: String },
+    /// Structurally invalid bytes inside a section (truncation, bad tag,
+    /// inconsistent lengths, out-of-range index, …).
+    SnapshotCorrupt { detail: String },
 }
 
 impl fmt::Display for SdError {
@@ -100,6 +112,16 @@ impl fmt::Display for SdError {
             SdError::RoleMismatch => write!(f, "query roles differ from index build roles"),
             SdError::InvalidBranching(b) => write!(f, "branching factor {b} invalid (must be ≥ 2)"),
             SdError::NoAngles => write!(f, "at least one indexed angle is required"),
+            SdError::SnapshotIo(e) => write!(f, "snapshot I/O error: {e}"),
+            SdError::SnapshotBadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SdError::SnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} unsupported (this build reads ≤ {supported})"
+            ),
+            SdError::SnapshotChecksum { section } => {
+                write!(f, "snapshot checksum mismatch in section {section}")
+            }
+            SdError::SnapshotCorrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
         }
     }
 }

@@ -38,7 +38,6 @@ pub enum MoleculeDim {
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChemblConfig {
     /// Total molecules; the paper's dump holds 428,913.
     pub n: usize,

@@ -9,7 +9,6 @@ use crate::rng::{clamp, normal, std_normal};
 
 /// The §6.1 data distributions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Distribution {
     /// Every coordinate i.i.d. `U(0, 1)`.
     Uniform,

@@ -1,0 +1,684 @@
+//! `sdq` — build, persist, inspect and query SD-Query snapshots.
+//!
+//! The build-once/query-many workflow:
+//!
+//! ```text
+//! sdq build --synthetic uniform --n 100000 --dims 4 --roles arra --out idx.sdq
+//! sdq query idx.sdq --point 0.5,0.5,0.5,0.5 --k 10
+//! sdq inspect idx.sdq
+//! sdq bench-load idx.sdq
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sdq_core::geometry::Angle;
+use sdq_core::multidim::{PairingStrategy, SdIndex, SdIndexOptions};
+use sdq_core::top1::Top1Index;
+use sdq_core::topk::{default_angles, TopKIndex};
+use sdq_core::{Dataset, DimRole, SdQuery};
+use sdq_data::{generate, Distribution};
+use sdq_rstar::RStarTree;
+use sdq_store::{parse_roles, SectionKind, Snapshot};
+
+const USAGE: &str = "\
+sdq — SD-Query snapshot tool (build once, query many)
+
+USAGE:
+    sdq build --out PATH (--csv FILE | --synthetic DIST --n N --dims D)
+              --roles STR [--seed S] [--index LIST] [--branching B]
+              [--angles N] [--pairing arbitrary|correlation]
+              [--alpha A] [--beta B] [--k K]
+    sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
+    sdq inspect PATH
+    sdq bench-load PATH [--iters N]
+
+SUBCOMMANDS:
+    build       Generate or load a dataset, build the requested indexes and
+                write one snapshot file.
+    query       Load a snapshot and answer a top-k SD-Query from it.
+    inspect     Print the snapshot header, section table and artifact stats.
+    bench-load  Time snapshot load vs. in-memory index rebuild.
+
+BUILD OPTIONS:
+    --out PATH         Snapshot file to write (required).
+    --csv FILE         Read rows from a comma-separated file (one row per
+                       line; blank lines and '#' comments ignored).
+    --synthetic DIST   Generate data: uniform | correlated | anti.
+    --n N              Synthetic row count (default 10000).
+    --dims D           Synthetic dimensionality (default 2).
+    --seed S           Generator seed (default 42).
+    --roles STR        One char per dimension: a(ttractive) | r(epulsive).
+    --index LIST       Comma list of sd, topk, top1, rstar, all (default sd).
+                       topk/top1 need exactly one 'a' and one 'r' dimension.
+    --branching B      Tree branching factor (default 8).
+    --angles N         Indexed angle count, uniform over [0°, 90°]
+                       (default 5).
+    --pairing P        SD-index pairing: arbitrary | correlation.
+    --alpha A          top1: repulsive weight (default 1).
+    --beta B           top1: attractive weight (default 1).
+    --k K              top1: fixed k (default 1).
+
+QUERY OPTIONS:
+    --point CSV        Query point, one value per dimension (required).
+    --weights CSV      Per-dimension weights (default: all 1).
+    --k K              Result size (default 5).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: message + usage, exit code 2.
+    Usage(String),
+    /// Valid invocation that failed: message only, exit code 1.
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
+
+fn run(args: Vec<String>) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(usage("missing subcommand"));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "build" => cmd_build(rest),
+        "query" => cmd_query(rest),
+        "inspect" => cmd_inspect(rest),
+        "bench-load" => cmd_bench_load(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Default top-k size for `sdq query` when `--k` is not given.
+const DEFAULT_K: usize = 5;
+
+// ─── flag parsing ───────────────────────────────────────────────────────────
+
+/// Strict flag cursor: every argument must be consumed; unknown flags error.
+struct Flags<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let a = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(a)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| usage(format!("{flag} needs a value")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| usage(format!("{flag}: cannot parse {raw:?}")))
+    }
+}
+
+fn parse_csv_list(raw: &str, what: &str) -> Result<Vec<f64>, CliError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| usage(format!("{what}: cannot parse {s:?} as a number")))
+        })
+        .collect()
+}
+
+// ─── build ──────────────────────────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IndexKind {
+    Sd,
+    TopK,
+    Top1,
+    RStar,
+}
+
+fn cmd_build(args: &[String]) -> Result<(), CliError> {
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut synthetic: Option<Distribution> = None;
+    let mut n: usize = 10_000;
+    let mut dims: usize = 2;
+    let mut seed: u64 = 42;
+    let mut roles_spec: Option<String> = None;
+    let mut index_list = vec![IndexKind::Sd];
+    let mut branching: usize = 8;
+    let mut angle_count: usize = 5;
+    let mut pairing = PairingStrategy::Arbitrary;
+    let mut alpha: f64 = 1.0;
+    let mut beta: f64 = 1.0;
+    let mut k: usize = 1;
+
+    let mut all_requested = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--csv" => csv = Some(flags.value("--csv")?.to_string()),
+            "--synthetic" => {
+                synthetic = Some(match flags.value("--synthetic")? {
+                    "uniform" => Distribution::Uniform,
+                    "correlated" => Distribution::Correlated,
+                    "anti" | "anti-correlated" => Distribution::AntiCorrelated,
+                    other => {
+                        return Err(usage(format!(
+                            "--synthetic: unknown distribution {other:?}"
+                        )))
+                    }
+                })
+            }
+            "--n" => n = flags.parsed("--n")?,
+            "--dims" => dims = flags.parsed("--dims")?,
+            "--seed" => seed = flags.parsed("--seed")?,
+            "--roles" => roles_spec = Some(flags.value("--roles")?.to_string()),
+            "--index" => {
+                let raw = flags.value("--index")?;
+                index_list.clear();
+                for part in raw.split(',') {
+                    match part.trim() {
+                        "sd" => index_list.push(IndexKind::Sd),
+                        "topk" => index_list.push(IndexKind::TopK),
+                        "top1" => index_list.push(IndexKind::Top1),
+                        "rstar" => index_list.push(IndexKind::RStar),
+                        // `all` = every index the roles support; the 2-D
+                        // kinds join below once the roles are known.
+                        "all" => {
+                            index_list = vec![IndexKind::Sd, IndexKind::RStar];
+                            all_requested = true;
+                        }
+                        other => return Err(usage(format!("--index: unknown kind {other:?}"))),
+                    }
+                }
+            }
+            "--branching" => branching = flags.parsed("--branching")?,
+            "--angles" => angle_count = flags.parsed("--angles")?,
+            "--pairing" => {
+                pairing = match flags.value("--pairing")? {
+                    "arbitrary" => PairingStrategy::Arbitrary,
+                    "correlation" | "correlation-aware" => PairingStrategy::CorrelationAware,
+                    other => return Err(usage(format!("--pairing: unknown strategy {other:?}"))),
+                }
+            }
+            "--alpha" => alpha = flags.parsed("--alpha")?,
+            "--beta" => beta = flags.parsed("--beta")?,
+            "--k" => k = flags.parsed("--k")?,
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let out = out.ok_or_else(|| usage("build requires --out PATH"))?;
+    let data = match (&csv, synthetic) {
+        (Some(path), None) => read_csv_dataset(path)?,
+        (None, Some(dist)) => generate(dist, n, dims, seed),
+        (None, None) => return Err(usage("build needs --csv FILE or --synthetic DIST")),
+        (Some(_), Some(_)) => return Err(usage("--csv and --synthetic are mutually exclusive")),
+    };
+    let roles_spec = roles_spec.ok_or_else(|| usage("build requires --roles STR"))?;
+    let roles = parse_roles(&roles_spec).map_err(|_| {
+        usage(format!(
+            "--roles {roles_spec:?}: use one 'a' (attractive) or 'r' (repulsive) per dimension"
+        ))
+    })?;
+    if roles.len() != data.dims() {
+        return Err(usage(format!(
+            "--roles {:?} names {} dimensions but the dataset has {}",
+            roles_spec,
+            roles.len(),
+            data.dims()
+        )));
+    }
+    if angle_count < 2 {
+        return Err(usage("--angles must be at least 2"));
+    }
+    if all_requested {
+        if two_dim_axes(&roles).is_ok() {
+            index_list.push(IndexKind::TopK);
+            index_list.push(IndexKind::Top1);
+        } else {
+            println!("note: skipping topk/top1 (need exactly one attractive + one repulsive dim)");
+        }
+    }
+    let angles: Vec<Angle> = if angle_count == 5 {
+        default_angles()
+    } else {
+        (0..angle_count)
+            .map(|i| {
+                Angle::from_degrees(90.0 * i as f64 / (angle_count - 1) as f64)
+                    .expect("grid angles are in range")
+            })
+            .collect()
+    };
+
+    println!(
+        "dataset: {} rows × {} dims ({})",
+        data.len(),
+        data.dims(),
+        csv.as_deref().unwrap_or("synthetic")
+    );
+
+    let mut snap = Snapshot::new();
+    snap.dataset = Some(data.clone());
+    snap.roles = Some(roles.clone());
+
+    for kind in &index_list {
+        match kind {
+            IndexKind::Sd => {
+                let options = SdIndexOptions {
+                    pairing,
+                    angles: angles.clone(),
+                    branching,
+                };
+                let (index, ms) = timed(|| SdIndex::build_with(data.clone(), &roles, &options));
+                let index = index.map_err(runtime)?;
+                println!(
+                    "built sd-index in {ms:.1} ms ({} pairs, {} unpaired dims)",
+                    index.pairs().len(),
+                    index.unpaired().len()
+                );
+                snap.sd = Some(index);
+            }
+            IndexKind::TopK => {
+                let (x, y) = two_dim_axes(&roles)?;
+                let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[x], c[y])).collect();
+                let (index, ms) = timed(|| TopKIndex::build_with(&pts, &angles, branching));
+                let index = index.map_err(runtime)?;
+                println!(
+                    "built topk-index in {ms:.1} ms ({} nodes)",
+                    index.num_nodes()
+                );
+                snap.topk = Some(index);
+            }
+            IndexKind::Top1 => {
+                let (x, y) = two_dim_axes(&roles)?;
+                let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[x], c[y])).collect();
+                let (index, ms) = timed(|| Top1Index::build(&pts, alpha, beta, k));
+                let index = index.map_err(runtime)?;
+                println!("built top1-index in {ms:.1} ms (k = {k}, α = {alpha}, β = {beta})");
+                snap.top1 = Some(index);
+            }
+            IndexKind::RStar => {
+                let (tree, ms) =
+                    timed(|| RStarTree::bulk_load(data.dims(), data.flat(), branching.max(4)));
+                println!("built rstar-tree in {ms:.1} ms ({} points)", tree.len());
+                snap.rstar = Some(tree);
+            }
+        }
+    }
+
+    let (saved, save_ms) = timed(|| snap.save(&out));
+    saved.map_err(runtime)?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {out} ({bytes} bytes) in {save_ms:.1} ms");
+    Ok(())
+}
+
+/// The single (attractive, repulsive) dimension pair required by the 2-D
+/// indexes.
+fn two_dim_axes(roles: &[DimRole]) -> Result<(usize, usize), CliError> {
+    let att: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == DimRole::Attractive)
+        .map(|(i, _)| i)
+        .collect();
+    let rep: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == DimRole::Repulsive)
+        .map(|(i, _)| i)
+        .collect();
+    if att.len() == 1 && rep.len() == 1 {
+        Ok((att[0], rep[0]))
+    } else {
+        Err(usage(
+            "topk/top1 need exactly one attractive and one repulsive dimension",
+        ))
+    }
+}
+
+fn read_csv_dataset(path: &str) -> Result<Dataset, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line
+            .split(',')
+            .map(|cell| cell.trim().parse::<f64>())
+            .collect();
+        let row = row.map_err(|e| runtime(format!("{path}:{}: {e}", lineno + 1)))?;
+        rows.push(row);
+    }
+    let dims = rows.first().map(Vec::len).unwrap_or(0);
+    if dims == 0 {
+        return Err(runtime(format!("{path}: no data rows")));
+    }
+    Dataset::from_rows(dims, &rows).map_err(runtime)
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+// ─── query ──────────────────────────────────────────────────────────────────
+
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut point: Option<Vec<f64>> = None;
+    let mut weights: Option<Vec<f64>> = None;
+    let mut k: Option<usize> = None;
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--point" => point = Some(parse_csv_list(flags.value("--point")?, "--point")?),
+            "--weights" => weights = Some(parse_csv_list(flags.value("--weights")?, "--weights")?),
+            "--k" => k = Some(flags.parsed("--k")?),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("query needs a snapshot path"))?;
+    let point = point.ok_or_else(|| usage("query requires --point"))?;
+
+    let (snap, load_ms) = timed(|| Snapshot::load(path));
+    let snap = snap.map_err(runtime)?;
+
+    // The 2-D indexes were built with x = the attractive dimension and
+    // y = the repulsive one, in whatever order the roles named them; map the
+    // user's dataset-ordered --point/--weights through the stored roles.
+    let two_dim_mapping = |what: &str| -> Result<(usize, usize), CliError> {
+        match &snap.roles {
+            Some(roles) => two_dim_axes(roles),
+            None => Err(runtime(format!(
+                "snapshot stores a {what} but no roles section; cannot map --point axes"
+            ))),
+        }
+    };
+
+    let results = if let Some(sd) = &snap.sd {
+        let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
+        let query = SdQuery::new(point, weights).map_err(runtime)?;
+        sd.query(&query, k.unwrap_or(DEFAULT_K)).map_err(runtime)?
+    } else if let Some(topk) = &snap.topk {
+        if point.len() != 2 {
+            return Err(usage(
+                "this snapshot holds a 2-D topk-index; --point needs 2 values",
+            ));
+        }
+        let w = weights.unwrap_or_else(|| vec![1.0, 1.0]);
+        if w.len() != 2 {
+            return Err(usage("--weights needs 2 values for a topk-index"));
+        }
+        let (att, rep) = two_dim_mapping("topk-index")?;
+        let (alpha, beta) = (w[rep], w[att]);
+        topk.query(point[att], point[rep], alpha, beta, k.unwrap_or(DEFAULT_K))
+            .map_err(runtime)?
+    } else if let Some(top1) = &snap.top1 {
+        if point.len() != 2 {
+            return Err(usage(
+                "this snapshot holds a 2-D top1-index; --point needs 2 values",
+            ));
+        }
+        // The §3 index answers with its build-time k, α, β only.
+        let (alpha, beta) = top1.weights();
+        if weights.is_some() {
+            eprintln!(
+                "note: top1-index has fixed weights (α = {alpha}, β = {beta}); ignoring --weights"
+            );
+        }
+        if let Some(k) = k {
+            if k != top1.k() {
+                eprintln!(
+                    "note: top1-index has fixed k = {}; ignoring --k {k}",
+                    top1.k()
+                );
+            }
+        }
+        let (att, rep) = two_dim_mapping("top1-index")?;
+        top1.query(point[att], point[rep])
+    } else {
+        return Err(runtime(
+            "snapshot holds no queryable index (only raw data?); rebuild with --index",
+        ));
+    };
+
+    println!("loaded {path} in {load_ms:.1} ms");
+    println!("top-{}:", results.len());
+    println!("  {:>4}  {:>10}  {:>14}", "rank", "point", "sd-score");
+    for (rank, sp) in results.iter().enumerate() {
+        println!(
+            "  {:>4}  {:>10}  {:>14.6}",
+            rank + 1,
+            sp.id.to_string(),
+            sp.score
+        );
+    }
+    Ok(())
+}
+
+// ─── inspect ────────────────────────────────────────────────────────────────
+
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("inspect needs a snapshot path"))?;
+
+    let info = Snapshot::inspect(path).map_err(runtime)?;
+    println!(
+        "{path}: snapshot format v{} ({} bytes)",
+        info.version, info.file_len
+    );
+    println!("  {:<12} {:>12}  {:>10}", "section", "bytes", "crc32");
+    for s in &info.sections {
+        let name = s.kind.map(SectionKind::name).unwrap_or("<unknown>");
+        println!(
+            "  {:<12} {:>12}  {:>10}",
+            name,
+            s.len,
+            format!("{:08x}", s.crc32)
+        );
+    }
+
+    // Decode for artifact-level stats (also verifies all checksums).
+    let snap = Snapshot::load(path).map_err(runtime)?;
+    if let Some(d) = &snap.dataset {
+        println!("  dataset: {} rows × {} dims", d.len(), d.dims());
+    }
+    if let Some(r) = &snap.roles {
+        let spec: String = r
+            .iter()
+            .map(|role| match role {
+                DimRole::Attractive => 'a',
+                DimRole::Repulsive => 'r',
+            })
+            .collect();
+        println!("  roles: {spec}");
+    }
+    if let Some(sd) = &snap.sd {
+        println!(
+            "  sd-index: {} rows, {} pairs, {} unpaired, ≈{} KiB resident",
+            sd.data().len(),
+            sd.pairs().len(),
+            sd.unpaired().len(),
+            sd.memory_bytes() / 1024
+        );
+    }
+    if let Some(tk) = &snap.topk {
+        println!(
+            "  topk-index: {} live points, {} nodes, {} angles, branching {}",
+            tk.len(),
+            tk.num_nodes(),
+            tk.angles().len(),
+            tk.branching()
+        );
+    }
+    if let Some(t1) = &snap.top1 {
+        let (alpha, beta) = t1.weights();
+        println!(
+            "  top1-index: {} live points, k = {}, α = {alpha}, β = {beta}",
+            t1.len(),
+            t1.k()
+        );
+    }
+    if let Some(rt) = &snap.rstar {
+        println!("  rstar-tree: {} live points, {} dims", rt.len(), rt.dims());
+    }
+    Ok(())
+}
+
+// ─── bench-load ─────────────────────────────────────────────────────────────
+
+fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut iters: usize = 5;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--iters" => iters = flags.parsed("--iters")?,
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("bench-load needs a snapshot path"))?;
+    if iters == 0 {
+        return Err(usage("--iters must be at least 1"));
+    }
+
+    // First load is reported separately: a fresh process pays OS page
+    // faults for the whole working set, later loads reuse the heap.
+    let mut load_ms = Vec::with_capacity(iters);
+    let mut snap = None;
+    for _ in 0..iters {
+        let (s, ms) = timed(|| Snapshot::load(path));
+        snap = Some(s.map_err(runtime)?);
+        load_ms.push(ms);
+    }
+    let snap = snap.expect("at least one iteration ran");
+    let cold = load_ms[0];
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mib = bytes as f64 / (1024.0 * 1024.0);
+    let warm = if load_ms.len() > 1 {
+        median(&mut load_ms[1..])
+    } else {
+        cold
+    };
+    println!(
+        "load: cold {cold:.1} ms ({:.0} MiB/s), warm median {warm:.1} ms ({:.0} MiB/s) over {} runs",
+        mib / (cold / 1e3),
+        mib / (warm / 1e3),
+        iters
+    );
+
+    // Rebuild every index kind the snapshot actually holds, for an
+    // apples-to-apples comparison.
+    let (Some(data), Some(roles)) = (&snap.dataset, &snap.roles) else {
+        println!("rebuild: skipped (snapshot stores no raw dataset + roles)");
+        return Ok(());
+    };
+    let mut total_rebuild = 0.0;
+    if snap.sd.is_some() {
+        let mut ms_all = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let (index, ms) = timed(|| SdIndex::build(data.clone(), roles));
+            index.map_err(runtime)?;
+            ms_all.push(ms);
+        }
+        let med = median(&mut ms_all);
+        total_rebuild += med;
+        println!("rebuild sd-index: median {med:.1} ms");
+    }
+    let axes = two_dim_axes(roles).ok();
+    if let (Some(tk), Some((x, y))) = (&snap.topk, axes) {
+        let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[x], c[y])).collect();
+        let angles = tk.angles().to_vec();
+        let branching = tk.branching();
+        let mut ms_all = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let (index, ms) = timed(|| TopKIndex::build_with(&pts, &angles, branching));
+            index.map_err(runtime)?;
+            ms_all.push(ms);
+        }
+        let med = median(&mut ms_all);
+        total_rebuild += med;
+        println!("rebuild topk-index: median {med:.1} ms");
+    }
+    if let (Some(t1), Some((x, y))) = (&snap.top1, axes) {
+        let pts: Vec<(f64, f64)> = data.iter().map(|(_, c)| (c[x], c[y])).collect();
+        let (alpha, beta) = t1.weights();
+        let k = t1.k();
+        // top1 construction can be seconds at scale: one timed build.
+        let (index, ms) = timed(|| Top1Index::build(&pts, alpha, beta, k));
+        index.map_err(runtime)?;
+        total_rebuild += ms;
+        println!("rebuild top1-index: {ms:.1} ms (single run)");
+    }
+    if snap.rstar.is_some() {
+        let mut ms_all = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let (_, ms) = timed(|| RStarTree::bulk_load(data.dims(), data.flat(), 16));
+            ms_all.push(ms);
+        }
+        let med = median(&mut ms_all);
+        total_rebuild += med;
+        println!("rebuild rstar-tree: median {med:.1} ms");
+    }
+    if total_rebuild > 0.0 {
+        println!(
+            "speedup: {:.1}× cold, {:.1}× warm (rebuild {total_rebuild:.1} ms total)",
+            total_rebuild / cold,
+            total_rebuild / warm
+        );
+    }
+    Ok(())
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}

@@ -1,0 +1,579 @@
+//! # sdq-store
+//!
+//! The persistence subsystem of the SD-Query workspace: **build once, query
+//! many**. A [`Snapshot`] bundles any subset of the queryable artifacts —
+//! the raw [`Dataset`], its dimension roles, the §5 [`SdIndex`], a §4
+//! [`TopKIndex`], a §3 [`Top1Index`] and the R*-tree baseline — into one
+//! versioned, checksummed binary file that restores without any rebuilding.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----
+//!      0     8  magic  b"SDQSNAP\0"
+//!      8     4  format version (u32 LE)
+//!     12     4  section count (u32 LE)
+//!     16   28·n section table: {kind u32, reserved u32, offset u64, len u64, crc32 u32}
+//!      …     4  CRC-32 of the section table
+//!      …        section payloads (sdq_core::codec bytes), in table order
+//! ```
+//!
+//! Every section payload carries a CRC-32; the table itself is covered by a
+//! trailing table checksum, so *any* single flipped byte in the file is
+//! detected before decoding begins. Structural validation inside
+//! `sdq_core::codec` is the second line of defence: even a checksum
+//! collision cannot produce an index that panics at query time.
+//!
+//! ## Example
+//!
+//! ```
+//! use sdq_core::{Dataset, DimRole, SdQuery, multidim::SdIndex};
+//! use sdq_store::Snapshot;
+//!
+//! let data = Dataset::from_rows(2, &[vec![1.0, 9.0], vec![1.1, 2.0]]).unwrap();
+//! let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+//! let index = SdIndex::build(data, &roles).unwrap();
+//!
+//! let mut snap = Snapshot::new();
+//! snap.sd = Some(index);
+//! let bytes = snap.to_bytes();
+//!
+//! let restored = Snapshot::from_bytes(&bytes).unwrap();
+//! let q = SdQuery::uniform_weights(vec![1.0, 2.0], &roles);
+//! let top = restored.sd.as_ref().unwrap().query(&q, 1).unwrap();
+//! assert_eq!(top[0].id.index(), 0);
+//! ```
+
+mod crc32;
+
+use std::path::Path;
+
+use sdq_core::codec::{corrupt, decode_from_slice, encode_to_vec, Reader, Writer};
+use sdq_core::multidim::SdIndex;
+use sdq_core::top1::Top1Index;
+use sdq_core::topk::TopKIndex;
+use sdq_core::{Dataset, DimRole, SdError};
+use sdq_rstar::RStarTree;
+
+pub use crc32::crc32;
+
+/// `b"SDQSNAP\0"` — the first 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"SDQSNAP\0";
+
+/// The newest format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Hard cap on the section count, far above anything legitimate; rejects
+/// absurd table sizes from corrupt headers before allocation.
+const MAX_SECTIONS: u32 = 1024;
+
+/// Bytes per section-table entry: kind + reserved + offset + len + crc32.
+const TABLE_ENTRY_BYTES: usize = 4 + 4 + 8 + 8 + 4;
+
+/// What one section of a snapshot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// A raw [`Dataset`].
+    Dataset = 1,
+    /// The dimension roles the indexes were built under.
+    Roles = 2,
+    /// The §5 multi-dimensional [`SdIndex`].
+    SdIndex = 3,
+    /// A §4 2-D [`TopKIndex`].
+    TopKIndex = 4,
+    /// A §3 fixed-parameter [`Top1Index`].
+    Top1Index = 5,
+    /// The R*-tree baseline substrate.
+    RStarTree = 6,
+}
+
+impl SectionKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(SectionKind::Dataset),
+            2 => Some(SectionKind::Roles),
+            3 => Some(SectionKind::SdIndex),
+            4 => Some(SectionKind::TopKIndex),
+            5 => Some(SectionKind::Top1Index),
+            6 => Some(SectionKind::RStarTree),
+            _ => None,
+        }
+    }
+
+    /// Human-readable section name (used in errors and `sdq inspect`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Dataset => "dataset",
+            SectionKind::Roles => "roles",
+            SectionKind::SdIndex => "sd-index",
+            SectionKind::TopKIndex => "topk-index",
+            SectionKind::Top1Index => "top1-index",
+            SectionKind::RStarTree => "rstar-tree",
+        }
+    }
+}
+
+/// Every queryable artifact a snapshot can persist. All slots optional; a
+/// snapshot stores whichever are `Some`.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The raw dataset (for workloads that rebuild or re-index later).
+    pub dataset: Option<Dataset>,
+    /// Dimension roles, stored alongside so a query session needs no
+    /// out-of-band knowledge.
+    pub roles: Option<Vec<DimRole>>,
+    /// The §5 index (contains its own copy of the dataset).
+    pub sd: Option<SdIndex>,
+    /// A §4 2-D projection-bound tree.
+    pub topk: Option<TopKIndex>,
+    /// A §3 fixed-`k`/fixed-weights index.
+    pub top1: Option<Top1Index>,
+    /// The R*-tree baseline.
+    pub rstar: Option<RStarTree>,
+}
+
+/// Metadata of one stored section, as reported by [`Snapshot::inspect_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// What the section holds; `None` for kinds this build does not know.
+    pub kind: Option<SectionKind>,
+    /// Raw kind tag as stored.
+    pub raw_kind: u32,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Stored CRC-32 of the payload.
+    pub crc32: u32,
+}
+
+/// Parsed header of a snapshot, without decoding any payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Stored format version.
+    pub version: u32,
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// The section table.
+    pub sections: Vec<SectionInfo>,
+}
+
+struct TableEntry {
+    raw_kind: u32,
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// `true` when no artifact is present.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_none()
+            && self.roles.is_none()
+            && self.sd.is_none()
+            && self.topk.is_none()
+            && self.top1.is_none()
+            && self.rstar.is_none()
+    }
+
+    /// Serialises every present artifact into the snapshot container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut sections: Vec<(SectionKind, Vec<u8>)> = Vec::new();
+        if let Some(d) = &self.dataset {
+            sections.push((SectionKind::Dataset, encode_to_vec(d)));
+        }
+        if let Some(r) = &self.roles {
+            sections.push((SectionKind::Roles, encode_to_vec(r)));
+        }
+        if let Some(i) = &self.sd {
+            sections.push((SectionKind::SdIndex, encode_to_vec(i)));
+        }
+        if let Some(i) = &self.topk {
+            sections.push((SectionKind::TopKIndex, encode_to_vec(i)));
+        }
+        if let Some(i) = &self.top1 {
+            sections.push((SectionKind::Top1Index, encode_to_vec(i)));
+        }
+        if let Some(t) = &self.rstar {
+            sections.push((SectionKind::RStarTree, encode_to_vec(t)));
+        }
+
+        // Header: magic + version + count + table + table CRC.
+        let table_bytes = TABLE_ENTRY_BYTES * sections.len();
+        let payload_base = (8 + 4 + 4 + table_bytes + 4) as u64;
+
+        let mut table = Writer::new();
+        let mut offset = payload_base;
+        for (kind, payload) in &sections {
+            table.u32(*kind as u32);
+            table.u32(0); // reserved
+            table.u64(offset);
+            table.u64(payload.len() as u64);
+            table.u32(crc32(payload));
+            offset += payload.len() as u64;
+        }
+        let table = table.into_bytes();
+
+        let mut out = Vec::with_capacity(offset as usize);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&crc32(&table).to_le_bytes());
+        for (_, payload) in &sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    fn parse_header(bytes: &[u8]) -> Result<(u32, Vec<TableEntry>), SdError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(8).map_err(|_| SdError::SnapshotBadMagic)?;
+        if magic != MAGIC {
+            return Err(SdError::SnapshotBadMagic);
+        }
+        let version = r.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(SdError::SnapshotVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if version == 0 {
+            return Err(corrupt("format version 0 is invalid"));
+        }
+        let count = r.u32()?;
+        if count > MAX_SECTIONS {
+            return Err(corrupt(format!(
+                "section count {count} exceeds the {MAX_SECTIONS} cap"
+            )));
+        }
+        let table_raw = r.take(TABLE_ENTRY_BYTES * count as usize)?;
+        let stored_table_crc = r.u32()?;
+        if crc32(table_raw) != stored_table_crc {
+            return Err(SdError::SnapshotChecksum {
+                section: "section table".to_string(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut tr = Reader::new(table_raw);
+        for _ in 0..count {
+            let raw_kind = tr.u32()?;
+            let _reserved = tr.u32()?;
+            let offset = tr.u64()?;
+            let len = tr.u64()?;
+            let crc = tr.u32()?;
+            entries.push(TableEntry {
+                raw_kind,
+                offset,
+                len,
+                crc,
+            });
+        }
+        Ok((version, entries))
+    }
+
+    fn section_slice<'a>(bytes: &'a [u8], entry: &TableEntry) -> Result<&'a [u8], SdError> {
+        let start =
+            usize::try_from(entry.offset).map_err(|_| corrupt("section offset exceeds usize"))?;
+        let len =
+            usize::try_from(entry.len).map_err(|_| corrupt("section length exceeds usize"))?;
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| corrupt("section range overflows"))?;
+        if end > bytes.len() {
+            return Err(corrupt(format!(
+                "section [{start}, {end}) outside the {}-byte file (truncated?)",
+                bytes.len()
+            )));
+        }
+        Ok(&bytes[start..end])
+    }
+
+    /// Restores a snapshot from container bytes, verifying the magic, the
+    /// format version and every checksum before decoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SdError> {
+        let (_version, entries) = Self::parse_header(bytes)?;
+        // Payloads are laid out back-to-back after the header; the file must
+        // end exactly where the table says it does — appended garbage is as
+        // suspect as truncation.
+        let header_len = (8 + 4 + 4 + TABLE_ENTRY_BYTES * entries.len() + 4) as u64;
+        let expected_len = entries
+            .iter()
+            .fold(header_len, |acc, e| acc.max(e.offset.saturating_add(e.len)));
+        if bytes.len() as u64 != expected_len {
+            return Err(corrupt(format!(
+                "file is {} bytes but the section table accounts for {expected_len}",
+                bytes.len()
+            )));
+        }
+        let mut snap = Snapshot::new();
+        for entry in &entries {
+            let payload = Self::section_slice(bytes, entry)?;
+            let kind = SectionKind::from_u32(entry.raw_kind)
+                .ok_or_else(|| corrupt(format!("unknown section kind {}", entry.raw_kind)))?;
+            if crc32(payload) != entry.crc {
+                return Err(SdError::SnapshotChecksum {
+                    section: kind.name().to_string(),
+                });
+            }
+            match kind {
+                SectionKind::Dataset => snap.dataset = Some(decode_from_slice(payload)?),
+                SectionKind::Roles => snap.roles = Some(decode_from_slice(payload)?),
+                SectionKind::SdIndex => snap.sd = Some(decode_from_slice(payload)?),
+                SectionKind::TopKIndex => snap.topk = Some(decode_from_slice(payload)?),
+                SectionKind::Top1Index => snap.top1 = Some(decode_from_slice(payload)?),
+                SectionKind::RStarTree => snap.rstar = Some(decode_from_slice(payload)?),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Parses only the header and section table — cheap metadata access for
+    /// `sdq inspect`.
+    pub fn inspect_bytes(bytes: &[u8]) -> Result<SnapshotInfo, SdError> {
+        let (version, entries) = Self::parse_header(bytes)?;
+        Ok(SnapshotInfo {
+            version,
+            file_len: bytes.len() as u64,
+            sections: entries
+                .iter()
+                .map(|e| SectionInfo {
+                    kind: SectionKind::from_u32(e.raw_kind),
+                    raw_kind: e.raw_kind,
+                    len: e.len,
+                    crc32: e.crc,
+                })
+                .collect(),
+        })
+    }
+
+    /// Writes the snapshot to `path` (atomically: temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SdError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        // Append to the full file name (`x.sdq` → `x.sdq.tmp`) rather than
+        // replacing the extension, so saves to `x.sdq` and `x.dat` in one
+        // directory cannot collide on the same temp path.
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let io = |e: std::io::Error| SdError::SnapshotIo(format!("{}: {e}", path.display()));
+        std::fs::write(&tmp, &bytes).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)?;
+        Ok(())
+    }
+
+    /// Reads and restores a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SdError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Reads only the header/table of the snapshot at `path`.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, SdError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))?;
+        Self::inspect_bytes(&bytes)
+    }
+}
+
+/// Parses a roles string like `"ar"` / `"rraa"` (`a` = attractive, `r` =
+/// repulsive) — the CLI and test shorthand.
+pub fn parse_roles(spec: &str) -> Result<Vec<DimRole>, SdError> {
+    spec.chars()
+        .map(|c| match c {
+            'a' | 'A' => Ok(DimRole::Attractive),
+            'r' | 'R' => Ok(DimRole::Repulsive),
+            other => Err(SdError::SnapshotCorrupt {
+                detail: format!("role character {other:?} (want 'a' or 'r')"),
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdq_core::SdQuery;
+
+    fn sample_sd() -> SdIndex {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let x = i as f64;
+                vec![(x * 0.7).sin(), x * 0.3, 10.0 - x * 0.2]
+            })
+            .collect();
+        let data = Dataset::from_rows(3, &rows).unwrap();
+        let roles = parse_roles("arr").unwrap();
+        SdIndex::build(data, &roles).unwrap()
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        let sd = sample_sd();
+        snap.dataset = Some(sd.data().clone());
+        snap.roles = Some(sd.roles().to_vec());
+        snap.topk = Some(TopKIndex::build(&[(0.0, 1.0), (3.0, -2.0), (5.5, 4.0)]).unwrap());
+        snap.top1 = Some(Top1Index::build(&[(0.0, 1.0), (3.0, -2.0)], 1.0, 1.0, 1).unwrap());
+        snap.rstar = Some(RStarTree::bulk_load(2, &[0.0, 1.0, 3.0, -2.0, 5.5, 4.0], 4));
+        snap.sd = Some(sd);
+        snap
+    }
+
+    #[test]
+    fn full_snapshot_roundtrips() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+
+        let q = SdQuery::uniform_weights(vec![0.2, 3.0, 7.0], snap.roles.as_ref().unwrap());
+        assert_eq!(
+            back.sd.as_ref().unwrap().query(&q, 5).unwrap(),
+            snap.sd.as_ref().unwrap().query(&q, 5).unwrap()
+        );
+        assert_eq!(
+            back.topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap(),
+            snap.topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap()
+        );
+        assert_eq!(
+            back.top1.as_ref().unwrap().query(0.0, 0.0),
+            snap.top1.as_ref().unwrap().query(0.0, 0.0)
+        );
+        assert_eq!(back.dataset, snap.dataset);
+        assert_eq!(back.roles, snap.roles);
+        // Deterministic bytes.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let bytes = Snapshot::new().to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SdError::SnapshotBadMagic
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(b"short").unwrap_err(),
+            SdError::SnapshotBadMagic
+        ));
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SdError::SnapshotVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let bytes = sample_snapshot().to_bytes();
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x01;
+            let err = Snapshot::from_bytes(&mutated)
+                .err()
+                .unwrap_or_else(|| panic!("flip at byte {pos} went undetected"));
+            assert!(
+                matches!(
+                    err,
+                    SdError::SnapshotBadMagic
+                        | SdError::SnapshotVersion { .. }
+                        | SdError::SnapshotChecksum { .. }
+                        | SdError::SnapshotCorrupt { .. }
+                ),
+                "flip at byte {pos}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_detected() {
+        // Bytes past the section table's accounted end are as suspect as
+        // truncation (found by probing: `dd seek=<past-eof>` extended a
+        // snapshot and the old parser silently ignored the tail).
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes.extend_from_slice(b"tail");
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SdError::SnapshotCorrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample_snapshot().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let dir = std::env::temp_dir().join(format!("sdq-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.sdq");
+        let snap = sample_snapshot();
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.to_bytes(), snap.to_bytes());
+
+        let info = Snapshot::inspect(&path).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.sections.len(), 6);
+        assert!(info.sections.iter().all(|s| s.kind.is_some()));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            Snapshot::load("/nonexistent/definitely/missing.sdq").unwrap_err(),
+            SdError::SnapshotIo(_)
+        ));
+    }
+
+    #[test]
+    fn parse_roles_shorthand() {
+        assert_eq!(
+            parse_roles("aR").unwrap(),
+            vec![DimRole::Attractive, DimRole::Repulsive]
+        );
+        assert!(parse_roles("ax").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end test of the `sdq` binary: `build` then `query` on a synthetic
+//! dataset must return exactly the same top-k (ids and scores) as the
+//! in-memory `SdIndex::build` path — the acceptance criterion of the
+//! build-once/query-many workflow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use sdq_core::multidim::SdIndex;
+use sdq_core::SdQuery;
+use sdq_data::{generate, Distribution};
+use sdq_store::parse_roles;
+
+fn sdq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdq"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdq-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn build_then_query_matches_in_memory_index() {
+    let dir = temp_dir("roundtrip");
+    let snap_path = dir.join("cli.sdq");
+
+    // The CLI's workload: --synthetic uniform --n 5000 --dims 4 --seed 7.
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "5000",
+            "--dims",
+            "4",
+            "--seed",
+            "7",
+            "--roles",
+            "arra",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success(), "sdq build failed");
+
+    // The same workload in memory.
+    let data = generate(Distribution::Uniform, 5000, 4, 7);
+    let roles = parse_roles("arra").unwrap();
+    let index = SdIndex::build(data, &roles).unwrap();
+    let query = SdQuery::new(vec![0.5, 0.25, 0.75, 0.5], vec![1.0, 2.0, 0.5, 1.0]).unwrap();
+    let want = index.query(&query, 7).unwrap();
+
+    let output = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.25,0.75,0.5",
+            "--weights",
+            "1,2,0.5,1",
+            "--k",
+            "7",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert!(output.status.success(), "sdq query failed");
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+
+    // Parse the result table: lines "  rank  pN  score".
+    let mut got: Vec<(usize, f64)> = Vec::new();
+    for line in stdout.lines() {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells.len() == 3 && cells[1].starts_with('p') {
+            if let (Ok(id), Ok(score)) = (cells[1][1..].parse(), cells[2].parse()) {
+                got.push((id, score));
+            }
+        }
+    }
+    assert_eq!(got.len(), want.len(), "result count differs\n{stdout}");
+    for ((gid, gscore), w) in got.iter().zip(&want) {
+        assert_eq!(*gid, w.id.index(), "ids diverge\n{stdout}");
+        // The CLI prints 6 decimal places; compare at that precision.
+        assert!(
+            (gscore - w.score).abs() < 1e-6 * (1.0 + w.score.abs()),
+            "scores diverge: {gscore} vs {}\n{stdout}",
+            w.score
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn topk_query_respects_stored_roles_order() {
+    // Regression: with roles "ra" (repulsive first) the topk-index is built
+    // over (x = attractive dim 1, y = repulsive dim 0); the query side must
+    // map the dataset-ordered --point through the stored roles rather than
+    // assuming attractive-first.
+    let dir = temp_dir("roles-ra");
+    let sd_path = dir.join("sd.sdq");
+    let tk_path = dir.join("tk.sdq");
+    for (path, index) in [(&sd_path, "sd"), (&tk_path, "topk")] {
+        let status = sdq()
+            .args([
+                "build",
+                "--synthetic",
+                "uniform",
+                "--n",
+                "300",
+                "--dims",
+                "2",
+                "--seed",
+                "11",
+                "--roles",
+                "ra",
+                "--index",
+                index,
+                "--out",
+            ])
+            .arg(path)
+            .status()
+            .expect("spawn sdq build");
+        assert!(status.success());
+    }
+    let run = |path: &std::path::Path| -> String {
+        let out = sdq()
+            .args([
+                "query",
+                path.to_str().unwrap(),
+                "--point",
+                "0.2,0.8",
+                "--k",
+                "5",
+            ])
+            .output()
+            .expect("spawn sdq query");
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        // Keep only the ranked rows (drop the load-time line, which varies).
+        text.lines()
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run(&sd_path), run(&tk_path), "topk axis mapping diverges");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_flags_and_corrupt_files_fail_cleanly() {
+    let dir = temp_dir("errors");
+
+    // Unknown flag: usage error, exit code 2.
+    let output = sdq()
+        .args(["build", "--frobnicate"])
+        .output()
+        .expect("spawn sdq");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--frobnicate"), "{stderr}");
+
+    // Corrupt snapshot: runtime error, exit code 1, no panic.
+    let bad = dir.join("bad.sdq");
+    std::fs::write(&bad, b"SDQSNAP\0garbage-that-is-not-a-snapshot").unwrap();
+    let output = sdq()
+        .args(["query", bad.to_str().unwrap(), "--point", "0,0"])
+        .output()
+        .expect("spawn sdq");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Missing file: clean I/O error.
+    let output = sdq()
+        .args(["inspect", dir.join("missing.sdq").to_str().unwrap()])
+        .output()
+        .expect("spawn sdq");
+    assert_eq!(output.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,8 +2,9 @@
 //!
 //! Umbrella crate re-exporting the whole SD-Query workspace: the core index
 //! structures ([`sdq_core`]), the evaluation baselines
-//! ([`sdq_baselines`]), the R*-tree substrate ([`sdq_rstar`]) and the
-//! workload generators ([`sdq_data`]).
+//! ([`sdq_baselines`]), the R*-tree substrate ([`sdq_rstar`]), the
+//! workload generators ([`sdq_data`]) and the snapshot persistence layer
+//! ([`sdq_store`]).
 //!
 //! See the repository `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module mapping.
@@ -12,5 +13,6 @@ pub use sdq_baselines as baselines;
 pub use sdq_core as core;
 pub use sdq_data as data;
 pub use sdq_rstar as rstar;
+pub use sdq_store as store;
 
 pub use sdq_core::{sd_score, Dataset, DimRole, PointId, ScoredPoint, SdError, SdQuery};

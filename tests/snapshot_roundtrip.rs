@@ -1,0 +1,195 @@
+//! Property tests for the persistence subsystem: `save → load → query` must
+//! be *bit-identical* to the in-memory index for arbitrary finite inputs,
+//! and corrupt containers must surface typed errors, never panics.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sdq::core::multidim::SdIndex;
+use sdq::core::top1::Top1Index;
+use sdq::core::topk::TopKIndex;
+use sdq::store::{Snapshot, FORMAT_VERSION, MAGIC};
+use sdq::{Dataset, DimRole, SdError, SdQuery};
+
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -100.0..100.0f64,
+        1 => Just(0.0),
+        1 => Just(1.0),
+        1 => Just(-1.0),
+        1 => -1e6..1e6f64,
+    ]
+}
+
+fn weight() -> impl Strategy<Value = f64> {
+    prop_oneof![4 => 0.0..10.0f64, 1 => Just(0.0), 1 => Just(1.0)]
+}
+
+/// A snapshot error must be one of the typed snapshot variants.
+fn assert_snapshot_error(err: &SdError) {
+    assert!(
+        matches!(
+            err,
+            SdError::SnapshotBadMagic
+                | SdError::SnapshotVersion { .. }
+                | SdError::SnapshotChecksum { .. }
+                | SdError::SnapshotCorrupt { .. }
+                | SdError::SnapshotIo(_)
+        ),
+        "unexpected error class: {err:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topk_snapshot_queries_bit_identical(
+        pts in vec((coord(), coord()), 1..80),
+        qx in coord(), qy in coord(),
+        alpha in weight(), beta in weight(),
+        k in 1usize..8,
+    ) {
+        prop_assume!(alpha > 0.0 || beta > 0.0);
+        let index = TopKIndex::build(&pts).unwrap();
+        let mut snap = Snapshot::new();
+        snap.topk = Some(index.clone());
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let restored = back.topk.unwrap();
+        // Bit-identical results: same ids, same score bits.
+        prop_assert_eq!(
+            restored.query(qx, qy, alpha, beta, k).unwrap(),
+            index.query(qx, qy, alpha, beta, k).unwrap()
+        );
+    }
+
+    #[test]
+    fn top1_snapshot_queries_bit_identical(
+        pts in vec((coord(), coord()), 1..60),
+        queries in vec((coord(), coord()), 1..6),
+        alpha in weight(), beta in weight(),
+        k in 1usize..5,
+    ) {
+        prop_assume!(alpha > 0.0 || beta > 0.0);
+        let index = Top1Index::build(&pts, alpha, beta, k).unwrap();
+        let mut snap = Snapshot::new();
+        snap.top1 = Some(index.clone());
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let restored = back.top1.unwrap();
+        for (qx, qy) in queries {
+            prop_assert_eq!(restored.query(qx, qy), index.query(qx, qy));
+        }
+    }
+
+    #[test]
+    fn sd_snapshot_queries_bit_identical(
+        rows in vec(vec(coord(), 3), 1..50),
+        q in vec(coord(), 3),
+        w in vec(weight(), 3),
+        rep_mask in 0usize..8,
+        k in 1usize..6,
+    ) {
+        let roles: Vec<DimRole> = (0..3).map(|d| {
+            if rep_mask & (1 << d) != 0 { DimRole::Repulsive } else { DimRole::Attractive }
+        }).collect();
+        let data = Arc::new(Dataset::from_rows(3, &rows).unwrap());
+        let index = SdIndex::build(data, &roles).unwrap();
+        let mut snap = Snapshot::new();
+        snap.sd = Some(index.clone());
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let restored = back.sd.unwrap();
+        let query = SdQuery::new(q, w).unwrap();
+        prop_assert_eq!(
+            restored.query(&query, k).unwrap(),
+            index.query(&query, k).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_containers_are_typed_errors(
+        pts in vec((coord(), coord()), 1..40),
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u8..8,
+        cut in 0usize..10_000,
+    ) {
+        let mut snap = Snapshot::new();
+        snap.topk = Some(TopKIndex::build(&pts).unwrap());
+        snap.top1 = Some(Top1Index::build(&pts, 1.0, 1.0, 2).unwrap());
+        let bytes = snap.to_bytes();
+
+        // Any single-bit flip must be detected (magic, version, checksum or
+        // structural validation), with a typed error.
+        let mut mutated = bytes.clone();
+        let pos = flip_pos % mutated.len();
+        mutated[pos] ^= 1 << flip_bit;
+        let err = Snapshot::from_bytes(&mutated).expect_err("flip must be detected");
+        assert_snapshot_error(&err);
+
+        // Any truncation must fail with a typed error.
+        let cut = cut % bytes.len();
+        let err = Snapshot::from_bytes(&bytes[..cut]).expect_err("truncation must be detected");
+        assert_snapshot_error(&err);
+    }
+}
+
+#[test]
+fn wrong_magic_and_future_version_are_typed() {
+    let mut snap = Snapshot::new();
+    snap.dataset = Some(Dataset::from_rows(2, &[vec![1.0, 2.0]]).unwrap());
+    let bytes = snap.to_bytes();
+    assert_eq!(&bytes[..8], &MAGIC);
+
+    let mut wrong = bytes.clone();
+    wrong[..8].copy_from_slice(b"NOTASNAP");
+    assert!(matches!(
+        Snapshot::from_bytes(&wrong).unwrap_err(),
+        SdError::SnapshotBadMagic
+    ));
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    match Snapshot::from_bytes(&future).unwrap_err() {
+        SdError::SnapshotVersion { found, supported } => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected SnapshotVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_files_roundtrip_on_disk() {
+    let dir = std::env::temp_dir().join(format!("sdq-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.sdq");
+
+    let data = Dataset::from_rows(
+        2,
+        &[
+            vec![1.0, 9.0],
+            vec![1.1, 2.0],
+            vec![7.0, 8.5],
+            vec![-3.0, 0.5],
+        ],
+    )
+    .unwrap();
+    let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+    let index = SdIndex::build(data.clone(), &roles).unwrap();
+
+    let mut snap = Snapshot::new();
+    snap.dataset = Some(data);
+    snap.roles = Some(roles.clone());
+    snap.sd = Some(index.clone());
+    snap.save(&path).unwrap();
+
+    let back = Snapshot::load(&path).unwrap();
+    let q = SdQuery::uniform_weights(vec![1.0, 2.0], &roles);
+    assert_eq!(
+        back.sd.unwrap().query(&q, 3).unwrap(),
+        index.query(&q, 3).unwrap()
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/API surface the workspace's `benches/` use —
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`] — backed
+//! by a simple calibrated wall-clock loop: each benchmark is warmed up,
+//! calibrated to a target batch duration, then timed over `sample_size`
+//! batches, reporting the median together with min/max.
+//!
+//! No statistics beyond that, no HTML reports, no comparison against saved
+//! baselines — but the numbers are honest medians of real batches, good
+//! enough to rank implementation variants in this repository.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which is what this forwards to).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    target_batch: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            target_batch: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = MeasureConfig {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            target_batch: self.target_batch,
+        };
+        run_one(name, cfg, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn config(&self) -> MeasureConfig {
+        MeasureConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up: self.criterion.warm_up,
+            target_batch: self.criterion.target_batch,
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_benchmark_id().0, self.config(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a shared input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.config(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion accepted by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// The normalized id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// How per-iteration inputs of [`Bencher::iter_batched`] are grouped.
+///
+/// This harness always materialises one input per routine call, so the
+/// variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many per allocation.
+    SmallInput,
+    /// Large setup output; upstream builds one per call — as we always do.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    target_batch: Duration,
+}
+
+/// Measurement handle passed to every benchmark closure.
+pub struct Bencher {
+    cfg: MeasureConfig,
+    /// Per-batch mean durations, in seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fill the target
+        // batch duration.
+        let warm_until = Instant::now() + self.cfg.warm_up;
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.cfg.target_batch {
+                break;
+            }
+            if Instant::now() >= warm_until && elapsed >= self.cfg.target_batch / 8 {
+                // Close enough: scale up to the target once and stop.
+                let scale = (self.cfg.target_batch.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                    .ceil() as u64;
+                iters_per_batch = iters_per_batch.saturating_mul(scale.max(1));
+                break;
+            }
+            iters_per_batch = iters_per_batch.saturating_mul(2);
+        }
+        // Measurement.
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_batch as f64);
+        }
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One setup+routine per sample; setup cost excluded from timing.
+        let samples = self.cfg.sample_size.max(1);
+        // Warm-up: a single untimed round.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, cfg: MeasureConfig, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        cfg,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut s = bencher.samples;
+    if s.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = s[s.len() / 2];
+    let (min, max) = (s[0], s[s.len() - 1]);
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function(BenchmarkId::new("param", 3), |b| {
+            b.iter(|| (0..3u64).product::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        // Shrink durations so the test is fast.
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            target_batch: Duration::from_micros(200),
+        };
+        sample_bench(&mut c);
+        let _ = &benches; // macro output compiles
+    }
+}
