@@ -12,10 +12,8 @@
 
 use std::sync::Arc;
 
-use sdq_core::multidim::{
-    threshold_aggregate, AttractiveStream, RepulsiveStream, SortedColumn, SubproblemStream,
-};
-use sdq_core::{Dataset, DimRole, ScoredPoint, SdError, SdQuery};
+use sdq_core::multidim::{threshold_aggregate_with, SortedColumn, Subproblem};
+use sdq_core::{Dataset, DimRole, QueryScratch, ScoredPoint, SdError, SdQuery};
 
 use crate::TopKAlgorithm;
 
@@ -59,7 +57,23 @@ impl TaIndex {
 
     /// Exact top-k via per-dimension bidirectional streams under the TA
     /// threshold.
+    ///
+    /// Allocates fresh scratch state per call; steady-state callers should
+    /// prefer [`TaIndex::query_with`].
     pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        let mut scratch = QueryScratch::new();
+        Ok(self.query_with(query, k, &mut scratch)?.to_vec())
+    }
+
+    /// [`TaIndex::query`] with caller-owned scratch buffers, sharing the
+    /// same devirtualized [`Subproblem`] streams and aggregation loop as
+    /// the §5 index.
+    pub fn query_with<'s>(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -70,28 +84,24 @@ impl TaIndex {
             });
         }
         if self.data.is_empty() {
-            return Ok(Vec::new());
+            return Ok(&[]);
         }
-        let mut streams: Vec<Box<dyn SubproblemStream + '_>> = self
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(d, col)| {
-                let (q, w) = (query.point[d], query.weights[d]);
-                match self.roles[d] {
-                    DimRole::Repulsive => {
-                        Box::new(RepulsiveStream::new(col, q, w)) as Box<dyn SubproblemStream>
-                    }
-                    DimRole::Attractive => Box::new(AttractiveStream::new(col, q, w)),
-                }
-            })
-            .collect();
-        Ok(threshold_aggregate(
+        let mut streams = scratch.stream_buf();
+        streams.reserve(self.columns.len());
+        for (d, col) in self.columns.iter().enumerate() {
+            let (q, w) = (query.point[d], query.weights[d]);
+            streams.push(match self.roles[d] {
+                DimRole::Repulsive => Subproblem::repulsive(col, q, w),
+                DimRole::Attractive => Subproblem::attractive(col, q, w),
+            });
+        }
+        Ok(threshold_aggregate_with(
             &self.data,
             &self.roles,
             query,
             k,
-            &mut streams,
+            streams,
+            scratch,
         ))
     }
 }

@@ -541,79 +541,103 @@ impl Codec for Child {
     }
 }
 
-impl Codec for Node {
-    const MIN_ENCODED_BYTES: usize = 8 + 8 + 16;
-    fn encode(&self, w: &mut Writer) {
-        // Wire-compatible with the generic Vec codecs, but written as one
-        // reserve + tight loops: nodes dominate snapshot volume.
-        self.children.encode(w);
-        self.bounds.encode(w);
-        w.f64(self.xmin);
-        w.f64(self.xmax);
+/// On-disk node record: `(children, per-angle bounds, xmin, xmax)` — the
+/// wire format predates the flat node tables, so encode/decode reassemble
+/// per-node records from/into `TopKIndex::{node_xr, node_bounds}` while the
+/// byte layout stays identical.
+const NODE_MIN_ENCODED_BYTES: usize = 8 + 8 + 16;
+
+fn encode_node_record(w: &mut Writer, children: &[Child], bounds: &[AngleBounds], xr: (f64, f64)) {
+    // Wire-compatible with the generic Vec codecs, but written as one
+    // reserve + tight loops: nodes dominate snapshot volume.
+    w.usize(children.len());
+    for c in children {
+        c.encode(w);
     }
-    fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        // Bulk path: children are 5 bytes each, bounds 32 — one take() per
-        // vector instead of one bounds check per field (decode throughput
-        // is what makes loading beat rebuilding).
-        let n_children = r.len_prefix(Child::MIN_ENCODED_BYTES)?;
-        let raw = r.take(n_children * 5)?;
-        let children = raw
-            .chunks_exact(5)
-            .map(|c| {
-                let v = u32::from_le_bytes(c[1..].try_into().expect("4 bytes"));
-                match c[0] {
-                    0 => Ok(Child::Inner(v)),
-                    1 => Ok(Child::Point(v)),
-                    t => Err(corrupt(format!("invalid Child tag {t:#04x}"))),
-                }
-            })
-            .collect::<Result<Vec<Child>>>()?;
-        let n_bounds = r.len_prefix(AngleBounds::MIN_ENCODED_BYTES)?;
-        let raw = r.take(n_bounds * 32)?;
-        let bounds = raw
-            .chunks_exact(32)
-            .map(|c| {
-                let f = |i: usize| {
-                    f64::from_bits(u64::from_le_bytes(
-                        c[i * 8..(i + 1) * 8].try_into().expect("8 bytes"),
-                    ))
-                };
-                let b = AngleBounds {
-                    max_u: f(0),
-                    min_u: f(1),
-                    max_v: f(2),
-                    min_v: f(3),
-                };
-                if b.max_u.is_nan() || b.min_u.is_nan() || b.max_v.is_nan() || b.min_v.is_nan() {
-                    Err(corrupt("NaN projection bound"))
-                } else {
-                    Ok(b)
-                }
-            })
-            .collect::<Result<Vec<AngleBounds>>>()?;
-        let xmin = r.f64()?;
-        let xmax = r.f64()?;
-        ensure(!xmin.is_nan() && !xmax.is_nan(), || {
-            "NaN node x-range".to_string()
-        })?;
-        Ok(Node {
-            children,
-            bounds,
-            xmin,
-            xmax,
+    w.usize(bounds.len());
+    for b in bounds {
+        b.encode(w);
+    }
+    w.f64(xr.0);
+    w.f64(xr.1);
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_node_record(r: &mut Reader<'_>) -> Result<(Vec<Child>, Vec<AngleBounds>, f64, f64)> {
+    // Bulk path: children are 5 bytes each, bounds 32 — one take() per
+    // vector instead of one bounds check per field (decode throughput
+    // is what makes loading beat rebuilding).
+    let n_children = r.len_prefix(Child::MIN_ENCODED_BYTES)?;
+    let raw = r.take(n_children * 5)?;
+    let children = raw
+        .chunks_exact(5)
+        .map(|c| {
+            let v = u32::from_le_bytes(c[1..].try_into().expect("4 bytes"));
+            match c[0] {
+                0 => Ok(Child::Inner(v)),
+                1 => Ok(Child::Point(v)),
+                t => Err(corrupt(format!("invalid Child tag {t:#04x}"))),
+            }
         })
-    }
+        .collect::<Result<Vec<Child>>>()?;
+    let n_bounds = r.len_prefix(AngleBounds::MIN_ENCODED_BYTES)?;
+    let raw = r.take(n_bounds * 32)?;
+    let bounds = raw
+        .chunks_exact(32)
+        .map(|c| {
+            let f = |i: usize| {
+                f64::from_bits(u64::from_le_bytes(
+                    c[i * 8..(i + 1) * 8].try_into().expect("8 bytes"),
+                ))
+            };
+            let b = AngleBounds {
+                max_u: f(0),
+                min_u: f(1),
+                max_v: f(2),
+                min_v: f(3),
+            };
+            if b.max_u.is_nan() || b.min_u.is_nan() || b.max_v.is_nan() || b.min_v.is_nan() {
+                Err(corrupt("NaN projection bound"))
+            } else {
+                Ok(b)
+            }
+        })
+        .collect::<Result<Vec<AngleBounds>>>()?;
+    let xmin = r.f64()?;
+    let xmax = r.f64()?;
+    ensure(!xmin.is_nan() && !xmax.is_nan(), || {
+        "NaN node x-range".to_string()
+    })?;
+    Ok((children, bounds, xmin, xmax))
 }
 
 impl Codec for TopKIndex {
     fn encode(&self, w: &mut Writer) {
         w.usize(self.branching);
         self.angles.encode(w);
-        w.f64s(&self.xs);
-        w.f64s(&self.ys);
+        // Wire format keeps split coordinate arrays (byte-identical to
+        // `f64s` on each); the in-memory table is interleaved for query
+        // locality, so write the two halves straight from it.
+        w.usize(self.pts.len());
+        for p in &self.pts {
+            w.f64(p.0);
+        }
+        w.usize(self.pts.len());
+        for p in &self.pts {
+            w.f64(p.1);
+        }
         w.bools(&self.alive);
         w.usize(self.n_alive);
-        self.nodes.encode(w);
+        let m = self.angles.len();
+        w.usize(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            encode_node_record(
+                w,
+                &node.children,
+                &self.node_bounds[id * m..(id + 1) * m],
+                self.node_xr[id],
+            );
+        }
         self.root.encode(w);
         w.u32s(&self.free_nodes);
         w.usize(self.deep_leaves);
@@ -627,7 +651,23 @@ impl Codec for TopKIndex {
         let ys = r.f64s()?;
         let alive = r.bools()?;
         let n_alive = r.usize()?;
-        let nodes = Vec::<Node>::decode(r)?;
+        let n_nodes = r.len_prefix(NODE_MIN_ENCODED_BYTES)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut node_xr = Vec::with_capacity(n_nodes);
+        let mut node_bounds: Vec<AngleBounds> = Vec::new();
+        for i in 0..n_nodes {
+            let (children, bounds, xmin, xmax) = decode_node_record(r)?;
+            ensure(bounds.len() == angles.len(), || {
+                format!(
+                    "node {i}: {} bound tuples for {} angles",
+                    bounds.len(),
+                    angles.len()
+                )
+            })?;
+            nodes.push(Node { children });
+            node_xr.push((xmin, xmax));
+            node_bounds.extend_from_slice(&bounds);
+        }
         let root = Option::<u32>::decode(r)?;
         let free_nodes = r.u32s()?;
         let deep_leaves = r.usize()?;
@@ -659,14 +699,15 @@ impl Codec for TopKIndex {
         })?;
 
         // Per-node shape checks.
+        ensure(node_bounds.len() == nodes.len() * angles.len(), || {
+            format!(
+                "{} bound tuples for {} nodes x {} angles",
+                node_bounds.len(),
+                nodes.len(),
+                angles.len()
+            )
+        })?;
         for (i, node) in nodes.iter().enumerate() {
-            ensure(node.bounds.len() == angles.len(), || {
-                format!(
-                    "node {i}: {} bound tuples for {} angles",
-                    node.bounds.len(),
-                    angles.len()
-                )
-            })?;
             for child in &node.children {
                 match *child {
                     Child::Inner(c) => ensure((c as usize) < nodes.len(), || {
@@ -726,14 +767,16 @@ impl Codec for TopKIndex {
             format!("{reachable_points} points reachable but {n_alive} live")
         })?;
 
+        let pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
         Ok(TopKIndex {
             branching,
             angles,
-            xs,
-            ys,
+            pts,
             alive,
             n_alive,
             nodes,
+            node_xr,
+            node_bounds,
             root,
             free_nodes,
             deep_leaves,
@@ -1050,10 +1093,10 @@ impl Codec for SdIndex {
         })?;
         for (i, index) in pair_indexes.iter().enumerate() {
             // Tree slots are dataset rows: tables must align exactly.
-            ensure(index.xs.len() == n && index.len() == n, || {
+            ensure(index.pts.len() == n && index.len() == n, || {
                 format!(
                     "pair index {i} covers {} slots ({} live) for {n} rows",
-                    index.xs.len(),
+                    index.pts.len(),
                     index.len()
                 )
             })?;

@@ -21,6 +21,8 @@
 //! * [`multidim`] — the §5 pairing + threshold aggregation for any number of
 //!   dimensions,
 //! * [`score`] — scoring kernels shared by indexes, baselines and tests,
+//! * [`QueryScratch`] — reusable query-execution buffers; the `query_with`
+//!   entry points answer steady-state queries with zero heap allocations,
 //! * [`codec`] — serde-free binary round-trips of datasets and indexes (the
 //!   foundation of the `sdq-store` snapshot layer; see its module docs for a
 //!   persistence example).
@@ -48,11 +50,13 @@ pub mod envelope;
 pub mod geometry;
 pub mod multidim;
 pub mod score;
+mod scratch;
 pub mod top1;
 pub mod topk;
 mod types;
 
 pub use score::{sd_score, DimRole, SdQuery};
+pub use scratch::QueryScratch;
 pub use types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
 
 /// Convenience alias used across the workspace.

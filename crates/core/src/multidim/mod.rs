@@ -11,12 +11,19 @@
 //! bounds) — the TA stopping rule, guaranteed optimal, but with two
 //! dimensions per subproblem, which is the source of the paper's
 //! scalability edge over classic TA (§6.2).
+//!
+//! ## Execution model
+//!
+//! Subproblems are one closed [`Subproblem`] enum rather than trait
+//! objects, so the `bound()`/`next()` calls in the aggregation inner loop
+//! are direct (inlinable) dispatches — no vtable in the hot path. All
+//! query-time buffers come from a [`QueryScratch`]; the allocating
+//! [`SdIndex::query`] is a thin wrapper over [`SdIndex::query_with`].
 
 pub mod pairing;
 pub mod stream1d;
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 pub use pairing::{pair_dimensions, DimPair, PairingStrategy};
@@ -24,14 +31,19 @@ pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
 use crate::geometry::Angle;
 use crate::score::{rank_cmp, sd_score_point};
-use crate::topk::arbitrary::dual_bound;
-use crate::topk::stream::{inflate, FastSet};
-use crate::topk::{default_angles, AngleQuery, TopKIndex};
+use crate::scratch::QueryScratch;
+use crate::topk::stream::{inflate, FastSet, FrontierEval, PairFrontier};
+use crate::topk::{default_angles, TopKIndex};
 use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
 use crate::{DimRole, SdQuery};
 
-/// One subproblem of the §5 decomposition: emits `(row, subscore)` pairs in
-/// non-increasing subscore order and bounds everything not yet emitted.
+/// The behavioural contract of one §5 subproblem: emits `(row, subscore)`
+/// pairs in non-increasing subscore order and bounds everything not yet
+/// emitted.
+///
+/// The aggregation loop itself runs over the closed [`Subproblem`] enum
+/// (static dispatch); the trait documents the contract, backs the
+/// stream-level tests and stays implemented by every concrete stream.
 pub trait SubproblemStream {
     /// Admissible upper bound on the subscore of every row this stream has
     /// not yet emitted; `None` once the stream is drained (at which point
@@ -39,6 +51,73 @@ pub trait SubproblemStream {
     fn bound(&self) -> Option<f64>;
     /// The next row in subscore order.
     fn next(&mut self) -> Option<(u32, f64)>;
+}
+
+/// One subproblem of the §5 decomposition, as a closed enum so the
+/// aggregation inner loop is fully devirtualized.
+//
+// The 2-D variant is much larger than the 1-D ones, but boxing it would
+// reintroduce the very per-query allocation this enum removes; the enum
+// lives in one small recycled Vec, so the size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum Subproblem<'a> {
+    /// A repulsive↔attractive 2-D subproblem over a §4 tree.
+    Pair2d(Pair2DStream<'a>),
+    /// A leftover attractive dimension (nearest-first 1-D scan).
+    Attractive1d(AttractiveStream<'a>),
+    /// A leftover repulsive dimension (farthest-first 1-D scan).
+    Repulsive1d(RepulsiveStream<'a>),
+}
+
+impl<'a> Subproblem<'a> {
+    /// Wraps a nearest-first 1-D stream.
+    pub fn attractive(col: &'a SortedColumn, q: f64, weight: f64) -> Self {
+        Subproblem::Attractive1d(AttractiveStream::new(col, q, weight))
+    }
+
+    /// Wraps a farthest-first 1-D stream.
+    pub fn repulsive(col: &'a SortedColumn, q: f64, weight: f64) -> Self {
+        Subproblem::Repulsive1d(RepulsiveStream::new(col, q, weight))
+    }
+
+    /// See [`SubproblemStream::bound`].
+    #[inline]
+    pub fn bound(&self) -> Option<f64> {
+        match self {
+            Subproblem::Pair2d(s) => s.bound(),
+            Subproblem::Attractive1d(s) => s.bound(),
+            Subproblem::Repulsive1d(s) => s.bound(),
+        }
+    }
+
+    /// See [`SubproblemStream::next`]. (Deliberately named like
+    /// `Iterator::next`; an `Iterator` impl would hide the `bound()`
+    /// coupling callers rely on.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u32, f64)> {
+        match self {
+            Subproblem::Pair2d(s) => s.next(),
+            Subproblem::Attractive1d(s) => s.next(),
+            Subproblem::Repulsive1d(s) => s.next(),
+        }
+    }
+
+    /// Returns any owned buffers to the scratch for reuse.
+    fn recycle(self, scratch: &mut QueryScratch) {
+        if let Subproblem::Pair2d(s) = self {
+            s.recycle(scratch);
+        }
+    }
+}
+
+impl SubproblemStream for Subproblem<'_> {
+    fn bound(&self) -> Option<f64> {
+        Subproblem::bound(self)
+    }
+    fn next(&mut self) -> Option<(u32, f64)> {
+        Subproblem::next(self)
+    }
 }
 
 /// Tuning knobs for [`SdIndex::build_with`].
@@ -69,6 +148,8 @@ impl Default for SdIndexOptions {
 ///
 /// Dimension *roles* are fixed at build time (they determine the pairing
 /// and the physical indexes); weights and `k` are free at query time.
+/// Queries never mutate the index, so one `SdIndex` can be shared
+/// immutably across any number of threads.
 #[derive(Debug, Clone)]
 pub struct SdIndex {
     pub(crate) data: Arc<Dataset>,
@@ -165,7 +246,24 @@ impl SdIndex {
 
     /// Answers the SD-Query: the `min(k, n)` highest SD-scores under the
     /// build-time roles and the query's runtime weights.
+    ///
+    /// Allocates fresh scratch state per call; steady-state callers should
+    /// prefer [`SdIndex::query_with`].
     pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        let mut scratch = QueryScratch::new();
+        Ok(self.query_with(query, k, &mut scratch)?.to_vec())
+    }
+
+    /// [`SdIndex::query`] with caller-owned scratch buffers: a warmed
+    /// scratch makes the steady-state query path allocation-free. Returns
+    /// a slice borrowed from the scratch, bit-identical to what `query`
+    /// returns for the same arguments.
+    pub fn query_with<'s>(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -177,40 +275,54 @@ impl SdIndex {
         }
         let n = self.data.len();
         if n == 0 {
-            return Ok(Vec::new());
+            scratch.answers.clear();
+            return Ok(&scratch.answers);
         }
 
-        // Assemble the subproblem streams.
-        let mut streams: Vec<Box<dyn SubproblemStream + '_>> =
-            Vec::with_capacity(self.pairs.len() + self.unpaired.len());
+        // Assemble the subproblem streams into the recycled buffer.
+        let mut streams = scratch.stream_buf();
+        streams.reserve(self.pairs.len() + self.unpaired.len());
         for (pair, index) in self.pairs.iter().zip(&self.pair_indexes) {
             let alpha = query.weights[pair.repulsive];
             let beta = query.weights[pair.attractive];
             let qx = query.point[pair.attractive];
             let qy = query.point[pair.repulsive];
-            streams.push(Pair2DStream::boxed(index, qx, qy, alpha, beta, n)?);
+            match Pair2DStream::with_scratch(index, qx, qy, alpha, beta, n, scratch) {
+                Ok(s) => streams.push(Subproblem::Pair2d(s)),
+                Err(e) => {
+                    // Hand every buffer back before propagating.
+                    for s in streams.drain(..) {
+                        s.recycle(scratch);
+                    }
+                    scratch.put_streams(streams);
+                    return Err(e);
+                }
+            }
         }
         for (column, &dim) in self.columns.iter().zip(&self.unpaired) {
             let w = query.weights[dim];
             let q = query.point[dim];
             match self.roles[dim] {
-                DimRole::Repulsive => streams.push(Box::new(RepulsiveStream::new(column, q, w))),
-                DimRole::Attractive => streams.push(Box::new(AttractiveStream::new(column, q, w))),
+                DimRole::Repulsive => streams.push(Subproblem::repulsive(column, q, w)),
+                DimRole::Attractive => streams.push(Subproblem::attractive(column, q, w)),
             }
         }
 
-        Ok(threshold_aggregate(
+        Ok(threshold_aggregate_with(
             &self.data,
             &self.roles,
             query,
             k,
-            &mut streams,
+            streams,
+            scratch,
         ))
     }
 
     /// Answers a batch of queries in parallel with up to `threads` workers
-    /// (scoped threads; the index is shared immutably). Results keep the
-    /// input order.
+    /// (scoped threads; the index is shared immutably; every worker reuses
+    /// one [`QueryScratch`] across its whole slice of the batch). Results
+    /// keep the input order and are bit-identical to a serial
+    /// [`SdIndex::query`] loop.
     pub fn par_query_batch(
         &self,
         queries: &[SdQuery],
@@ -218,7 +330,11 @@ impl SdIndex {
         threads: usize,
     ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
         if threads <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.query(q, k)).collect();
+            let mut scratch = QueryScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.query_with(q, k, &mut scratch).map(<[_]>::to_vec))
+                .collect();
         }
         let n_workers = threads.min(queries.len());
         type Bucket = Vec<(usize, Result<Vec<ScoredPoint>, SdError>)>;
@@ -226,12 +342,17 @@ impl SdIndex {
             let handles: Vec<_> = (0..n_workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        // One scratch per worker: allocate once per batch,
+                        // not once per query.
+                        let mut scratch = QueryScratch::new();
                         queries
                             .iter()
                             .enumerate()
                             .skip(w)
                             .step_by(n_workers)
-                            .map(|(i, q)| (i, self.query(q, k)))
+                            .map(|(i, q)| {
+                                (i, self.query_with(q, k, &mut scratch).map(<[_]>::to_vec))
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -258,17 +379,25 @@ impl SdIndex {
 /// Exact: a candidate is emitted only when its exact full score reaches the
 /// (FP-inflated) threshold `τ = Σ` stream bounds; when any stream drains,
 /// all rows have been fetched and the pool is drained directly.
-pub fn threshold_aggregate(
+fn aggregate_into(
     data: &Dataset,
     roles: &[DimRole],
     query: &SdQuery,
     k: usize,
-    streams: &mut [Box<dyn SubproblemStream + '_>],
-) -> Vec<ScoredPoint> {
-    let mut pool: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
-    let mut seen = FastSet::default();
-    let mut answers: Vec<ScoredPoint> = Vec::with_capacity(k);
+    streams: &mut [Subproblem<'_>],
+    scratch: &mut QueryScratch,
+) {
+    let pool = &mut scratch.pool;
+    let seen = &mut scratch.seen;
+    let answers = &mut scratch.answers;
+    pool.clear();
+    seen.clear();
+    answers.clear();
     let k_eff = k.min(data.len());
+    // Pre-size: the pool holds at most one candidate per fetch round per
+    // stream beyond the k answers still wanted.
+    answers.reserve(k_eff);
+    pool.reserve(k_eff + streams.len());
 
     loop {
         // Threshold over rows unseen by *every* stream.
@@ -323,98 +452,127 @@ pub fn threshold_aggregate(
             break;
         }
     }
-    answers.sort_by(rank_cmp);
-    answers
+    answers.sort_unstable_by(rank_cmp);
 }
 
-/// A 2-D subproblem stream over the lower bracketing indexed angle θ_l.
+/// The §5 aggregation loop over caller-assembled streams, allocating its
+/// own buffers. See [`threshold_aggregate_with`] for the reusable-scratch
+/// variant.
+pub fn threshold_aggregate(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    streams: &mut [Subproblem<'_>],
+) -> Vec<ScoredPoint> {
+    let mut scratch = QueryScratch::new();
+    aggregate_into(data, roles, query, k, streams, &mut scratch);
+    std::mem::take(&mut scratch.answers)
+}
+
+/// The §5 aggregation loop with scratch-owned buffers: `streams` must have
+/// been assembled into a buffer obtained from
+/// [`QueryScratch::stream_buf`]; the vector (and every recyclable stream
+/// buffer inside it) is handed back to the scratch before returning. The
+/// answer slice is borrowed from the scratch.
+pub fn threshold_aggregate_with<'a, 's>(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    mut streams: Vec<Subproblem<'a>>,
+    scratch: &'s mut QueryScratch,
+) -> &'s [ScoredPoint] {
+    aggregate_into(data, roles, query, k, &mut streams, scratch);
+    for s in streams.drain(..) {
+        s.recycle(scratch);
+    }
+    scratch.put_streams(streams);
+    &scratch.answers
+}
+
+/// A 2-D subproblem stream over one §4 tree.
 ///
-/// Emissions carry exact θ_q subscores but arrive in θ_l order — the
-/// aggregation loop only requires an admissible **bound** on unemitted
-/// rows, not ordered emission, so no reorder buffer is needed. The bound
-/// uses the monotonicity `S_p(θ_q) ≤ S_p(θ_l)` sharpened by the linear
-/// programme solved in [`scale_bound`].
-struct Pair2DStream<'a> {
+/// Emissions carry exact θ_q subscores but arrive in *frontier* order, not
+/// sorted subscore order — the aggregation loop only requires an
+/// admissible **bound** on unemitted rows, so the stream runs on the
+/// pool-free uncertified [`PairFrontier`], whose heap priorities are θ_q
+/// score bounds: exact for points, and (for non-indexed θ_q) the Claim 6
+/// `dual_bound` linear programme applied per node, which walks the tree
+/// once where the old dual-stream bracket walked it twice.
+pub struct Pair2DStream<'a> {
     inner: PairInner<'a>,
 }
 
+#[allow(clippy::large_enum_variant)] // hot-path state; boxing would allocate
 enum PairInner<'a> {
     /// Both weights zero: every subscore is exactly 0; enumerate rows.
     Degenerate { next_row: u32, n: u32 },
-    /// θ_q coincides with an indexed angle: one certified stream.
-    Exact {
-        aq: AngleQuery<'a>,
-        index: &'a TopKIndex,
-        qx: f64,
-        qy: f64,
-        alpha: f64,
-        beta: f64,
+    /// One best-first frontier, single-angle or dual-bracket scored.
+    Tree {
+        frontier: PairFrontier<'a>,
+        /// Dedup: a slot surfaces once per projection stream containing it.
+        seen: FastSet,
+        /// `√(α² + β²)`: converts normalised θ_q scores to raw subscores.
         r: f64,
-    },
-    /// θ_q strictly between two indexed angles: dual-bracket pulls with
-    /// the LP-combined bound of `topk::arbitrary::dual_bound`.
-    Bracketed {
-        aq_l: AngleQuery<'a>,
-        aq_u: AngleQuery<'a>,
-        index: &'a TopKIndex,
-        qx: f64,
-        qy: f64,
-        alpha: f64,
-        beta: f64,
-        r: f64,
-        theta_q: Angle,
-        seen: crate::topk::stream::FastSet,
-        flip: bool,
     },
 }
 
 impl<'a> Pair2DStream<'a> {
-    fn boxed(
+    /// Builds the stream, borrowing recycled buffers from `scratch`.
+    pub(crate) fn with_scratch(
         index: &'a TopKIndex,
         qx: f64,
         qy: f64,
         alpha: f64,
         beta: f64,
         n: usize,
-    ) -> Result<Box<dyn SubproblemStream + 'a>, SdError> {
+        scratch: &mut QueryScratch,
+    ) -> Result<Self, SdError> {
         if alpha == 0.0 && beta == 0.0 {
-            return Ok(Box::new(Pair2DStream {
+            return Ok(Pair2DStream {
                 inner: PairInner::Degenerate {
                     next_row: 0,
                     n: n as u32,
                 },
-            }));
+            });
         }
         let theta = Angle::from_weights(alpha, beta)?;
         let r = alpha.hypot(beta);
-        let inner = match index.indexed_angle(&theta) {
-            Some(i) => PairInner::Exact {
-                aq: AngleQuery::new(index, i, qx, qy),
-                index,
-                qx,
-                qy,
-                alpha,
-                beta,
-                r,
+        let eval = match index.indexed_angle(&theta) {
+            Some(i) => FrontierEval::Single {
+                angle: index.angles()[i],
+                angle_i: i,
             },
             None => {
                 let (lo, hi) = index.bracketing(&theta)?;
-                PairInner::Bracketed {
-                    aq_l: AngleQuery::new(index, lo, qx, qy),
-                    aq_u: AngleQuery::new(index, hi, qx, qy),
-                    index,
-                    qx,
-                    qy,
-                    alpha,
-                    beta,
-                    r,
-                    theta_q: theta,
-                    seen: crate::topk::stream::FastSet::default(),
-                    flip: false,
+                FrontierEval::Dual {
+                    lo: index.angles()[lo],
+                    lo_i: lo,
+                    hi: index.angles()[hi],
+                    hi_i: hi,
+                    theta,
                 }
             }
         };
-        Ok(Box::new(Pair2DStream { inner }))
+        Ok(Pair2DStream {
+            inner: PairInner::Tree {
+                frontier: PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle()),
+                seen: scratch.take_set(),
+                r,
+            },
+        })
+    }
+
+    /// Hands the owned buffers back to the scratch.
+    fn recycle(self, scratch: &mut QueryScratch) {
+        match self.inner {
+            PairInner::Degenerate { .. } => {}
+            PairInner::Tree { frontier, seen, .. } => {
+                scratch.put_angle(frontier.into_scratch());
+                scratch.put_set(seen);
+            }
+        }
     }
 }
 
@@ -422,19 +580,7 @@ impl SubproblemStream for Pair2DStream<'_> {
     fn bound(&self) -> Option<f64> {
         match &self.inner {
             PairInner::Degenerate { next_row, n } => (next_row < n).then_some(0.0),
-            PairInner::Exact { aq, r, .. } => aq.bound().map(|b| r * b),
-            PairInner::Bracketed {
-                aq_l,
-                aq_u,
-                r,
-                theta_q,
-                ..
-            } => {
-                // A drained side has emitted everything: nothing is unseen.
-                let bl = aq_l.bound()?;
-                let bu = aq_u.bound()?;
-                Some(*r * dual_bound(bl, bu, &aq_l.angle(), &aq_u.angle(), theta_q))
-            }
+            PairInner::Tree { frontier, r, .. } => frontier.bound().map(|b| r * b),
         }
     }
 
@@ -449,41 +595,12 @@ impl SubproblemStream for Pair2DStream<'_> {
                     None
                 }
             }
-            PairInner::Exact {
-                aq,
-                index,
-                qx,
-                qy,
-                alpha,
-                beta,
-                ..
-            } => {
-                let (slot, _) = aq.next()?;
-                let sp = index.rescore(slot, *qx, *qy, *alpha, *beta);
-                Some((slot, sp.score))
-            }
-            PairInner::Bracketed {
-                aq_l,
-                aq_u,
-                index,
-                qx,
-                qy,
-                alpha,
-                beta,
-                seen,
-                flip,
-                ..
-            } => loop {
-                *flip = !*flip;
-                let pulled = if *flip {
-                    aq_l.next().or_else(|| aq_u.next())
-                } else {
-                    aq_u.next().or_else(|| aq_l.next())
-                };
-                let (slot, _) = pulled?;
+            PairInner::Tree { frontier, seen, r } => loop {
+                // Point priorities are exact normalised θ_q scores, so the
+                // raw subscore is a multiply away — no point-table access.
+                let (slot, score) = frontier.next_raw()?;
                 if seen.insert(slot) {
-                    let sp = index.rescore(slot, *qx, *qy, *alpha, *beta);
-                    return Some((slot, sp.score));
+                    return Some((slot, *r * score));
                 }
             },
         }

@@ -195,7 +195,9 @@ mod tests {
     }
 
     fn drain(s: &mut dyn SubproblemStream) -> Vec<(u32, f64)> {
-        let mut out = Vec::new();
+        // A drained stream emits every row exactly once; pre-size for the
+        // columns these tests use so pushes never reallocate mid-drain.
+        let mut out = Vec::with_capacity(256);
         while let Some(item) = s.next() {
             // The bound before the pull must cover the emitted subscore.
             out.push(item);

@@ -1,0 +1,134 @@
+//! Reusable query-execution state: every heap, pool, seen-set and buffer
+//! the query paths need, owned in one place so a steady-state query touches
+//! the allocator **zero** times.
+//!
+//! A fresh [`QueryScratch`] is cheap (all containers start empty); after the
+//! first query through it, every buffer has grown to its high-water mark and
+//! subsequent queries of similar shape allocate nothing. One scratch serves
+//! every engine in the crate — [`TopKIndex`](crate::topk::TopKIndex),
+//! [`PackedTopKIndex`](crate::topk::PackedTopKIndex), the Claim 6 bracketing
+//! path and the §5 [`SdIndex`](crate::multidim::SdIndex) — because they all
+//! decompose into the same primitives: certified angle streams
+//! (`AngleScratch`), a candidate pool, a seen-set and an answer buffer.
+//!
+//! Scratches are plain owned values: keep one per worker thread (see
+//! [`SdIndex::par_query_batch`](crate::multidim::SdIndex::par_query_batch))
+//! and reuse it across queries. The indexes themselves stay immutable during
+//! queries and are freely shared across threads.
+//!
+//! ```
+//! use sdq_core::{Dataset, DimRole, QueryScratch, SdQuery};
+//! use sdq_core::multidim::SdIndex;
+//!
+//! let data = Dataset::from_rows(2, &[
+//!     vec![1.0, 9.0],
+//!     vec![1.1, 2.0],
+//!     vec![7.0, 8.5],
+//! ]).unwrap();
+//! let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+//! let index = SdIndex::build(data, &roles).unwrap();
+//!
+//! // One scratch, many queries: buffers are recycled between calls.
+//! let mut scratch = QueryScratch::new();
+//! for qy in [0.0, 1.0, 2.0] {
+//!     let query = SdQuery::uniform_weights(vec![1.0, qy], &roles);
+//!     let top = index.query_with(&query, 1, &mut scratch).unwrap();
+//!     assert_eq!(top[0].id.index(), 0);
+//! }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::multidim::Subproblem;
+use crate::topk::stream::{AngleScratch, FastSet};
+use crate::types::{OrdF64, ScoredPoint};
+
+/// Owned, reusable buffers for the whole query path.
+///
+/// Obtain one with [`QueryScratch::new`], then pass it to the `query_with`
+/// entry points ([`TopKIndex::query_with`](crate::topk::TopKIndex::query_with),
+/// [`PackedTopKIndex::query_with`](crate::topk::PackedTopKIndex::query_with),
+/// [`SdIndex::query_with`](crate::multidim::SdIndex::query_with), or a
+/// baseline's equivalent). Results are returned as a slice borrowed from the
+/// scratch — copy them out if they must outlive the next query.
+///
+/// The plain `query()` methods are thin wrappers that run `query_with` over
+/// a fresh scratch, so both entry points return bit-identical answers.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Recycled per-angle-stream state (4 frontier heaps + pool + seen).
+    pub(crate) angles: Vec<AngleScratch>,
+    /// Spare seen-sets for streams that dedupe outside an angle scratch.
+    pub(crate) sets: Vec<FastSet>,
+    /// Candidate pool of the outer threshold loop (TA aggregation and the
+    /// bracketed single-pair path).
+    pub(crate) pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    /// Rows already scored by the outer loop.
+    pub(crate) seen: FastSet,
+    /// The answer buffer `query_with` returns a borrow of.
+    pub(crate) answers: Vec<ScoredPoint>,
+    /// Row/position staging buffer (packed bracketing candidates).
+    pub(crate) rows: Vec<u32>,
+    /// Recycled subproblem list of the §5 aggregation. Empty between
+    /// queries; only the allocation is retained.
+    subproblems: Vec<Subproblem<'static>>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are retained
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a recycled angle-stream scratch (or a fresh one).
+    pub(crate) fn take_angle(&mut self) -> AngleScratch {
+        self.angles.pop().unwrap_or_default()
+    }
+
+    /// Returns an angle-stream scratch to the pool for reuse.
+    pub(crate) fn put_angle(&mut self, s: AngleScratch) {
+        self.angles.push(s);
+    }
+
+    /// Pops a recycled (cleared) seen-set.
+    pub(crate) fn take_set(&mut self) -> FastSet {
+        let mut s = self.sets.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    /// Returns a seen-set to the pool for reuse.
+    pub(crate) fn put_set(&mut self, s: FastSet) {
+        self.sets.push(s);
+    }
+
+    /// Hands out the recycled (empty) subproblem buffer for assembling a
+    /// query's stream list. Give it back through
+    /// [`threshold_aggregate_with`](crate::multidim::threshold_aggregate_with),
+    /// which drains it and returns the allocation here.
+    ///
+    /// The move out is safe at any caller lifetime because `Subproblem` is
+    /// covariant and the vector is empty.
+    pub fn stream_buf<'a>(&mut self) -> Vec<Subproblem<'a>> {
+        debug_assert!(self.subproblems.is_empty());
+        std::mem::take(&mut self.subproblems)
+    }
+
+    /// Adopts a drained subproblem buffer back into the scratch, keeping
+    /// its allocation for the next query.
+    pub(crate) fn put_streams(&mut self, mut v: Vec<Subproblem<'_>>) {
+        v.clear();
+        let cap = v.capacity();
+        let ptr = v.as_mut_ptr();
+        std::mem::forget(v);
+        // SAFETY: the vector is empty, so no value with the caller's
+        // lifetime survives; only the raw allocation is adopted. Lifetimes
+        // do not affect layout, so `Subproblem<'a>` and
+        // `Subproblem<'static>` have identical size, alignment and
+        // allocator provenance, which is all `from_raw_parts` requires.
+        self.subproblems =
+            unsafe { Vec::from_raw_parts(ptr.cast::<Subproblem<'static>>(), 0, cap) };
+    }
+}

@@ -29,12 +29,12 @@
 //! immune to the one-sided pathology.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use super::stream::{inflate, AngleQuery, FastSet};
+use super::stream::{inflate, AngleQuery, FrontierEval, PairFrontier};
 use super::TopKIndex;
 use crate::geometry::Angle;
 use crate::score::rank_cmp;
+use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, ScoredPoint, SdError};
 
 /// Ties at the θ_u cut are padded within this relative score slack so a
@@ -90,10 +90,15 @@ pub(crate) fn dual_bound(bl: f64, bu: f64, tl: &Angle, tu: &Angle, tq: &Angle) -
     best
 }
 
-/// Default arbitrary-angle path: dual-bracket threshold search (see module
-/// docs). Exact; `O(pulls · b log_b n)` with pull counts comparable to the
-/// indexed-angle case in practice.
-pub(crate) fn query_bracketed(
+/// Default arbitrary-angle path: dual-bracket threshold search over **one**
+/// best-first frontier whose node priorities are the per-node `dual_bound`
+/// LP values (see module docs) — tighter than combining two whole-stream
+/// bounds, and it walks the tree once instead of twice. Exact;
+/// `O(pulls · b log_b n)` with pull counts comparable to the indexed-angle
+/// case in practice. Writes the (sorted) answer into `scratch.answers`; a
+/// warmed scratch makes the whole procedure allocation-free.
+#[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
+pub(crate) fn query_bracketed_with(
     index: &TopKIndex,
     qx: f64,
     qy: f64,
@@ -101,55 +106,60 @@ pub(crate) fn query_bracketed(
     beta: f64,
     k: usize,
     theta: &Angle,
-) -> Result<Vec<ScoredPoint>, SdError> {
+    scratch: &mut QueryScratch,
+) -> Result<(), SdError> {
     let (lo, hi) = index.bracketing(theta)?;
     let r = alpha.hypot(beta);
-    let mut aq_l = AngleQuery::new(index, lo, qx, qy);
-    let mut aq_u = AngleQuery::new(index, hi, qx, qy);
-    let (tl, tu) = (aq_l.angle(), aq_u.angle());
+    let eval = FrontierEval::Dual {
+        lo: index.angles[lo],
+        lo_i: lo,
+        hi: index.angles[hi],
+        hi_i: hi,
+        theta: *theta,
+    };
+    let mut frontier = PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle());
 
-    let mut pool: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
-    let mut seen = FastSet::default();
-    let mut out: Vec<ScoredPoint> = Vec::with_capacity(k.min(index.n_alive));
     let k_eff = k.min(index.n_alive);
-    let mut flip = false;
+    {
+        let QueryScratch {
+            pool,
+            seen,
+            answers,
+            ..
+        } = &mut *scratch;
+        pool.clear();
+        seen.clear();
+        answers.clear();
+        answers.reserve(k_eff);
 
-    while out.len() < k_eff {
-        let (bl, bu) = (aq_l.bound(), aq_u.bound());
-        let threshold = match (bl, bu) {
-            // A drained stream has emitted every point: the pool is total.
-            (None, _) | (_, None) => None,
-            (Some(bl), Some(bu)) => Some(r * dual_bound(bl, bu, &tl, &tu, theta)),
-        };
-        if let Some(&(OrdF64(s), Reverse(slot))) = pool.peek() {
-            let done = match threshold {
-                Some(t) => s >= inflate(t),
-                None => true,
-            };
-            if done {
-                pool.pop();
-                out.push(ScoredPoint::new(crate::types::PointId::new(slot), s));
-                continue;
+        while answers.len() < k_eff {
+            // Certified emission: a pooled exact score that dominates the
+            // admissible bound on everything unsurfaced is final.
+            let threshold = frontier.bound().map(|b| r * b);
+            if let Some(&(OrdF64(s), Reverse(slot))) = pool.peek() {
+                let done = match threshold {
+                    Some(t) => s >= inflate(t),
+                    None => true,
+                };
+                if done {
+                    pool.pop();
+                    answers.push(ScoredPoint::new(crate::types::PointId::new(slot), s));
+                    continue;
+                }
+            } else if threshold.is_none() {
+                break;
             }
-        } else if threshold.is_none() {
-            break;
-        }
-        // Alternate pulls so both constraints tighten.
-        flip = !flip;
-        let pulled = if flip {
-            aq_l.next().or_else(|| aq_u.next())
-        } else {
-            aq_u.next().or_else(|| aq_l.next())
-        };
-        if let Some((slot, _)) = pulled {
-            if seen.insert(slot) {
-                let sp = index.rescore(slot, qx, qy, alpha, beta);
-                pool.push((OrdF64::new(sp.score), Reverse(slot)));
+            if let Some((slot, _)) = frontier.next_raw() {
+                if seen.insert(slot) {
+                    let sp = index.rescore(slot, qx, qy, alpha, beta);
+                    pool.push((OrdF64::new(sp.score), Reverse(slot)));
+                }
             }
         }
+        answers.sort_unstable_by(rank_cmp);
     }
-    out.sort_by(rank_cmp);
-    Ok(out)
+    scratch.put_angle(frontier.into_scratch());
+    Ok(())
 }
 
 /// Alg. 4 exactly as published (kept for fidelity and comparison; see the

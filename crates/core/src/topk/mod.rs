@@ -26,6 +26,7 @@ pub(crate) mod stream;
 
 use crate::geometry::Angle;
 use crate::score::{rank_cmp, sd_score_2d};
+use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
 
 pub use packed::PackedTopKIndex;
@@ -82,14 +83,13 @@ pub(crate) enum Child {
     Point(u32),
 }
 
+/// A tree node holds only its child list; the per-angle bounds and x-range
+/// live in flat node-major tables on [`TopKIndex`] (`node_bounds`,
+/// `node_xr`), so the frontier expansion of a query reads contiguous
+/// memory instead of chasing one heap allocation per visited node.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) children: Vec<Child>,
-    /// One bound tuple per indexed angle (the hashmap of §4.2, laid out as
-    /// a dense array since the angle set is fixed at build time).
-    pub(crate) bounds: Vec<AngleBounds>,
-    pub(crate) xmin: f64,
-    pub(crate) xmax: f64,
 }
 
 /// The §4 top-k index over 2-D points (`x` attractive, `y` repulsive).
@@ -100,11 +100,18 @@ pub(crate) struct Node {
 pub struct TopKIndex {
     pub(crate) branching: usize,
     pub(crate) angles: Vec<Angle>,
-    pub(crate) xs: Vec<f64>,
-    pub(crate) ys: Vec<f64>,
+    /// Interleaved point table: `(x, y)` per slot, one cache line touch per
+    /// random point access on the query hot path.
+    pub(crate) pts: Vec<(f64, f64)>,
     pub(crate) alive: Vec<bool>,
     pub(crate) n_alive: usize,
     pub(crate) nodes: Vec<Node>,
+    /// Per-node `(xmin, xmax)`, indexed by node id.
+    pub(crate) node_xr: Vec<(f64, f64)>,
+    /// Per-node per-angle projection bounds, node-major:
+    /// `node_bounds[id * angles.len() + angle_i]` (the hashmap of §4.2 as
+    /// one dense table — fixed angle set, cache-friendly expansion).
+    pub(crate) node_bounds: Vec<AngleBounds>,
     pub(crate) root: Option<u32>,
     pub(crate) free_nodes: Vec<u32>,
     /// Leaves observed (at insert time) deeper than the balance limit; when
@@ -162,11 +169,12 @@ impl TopKIndex {
         let mut idx = TopKIndex {
             branching,
             angles: sorted_angles,
-            xs: points.iter().map(|p| p.0).collect(),
-            ys: points.iter().map(|p| p.1).collect(),
+            pts: points.to_vec(),
             alive: vec![true; points.len()],
             n_alive: points.len(),
             nodes: Vec::new(),
+            node_xr: Vec::new(),
+            node_bounds: Vec::new(),
             root: None,
             free_nodes: Vec::new(),
             deep_leaves: 0,
@@ -209,8 +217,8 @@ impl TopKIndex {
     /// Coordinates of a live point.
     pub fn point(&self, id: PointId) -> Option<(f64, f64)> {
         let slot = id.index();
-        if slot < self.xs.len() && self.alive[slot] {
-            Some((self.xs[slot], self.ys[slot]))
+        if slot < self.pts.len() && self.alive[slot] {
+            Some(self.pts[slot])
         } else {
             None
         }
@@ -219,17 +227,15 @@ impl TopKIndex {
     /// Approximate heap footprint in bytes: point table plus tree nodes with
     /// their per-angle bound tuples.
     pub fn memory_bytes(&self) -> usize {
-        let pts = self.xs.len() * 2 * std::mem::size_of::<f64>() + self.alive.len();
+        let pts = self.pts.len() * std::mem::size_of::<(f64, f64)>() + self.alive.len();
         let nodes: usize = self
             .nodes
             .iter()
-            .map(|n| {
-                std::mem::size_of::<Node>()
-                    + n.children.len() * std::mem::size_of::<Child>()
-                    + n.bounds.len() * std::mem::size_of::<AngleBounds>()
-            })
+            .map(|n| std::mem::size_of::<Node>() + n.children.len() * std::mem::size_of::<Child>())
             .sum();
-        pts + nodes
+        let tables = self.node_xr.len() * std::mem::size_of::<(f64, f64)>()
+            + self.node_bounds.len() * std::mem::size_of::<AngleBounds>();
+        pts + nodes + tables
     }
 
     /// Number of live tree nodes.
@@ -244,6 +250,9 @@ impl TopKIndex {
     /// four-stream search answers directly; otherwise the Claim 6
     /// bracketing procedure (Alg. 4) combines the two neighbouring indexed
     /// angles. Results are exact either way.
+    ///
+    /// Allocates fresh scratch state per call; steady-state callers should
+    /// prefer [`TopKIndex::query_with`].
     pub fn query(
         &self,
         qx: f64,
@@ -252,6 +261,25 @@ impl TopKIndex {
         beta: f64,
         k: usize,
     ) -> Result<Vec<ScoredPoint>, SdError> {
+        let mut scratch = QueryScratch::new();
+        Ok(self
+            .query_with(qx, qy, alpha, beta, k, &mut scratch)?
+            .to_vec())
+    }
+
+    /// [`TopKIndex::query`] with caller-owned scratch buffers: a warmed
+    /// scratch makes the steady-state query path allocation-free. Returns a
+    /// slice borrowed from the scratch, bit-identical to what `query`
+    /// returns for the same arguments.
+    pub fn query_with<'s>(
+        &self,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -270,20 +298,24 @@ impl TopKIndex {
             });
         }
         let theta = Angle::from_weights(alpha, beta)?;
+        scratch.answers.clear();
         if let Some(i) = self.indexed_angle(&theta) {
-            let mut aq = AngleQuery::new(self, i, qx, qy);
-            let mut out = Vec::with_capacity(k.min(self.n_alive));
-            while out.len() < k {
+            let mut aq = AngleQuery::with_scratch(self, i, qx, qy, scratch.take_angle());
+            scratch.answers.reserve(k.min(self.n_alive));
+            while scratch.answers.len() < k {
                 match aq.next() {
-                    Some((slot, _)) => out.push(self.rescore(slot, qx, qy, alpha, beta)),
+                    Some((slot, _)) => scratch
+                        .answers
+                        .push(self.rescore(slot, qx, qy, alpha, beta)),
                     None => break,
                 }
             }
-            out.sort_by(rank_cmp);
-            Ok(out)
+            scratch.put_angle(aq.into_scratch());
+            scratch.answers.sort_unstable_by(rank_cmp);
         } else {
-            arbitrary::query_bracketed(self, qx, qy, alpha, beta, k, &theta)
+            arbitrary::query_bracketed_with(self, qx, qy, alpha, beta, k, &theta, scratch)?;
         }
+        Ok(&scratch.answers)
     }
 
     /// Exact SD-score of a slot under the caller's raw weights.
@@ -295,11 +327,8 @@ impl TopKIndex {
         alpha: f64,
         beta: f64,
     ) -> ScoredPoint {
-        let s = slot as usize;
-        ScoredPoint::new(
-            PointId::new(slot),
-            sd_score_2d(self.xs[s], self.ys[s], qx, qy, alpha, beta),
-        )
+        let (x, y) = self.pts[slot as usize];
+        ScoredPoint::new(PointId::new(slot), sd_score_2d(x, y, qx, qy, alpha, beta))
     }
 
     /// Finds an indexed angle equal to `theta` (up to 1e-12 on the sine of
@@ -331,21 +360,20 @@ impl TopKIndex {
     pub fn insert(&mut self, x: f64, y: f64) -> Result<PointId, SdError> {
         if !x.is_finite() {
             return Err(SdError::NonFiniteCoordinate {
-                row: self.xs.len(),
+                row: self.pts.len(),
                 dim: 0,
                 value: x,
             });
         }
         if !y.is_finite() {
             return Err(SdError::NonFiniteCoordinate {
-                row: self.xs.len(),
+                row: self.pts.len(),
                 dim: 1,
                 value: y,
             });
         }
-        let slot = self.xs.len() as u32;
-        self.xs.push(x);
-        self.ys.push(y);
+        let slot = self.pts.len() as u32;
+        self.pts.push((x, y));
         self.alive.push(true);
         self.n_alive += 1;
         match self.root {
@@ -370,11 +398,11 @@ impl TopKIndex {
     /// Deletes a point by id; `true` on success. `O(b·log_b n)`.
     pub fn delete(&mut self, id: PointId) -> bool {
         let slot = id.index();
-        if slot >= self.xs.len() || !self.alive[slot] {
+        if slot >= self.pts.len() || !self.alive[slot] {
             return false;
         }
         let Some(root) = self.root else { return false };
-        let x = self.xs[slot];
+        let x = self.pts[slot].0;
         if !self.delete_rec(root, x, slot as u32) {
             // The point exists in the table but not in the tree — cannot
             // happen unless internal invariants broke.
@@ -414,78 +442,86 @@ impl TopKIndex {
     }
 
     fn alloc_node(&mut self, children: Vec<Child>) -> u32 {
-        let mut node = Node {
-            children,
-            bounds: Vec::new(),
-            xmin: f64::INFINITY,
-            xmax: f64::NEG_INFINITY,
-        };
-        self.refresh_node(&mut node);
-        if let Some(slot) = self.free_nodes.pop() {
-            self.nodes[slot as usize] = node;
+        let id = if let Some(slot) = self.free_nodes.pop() {
+            self.nodes[slot as usize].children = children;
             slot
         } else {
-            self.nodes.push(node);
+            self.nodes.push(Node { children });
+            self.node_xr.push((f64::INFINITY, f64::NEG_INFINITY));
+            self.node_bounds
+                .resize(self.nodes.len() * self.angles.len(), AngleBounds::EMPTY);
             (self.nodes.len() - 1) as u32
-        }
+        };
+        self.refresh_node(id);
+        id
     }
 
     fn free_node(&mut self, id: u32) {
+        // The stale x-range/bound table rows are overwritten on realloc.
         self.nodes[id as usize].children.clear();
         self.free_nodes.push(id);
     }
 
     /// Recomputes a node's x-range and per-angle bounds from its children.
-    fn refresh_node(&self, node: &mut Node) {
-        node.xmin = f64::INFINITY;
-        node.xmax = f64::NEG_INFINITY;
-        node.bounds.clear();
-        node.bounds.resize(self.angles.len(), AngleBounds::EMPTY);
-        // Split borrows: bounds updated from immutable tables.
-        let children = std::mem::take(&mut node.children);
+    fn refresh_node(&mut self, node_id: u32) {
+        let m = self.angles.len();
+        let id = node_id as usize;
+        let base = id * m;
+        // Take the child list out so the node tables can be borrowed freely.
+        let children = std::mem::take(&mut self.nodes[id].children);
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        self.node_bounds[base..base + m].fill(AngleBounds::EMPTY);
         for child in &children {
             match *child {
                 Child::Point(p) => {
-                    let (x, y) = (self.xs[p as usize], self.ys[p as usize]);
-                    node.xmin = node.xmin.min(x);
-                    node.xmax = node.xmax.max(x);
-                    for (b, a) in node.bounds.iter_mut().zip(&self.angles) {
-                        b.extend_point(a.u(x, y), a.v(x, y));
+                    let (x, y) = self.pts[p as usize];
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    for i in 0..m {
+                        let a = self.angles[i];
+                        self.node_bounds[base + i].extend_point(a.u(x, y), a.v(x, y));
                     }
                 }
                 Child::Inner(c) => {
-                    let cn = &self.nodes[c as usize];
-                    node.xmin = node.xmin.min(cn.xmin);
-                    node.xmax = node.xmax.max(cn.xmax);
-                    for (b, cb) in node.bounds.iter_mut().zip(&cn.bounds) {
-                        b.extend(cb);
+                    let (cmin, cmax) = self.node_xr[c as usize];
+                    xmin = xmin.min(cmin);
+                    xmax = xmax.max(cmax);
+                    let cbase = c as usize * m;
+                    for i in 0..m {
+                        let cb = self.node_bounds[cbase + i];
+                        self.node_bounds[base + i].extend(&cb);
                     }
                 }
             }
         }
-        node.children = children;
+        self.node_xr[id] = (xmin, xmax);
+        self.nodes[id].children = children;
     }
 
     /// Extends a node's bounds with one point (exact for inserts).
     fn extend_node(&mut self, node_id: u32, x: f64, y: f64) {
-        let angles = self.angles.clone();
-        let node = &mut self.nodes[node_id as usize];
-        node.xmin = node.xmin.min(x);
-        node.xmax = node.xmax.max(x);
-        for (b, a) in node.bounds.iter_mut().zip(&angles) {
+        let m = self.angles.len();
+        let id = node_id as usize;
+        let xr = &mut self.node_xr[id];
+        xr.0 = xr.0.min(x);
+        xr.1 = xr.1.max(x);
+        for (b, a) in self.node_bounds[id * m..(id + 1) * m]
+            .iter_mut()
+            .zip(&self.angles)
+        {
             b.extend_point(a.u(x, y), a.v(x, y));
         }
     }
 
     fn child_lo(&self, child: &Child) -> f64 {
         match *child {
-            Child::Point(p) => self.xs[p as usize],
-            Child::Inner(c) => self.nodes[c as usize].xmin,
+            Child::Point(p) => self.pts[p as usize].0,
+            Child::Inner(c) => self.node_xr[c as usize].0,
         }
     }
 
     fn insert_rec(&mut self, node_id: u32, slot: u32, depth: usize) -> usize {
-        let (x, y) = (self.xs[slot as usize], self.ys[slot as usize]);
+        let (x, y) = self.pts[slot as usize];
         self.extend_node(node_id, x, y);
         let n_children = self.nodes[node_id as usize].children.len();
         if n_children < self.branching {
@@ -509,7 +545,7 @@ impl TopKIndex {
             Child::Inner(c) => self.insert_rec(c, slot, depth + 1),
             Child::Point(p) => {
                 // Collision with a leaf: a fresh two-leaf node replaces it.
-                let pair = if self.xs[p as usize] <= x {
+                let pair = if self.pts[p as usize].0 <= x {
                     vec![Child::Point(p), Child::Point(slot)]
                 } else {
                     vec![Child::Point(slot), Child::Point(p)]
@@ -531,23 +567,13 @@ impl TopKIndex {
                 Child::Point(p) => {
                     if p == slot {
                         self.nodes[node_id as usize].children.remove(ci);
-                        let mut node = std::mem::replace(
-                            &mut self.nodes[node_id as usize],
-                            Node {
-                                children: Vec::new(),
-                                bounds: Vec::new(),
-                                xmin: 0.0,
-                                xmax: 0.0,
-                            },
-                        );
-                        self.refresh_node(&mut node);
-                        self.nodes[node_id as usize] = node;
+                        self.refresh_node(node_id);
                         return true;
                     }
                 }
                 Child::Inner(c) => {
-                    let cn = &self.nodes[c as usize];
-                    if cn.xmin <= x && x <= cn.xmax && self.delete_rec(c, x, slot) {
+                    let (cmin, cmax) = self.node_xr[c as usize];
+                    if cmin <= x && x <= cmax && self.delete_rec(c, x, slot) {
                         // Splice out a single-child inner node.
                         let c_len = self.nodes[c as usize].children.len();
                         if c_len == 1 {
@@ -558,17 +584,7 @@ impl TopKIndex {
                             self.nodes[node_id as usize].children.remove(ci);
                             self.free_node(c);
                         }
-                        let mut node = std::mem::replace(
-                            &mut self.nodes[node_id as usize],
-                            Node {
-                                children: Vec::new(),
-                                bounds: Vec::new(),
-                                xmin: 0.0,
-                                xmax: 0.0,
-                            },
-                        );
-                        self.refresh_node(&mut node);
-                        self.nodes[node_id as usize] = node;
+                        self.refresh_node(node_id);
                         return true;
                     }
                 }
@@ -580,9 +596,11 @@ impl TopKIndex {
     /// Rebuilds the balanced tree over the live points (bulk load).
     pub fn rebuild(&mut self) {
         self.nodes.clear();
+        self.node_xr.clear();
+        self.node_bounds.clear();
         self.free_nodes.clear();
         self.deep_leaves = 0;
-        let mut order: Vec<u32> = (0..self.xs.len() as u32)
+        let mut order: Vec<u32> = (0..self.pts.len() as u32)
             .filter(|&i| self.alive[i as usize])
             .collect();
         if order.is_empty() {
@@ -590,8 +608,8 @@ impl TopKIndex {
             return;
         }
         order.sort_by(|&a, &b| {
-            OrdF64(self.xs[a as usize])
-                .cmp(&OrdF64(self.xs[b as usize]))
+            OrdF64(self.pts[a as usize].0)
+                .cmp(&OrdF64(self.pts[b as usize].0))
                 .then(a.cmp(&b))
         });
         let root = self.build_rec(&order);
@@ -619,7 +637,7 @@ impl TopKIndex {
     /// Exhaustively verifies tree invariants (tests / debugging).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        let mut seen = vec![false; self.xs.len()];
+        let mut seen = vec![false; self.pts.len()];
         if let Some(root) = self.root {
             self.check_node(root, &mut seen);
         }
@@ -633,9 +651,11 @@ impl TopKIndex {
     }
 
     fn check_node(&self, node_id: u32, seen: &mut [bool]) {
-        let node = &self.nodes[node_id as usize];
+        let m = self.angles.len();
+        let id = node_id as usize;
+        let node = &self.nodes[id];
         assert!(!node.children.is_empty(), "empty non-root node");
-        let mut bounds = vec![AngleBounds::EMPTY; self.angles.len()];
+        let mut bounds = vec![AngleBounds::EMPTY; m];
         let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
         for child in &node.children {
             match *child {
@@ -643,7 +663,7 @@ impl TopKIndex {
                     assert!(self.alive[p as usize], "dead point {p} in tree");
                     assert!(!seen[p as usize], "point {p} appears twice");
                     seen[p as usize] = true;
-                    let (x, y) = (self.xs[p as usize], self.ys[p as usize]);
+                    let (x, y) = self.pts[p as usize];
                     xmin = xmin.min(x);
                     xmax = xmax.max(x);
                     for (b, a) in bounds.iter_mut().zip(&self.angles) {
@@ -652,20 +672,19 @@ impl TopKIndex {
                 }
                 Child::Inner(c) => {
                     self.check_node(c, seen);
-                    let cn = &self.nodes[c as usize];
-                    xmin = xmin.min(cn.xmin);
-                    xmax = xmax.max(cn.xmax);
-                    for (b, cb) in bounds.iter_mut().zip(&cn.bounds) {
+                    let (cmin, cmax) = self.node_xr[c as usize];
+                    xmin = xmin.min(cmin);
+                    xmax = xmax.max(cmax);
+                    let cbase = c as usize * m;
+                    for (b, cb) in bounds.iter_mut().zip(&self.node_bounds[cbase..cbase + m]) {
                         b.extend(cb);
                     }
                 }
             }
         }
-        assert!(
-            node.xmin <= xmin && node.xmax >= xmax,
-            "x-range not conservative"
-        );
-        for (nb, cb) in node.bounds.iter().zip(&bounds) {
+        let (nxmin, nxmax) = self.node_xr[id];
+        assert!(nxmin <= xmin && nxmax >= xmax, "x-range not conservative");
+        for (nb, cb) in self.node_bounds[id * m..(id + 1) * m].iter().zip(&bounds) {
             assert!(
                 nb.max_u >= cb.max_u - 1e-12
                     && nb.min_u <= cb.min_u + 1e-12

@@ -18,14 +18,12 @@
 //! loading is `O(n log n)`).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use super::stream::FastSet;
-
-use super::stream::inflate;
+use super::stream::{inflate, AngleScratch};
 use super::AngleBounds;
 use crate::geometry::Angle;
 use crate::score::{rank_cmp, sd_score_2d};
+use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
 
 /// One packed node: its x-range and per-angle projection bounds. Children
@@ -203,6 +201,9 @@ impl PackedTopKIndex {
 
     /// Answers a top-k query with runtime weights, exactly as
     /// [`TopKIndex::query`](super::TopKIndex::query).
+    ///
+    /// Allocates fresh scratch state per call; steady-state callers should
+    /// prefer [`PackedTopKIndex::query_with`].
     pub fn query(
         &self,
         qx: f64,
@@ -211,6 +212,25 @@ impl PackedTopKIndex {
         beta: f64,
         k: usize,
     ) -> Result<Vec<ScoredPoint>, SdError> {
+        let mut scratch = QueryScratch::new();
+        Ok(self
+            .query_with(qx, qy, alpha, beta, k, &mut scratch)?
+            .to_vec())
+    }
+
+    /// [`PackedTopKIndex::query`] with caller-owned scratch buffers: a
+    /// warmed scratch makes the steady-state query path allocation-free.
+    /// Returns a slice borrowed from the scratch, bit-identical to what
+    /// `query` returns for the same arguments.
+    pub fn query_with<'s>(
+        &self,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -226,27 +246,30 @@ impl PackedTopKIndex {
             .angles
             .iter()
             .position(|a| (a.sin * theta.cos - a.cos * theta.sin).abs() < 1e-12);
-        let mut out = if let Some(i) = exact {
-            let mut aq = PackedAngleQuery::new(self, i, qx, qy);
-            let mut out = Vec::with_capacity(k.min(self.len()));
-            while out.len() < k {
+        scratch.answers.clear();
+        if let Some(i) = exact {
+            let mut aq = PackedAngleQuery::with_scratch(self, i, qx, qy, scratch.take_angle());
+            scratch.answers.reserve(k.min(self.len()));
+            while scratch.answers.len() < k {
                 match aq.next() {
-                    Some((pos, _)) => out.push(self.rescore(pos, qx, qy, alpha, beta)),
+                    Some((pos, _)) => scratch.answers.push(self.rescore(pos, qx, qy, alpha, beta)),
                     None => break,
                 }
             }
-            out
+            scratch.put_angle(aq.into_scratch());
         } else {
-            self.query_bracketed(qx, qy, alpha, beta, k, &theta)?
-        };
-        out.sort_by(rank_cmp);
-        out.truncate(k);
-        Ok(out)
+            self.query_bracketed_with(qx, qy, alpha, beta, k, &theta, scratch)?;
+        }
+        scratch.answers.sort_unstable_by(rank_cmp);
+        scratch.answers.truncate(k);
+        Ok(&scratch.answers)
     }
 
     /// Claim 6 over the packed layout (same procedure as
-    /// `topk::arbitrary`).
-    fn query_bracketed(
+    /// `topk::arbitrary::query_alg4`). Appends unsorted candidates to
+    /// `scratch.answers`; the caller sorts and truncates.
+    #[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
+    fn query_bracketed_with(
         &self,
         qx: f64,
         qy: f64,
@@ -254,7 +277,8 @@ impl PackedTopKIndex {
         beta: f64,
         k: usize,
         theta: &Angle,
-    ) -> Result<Vec<ScoredPoint>, SdError> {
+        scratch: &mut QueryScratch,
+    ) -> Result<(), SdError> {
         let deg = theta.degrees();
         let lo_deg = self.angles.first().map(|a| a.degrees()).unwrap_or(0.0);
         let hi_deg = self.angles.last().map(|a| a.degrees()).unwrap_or(0.0);
@@ -271,25 +295,32 @@ impl PackedTopKIndex {
             .min(self.angles.len() - 1);
         let lo = hi.saturating_sub(1);
 
-        let mut aq_l = PackedAngleQuery::new(self, lo, qx, qy);
-        let mut needed: std::collections::HashSet<usize> =
-            std::collections::HashSet::with_capacity(k);
+        // θ_l pass: the top-k positions the θ_u prefix must cover. One
+        // angle scratch serves both passes back to back.
+        let mut needed = scratch.take_set();
+        let mut aq_l = PackedAngleQuery::with_scratch(self, lo, qx, qy, scratch.take_angle());
         for _ in 0..k {
             match aq_l.next() {
                 Some((pos, _)) => {
-                    needed.insert(pos);
+                    needed.insert(pos as u32);
                 }
                 None => break,
             }
         }
-        let mut aq_u = PackedAngleQuery::new(self, hi, qx, qy);
-        let mut candidates: Vec<usize> = Vec::with_capacity(2 * k);
+        let angle_scratch = aq_l.into_scratch();
+
+        // θ_u pass: grow the smallest prefix containing every needed
+        // position, with tie padding at the cut.
+        let candidates = &mut scratch.rows;
+        candidates.clear();
+        candidates.reserve(2 * k);
+        let mut aq_u = PackedAngleQuery::with_scratch(self, hi, qx, qy, angle_scratch);
         let mut last_score = f64::INFINITY;
         while !needed.is_empty() {
             match aq_u.next() {
                 Some((pos, s)) => {
-                    needed.remove(&pos);
-                    candidates.push(pos);
+                    needed.remove(&(pos as u32));
+                    candidates.push(pos as u32);
                     last_score = s;
                 }
                 None => break,
@@ -298,16 +329,21 @@ impl PackedTopKIndex {
         if last_score.is_finite() {
             let slack = 1e-9 * (1.0 + last_score.abs());
             while let Some((pos, s)) = aq_u.next() {
-                candidates.push(pos);
+                candidates.push(pos as u32);
                 if s < last_score - slack {
                     break;
                 }
             }
         }
-        Ok(candidates
-            .iter()
-            .map(|&pos| self.rescore(pos, qx, qy, alpha, beta))
-            .collect())
+        scratch.put_angle(aq_u.into_scratch());
+        scratch.put_set(needed);
+        scratch.answers.reserve(scratch.rows.len());
+        for i in 0..scratch.rows.len() {
+            let pos = scratch.rows[i] as usize;
+            let sp = self.rescore(pos, qx, qy, alpha, beta);
+            scratch.answers.push(sp);
+        }
+        Ok(())
     }
 
     fn rescore(&self, pos: usize, qx: f64, qy: f64, alpha: f64, beta: f64) -> ScoredPoint {
@@ -318,48 +354,57 @@ impl PackedTopKIndex {
     }
 }
 
-/// Heap entry of the packed stream: a node `(level, idx)` or a point
-/// (`level == u32::MAX`, idx = sorted position).
-type Entry = (OrdF64, Reverse<u32>, u32);
-
+/// Heap entries of the packed stream reuse the shared
+/// [`AngleScratch`] element type: a node is `(priority, Reverse(level),
+/// idx)`, a point `(priority, Reverse(POINT_LEVEL), sorted position)`.
 const POINT_LEVEL: u32 = u32::MAX;
 
 /// Certified incremental next-best over the packed layout — the
-/// array-packed twin of [`super::AngleQuery`].
+/// array-packed twin of [`super::AngleQuery`]. All mutable state lives in
+/// the owned [`AngleScratch`], recovered via
+/// [`PackedAngleQuery::into_scratch`] for reuse.
 struct PackedAngleQuery<'a> {
     index: &'a PackedTopKIndex,
+    angle_i: usize,
     angle: Angle,
     qx: f64,
     qy: f64,
-    /// One four-variant stream per projection type: llp, rlp, lup, rup.
-    heaps: [BinaryHeap<Entry>; 4],
-    pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
-    seen: FastSet,
+    s: AngleScratch,
 }
 
 impl<'a> PackedAngleQuery<'a> {
-    fn new(index: &'a PackedTopKIndex, angle_i: usize, qx: f64, qy: f64) -> Self {
+    fn with_scratch(
+        index: &'a PackedTopKIndex,
+        angle_i: usize,
+        qx: f64,
+        qy: f64,
+        mut s: AngleScratch,
+    ) -> Self {
+        s.reset();
         let mut q = PackedAngleQuery {
             index,
+            angle_i,
             angle: index.angles[angle_i],
             qx,
             qy,
-            heaps: Default::default(),
-            pool: BinaryHeap::new(),
-            seen: FastSet::default(),
+            s,
         };
         if !index.levels.is_empty() {
             let root_level = (index.levels.len() - 1) as u32;
             for kind in 0..4 {
-                q.push_node(kind, angle_i, root_level, 0);
+                q.push_node(kind, root_level, 0);
             }
         }
         q
     }
 
+    fn into_scratch(self) -> AngleScratch {
+        self.s
+    }
+
     /// kind: 0 = llp (x ≥ qx, max u), 1 = rlp (x < qx, max v),
     /// 2 = lup (x ≥ qx, min v), 3 = rup (x < qx, min u).
-    fn push_node(&mut self, kind: usize, angle_i: usize, level: u32, idx: u32) {
+    fn push_node(&mut self, kind: usize, level: u32, idx: u32) {
         let node = &self.index.levels[level as usize][idx as usize];
         let left_side = kind == 1 || kind == 3;
         let valid = if left_side {
@@ -370,14 +415,14 @@ impl<'a> PackedAngleQuery<'a> {
         if !valid {
             return;
         }
-        let b = &node.bounds[angle_i];
+        let b = &node.bounds[self.angle_i];
         let prio = match kind {
             0 => b.max_u,
             1 => b.max_v,
             2 => -b.min_v,
             _ => -b.min_u,
         };
-        self.heaps[kind].push((OrdF64::new(prio), Reverse(level), idx));
+        self.s.heaps[kind].push((OrdF64::new(prio), Reverse(level), idx));
     }
 
     fn push_point(&mut self, kind: usize, pos: u32) {
@@ -394,12 +439,12 @@ impl<'a> PackedAngleQuery<'a> {
             2 => -a.v(x, y),
             _ => -a.u(x, y),
         };
-        self.heaps[kind].push((OrdF64::new(prio), Reverse(POINT_LEVEL), pos));
+        self.s.heaps[kind].push((OrdF64::new(prio), Reverse(POINT_LEVEL), pos));
     }
 
     fn stream_bound(&self, kind: usize) -> Option<f64> {
         let a = &self.angle;
-        self.heaps[kind]
+        self.s.heaps[kind]
             .peek()
             .map(|&(OrdF64(p), _, _)| match kind {
                 0 => p + a.sin * self.qx - a.cos * self.qy,
@@ -411,14 +456,7 @@ impl<'a> PackedAngleQuery<'a> {
 
     /// Pops one stream element; emits a point position when it surfaces.
     fn pull(&mut self, kind: usize) -> Option<u32> {
-        // The angle index is recoverable from the stored angle.
-        let angle_i = self
-            .index
-            .angles
-            .iter()
-            .position(|a| a.cos == self.angle.cos && a.sin == self.angle.sin)
-            .expect("angle is indexed");
-        while let Some((_, Reverse(level), idx)) = self.heaps[kind].pop() {
+        while let Some((_, Reverse(level), idx)) = self.s.heaps[kind].pop() {
             if level == POINT_LEVEL {
                 return Some(idx);
             }
@@ -436,7 +474,7 @@ impl<'a> PackedAngleQuery<'a> {
                 let end =
                     (start + self.index.fanout).min(self.index.levels[child_level as usize].len());
                 for c in start..end {
-                    self.push_node(kind, angle_i, child_level, c as u32);
+                    self.push_node(kind, child_level, c as u32);
                 }
             }
         }
@@ -451,13 +489,13 @@ impl<'a> PackedAngleQuery<'a> {
                 .fold(None, |acc: Option<f64>, b| {
                     Some(acc.map_or(b, |a| a.max(b)))
                 });
-            if let Some(&(OrdF64(best), Reverse(pos))) = self.pool.peek() {
+            if let Some(&(OrdF64(best), Reverse(pos))) = self.s.pool.peek() {
                 let dominated = match threshold {
                     Some(t) => best >= inflate(t),
                     None => true,
                 };
                 if dominated {
-                    self.pool.pop();
+                    self.s.pool.pop();
                     return Some((pos as usize, best));
                 }
             } else if threshold.is_none() {
@@ -469,14 +507,14 @@ impl<'a> PackedAngleQuery<'a> {
                 .map(|(kind, _)| kind);
             let Some(kind) = best_kind else { continue };
             if let Some(pos) = self.pull(kind) {
-                if self.seen.insert(pos) {
+                if self.s.seen.insert(pos) {
                     let s = self.angle.normalized_score(
                         self.index.xs[pos as usize],
                         self.index.ys[pos as usize],
                         self.qx,
                         self.qy,
                     );
-                    self.pool.push((OrdF64::new(s), Reverse(pos)));
+                    self.s.pool.push((OrdF64::new(s), Reverse(pos)));
                 }
             }
         }

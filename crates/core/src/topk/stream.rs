@@ -20,6 +20,14 @@
 //! emit a pooled candidate only once its exact score dominates every
 //! remaining stream bound — which is provably exact for every input and
 //! performs the paper's `k + 3` pulls on the common path.
+//!
+//! ## Allocation discipline
+//!
+//! All four frontier heaps, the candidate pool and the seen-set live in an
+//! [`AngleScratch`], which a query either creates fresh (the allocating
+//! convenience path) or borrows from a
+//! [`QueryScratch`](crate::QueryScratch) pool so steady-state queries touch
+//! the allocator zero times.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -64,6 +72,36 @@ pub(crate) fn inflate(threshold: f64) -> f64 {
     threshold + EPS_REL * (1.0 + threshold.abs())
 }
 
+/// One frontier-heap element. The meaning of the fields differs per tree
+/// layout but the *type* is shared so one [`AngleScratch`] serves both:
+///
+/// * dynamic tree: `(priority, Reverse(node-or-slot id), is_point as u32)`,
+/// * packed tree: `(priority, Reverse(level), index within level)`.
+pub(crate) type HeapEntry = (OrdF64, Reverse<u32>, u32);
+
+/// Reusable state of one certified angle query: the four projection-type
+/// frontier heaps, the exact-score candidate pool and the seen-set.
+///
+/// Capacity is retained across [`AngleScratch::reset`], so a warmed scratch
+/// answers subsequent queries without heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct AngleScratch {
+    pub(crate) heaps: [BinaryHeap<HeapEntry>; 4],
+    pub(crate) pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    pub(crate) seen: FastSet,
+}
+
+impl AngleScratch {
+    /// Empties every container, keeping allocations.
+    pub(crate) fn reset(&mut self) {
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.pool.clear();
+        self.seen.clear();
+    }
+}
+
 /// The four stream kinds, mirroring the projection types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StreamKind {
@@ -78,7 +116,7 @@ pub(crate) enum StreamKind {
 }
 
 impl StreamKind {
-    const ALL: [StreamKind; 4] = [
+    pub(crate) const ALL: [StreamKind; 4] = [
         StreamKind::Llp,
         StreamKind::Rlp,
         StreamKind::Lup,
@@ -87,73 +125,74 @@ impl StreamKind {
 
     /// Streams over points left of the axis?
     #[inline]
-    fn left_side(self) -> bool {
+    pub(crate) fn left_side(self) -> bool {
         matches!(self, StreamKind::Rlp | StreamKind::Rup)
     }
 }
 
-/// Best-first stream of one projection type at one indexed angle.
+/// The uncertified frontier union at one indexed angle: surfaces points in
+/// best-first *frontier* order (per-type projection keys), which is only
+/// approximately score order, while [`RawAngleStream::bound`] stays an
+/// admissible upper bound on every point not yet surfaced.
 ///
-/// Emits `(slot, priority)` pairs in non-increasing priority order, where
-/// priority is the (sign-normalised) projection key; the head priority is
-/// an admissible bound for everything not yet emitted.
-pub(crate) struct TypeStream<'a> {
+/// This is all the §5 subproblem streams need — the threshold aggregation
+/// requires admissible bounds, not sorted emission — and it skips the
+/// candidate pool and certification compares of the full [`AngleQuery`],
+/// which is the hot-path win for multi-dimensional queries.
+///
+/// `next_raw` may surface the same slot twice (a point belongs to two of
+/// the four projection streams); callers dedupe with a seen-set of their
+/// choice.
+pub(crate) struct RawAngleStream<'a> {
     index: &'a TopKIndex,
     angle_i: usize,
-    kind: StreamKind,
     qx: f64,
-    heap: BinaryHeap<(OrdF64, Reverse<u32>, bool)>, // (priority, entry id, is_point)
+    qy: f64,
+    angle: Angle,
+    pub(crate) s: AngleScratch,
 }
 
-impl<'a> TypeStream<'a> {
-    pub(crate) fn new(index: &'a TopKIndex, angle_i: usize, kind: StreamKind, qx: f64) -> Self {
-        let mut s = TypeStream {
+impl<'a> RawAngleStream<'a> {
+    /// Starts a stream reusing a warmed scratch (reset internally).
+    pub(crate) fn with_scratch(
+        index: &'a TopKIndex,
+        angle_i: usize,
+        qx: f64,
+        qy: f64,
+        mut s: AngleScratch,
+    ) -> Self {
+        s.reset();
+        let mut q = RawAngleStream {
             index,
             angle_i,
-            kind,
             qx,
-            heap: BinaryHeap::new(),
+            qy,
+            angle: index.angles[angle_i],
+            s,
         };
         if let Some(root) = index.root {
-            s.push_node(root);
+            for kind in StreamKind::ALL {
+                q.push_node(kind, root);
+            }
         }
-        s
+        q
+    }
+
+    /// Recovers the scratch buffers for reuse by a later query.
+    pub(crate) fn into_scratch(self) -> AngleScratch {
+        self.s
+    }
+
+    /// The angle this stream runs at.
+    pub(crate) fn angle(&self) -> Angle {
+        self.angle
     }
 
     #[inline]
-    fn node_valid(&self, node: &super::Node) -> bool {
-        if self.kind.left_side() {
-            node.xmin < self.qx
-        } else {
-            node.xmax >= self.qx
-        }
-    }
-
-    #[inline]
-    fn point_valid(&self, x: f64) -> bool {
-        if self.kind.left_side() {
-            x < self.qx
-        } else {
-            x >= self.qx
-        }
-    }
-
-    #[inline]
-    fn node_priority(&self, node: &super::Node) -> f64 {
-        let b = &node.bounds[self.angle_i];
-        match self.kind {
-            StreamKind::Llp => b.max_u,
-            StreamKind::Rlp => b.max_v,
-            StreamKind::Lup => -b.min_v,
-            StreamKind::Rup => -b.min_u,
-        }
-    }
-
-    #[inline]
-    fn point_priority(&self, slot: u32) -> f64 {
-        let (x, y) = (self.index.xs[slot as usize], self.index.ys[slot as usize]);
+    fn point_priority(&self, slot: u32, kind: StreamKind) -> f64 {
+        let (x, y) = self.index.pts[slot as usize];
         let a = &self.index.angles[self.angle_i];
-        match self.kind {
+        match kind {
             StreamKind::Llp => a.u(x, y),
             StreamKind::Rlp => a.v(x, y),
             StreamKind::Lup => -a.v(x, y),
@@ -161,61 +200,327 @@ impl<'a> TypeStream<'a> {
         }
     }
 
-    fn push_node(&mut self, node_id: u32) {
-        let node = &self.index.nodes[node_id as usize];
-        if !self.node_valid(node) {
+    fn push_node(&mut self, kind: StreamKind, node_id: u32) {
+        let id = node_id as usize;
+        let (xmin, xmax) = self.index.node_xr[id];
+        let valid = if kind.left_side() {
+            xmin < self.qx
+        } else {
+            xmax >= self.qx
+        };
+        if !valid {
             return;
         }
-        self.heap.push((
-            OrdF64::new(self.node_priority(node)),
-            Reverse(node_id),
-            false,
+        let b = &self.index.node_bounds[id * self.index.angles.len() + self.angle_i];
+        let prio = match kind {
+            StreamKind::Llp => b.max_u,
+            StreamKind::Rlp => b.max_v,
+            StreamKind::Lup => -b.min_v,
+            StreamKind::Rup => -b.min_u,
+        };
+        self.s.heaps[kind as usize].push((OrdF64::new(prio), Reverse(node_id), 0));
+    }
+
+    fn push_point(&mut self, kind: StreamKind, slot: u32) {
+        let x = self.index.pts[slot as usize].0;
+        let valid = if kind.left_side() {
+            x < self.qx
+        } else {
+            x >= self.qx
+        };
+        if !valid {
+            return;
+        }
+        self.s.heaps[kind as usize].push((
+            OrdF64::new(self.point_priority(slot, kind)),
+            Reverse(slot),
+            1,
         ));
     }
 
-    fn push_point(&mut self, slot: u32) {
-        if !self.point_valid(self.index.xs[slot as usize]) {
-            return;
-        }
-        self.heap
-            .push((OrdF64::new(self.point_priority(slot)), Reverse(slot), true));
-    }
-
-    /// Admissible bound on the priority of the next emission.
+    /// Upper bound, in normalised-score units at this query's angle, on the
+    /// score of every point stream `kind` has not yet emitted.
     #[inline]
-    pub(crate) fn head_priority(&self) -> Option<f64> {
-        self.heap.peek().map(|(OrdF64(p), _, _)| *p)
+    fn score_bound(&self, kind: StreamKind) -> Option<f64> {
+        let a = &self.angle;
+        self.s.heaps[kind as usize]
+            .peek()
+            .map(|&(OrdF64(p), _, _)| match kind {
+                StreamKind::Llp => p + a.sin * self.qx - a.cos * self.qy,
+                StreamKind::Rlp => p - a.sin * self.qx - a.cos * self.qy,
+                StreamKind::Lup => a.cos * self.qy + p + a.sin * self.qx,
+                StreamKind::Rup => a.cos * self.qy + p - a.sin * self.qx,
+            })
     }
 
-    /// Upper bound, in normalised-score units at this stream's angle, on
-    /// the score of every point this stream has not yet emitted.
-    pub(crate) fn score_bound(&self, qy: f64) -> Option<f64> {
-        let a = &self.index.angles[self.angle_i];
-        self.head_priority().map(|p| match self.kind {
-            StreamKind::Llp => p + a.sin * self.qx - a.cos * qy,
-            StreamKind::Rlp => p - a.sin * self.qx - a.cos * qy,
-            StreamKind::Lup => a.cos * qy + p + a.sin * self.qx,
-            StreamKind::Rup => a.cos * qy + p - a.sin * self.qx,
-        })
-    }
-
-    /// Emits the next point (slot, priority), or `None` when drained.
-    pub(crate) fn pull(&mut self) -> Option<(u32, f64)> {
+    /// Emits the next point `(slot, priority)` of stream `kind`, or `None`
+    /// when that stream is drained.
+    fn pull(&mut self, kind: StreamKind) -> Option<(u32, f64)> {
         // Copy the shared reference out so child iteration does not hold a
-        // borrow of `self` while the heap is pushed to.
+        // borrow of `self` while the heaps are pushed to.
         let index = self.index;
-        while let Some((OrdF64(prio), Reverse(id), is_point)) = self.heap.pop() {
-            if is_point {
+        while let Some((OrdF64(prio), Reverse(id), is_point)) = self.s.heaps[kind as usize].pop() {
+            if is_point == 1 {
                 return Some((id, prio));
             }
             for child in &index.nodes[id as usize].children {
                 match *child {
-                    Child::Inner(c) => self.push_node(c),
-                    Child::Point(p) => self.push_point(p),
+                    Child::Inner(c) => self.push_node(kind, c),
+                    Child::Point(p) => self.push_point(kind, p),
                 }
             }
         }
         None
+    }
+
+    /// The stream with the highest head bound, and that bound. `>=` so ties
+    /// pick the later stream, matching the `Iterator::max_by` semantics of
+    /// the pre-refactor code.
+    #[inline]
+    fn best_kind(&self) -> Option<(StreamKind, f64)> {
+        let mut best: Option<(StreamKind, f64)> = None;
+        for kind in StreamKind::ALL {
+            if let Some(b) = self.score_bound(kind) {
+                let better = match best {
+                    Some((_, cur)) => OrdF64(b) >= OrdF64(cur),
+                    None => true,
+                };
+                if better {
+                    best = Some((kind, b));
+                }
+            }
+        }
+        best
+    }
+
+    /// Admissible upper bound (normalised score units) on every point not
+    /// yet surfaced by [`RawAngleStream::next_raw`]; `None` once drained.
+    #[inline]
+    pub(crate) fn bound(&self) -> Option<f64> {
+        self.best_kind().map(|(_, b)| b)
+    }
+
+    /// Surfaces the next frontier point (possibly a duplicate of an
+    /// earlier emission — points belong to two projection streams), or
+    /// `None` once every stream is drained.
+    pub(crate) fn next_raw(&mut self) -> Option<u32> {
+        loop {
+            let (kind, _) = self.best_kind()?;
+            // A node entry can expand to zero valid children; retry on the
+            // then-best stream until a point surfaces or all heaps drain.
+            if let Some((slot, _)) = self.pull(kind) {
+                return Some(slot);
+            }
+        }
+    }
+}
+
+/// Converts a node's projection-key bound for `kind` into a normalised
+/// score bound at angle `a` (the subtree's score upper bound for points on
+/// the stream's side of the axis).
+#[inline]
+fn key_to_score(b: &super::AngleBounds, kind: StreamKind, a: &Angle, qx: f64, qy: f64) -> f64 {
+    match kind {
+        StreamKind::Llp => b.max_u + a.sin * qx - a.cos * qy,
+        StreamKind::Rlp => b.max_v - a.sin * qx - a.cos * qy,
+        StreamKind::Lup => a.cos * qy - b.min_v + a.sin * qx,
+        StreamKind::Rup => a.cos * qy - b.min_u - a.sin * qx,
+    }
+}
+
+/// How a [`PairFrontier`] scores tree nodes at the query angle θ_q.
+pub(crate) enum FrontierEval {
+    /// θ_q is an indexed angle: read its bound table directly.
+    Single { angle: Angle, angle_i: usize },
+    /// θ_q sits strictly between indexed angles θ_l and θ_u: combine both
+    /// tables per node through the `dual_bound` linear programme — the
+    /// Claim 6 bracket applied at *node* granularity, which is tighter
+    /// than combining two whole-stream bounds and walks the tree once
+    /// instead of twice.
+    Dual {
+        lo: Angle,
+        lo_i: usize,
+        hi: Angle,
+        hi_i: usize,
+        theta: Angle,
+    },
+}
+
+/// Uncertified best-first frontier over one §4 tree whose heap priorities
+/// *are* admissible normalised θ_q score bounds — exact scores for point
+/// entries. This is the engine of the §5 2-D subproblem streams: the
+/// threshold aggregation needs admissible bounds and near-sorted emission,
+/// not certified order, so there is no candidate pool and no certification
+/// compare per emission.
+///
+/// `next_raw` may surface the same slot twice (a point belongs to two of
+/// the four projection streams); callers dedupe with a seen-set.
+pub(crate) struct PairFrontier<'a> {
+    index: &'a TopKIndex,
+    qx: f64,
+    qy: f64,
+    eval: FrontierEval,
+    s: AngleScratch,
+}
+
+impl<'a> PairFrontier<'a> {
+    /// Starts a frontier reusing a warmed scratch (reset internally).
+    pub(crate) fn with_scratch(
+        index: &'a TopKIndex,
+        qx: f64,
+        qy: f64,
+        eval: FrontierEval,
+        mut s: AngleScratch,
+    ) -> Self {
+        s.reset();
+        let mut f = PairFrontier {
+            index,
+            qx,
+            qy,
+            eval,
+            s,
+        };
+        if let Some(root) = index.root {
+            for kind in StreamKind::ALL {
+                f.push_node(kind, root);
+            }
+        }
+        f
+    }
+
+    /// Recovers the scratch buffers for reuse by a later query.
+    pub(crate) fn into_scratch(self) -> AngleScratch {
+        self.s
+    }
+
+    /// Admissible θ_q score bound of one node for one stream kind.
+    #[inline]
+    fn node_score(&self, id: usize, kind: StreamKind) -> f64 {
+        let m = self.index.angles.len();
+        match &self.eval {
+            FrontierEval::Single { angle, angle_i } => key_to_score(
+                &self.index.node_bounds[id * m + angle_i],
+                kind,
+                angle,
+                self.qx,
+                self.qy,
+            ),
+            FrontierEval::Dual {
+                lo,
+                lo_i,
+                hi,
+                hi_i,
+                theta,
+            } => {
+                let base = id * m;
+                let sl = key_to_score(
+                    &self.index.node_bounds[base + lo_i],
+                    kind,
+                    lo,
+                    self.qx,
+                    self.qy,
+                );
+                let su = key_to_score(
+                    &self.index.node_bounds[base + hi_i],
+                    kind,
+                    hi,
+                    self.qx,
+                    self.qy,
+                );
+                super::arbitrary::dual_bound(sl, su, lo, hi, theta)
+            }
+        }
+    }
+
+    /// Exact normalised θ_q score of one point.
+    #[inline]
+    fn point_score(&self, slot: u32) -> f64 {
+        let (x, y) = self.index.pts[slot as usize];
+        let a = match &self.eval {
+            FrontierEval::Single { angle, .. } => angle,
+            FrontierEval::Dual { theta, .. } => theta,
+        };
+        a.normalized_score(x, y, self.qx, self.qy)
+    }
+
+    fn push_node(&mut self, kind: StreamKind, node_id: u32) {
+        let id = node_id as usize;
+        let (xmin, xmax) = self.index.node_xr[id];
+        let valid = if kind.left_side() {
+            xmin < self.qx
+        } else {
+            xmax >= self.qx
+        };
+        if !valid {
+            return;
+        }
+        let prio = self.node_score(id, kind);
+        self.s.heaps[kind as usize].push((OrdF64::new(prio), Reverse(node_id), 0));
+    }
+
+    fn push_point(&mut self, kind: StreamKind, slot: u32) {
+        let x = self.index.pts[slot as usize].0;
+        let valid = if kind.left_side() {
+            x < self.qx
+        } else {
+            x >= self.qx
+        };
+        if !valid {
+            return;
+        }
+        self.s.heaps[kind as usize].push((OrdF64::new(self.point_score(slot)), Reverse(slot), 1));
+    }
+
+    /// Admissible upper bound (normalised θ_q units) on every point not yet
+    /// surfaced; `None` once drained.
+    #[inline]
+    pub(crate) fn bound(&self) -> Option<f64> {
+        let mut acc: Option<f64> = None;
+        for h in &self.s.heaps {
+            if let Some(&(OrdF64(p), _, _)) = h.peek() {
+                acc = Some(match acc {
+                    Some(a) if a >= p => a,
+                    _ => p,
+                });
+            }
+        }
+        acc
+    }
+
+    /// Surfaces the next frontier entry `(slot, exact θ_q score)`, possibly
+    /// a duplicate of an earlier emission; `None` once drained.
+    pub(crate) fn next_raw(&mut self) -> Option<(u32, f64)> {
+        loop {
+            // Argmax over the four heads; priorities are score bounds, so
+            // no conversion is needed at scan time.
+            let mut best: Option<(usize, f64)> = None;
+            for (k, h) in self.s.heaps.iter().enumerate() {
+                if let Some(&(OrdF64(p), _, _)) = h.peek() {
+                    let better = match best {
+                        Some((_, cur)) => OrdF64(p) >= OrdF64(cur),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((k, p));
+                    }
+                }
+            }
+            let (kind_i, _) = best?;
+            let kind = StreamKind::ALL[kind_i];
+            let index = self.index;
+            let (OrdF64(prio), Reverse(id), is_point) =
+                self.s.heaps[kind_i].pop().expect("peeked entry");
+            if is_point == 1 {
+                return Some((id, prio));
+            }
+            // Inner node: expand, then re-evaluate the argmax.
+            for child in &index.nodes[id as usize].children {
+                match *child {
+                    Child::Inner(c) => self.push_node(kind, c),
+                    Child::Point(p) => self.push_point(kind, p),
+                }
+            }
+        }
     }
 }
 
@@ -223,61 +528,51 @@ impl<'a> TypeStream<'a> {
 /// [`AngleQuery::next`] yield points in exact non-increasing normalised
 /// score order.
 ///
-/// This is the engine behind direct queries (indexed angle), the Claim 6
-/// bracketing procedure, and the 2-D subproblem streams of §5.
+/// This is the engine behind direct queries (indexed angle) and the
+/// Claim 6 bracketing procedure; the §5 subproblem streams use the
+/// uncertified [`RawAngleStream`] directly. All mutable state lives in the
+/// owned [`AngleScratch`], which [`AngleQuery::into_scratch`] recovers for
+/// reuse once the query is done.
 pub struct AngleQuery<'a> {
-    index: &'a TopKIndex,
-    streams: Vec<TypeStream<'a>>,
-    pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
-    seen: FastSet,
-    qx: f64,
-    qy: f64,
-    angle: Angle,
+    raw: RawAngleStream<'a>,
 }
 
 impl<'a> AngleQuery<'a> {
-    /// Starts a query at indexed angle `angle_i` for query point `(qx, qy)`.
+    /// Starts a query at indexed angle `angle_i` with fresh (allocating)
+    /// scratch state.
     pub(crate) fn new(index: &'a TopKIndex, angle_i: usize, qx: f64, qy: f64) -> Self {
-        let streams = StreamKind::ALL
-            .iter()
-            .map(|&k| TypeStream::new(index, angle_i, k, qx))
-            .collect();
+        Self::with_scratch(index, angle_i, qx, qy, AngleScratch::default())
+    }
+
+    /// Starts a query reusing a warmed scratch (reset internally).
+    pub(crate) fn with_scratch(
+        index: &'a TopKIndex,
+        angle_i: usize,
+        qx: f64,
+        qy: f64,
+        s: AngleScratch,
+    ) -> Self {
         AngleQuery {
-            index,
-            streams,
-            pool: BinaryHeap::new(),
-            seen: FastSet::default(),
-            qx,
-            qy,
-            angle: index.angles[angle_i],
+            raw: RawAngleStream::with_scratch(index, angle_i, qx, qy, s),
         }
+    }
+
+    /// Recovers the scratch buffers for reuse by a later query.
+    pub(crate) fn into_scratch(self) -> AngleScratch {
+        self.raw.into_scratch()
     }
 
     /// The angle this query runs at.
     pub fn angle(&self) -> Angle {
-        self.angle
-    }
-
-    /// Upper bound on the normalised score of every point not yet returned
-    /// *nor currently pooled*; `None` once all streams drained.
-    fn threshold(&self) -> Option<f64> {
-        self.streams
-            .iter()
-            .filter_map(|s| s.score_bound(self.qy))
-            .fold(None, |acc, b| {
-                Some(match acc {
-                    Some(a) if a >= b => a,
-                    _ => b,
-                })
-            })
+        self.raw.angle()
     }
 
     /// Upper bound on the normalised score of every point not yet
     /// *returned* by [`AngleQuery::next`] (pooled candidates included);
     /// `None` once the query is fully drained.
     pub fn bound(&self) -> Option<f64> {
-        let t = self.threshold();
-        let p = self.pool.peek().map(|&(OrdF64(s), _)| s);
+        let t = self.raw.bound();
+        let p = self.raw.s.pool.peek().map(|&(OrdF64(s), _)| s);
         match (t, p) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (Some(a), None) => Some(a),
@@ -294,8 +589,8 @@ impl<'a> AngleQuery<'a> {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(u32, f64)> {
         loop {
-            let threshold = self.threshold();
-            if let Some(&(OrdF64(best), Reverse(slot))) = self.pool.peek() {
+            let threshold = self.raw.bound();
+            if let Some(&(OrdF64(best), Reverse(slot))) = self.raw.s.pool.peek() {
                 // Emit only once the pooled best dominates every stream
                 // bound with slack to spare, so FP skew between key-space
                 // bounds and direct scoring can never emit prematurely.
@@ -304,31 +599,22 @@ impl<'a> AngleQuery<'a> {
                     None => true,
                 };
                 if dominated {
-                    self.pool.pop();
+                    self.raw.s.pool.pop();
                     return Some((slot, best));
                 }
             } else if threshold.is_none() {
                 return None;
             }
-            // Pull one point from the stream with the highest bound.
-            let best_stream = self
-                .streams
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.score_bound(self.qy).map(|b| (i, b)))
-                .max_by(|a, b| OrdF64(a.1).cmp(&OrdF64(b.1)))
-                .map(|(i, _)| i);
-            let Some(si) = best_stream else { continue };
-            if let Some((slot, _)) = self.streams[si].pull() {
-                if self.seen.insert(slot) {
-                    let s = slot as usize;
-                    let score = self.angle.normalized_score(
-                        self.index.xs[s],
-                        self.index.ys[s],
-                        self.qx,
-                        self.qy,
-                    );
-                    self.pool.push((OrdF64::new(score), Reverse(slot)));
+            // Pull one point from the stream with the highest bound and
+            // pool its exact score.
+            if let Some(slot) = self.raw.next_raw() {
+                if self.raw.s.seen.insert(slot) {
+                    let (px, py) = self.raw.index.pts[slot as usize];
+                    let score = self
+                        .raw
+                        .angle
+                        .normalized_score(px, py, self.raw.qx, self.raw.qy);
+                    self.raw.s.pool.push((OrdF64::new(score), Reverse(slot)));
                 }
             }
         }

@@ -16,8 +16,8 @@ use sdq_core::geometry::Angle;
 use sdq_core::multidim::{PairingStrategy, SdIndex, SdIndexOptions};
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
-use sdq_core::{Dataset, DimRole, SdQuery};
-use sdq_data::{generate, Distribution};
+use sdq_core::{Dataset, DimRole, QueryScratch, SdQuery};
+use sdq_data::{generate, uniform_queries, Distribution};
 use sdq_rstar::RStarTree;
 use sdq_store::{parse_roles, SectionKind, Snapshot};
 
@@ -30,15 +30,21 @@ USAGE:
               [--angles N] [--pairing arbitrary|correlation]
               [--alpha A] [--beta B] [--k K]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
+              [--repeat N] [--threads T]
     sdq inspect PATH
     sdq bench-load PATH [--iters N]
+    sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
+              [--k K] [--queries Q] [--threads LIST] [--seed S] [--out FILE]
 
 SUBCOMMANDS:
-    build       Generate or load a dataset, build the requested indexes and
-                write one snapshot file.
-    query       Load a snapshot and answer a top-k SD-Query from it.
-    inspect     Print the snapshot header, section table and artifact stats.
-    bench-load  Time snapshot load vs. in-memory index rebuild.
+    build        Generate or load a dataset, build the requested indexes and
+                 write one snapshot file.
+    query        Load a snapshot and answer a top-k SD-Query from it.
+    inspect      Print the snapshot header, section table and artifact stats.
+    bench-load   Time snapshot load vs. in-memory index rebuild.
+    bench-query  Measure query latency percentiles and batch QPS against a
+                 snapshot's sd-index (or an ad-hoc synthetic build) and write
+                 a machine-readable BENCH_queries.json.
 
 BUILD OPTIONS:
     --out PATH         Snapshot file to write (required).
@@ -63,6 +69,19 @@ QUERY OPTIONS:
     --point CSV        Query point, one value per dimension (required).
     --weights CSV      Per-dimension weights (default: all 1).
     --k K              Result size (default 5).
+    --repeat N         Answer the query N times (sd-index snapshots only)
+                       and print latency percentiles + QPS (default 1).
+    --threads T        Worker threads for the repeated batch (default 1).
+
+BENCH-QUERY OPTIONS:
+    --k K              Result size (default 16).
+    --queries Q        Distinct uniform queries per measurement (default 256).
+    --threads LIST     Comma list of batch worker counts (default 1,4,8).
+    --seed S           Query-workload seed (default 13).
+    --build-seed S     Synthetic dataset seed (default 42).
+    --out FILE         JSON report path (default BENCH_queries.json).
+    --synthetic/--n/--dims/--roles/--branching/--angles
+                       Build an ad-hoc sd-index instead of loading PATH.
 ";
 
 fn main() -> ExitCode {
@@ -105,6 +124,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "query" => cmd_query(rest),
         "inspect" => cmd_inspect(rest),
         "bench-load" => cmd_bench_load(rest),
+        "bench-query" => cmd_bench_query(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -155,6 +175,23 @@ fn parse_csv_list(raw: &str, what: &str) -> Result<Vec<f64>, CliError> {
                 .map_err(|_| usage(format!("{what}: cannot parse {s:?} as a number")))
         })
         .collect()
+}
+
+/// The uniform indexed-angle grid over [0°, 90°] shared by `build` and
+/// `bench-query`; `count == 5` short-circuits to the library default.
+fn angle_grid(count: usize) -> Result<Vec<Angle>, CliError> {
+    if count < 2 {
+        return Err(usage("--angles must be at least 2"));
+    }
+    if count == 5 {
+        return Ok(default_angles());
+    }
+    Ok((0..count)
+        .map(|i| {
+            Angle::from_degrees(90.0 * i as f64 / (count - 1) as f64)
+                .expect("grid angles are in range")
+        })
+        .collect())
 }
 
 // ─── build ──────────────────────────────────────────────────────────────────
@@ -261,9 +298,6 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
             data.dims()
         )));
     }
-    if angle_count < 2 {
-        return Err(usage("--angles must be at least 2"));
-    }
     if all_requested {
         if two_dim_axes(&roles).is_ok() {
             index_list.push(IndexKind::TopK);
@@ -272,16 +306,7 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
             println!("note: skipping topk/top1 (need exactly one attractive + one repulsive dim)");
         }
     }
-    let angles: Vec<Angle> = if angle_count == 5 {
-        default_angles()
-    } else {
-        (0..angle_count)
-            .map(|i| {
-                Angle::from_degrees(90.0 * i as f64 / (angle_count - 1) as f64)
-                    .expect("grid angles are in range")
-            })
-            .collect()
-    };
+    let angles = angle_grid(angle_count)?;
 
     println!(
         "dataset: {} rows × {} dims ({})",
@@ -406,6 +431,8 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut point: Option<Vec<f64>> = None;
     let mut weights: Option<Vec<f64>> = None;
     let mut k: Option<usize> = None;
+    let mut repeat: usize = 1;
+    let mut threads: usize = 1;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -413,12 +440,20 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             "--point" => point = Some(parse_csv_list(flags.value("--point")?, "--point")?),
             "--weights" => weights = Some(parse_csv_list(flags.value("--weights")?, "--weights")?),
             "--k" => k = Some(flags.parsed("--k")?),
+            "--repeat" => repeat = flags.parsed("--repeat")?,
+            "--threads" => threads = flags.parsed("--threads")?,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
     }
     let path = path.ok_or_else(|| usage("query needs a snapshot path"))?;
     let point = point.ok_or_else(|| usage("query requires --point"))?;
+    if repeat == 0 {
+        return Err(usage("--repeat must be at least 1"));
+    }
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1"));
+    }
 
     let (snap, load_ms) = timed(|| Snapshot::load(path));
     let snap = snap.map_err(runtime)?;
@@ -438,7 +473,39 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let results = if let Some(sd) = &snap.sd {
         let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
         let query = SdQuery::new(point, weights).map_err(runtime)?;
-        sd.query(&query, k.unwrap_or(DEFAULT_K)).map_err(runtime)?
+        let k = k.unwrap_or(DEFAULT_K);
+        if repeat > 1 || threads > 1 {
+            // Repeated serving measurement: a serial scratch-reuse pass for
+            // per-query percentiles, then the parallel batch path for QPS.
+            // The answer is identical across repeats; keep the last one.
+            let mut scratch = QueryScratch::new();
+            sd.query_with(&query, k, &mut scratch).map_err(runtime)?; // warm-up
+            let mut lat_ms = Vec::with_capacity(repeat);
+            for _ in 0..repeat - 1 {
+                let (r, ms) = timed(|| sd.query_with(&query, k, &mut scratch).map(|_| ()));
+                r.map_err(runtime)?;
+                lat_ms.push(ms);
+            }
+            let (r, ms) = timed(|| sd.query_with(&query, k, &mut scratch).map(<[_]>::to_vec));
+            let answer = r.map_err(runtime)?;
+            lat_ms.push(ms);
+            let batch: Vec<SdQuery> = vec![query.clone(); repeat];
+            let (r, batch_ms) = timed(|| sd.par_query_batch(&batch, k, threads));
+            r.map_err(runtime)?;
+            println!(
+                "repeat {repeat}: serial p50 {:.3} ms, p99 {:.3} ms; batch {threads} thread(s): {:.0} queries/s",
+                percentile(&mut lat_ms, 50.0),
+                percentile(&mut lat_ms, 99.0),
+                repeat as f64 / (batch_ms / 1e3)
+            );
+            answer
+        } else {
+            sd.query(&query, k).map_err(runtime)?
+        }
+    } else if repeat > 1 || threads > 1 {
+        return Err(usage(
+            "--repeat/--threads need a snapshot with an sd-index (rebuild with --index sd)",
+        ));
     } else if let Some(topk) = &snap.topk {
         if point.len() != 2 {
             return Err(usage(
@@ -681,4 +748,194 @@ fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     samples[samples.len() / 2]
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of a sample set.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+// ─── bench-query ────────────────────────────────────────────────────────────
+
+/// Default result size of `bench-query`: the acceptance workload of the
+/// zero-allocation query engine (100k × 4-D, k = 16).
+const BENCH_K: usize = 16;
+
+fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut synthetic: Option<Distribution> = None;
+    let mut n: usize = 100_000;
+    let mut dims: usize = 4;
+    let mut roles_spec: Option<String> = None;
+    let mut branching: usize = 8;
+    let mut angle_count: usize = 5;
+    let mut build_seed: u64 = 42;
+    let mut k: usize = BENCH_K;
+    let mut queries: usize = 256;
+    let mut threads_list: Vec<usize> = vec![1, 4, 8];
+    let mut seed: u64 = 13;
+    let mut out = String::from("BENCH_queries.json");
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--synthetic" => {
+                synthetic = Some(match flags.value("--synthetic")? {
+                    "uniform" => Distribution::Uniform,
+                    "correlated" => Distribution::Correlated,
+                    "anti" | "anti-correlated" => Distribution::AntiCorrelated,
+                    other => {
+                        return Err(usage(format!(
+                            "--synthetic: unknown distribution {other:?}"
+                        )))
+                    }
+                })
+            }
+            "--n" => n = flags.parsed("--n")?,
+            "--dims" => dims = flags.parsed("--dims")?,
+            "--roles" => roles_spec = Some(flags.value("--roles")?.to_string()),
+            "--branching" => branching = flags.parsed("--branching")?,
+            "--angles" => angle_count = flags.parsed("--angles")?,
+            "--k" => k = flags.parsed("--k")?,
+            "--queries" => queries = flags.parsed("--queries")?,
+            "--seed" => seed = flags.parsed("--seed")?,
+            "--build-seed" => build_seed = flags.parsed("--build-seed")?,
+            "--threads" => {
+                let raw = flags.value("--threads")?;
+                threads_list = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| usage(format!("--threads: cannot parse {s:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = flags.value("--out")?.to_string(),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    if k == 0 || queries == 0 {
+        return Err(usage("--k and --queries must be at least 1"));
+    }
+    if threads_list.is_empty() || threads_list.contains(&0) {
+        return Err(usage("--threads needs a comma list of counts ≥ 1"));
+    }
+
+    // Obtain the sd-index: snapshot or ad-hoc synthetic build.
+    let (sd, source) = match (path, synthetic) {
+        (Some(p), None) => {
+            let snap = Snapshot::load(p).map_err(runtime)?;
+            let sd = snap
+                .sd
+                .ok_or_else(|| runtime("snapshot holds no sd-index (rebuild with --index sd)"))?;
+            (sd, format!("\"snapshot\": {}", json_str(p)))
+        }
+        (None, Some(dist)) => {
+            let roles_spec =
+                roles_spec.ok_or_else(|| usage("--synthetic bench needs --roles STR"))?;
+            let roles = parse_roles(&roles_spec)
+                .map_err(|_| usage(format!("--roles {roles_spec:?}: use 'a'/'r' per dim")))?;
+            if roles.len() != dims {
+                return Err(usage(format!(
+                    "--roles names {} dims but --dims is {dims}",
+                    roles.len()
+                )));
+            }
+            let angles = angle_grid(angle_count)?;
+            let data = generate(dist, n, dims, build_seed);
+            let options = SdIndexOptions {
+                pairing: PairingStrategy::Arbitrary,
+                angles,
+                branching,
+            };
+            let (index, ms) = timed(|| SdIndex::build_with(data, &roles, &options));
+            let index = index.map_err(runtime)?;
+            println!("built sd-index over {n} x {dims}-D rows in {ms:.1} ms");
+            (
+                index,
+                format!("\"synthetic\": {}", json_str(&format!("{dist:?}"))),
+            )
+        }
+        (None, None) => return Err(usage("bench-query needs a snapshot path or --synthetic")),
+        (Some(_), Some(_)) => {
+            return Err(usage(
+                "snapshot path and --synthetic are mutually exclusive",
+            ))
+        }
+    };
+    let dims = sd.data().dims();
+    let workload = uniform_queries(queries, dims, seed);
+
+    // Single-query latency: scratch reuse, one warm-up pass, then one timed
+    // pass per query.
+    let mut scratch = QueryScratch::new();
+    let mut sink = 0.0f64;
+    for q in &workload {
+        sink += sd
+            .query_with(q, k, &mut scratch)
+            .map_err(runtime)?
+            .iter()
+            .map(|sp| sp.score)
+            .sum::<f64>();
+    }
+    let mut lat_ms = Vec::with_capacity(queries);
+    for q in &workload {
+        let (r, ms) = timed(|| sd.query_with(q, k, &mut scratch));
+        sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
+        lat_ms.push(ms);
+    }
+    std::hint::black_box(sink);
+    let (p50, p99, mean) = (
+        percentile(&mut lat_ms, 50.0),
+        percentile(&mut lat_ms, 99.0),
+        lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
+    );
+    println!(
+        "single query (k = {k}, {queries} queries): p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
+    );
+
+    // Batch throughput per worker count: best of three runs.
+    let mut batch_rows = Vec::with_capacity(threads_list.len());
+    for &t in &threads_list {
+        let mut best_qps = 0.0f64;
+        for _ in 0..3 {
+            let (r, ms) = timed(|| sd.par_query_batch(&workload, k, t));
+            r.map_err(runtime)?;
+            best_qps = best_qps.max(queries as f64 / (ms / 1e3));
+        }
+        println!("batch {t} thread(s): {best_qps:.0} queries/s");
+        batch_rows.push(format!("{{\"threads\": {t}, \"qps\": {best_qps:.1}}}"));
+    }
+
+    let json = format!(
+        "{{\n  {source},\n  \"dataset\": {{\"rows\": {rows}, \"dims\": {dims}}},\n  \
+         \"k\": {k},\n  \"queries\": {queries},\n  \"query_seed\": {seed},\n  \
+         \"single_query_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}, \"mean\": {mean:.4}}},\n  \
+         \"batch\": [{batch}]\n}}\n",
+        rows = sd.data().len(),
+        batch = batch_rows.join(", "),
+    );
+    std::fs::write(&out, json).map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Minimal JSON string escaping (quotes and backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

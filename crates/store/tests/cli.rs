@@ -188,3 +188,119 @@ fn unknown_flags_and_corrupt_files_fail_cleanly() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn repeat_and_bench_query_produce_throughput_numbers() {
+    let dir = temp_dir("bench-query");
+    let snap_path = dir.join("bq.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "3000",
+            "--dims",
+            "4",
+            "--seed",
+            "5",
+            "--roles",
+            "arra",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success());
+
+    // `query --repeat/--threads`: percentiles + QPS line, then the answer.
+    let out = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5,0.5",
+            "--k",
+            "4",
+            "--repeat",
+            "20",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert!(out.status.success(), "sdq query --repeat failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("repeat 20:"), "{stdout}");
+    assert!(stdout.contains("queries/s"), "{stdout}");
+    assert!(stdout.contains("top-4:"), "{stdout}");
+
+    // `bench-query`: JSON report with the documented keys.
+    let json_path = dir.join("BENCH_queries.json");
+    let out = sdq()
+        .args([
+            "bench-query",
+            snap_path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--queries",
+            "16",
+            "--threads",
+            "1,2",
+            "--out",
+        ])
+        .arg(&json_path)
+        .output()
+        .expect("spawn sdq bench-query");
+    assert!(out.status.success(), "sdq bench-query failed");
+    let json = std::fs::read_to_string(&json_path).expect("report written");
+    for key in [
+        "\"dataset\"",
+        "\"k\": 4",
+        "\"queries\": 16",
+        "\"single_query_ms\"",
+        "\"p50\"",
+        "\"p99\"",
+        "\"batch\"",
+        "\"threads\": 2",
+        "\"qps\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // --repeat on a snapshot without an sd-index is a usage error.
+    let tk_path = dir.join("tk.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "300",
+            "--dims",
+            "2",
+            "--roles",
+            "ra",
+            "--index",
+            "topk",
+            "--out",
+        ])
+        .arg(&tk_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success());
+    let out = sdq()
+        .args([
+            "query",
+            tk_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.5",
+            "--repeat",
+            "5",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert_eq!(out.status.code(), Some(2), "expected usage error");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
