@@ -1,0 +1,71 @@
+//! Criterion benchmark of the sharded engine: single-query latency of the
+//! acceptance workload (100k × 4-D uniform, k = 16) across shard counts,
+//! plus the monolithic `SdIndex` path for reference.
+//!
+//! On a single core the interesting question is how close S-shard
+//! execution stays to the monolithic walk (the interleaved scheduler's
+//! merged k-th-score floor is what keeps the per-shard aggregations from
+//! multiplying work); on a multi-core host the same engine spreads shards
+//! across workers. The same configuration is exported as machine-readable
+//! JSON by `sdq bench-query --shards N` (see `BENCH_queries.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdq_core::multidim::SdIndex;
+use sdq_core::{DimRole, QueryScratch};
+use sdq_data::{generate, uniform_queries, Distribution};
+use sdq_engine::{EngineOptions, EngineScratch, SdEngine};
+
+const N: usize = 100_000;
+const DIMS: usize = 4;
+const K: usize = 16;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let data = generate(Distribution::Uniform, N, DIMS, 42);
+    let roles = [
+        DimRole::Attractive,
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+    ];
+    let queries = uniform_queries(64, DIMS, 13);
+
+    let mut group = c.benchmark_group("shard_scaling_100k_4d_k16");
+
+    // Monolithic reference.
+    let mono = SdIndex::build(data.clone(), &roles).unwrap();
+    group.bench_function("sd_index_mono", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            mono.query_with(q, K, &mut scratch).unwrap().len()
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let engine = SdEngine::build_with(
+            data.clone(),
+            &roles,
+            &EngineOptions {
+                shards,
+                threads: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        group.bench_function(format!("engine_{shards}_shards"), |b| {
+            let mut scratch = EngineScratch::new();
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engine.query_with(q, K, &mut scratch).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -1112,6 +1112,9 @@ impl Codec for SdIndex {
             }
         }
 
+        // The planner's per-pair 1-D columns are derived state, built
+        // lazily on first use — nothing to decode, so the v1 wire format
+        // is unchanged and the load path pays nothing for them.
         Ok(SdIndex {
             data: Arc::new(data),
             roles,
@@ -1119,6 +1122,7 @@ impl Codec for SdIndex {
             unpaired,
             pair_indexes,
             columns,
+            pair_columns: Arc::new(std::sync::OnceLock::new()),
         })
     }
 }

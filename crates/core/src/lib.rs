@@ -19,7 +19,11 @@
 //! * [`top1`] — the §3 region index for fixed `k`, `α`, `β` (O(log n) query),
 //! * [`topk`] — the §4 projection-bound tree for runtime `k`, `α`, `β`,
 //! * [`multidim`] — the §5 pairing + threshold aggregation for any number of
-//!   dimensions,
+//!   dimensions, with a per-pair cost-based [`planner`](multidim::plan) and a
+//!   resumable [`ShardExecution`](multidim::ShardExecution) for the sharded
+//!   engine,
+//! * [`threshold`] — the atomic cross-shard k-th-score floor
+//!   ([`SharedThreshold`]),
 //! * [`score`] — scoring kernels shared by indexes, baselines and tests,
 //! * [`QueryScratch`] — reusable query-execution buffers; the `query_with`
 //!   entry points answer steady-state queries with zero heap allocations,
@@ -51,12 +55,14 @@ pub mod geometry;
 pub mod multidim;
 pub mod score;
 mod scratch;
+pub mod threshold;
 pub mod top1;
 pub mod topk;
 mod types;
 
 pub use score::{sd_score, DimRole, SdQuery};
 pub use scratch::QueryScratch;
+pub use threshold::SharedThreshold;
 pub use types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
 
 /// Convenience alias used across the workspace.

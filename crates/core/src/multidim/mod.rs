@@ -19,21 +19,39 @@
 //! are direct (inlinable) dispatches — no vtable in the hot path. All
 //! query-time buffers come from a [`QueryScratch`]; the allocating
 //! [`SdIndex::query`] is a thin wrapper over [`SdIndex::query_with`].
+//!
+//! Which physical stream serves a pair is decided per query by the cost
+//! model in [`plan`] (tree frontier at an indexed angle, Claim 6 bracketed
+//! frontier, or plain 1-D sorted-column streams), and single-pair queries
+//! bypass the aggregation altogether — one certified frontier search over
+//! the pair's tree. Every strategy is exact and the emission order is
+//! **canonical** (score descending, ties by row ascending), so planning can
+//! never change an answer, only its cost; this is also what makes sharded
+//! execution (the `sdq-engine` crate) bit-identical to the monolithic path.
+//!
+//! The aggregation additionally terminates as soon as its *k-th-best seen*
+//! score — locally tracked, and optionally shared across shard executions
+//! through a [`SharedThreshold`] — certifiably beats the admissible bound
+//! on everything unfetched; see [`threshold_aggregate_shared`].
 
 pub mod pairing;
+pub mod plan;
 pub mod stream1d;
 
 use std::cmp::Reverse;
-use std::sync::Arc;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, OnceLock};
 
 pub use pairing::{pair_dimensions, DimPair, PairingStrategy};
+pub use plan::{PairAction, PairPlan, QueryPlan};
 pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
 use crate::geometry::Angle;
 use crate::score::{rank_cmp, sd_score_point};
 use crate::scratch::QueryScratch;
-use crate::topk::stream::{inflate, FastSet, FrontierEval, PairFrontier};
-use crate::topk::{default_angles, TopKIndex};
+use crate::threshold::{track_floor, SharedThreshold};
+use crate::topk::stream::{inflate, FastSet, PairFrontier};
+use crate::topk::{arbitrary, default_angles, TopKIndex};
 use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
 use crate::{DimRole, SdQuery};
 
@@ -78,6 +96,14 @@ impl<'a> Subproblem<'a> {
     /// Wraps a farthest-first 1-D stream.
     pub fn repulsive(col: &'a SortedColumn, q: f64, weight: f64) -> Self {
         Subproblem::Repulsive1d(RepulsiveStream::new(col, q, weight))
+    }
+
+    /// A row enumerator with constant subscore 0 — the fallback when every
+    /// dimension's weight is zero (all candidate discovery, no bounds).
+    pub(crate) fn degenerate(n: u32) -> Self {
+        Subproblem::Pair2d(Pair2DStream {
+            inner: PairInner::Degenerate { next_row: 0, n },
+        })
     }
 
     /// See [`SubproblemStream::bound`].
@@ -158,6 +184,12 @@ pub struct SdIndex {
     pub(crate) unpaired: Vec<usize>,
     pub(crate) pair_indexes: Vec<TopKIndex>,
     pub(crate) columns: Vec<SortedColumn>,
+    /// Per-pair sorted columns `(attractive, repulsive)` backing the
+    /// planner's 1-D strategy. Derived lazily from the dataset on the
+    /// first query that plans a OneDim pair (most deployments never pay
+    /// for them), never serialised — the snapshot wire format is
+    /// unchanged. Behind an `Arc` so clones share the cache.
+    pub(crate) pair_columns: Arc<OnceLock<Vec<(SortedColumn, SortedColumn)>>>,
 }
 
 impl SdIndex {
@@ -207,7 +239,14 @@ impl SdIndex {
             unpaired,
             pair_indexes,
             columns,
+            pair_columns: Arc::new(OnceLock::new()),
         })
+    }
+
+    /// The lazily built per-pair sorted columns (see the field docs).
+    fn pair_columns(&self) -> &[(SortedColumn, SortedColumn)] {
+        self.pair_columns
+            .get_or_init(|| build_pair_columns(&self.data, &self.pairs))
     }
 
     /// The indexed dataset.
@@ -242,6 +281,107 @@ impl SdIndex {
                 .iter()
                 .map(SortedColumn::memory_bytes)
                 .sum::<usize>()
+            + self.pair_columns.get().map_or(0, |cols| {
+                cols.iter()
+                    .map(|(a, r)| a.memory_bytes() + r.memory_bytes())
+                    .sum()
+            })
+    }
+
+    /// The cost-model decision for `query` against this index: which
+    /// physical strategy every pair would execute under and whether the
+    /// whole query short-circuits to a direct 2-D search. Observability
+    /// only ([`sdq inspect`] plumbs it out) — the hot path computes the
+    /// same decisions inline without allocating.
+    ///
+    /// [`sdq inspect`]: https://docs.rs/sdq-store
+    pub fn plan(&self, query: &SdQuery, k: usize) -> Result<QueryPlan, SdError> {
+        self.plan_mode(query, k, true)
+    }
+
+    /// The plan when this index executes as one suspended shard of a
+    /// multi-shard engine ([`SdIndex::begin_query`]): a resumable
+    /// execution must expose stream state, so the direct single-pair
+    /// shortcut never fires and every pair goes through the aggregation
+    /// cost model.
+    pub fn plan_aggregate(&self, query: &SdQuery, k: usize) -> Result<QueryPlan, SdError> {
+        self.plan_mode(query, k, false)
+    }
+
+    fn plan_mode(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        allow_direct: bool,
+    ) -> Result<QueryPlan, SdError> {
+        if query.dims() != self.data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: self.data.dims(),
+                got: query.dims(),
+            });
+        }
+        let n = self.data.len();
+        let direct = allow_direct && self.direct_pair(query).is_some();
+        let mut pairs = Vec::with_capacity(self.pairs.len());
+        for (pair, index) in self.pairs.iter().zip(&self.pair_indexes) {
+            let alpha = query.weights[pair.repulsive];
+            let beta = query.weights[pair.attractive];
+            let indexed = self.pair_indexed(index, alpha, beta);
+            // Single-pair queries bypass the aggregation; report the
+            // frontier the direct path actually runs.
+            let (action, est_cost) = if direct {
+                plan::plan_direct(n, k, index.branching(), indexed)
+            } else {
+                plan::plan_pair(n, k, index.branching(), alpha, beta, indexed)
+            };
+            pairs.push(PairPlan {
+                repulsive: pair.repulsive,
+                attractive: pair.attractive,
+                action,
+                est_cost,
+            });
+        }
+        let unpaired_streams = self
+            .unpaired
+            .iter()
+            .filter(|&&d| query.weights[d] != 0.0)
+            .count();
+        Ok(QueryPlan {
+            direct,
+            pairs,
+            unpaired_streams,
+        })
+    }
+
+    /// `true` when the pair's weight angle hits an indexed angle of its
+    /// tree (degenerate both-zero weights report `false`; the planner
+    /// never consults `indexed` for them).
+    fn pair_indexed(&self, index: &TopKIndex, alpha: f64, beta: f64) -> bool {
+        Angle::from_weights(alpha, beta)
+            .ok()
+            .and_then(|theta| index.indexed_angle(&theta))
+            .is_some()
+    }
+
+    /// When the whole query is one non-degenerate pair (no unpaired
+    /// dimensions), returns `(alpha, beta, qx, qy)` for the direct 2-D
+    /// strategy.
+    fn direct_pair(&self, query: &SdQuery) -> Option<(f64, f64, f64, f64)> {
+        if self.pairs.len() != 1 || !self.unpaired.is_empty() {
+            return None;
+        }
+        let p = self.pairs[0];
+        let alpha = query.weights[p.repulsive];
+        let beta = query.weights[p.attractive];
+        if alpha == 0.0 && beta == 0.0 {
+            return None; // projection angle undefined; aggregation handles it
+        }
+        Some((
+            alpha,
+            beta,
+            query.point[p.attractive],
+            query.point[p.repulsive],
+        ))
     }
 
     /// Answers the SD-Query: the `min(k, n)` highest SD-scores under the
@@ -264,6 +404,27 @@ impl SdIndex {
         k: usize,
         scratch: &'s mut QueryScratch,
     ) -> Result<&'s [ScoredPoint], SdError> {
+        self.query_shared(query, k, scratch, None)
+    }
+
+    /// [`SdIndex::query_with`] with an optional cross-execution
+    /// [`SharedThreshold`]: the aggregation publishes its running
+    /// k-th-best score into the handle and prunes against the handle's
+    /// floor, which is what lets the sharded engine run one execution per
+    /// shard and still terminate each of them against the *global* k-th
+    /// score. With `shared = None` this is exactly `query_with`.
+    ///
+    /// The answer is canonical (score descending, ties by row id
+    /// ascending) and independent of the floor's observed staleness; a
+    /// shard execution may return fewer than `k` points when the floor
+    /// proves the missing ones cannot be in the global top-k.
+    pub fn query_shared<'s>(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+        shared: Option<&SharedThreshold>,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -279,43 +440,162 @@ impl SdIndex {
             return Ok(&scratch.answers);
         }
 
-        // Assemble the subproblem streams into the recycled buffer.
-        let mut streams = scratch.stream_buf();
-        streams.reserve(self.pairs.len() + self.unpaired.len());
-        for (pair, index) in self.pairs.iter().zip(&self.pair_indexes) {
-            let alpha = query.weights[pair.repulsive];
-            let beta = query.weights[pair.attractive];
-            let qx = query.point[pair.attractive];
-            let qy = query.point[pair.repulsive];
-            match Pair2DStream::with_scratch(index, qx, qy, alpha, beta, n, scratch) {
-                Ok(s) => streams.push(Subproblem::Pair2d(s)),
-                Err(e) => {
-                    // Hand every buffer back before propagating.
-                    for s in streams.drain(..) {
-                        s.recycle(scratch);
-                    }
-                    scratch.put_streams(streams);
-                    return Err(e);
-                }
-            }
-        }
-        for (column, &dim) in self.columns.iter().zip(&self.unpaired) {
-            let w = query.weights[dim];
-            let q = query.point[dim];
-            match self.roles[dim] {
-                DimRole::Repulsive => streams.push(Subproblem::repulsive(column, q, w)),
-                DimRole::Attractive => streams.push(Subproblem::attractive(column, q, w)),
-            }
+        // Direct strategy: a single-pair query is one certified 2-D search
+        // over the pair's tree (indexed-angle or Claim 6 bracketed
+        // frontier) — no aggregation machinery at all.
+        if let Some((alpha, beta, qx, qy)) = self.direct_pair(query) {
+            arbitrary::query_canonical_with(
+                &self.pair_indexes[0],
+                qx,
+                qy,
+                alpha,
+                beta,
+                k,
+                scratch,
+                shared,
+            )?;
+            return Ok(&scratch.answers);
         }
 
-        Ok(threshold_aggregate_with(
+        let streams = self.assemble_streams(query, k, scratch)?;
+
+        Ok(threshold_aggregate_shared(
             &self.data,
             &self.roles,
             query,
             k,
             streams,
             scratch,
+            shared,
         ))
+    }
+
+    /// Starts a suspended, resumable execution of this index's aggregation
+    /// — the engine's interleaved shard-scheduling entry point. The
+    /// returned [`ShardExecution`] owns all its mutable state (taken from
+    /// `scratch`; recovered by [`ShardExecution::finish_into`]), so one
+    /// execution per shard can be in flight simultaneously.
+    ///
+    /// Unlike [`SdIndex::query_shared`], single-pair queries do not take
+    /// the direct 2-D shortcut here — a suspended execution must expose
+    /// stream state — but the answer is bit-identical either way (both
+    /// paths are canonical).
+    pub fn begin_query<'i>(
+        &'i self,
+        query: &'i SdQuery,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<ShardExecution<'i>, SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if query.dims() != self.data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: self.data.dims(),
+                got: query.dims(),
+            });
+        }
+        let n = self.data.len();
+        let streams = if n == 0 {
+            scratch.stream_buf()
+        } else {
+            self.assemble_streams(query, k, scratch)?
+        };
+        let k_eff = k.min(n);
+        let mut pool = std::mem::take(&mut scratch.pool);
+        pool.clear();
+        pool.reserve(k_eff + streams.len());
+        let mut seen = std::mem::take(&mut scratch.seen);
+        seen.clear();
+        let mut answers = std::mem::take(&mut scratch.answers);
+        answers.clear();
+        answers.reserve(k_eff);
+        let mut floor = std::mem::take(&mut scratch.floor);
+        floor.clear();
+        Ok(ShardExecution {
+            data: self.data.as_ref(),
+            roles: &self.roles,
+            query,
+            k_eff,
+            publish: k_eff == k,
+            streams,
+            pool,
+            seen,
+            answers,
+            floor,
+            done: n == 0,
+        })
+    }
+
+    /// Assembles the subproblem streams for one query into the scratch's
+    /// recycled buffer, one planner decision per pair. Zero-weight streams
+    /// contribute neither bounds nor useful candidates and are dropped
+    /// outright.
+    fn assemble_streams<'i>(
+        &'i self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<Subproblem<'i>>, SdError> {
+        let n = self.data.len();
+        let mut streams = scratch.stream_buf();
+        streams.reserve(2 * self.pairs.len() + self.unpaired.len());
+        for (pi, (pair, index)) in self.pairs.iter().zip(&self.pair_indexes).enumerate() {
+            let alpha = query.weights[pair.repulsive];
+            let beta = query.weights[pair.attractive];
+            let qx = query.point[pair.attractive];
+            let qy = query.point[pair.repulsive];
+            let (action, _) = plan::plan_pair(
+                n,
+                k,
+                index.branching(),
+                alpha,
+                beta,
+                self.pair_indexed(index, alpha, beta),
+            );
+            match action {
+                PairAction::Degenerate => {} // contributes exactly 0 to every score
+                PairAction::OneDim => {
+                    let (att, rep) = &self.pair_columns()[pi];
+                    if beta != 0.0 {
+                        streams.push(Subproblem::attractive(att, qx, beta));
+                    }
+                    if alpha != 0.0 {
+                        streams.push(Subproblem::repulsive(rep, qy, alpha));
+                    }
+                }
+                PairAction::Frontier | PairAction::Bracketed => {
+                    match Pair2DStream::with_scratch(index, qx, qy, alpha, beta, n, scratch) {
+                        Ok(s) => streams.push(Subproblem::Pair2d(s)),
+                        Err(e) => {
+                            // Hand every buffer back before propagating.
+                            for s in streams.drain(..) {
+                                s.recycle(scratch);
+                            }
+                            scratch.put_streams(streams);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+        for (column, &dim) in self.columns.iter().zip(&self.unpaired) {
+            let w = query.weights[dim];
+            if w == 0.0 {
+                continue;
+            }
+            let q = query.point[dim];
+            match self.roles[dim] {
+                DimRole::Repulsive => streams.push(Subproblem::repulsive(column, q, w)),
+                DimRole::Attractive => streams.push(Subproblem::attractive(column, q, w)),
+            }
+        }
+        // All weights zero: no stream survived, but the aggregation still
+        // needs candidate discovery — enumerate rows at constant subscore.
+        if streams.is_empty() {
+            streams.push(Subproblem::degenerate(n as u32));
+        }
+        Ok(streams)
     }
 
     /// Answers a batch of queries in parallel with up to `threads` workers
@@ -323,12 +603,20 @@ impl SdIndex {
     /// one [`QueryScratch`] across its whole slice of the batch). Results
     /// keep the input order and are bit-identical to a serial
     /// [`SdIndex::query`] loop.
+    ///
+    /// `threads == 0` is **auto mode**: the worker count follows
+    /// [`std::thread::available_parallelism`], so a batch saturates
+    /// whatever cores the machine (or its cgroup) actually grants instead
+    /// of trusting a caller-fixed number. On a single-core host auto mode
+    /// degenerates to the serial loop — parallel batching cannot beat one
+    /// CPU.
     pub fn par_query_batch(
         &self,
         queries: &[SdQuery],
         k: usize,
         threads: usize,
     ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
+        let threads = resolve_threads(threads);
         if threads <= 1 || queries.len() <= 1 {
             let mut scratch = QueryScratch::new();
             return queries
@@ -372,13 +660,49 @@ impl SdIndex {
     }
 }
 
+/// Resolves a worker-count argument: `0` means auto — the host's available
+/// parallelism (1 when it cannot be determined).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Builds the per-pair `(attractive, repulsive)` sorted columns backing the
+/// planner's 1-D strategy.
+pub(crate) fn build_pair_columns(
+    data: &Dataset,
+    pairs: &[DimPair],
+) -> Vec<(SortedColumn, SortedColumn)> {
+    pairs
+        .iter()
+        .map(|p| {
+            (
+                SortedColumn::new(&data.column(p.attractive)),
+                SortedColumn::new(&data.column(p.repulsive)),
+            )
+        })
+        .collect()
+}
+
 /// The §5 aggregation loop, shared with the adapted-TA baseline (which uses
 /// one 1-D stream per dimension — precisely the configuration this
 /// degenerates to with zero pairs, as Fig. 7i–j observes).
 ///
-/// Exact: a candidate is emitted only when its exact full score reaches the
-/// (FP-inflated) threshold `τ = Σ` stream bounds; when any stream drains,
-/// all rows have been fetched and the pool is drained directly.
+/// Exact and **canonical**: a candidate is emitted only when its exact full
+/// score is strictly above the (FP-inflated) threshold `τ = Σ` stream
+/// bounds, so score ties always resolve through the pool's
+/// `(score, Reverse(row))` order — smallest row first — independent of
+/// stream fetch order. Two further stop rules terminate early without
+/// breaking canonicity (see [`query_frontier_with`] for the argument):
+/// the locally tracked k-th-best seen score, and the optional cross-shard
+/// [`SharedThreshold`] floor.
+///
+/// [`query_frontier_with`]: crate::topk::arbitrary::query_frontier_with
 fn aggregate_into(
     data: &Dataset,
     roles: &[DimRole],
@@ -386,20 +710,72 @@ fn aggregate_into(
     k: usize,
     streams: &mut [Subproblem<'_>],
     scratch: &mut QueryScratch,
+    shared: Option<&SharedThreshold>,
 ) {
     let pool = &mut scratch.pool;
     let seen = &mut scratch.seen;
     let answers = &mut scratch.answers;
+    let floor = &mut scratch.floor;
     pool.clear();
     seen.clear();
     answers.clear();
+    floor.clear();
     let k_eff = k.min(data.len());
+    // A floor over fewer than k real points cannot bound the global k-th
+    // score, so shards smaller than k never publish.
+    let publish = k_eff == k;
     // Pre-size: the pool holds at most one candidate per fetch round per
     // stream beyond the k answers still wanted.
     answers.reserve(k_eff);
     pool.reserve(k_eff + streams.len());
 
-    loop {
+    let done = aggregate_rounds(
+        data,
+        roles,
+        query,
+        k_eff,
+        publish,
+        streams,
+        pool,
+        seen,
+        answers,
+        floor,
+        shared,
+        usize::MAX,
+        &mut |_| {},
+    );
+    debug_assert!(done, "unbounded aggregation must complete");
+    answers.sort_unstable_by(rank_cmp);
+}
+
+/// Runs up to `rounds` iterations of the aggregation loop over
+/// caller-owned state; returns `true` once the query is complete (the
+/// answer buffer holds the canonical top `k_eff`, unsorted). The single
+/// implementation behind [`aggregate_into`] (run to completion) and
+/// [`ShardExecution::step`] (interleaved shard execution).
+///
+/// `on_score` observes the exact full score of every newly fetched
+/// distinct row — the engine feeds these into its merged cross-shard
+/// k-th-score tracker.
+#[allow(clippy::too_many_arguments)] // internal: one call site per mode
+fn aggregate_rounds<F: FnMut(f64)>(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k_eff: usize,
+    publish: bool,
+    streams: &mut [Subproblem<'_>],
+    pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
+    seen: &mut FastSet,
+    answers: &mut Vec<ScoredPoint>,
+    floor: &mut BinaryHeap<Reverse<OrdF64>>,
+    shared: Option<&SharedThreshold>,
+    mut rounds: usize,
+    on_score: &mut F,
+) -> bool {
+    while rounds > 0 {
+        rounds -= 1;
+
         // Threshold over rows unseen by *every* stream.
         let mut tau = 0.0;
         let mut any_drained = false;
@@ -410,10 +786,11 @@ fn aggregate_into(
             }
         }
 
-        // Emit certified candidates.
+        // Emit certified candidates (strictly above the bound; once any
+        // stream drained, every row has been fetched and pops are final).
         while answers.len() < k_eff {
             match pool.peek() {
-                Some(&(OrdF64(s), Reverse(row))) if any_drained || s >= inflate(tau) => {
+                Some(&(OrdF64(s), Reverse(row))) if any_drained || s > inflate(tau) => {
                     pool.pop();
                     answers.push(ScoredPoint::new(PointId::new(row), s));
                 }
@@ -421,20 +798,53 @@ fn aggregate_into(
             }
         }
         if answers.len() >= k_eff {
-            break;
+            return true;
         }
         if any_drained && pool.is_empty() {
-            break;
+            return true;
+        }
+
+        // k-th-score floor: once k exact scores are known — here or in a
+        // sibling shard — and τ certifies every unfetched row is strictly
+        // below them, the remaining answers are already pooled.
+        if !any_drained {
+            let mut f = f64::NEG_INFINITY;
+            if floor.len() == k_eff {
+                f = floor.peek().expect("floor is non-empty").0 .0;
+                if publish {
+                    if let Some(h) = shared {
+                        h.raise(f);
+                    }
+                }
+            }
+            if let Some(h) = shared {
+                f = f.max(h.floor());
+            }
+            if f > inflate(tau) {
+                while answers.len() < k_eff {
+                    match pool.pop() {
+                        Some((OrdF64(s), Reverse(row))) => {
+                            answers.push(ScoredPoint::new(PointId::new(row), s))
+                        }
+                        None => break,
+                    }
+                }
+                return true;
+            }
         }
 
         // One fetch per subproblem per iteration (§5's "top point is
-        // fetched for each of the subproblems").
+        // fetched for each of the subproblems"). Measured against both a
+        // highest-bound-first schedule and batched pulls: round-robin
+        // single pulls fetch the fewest rows, and fetches dominate cost.
         let mut progressed = false;
         for s in streams.iter_mut() {
             if let Some((row, _)) = s.next() {
                 progressed = true;
                 if seen.insert(row) {
                     let score = sd_score_point(data, PointId::new(row), query, roles);
+                    track_floor(floor, k_eff, score);
+                    on_score(score);
                     pool.push((OrdF64::new(score), Reverse(row)));
                 }
             }
@@ -449,10 +859,88 @@ fn aggregate_into(
                     None => break,
                 }
             }
-            break;
+            return true;
         }
     }
-    answers.sort_unstable_by(rank_cmp);
+    false
+}
+
+/// A suspended, resumable execution of one index's §5 aggregation — the
+/// unit the sharded engine schedules. Obtain one with
+/// [`SdIndex::begin_query`], advance it in slices with
+/// [`ShardExecution::step`] (interleaving slices of *other* shards'
+/// executions in between, so the cross-shard floor converges while every
+/// shard is still early in its descent), and recover the canonical answer
+/// with [`ShardExecution::finish_into`].
+///
+/// All mutable state is owned (taken out of a [`QueryScratch`] at start,
+/// returned at finish), so any number of executions can be in flight at
+/// once against the same or different indexes.
+pub struct ShardExecution<'i> {
+    data: &'i Dataset,
+    roles: &'i [DimRole],
+    query: &'i SdQuery,
+    k_eff: usize,
+    publish: bool,
+    streams: Vec<Subproblem<'i>>,
+    pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    seen: FastSet,
+    answers: Vec<ScoredPoint>,
+    floor: BinaryHeap<Reverse<OrdF64>>,
+    done: bool,
+}
+
+impl<'i> ShardExecution<'i> {
+    /// `true` once the execution has produced its canonical answer.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Runs up to `rounds` aggregation iterations (one fetch per stream
+    /// each). Publishes into / prunes against `shared` exactly like
+    /// [`SdIndex::query_shared`]; `on_score` observes every newly scored
+    /// row's exact score. Returns `true` once complete.
+    pub fn step<F: FnMut(f64)>(
+        &mut self,
+        rounds: usize,
+        shared: Option<&SharedThreshold>,
+        mut on_score: F,
+    ) -> bool {
+        if !self.done {
+            self.done = aggregate_rounds(
+                self.data,
+                self.roles,
+                self.query,
+                self.k_eff,
+                self.publish,
+                &mut self.streams,
+                &mut self.pool,
+                &mut self.seen,
+                &mut self.answers,
+                &mut self.floor,
+                shared,
+                rounds,
+                &mut on_score,
+            );
+        }
+        self.done
+    }
+
+    /// Sorts the canonical answer into `scratch.answers` and hands every
+    /// buffer back to the scratch for reuse. Must only be called once
+    /// [`ShardExecution::done`] returns `true`.
+    pub fn finish_into(mut self, scratch: &mut QueryScratch) {
+        debug_assert!(self.done, "finish_into before completion");
+        self.answers.sort_unstable_by(rank_cmp);
+        for s in self.streams.drain(..) {
+            s.recycle(scratch);
+        }
+        scratch.put_streams(self.streams);
+        scratch.pool = self.pool;
+        scratch.seen = self.seen;
+        scratch.floor = self.floor;
+        scratch.answers = self.answers;
+    }
 }
 
 /// The §5 aggregation loop over caller-assembled streams, allocating its
@@ -466,7 +954,7 @@ pub fn threshold_aggregate(
     streams: &mut [Subproblem<'_>],
 ) -> Vec<ScoredPoint> {
     let mut scratch = QueryScratch::new();
-    aggregate_into(data, roles, query, k, streams, &mut scratch);
+    aggregate_into(data, roles, query, k, streams, &mut scratch, None);
     std::mem::take(&mut scratch.answers)
 }
 
@@ -480,10 +968,30 @@ pub fn threshold_aggregate_with<'a, 's>(
     roles: &[DimRole],
     query: &SdQuery,
     k: usize,
-    mut streams: Vec<Subproblem<'a>>,
+    streams: Vec<Subproblem<'a>>,
     scratch: &'s mut QueryScratch,
 ) -> &'s [ScoredPoint] {
-    aggregate_into(data, roles, query, k, &mut streams, scratch);
+    threshold_aggregate_shared(data, roles, query, k, streams, scratch, None)
+}
+
+/// [`threshold_aggregate_with`] with an optional cross-execution
+/// [`SharedThreshold`]: the loop publishes its running k-th-best exact
+/// score into the handle and terminates as soon as the handle's floor
+/// (raised concurrently by sibling shard executions of the same logical
+/// query) certifiably beats the admissible bound `τ` on every unfetched
+/// row. Canonical regardless of floor staleness; with a floor the answer
+/// may hold fewer than `k` points — every omitted one is strictly below a
+/// score attained by `k` real points elsewhere.
+pub fn threshold_aggregate_shared<'a, 's>(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    mut streams: Vec<Subproblem<'a>>,
+    scratch: &'s mut QueryScratch,
+    shared: Option<&SharedThreshold>,
+) -> &'s [ScoredPoint] {
+    aggregate_into(data, roles, query, k, &mut streams, scratch, shared);
     for s in streams.drain(..) {
         s.recycle(scratch);
     }
@@ -539,22 +1047,7 @@ impl<'a> Pair2DStream<'a> {
         }
         let theta = Angle::from_weights(alpha, beta)?;
         let r = alpha.hypot(beta);
-        let eval = match index.indexed_angle(&theta) {
-            Some(i) => FrontierEval::Single {
-                angle: index.angles()[i],
-                angle_i: i,
-            },
-            None => {
-                let (lo, hi) = index.bracketing(&theta)?;
-                FrontierEval::Dual {
-                    lo: index.angles()[lo],
-                    lo_i: lo,
-                    hi: index.angles()[hi],
-                    hi_i: hi,
-                    theta,
-                }
-            }
-        };
+        let eval = index.frontier_eval(&theta)?;
         Ok(Pair2DStream {
             inner: PairInner::Tree {
                 frontier: PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle()),

@@ -70,6 +70,11 @@ pub struct QueryScratch {
     pub(crate) answers: Vec<ScoredPoint>,
     /// Row/position staging buffer (packed bracketing candidates).
     pub(crate) rows: Vec<u32>,
+    /// Min-heap over the best `k` exact scores seen so far by the running
+    /// query — the k-th-best floor that powers early termination and the
+    /// cross-shard [`SharedThreshold`](crate::threshold::SharedThreshold)
+    /// publishing.
+    pub(crate) floor: BinaryHeap<Reverse<OrdF64>>,
     /// Recycled subproblem list of the §5 aggregation. Empty between
     /// queries; only the allocation is retained.
     subproblems: Vec<Subproblem<'static>>,
@@ -80,6 +85,14 @@ impl QueryScratch {
     /// afterwards.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The answer buffer of the most recent query (or
+    /// [`ShardExecution::finish_into`](crate::multidim::ShardExecution::finish_into))
+    /// served from this scratch — the same slice the `query_with` entry
+    /// points return a borrow of.
+    pub fn answers(&self) -> &[ScoredPoint] {
+        &self.answers
     }
 
     /// Pops a recycled angle-stream scratch (or a fresh one).

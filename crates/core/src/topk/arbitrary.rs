@@ -35,7 +35,8 @@ use super::TopKIndex;
 use crate::geometry::Angle;
 use crate::score::rank_cmp;
 use crate::scratch::QueryScratch;
-use crate::types::{OrdF64, ScoredPoint, SdError};
+use crate::threshold::{track_floor, SharedThreshold};
+use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
 
 /// Ties at the θ_u cut are padded within this relative score slack so a
 /// floating-point-equal prefix boundary cannot exclude a true answer.
@@ -109,7 +110,6 @@ pub(crate) fn query_bracketed_with(
     scratch: &mut QueryScratch,
 ) -> Result<(), SdError> {
     let (lo, hi) = index.bracketing(theta)?;
-    let r = alpha.hypot(beta);
     let eval = FrontierEval::Dual {
         lo: index.angles[lo],
         lo_i: lo,
@@ -117,41 +117,129 @@ pub(crate) fn query_bracketed_with(
         hi_i: hi,
         theta: *theta,
     };
-    let mut frontier = PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle());
+    query_frontier_with(index, qx, qy, alpha, beta, k, eval, scratch, None);
+    Ok(())
+}
 
+/// Full 2-D query over one §4 tree as a single certified frontier search —
+/// the engine's *direct* strategy for single-pair queries. Picks the
+/// indexed-angle frontier when θ_q is indexed and the Claim 6 bracketed
+/// frontier otherwise; either way the emission is **canonical** (score
+/// descending, ties by slot ascending), so the result is bit-identical to
+/// what the §5 aggregation produces for the same pair.
+#[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
+pub(crate) fn query_canonical_with(
+    index: &TopKIndex,
+    qx: f64,
+    qy: f64,
+    alpha: f64,
+    beta: f64,
+    k: usize,
+    scratch: &mut QueryScratch,
+    shared: Option<&SharedThreshold>,
+) -> Result<(), SdError> {
+    let theta = Angle::from_weights(alpha, beta)?;
+    let eval = index.frontier_eval(&theta)?;
+    query_frontier_with(index, qx, qy, alpha, beta, k, eval, scratch, shared);
+    Ok(())
+}
+
+/// The shared certified-frontier loop behind both entry points above.
+///
+/// Canonical-emission invariant: a pooled candidate is emitted only when
+/// its exact score is **strictly** above the inflated admissible bound on
+/// everything unsurfaced, so score ties always resolve through the pool's
+/// `(score, Reverse(slot))` order — smallest slot first — independent of
+/// frontier traversal order. Two additional stop rules terminate early
+/// without breaking canonicity:
+///
+/// * **k-th-score floor**: once `k` exact scores have been seen, no
+///   unsurfaced point strictly below the k-th of them can enter the answer;
+///   when the admissible bound falls below that floor the pool drains
+///   directly (in canonical order).
+/// * **shared floor**: the same rule against the cross-shard
+///   [`SharedThreshold`] floor, which other shards of the same logical
+///   query raise concurrently. Every candidate this search drops is
+///   strictly below a score attained by `k` real points elsewhere, so the
+///   global merge cannot miss an answer.
+#[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
+pub(crate) fn query_frontier_with(
+    index: &TopKIndex,
+    qx: f64,
+    qy: f64,
+    alpha: f64,
+    beta: f64,
+    k: usize,
+    eval: FrontierEval,
+    scratch: &mut QueryScratch,
+    shared: Option<&SharedThreshold>,
+) {
+    let r = alpha.hypot(beta);
+    let mut frontier = PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle());
     let k_eff = k.min(index.n_alive);
+    // The floor is only publishable when it covers k real points; a tree
+    // with fewer than k live points can never certify a global k-th score.
+    let publish = k_eff == k;
     {
         let QueryScratch {
             pool,
             seen,
             answers,
+            floor,
             ..
         } = &mut *scratch;
         pool.clear();
         seen.clear();
         answers.clear();
+        floor.clear();
         answers.reserve(k_eff);
 
         while answers.len() < k_eff {
-            // Certified emission: a pooled exact score that dominates the
-            // admissible bound on everything unsurfaced is final.
             let threshold = frontier.bound().map(|b| r * b);
+            // Certified canonical emission.
             if let Some(&(OrdF64(s), Reverse(slot))) = pool.peek() {
                 let done = match threshold {
-                    Some(t) => s >= inflate(t),
+                    Some(t) => s > inflate(t),
                     None => true,
                 };
                 if done {
                     pool.pop();
-                    answers.push(ScoredPoint::new(crate::types::PointId::new(slot), s));
+                    answers.push(ScoredPoint::new(PointId::new(slot), s));
                     continue;
                 }
             } else if threshold.is_none() {
                 break;
             }
+            // Floor-based early termination.
+            if let Some(t) = threshold {
+                let mut f = f64::NEG_INFINITY;
+                if floor.len() == k_eff {
+                    f = floor.peek().expect("floor is non-empty").0 .0;
+                    if publish {
+                        if let Some(h) = shared {
+                            h.raise(f);
+                        }
+                    }
+                }
+                if let Some(h) = shared {
+                    f = f.max(h.floor());
+                }
+                if f > inflate(t) {
+                    while answers.len() < k_eff {
+                        match pool.pop() {
+                            Some((OrdF64(s), Reverse(slot))) => {
+                                answers.push(ScoredPoint::new(PointId::new(slot), s))
+                            }
+                            None => break,
+                        }
+                    }
+                    break;
+                }
+            }
             if let Some((slot, _)) = frontier.next_raw() {
                 if seen.insert(slot) {
                     let sp = index.rescore(slot, qx, qy, alpha, beta);
+                    track_floor(floor, k_eff, sp.score);
                     pool.push((OrdF64::new(sp.score), Reverse(slot)));
                 }
             }
@@ -159,7 +247,6 @@ pub(crate) fn query_bracketed_with(
         answers.sort_unstable_by(rank_cmp);
     }
     scratch.put_angle(frontier.into_scratch());
-    Ok(())
 }
 
 /// Alg. 4 exactly as published (kept for fidelity and comparison; see the

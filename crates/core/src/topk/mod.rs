@@ -339,6 +339,30 @@ impl TopKIndex {
             .position(|a| (a.sin * theta.cos - a.cos * theta.sin).abs() < 1e-12)
     }
 
+    /// How a frontier evaluates nodes at `theta`: directly against its
+    /// bound table when `theta` is indexed, through the Claim 6 per-node
+    /// `dual_bound` bracket otherwise. The single source of this decision —
+    /// the §5 pair streams and the direct 2-D path must agree on it or
+    /// their bit-identity contract breaks.
+    pub(crate) fn frontier_eval(&self, theta: &Angle) -> Result<stream::FrontierEval, SdError> {
+        Ok(match self.indexed_angle(theta) {
+            Some(i) => stream::FrontierEval::Single {
+                angle: self.angles[i],
+                angle_i: i,
+            },
+            None => {
+                let (lo, hi) = self.bracketing(theta)?;
+                stream::FrontierEval::Dual {
+                    lo: self.angles[lo],
+                    lo_i: lo,
+                    hi: self.angles[hi],
+                    hi_i: hi,
+                    theta: *theta,
+                }
+            }
+        })
+    }
+
     /// The two consecutive indexed angles bracketing `theta`.
     pub(crate) fn bracketing(&self, theta: &Angle) -> Result<(usize, usize), SdError> {
         let deg = theta.degrees();

@@ -1,0 +1,776 @@
+//! # sdq-engine
+//!
+//! The unified query-execution layer of the SD-Query workspace: one front
+//! door ([`SdEngine`]) that plans, shards and merges every top-k query.
+//!
+//! ```text
+//!                         SdEngine::query_with
+//!                                 │
+//!                    ┌────────────▼────────────┐
+//!                    │  planner (per shard ×   │   cost model: indexed-angle
+//!                    │  per pair cost model)   │   availability, n per shard,
+//!                    └────────────┬────────────┘   k, weight vector
+//!                                 │
+//!              ┌──────────────────┼──────────────────┐
+//!        ┌─────▼─────┐      ┌─────▼─────┐      ┌─────▼─────┐
+//!        │  shard 0  │      │  shard 1  │  …   │ shard S−1 │  one SdIndex +
+//!        │ (SdIndex) │      │ (SdIndex) │      │ (SdIndex) │  QueryScratch
+//!        └─────┬─────┘      └─────┬─────┘      └─────┬─────┘  per shard
+//!              │    ▲             │    ▲             │    ▲
+//!              └────╂─────────────┴────╂─────────────┘    ┃
+//!                   ┗━━━━━ SharedThreshold (atomic ━━━━━━━┛
+//!                          k-th-score floor; raised by every
+//!                          shard, pruned against by all)
+//!                                 │
+//!                    ┌────────────▼────────────┐
+//!                    │    exact k-way merge    │   (score desc, id asc)
+//!                    └────────────┬────────────┘
+//!                                 │
+//!                          top-k answer
+//! ```
+//!
+//! ## Why sharding helps
+//!
+//! A monolithic [`SdIndex`] query is one sequential tree walk — batch QPS is
+//! flat no matter how many cores serve it. The engine partitions the dataset
+//! into `S` contiguous shards at build time, each with its own `SdIndex`
+//! (per-pair §4 trees + sorted columns) over its row range. A query runs one
+//! §5 aggregation per shard — in parallel across however many workers the
+//! host grants — and the per-shard `Subproblem` bounds stay admissible
+//! because they are additive over disjoint point sets.
+//!
+//! The [`SharedThreshold`] is what keeps sharding from multiplying work: the
+//! k-th best *exact* score seen by any shard is a lower bound on the final
+//! global k-th score, so every other shard terminates its aggregation as
+//! soon as its own admissible bound `τ` falls below that floor. Later (or
+//! slower) shards effectively only verify that they hold nothing better
+//! than the current global top-k.
+//!
+//! ## Exactness
+//!
+//! Results are **bit-identical** to the unsharded [`SdIndex::query`] path —
+//! including ties at the k-th score — because every execution strategy
+//! emits the *canonical* answer (score descending, ties by row id
+//! ascending) and per-point scores are computed by the same kernel on the
+//! same coordinates. The merge compares with
+//! [`rank_cmp`](sdq_core::score::rank_cmp) over globalised row ids, which
+//! is a total order. Property tests in `tests/engine_equivalence.rs` pin
+//! this across random datasets, roles, weights, `k` and shard counts.
+//!
+//! ## Migration
+//!
+//! [`SdIndex::query`] (and the 2-D `TopKIndex`/`PackedTopKIndex` entry
+//! points) remain fully supported; the engine is the recommended front door
+//! for serving — it subsumes them as plan strategies and adds sharding,
+//! cross-shard pruning and batch execution. `SdEngine::build_with` with
+//! `shards = 1` behaves exactly like a planned `SdIndex` with engine
+//! ergonomics.
+//!
+//! ```
+//! use sdq_core::{Dataset, DimRole, SdQuery};
+//! use sdq_engine::{EngineOptions, EngineScratch, SdEngine};
+//!
+//! let rows: Vec<Vec<f64>> = (0..64)
+//!     .map(|i| vec![i as f64, (64 - i) as f64, (i * i % 17) as f64])
+//!     .collect();
+//! let data = Dataset::from_rows(3, &rows).unwrap();
+//! let roles = vec![DimRole::Attractive, DimRole::Repulsive, DimRole::Repulsive];
+//! let engine = SdEngine::build_with(
+//!     data,
+//!     &roles,
+//!     &EngineOptions { shards: 4, ..EngineOptions::default() },
+//! )
+//! .unwrap();
+//!
+//! let mut scratch = EngineScratch::new();
+//! let query = SdQuery::uniform_weights(vec![10.0, 30.0, 5.0], &roles);
+//! let top = engine.query_with(&query, 5, &mut scratch).unwrap();
+//! assert_eq!(top.len(), 5);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use sdq_core::multidim::{resolve_threads, QueryPlan, SdIndex, SdIndexOptions};
+use sdq_core::score::rank_cmp;
+use sdq_core::threshold::{track_floor, SharedThreshold};
+use sdq_core::{Dataset, DimRole, OrdF64, PointId, QueryScratch, ScoredPoint, SdError, SdQuery};
+
+/// Tuning knobs for [`SdEngine::build_with`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Number of shards (`≥ 1`; capped at the row count so no shard is
+    /// empty). Contiguous row ranges, balanced within one row.
+    pub shards: usize,
+    /// Worker threads for shard execution inside a single query; `0` means
+    /// auto ([`std::thread::available_parallelism`]).
+    pub threads: usize,
+    /// Per-shard [`SdIndex`] build options (pairing, angles, branching).
+    pub index: SdIndexOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            shards: 1,
+            threads: 0,
+            index: SdIndexOptions::default(),
+        }
+    }
+}
+
+/// Layout and footprint of one shard, as reported by
+/// [`SdEngine::shard_infos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// First global row id this shard covers.
+    pub offset: usize,
+    /// Number of rows in the shard.
+    pub rows: usize,
+    /// Approximate heap footprint of the shard's index structures.
+    pub memory_bytes: usize,
+}
+
+/// Reusable execution state for one engine consumer: per-worker
+/// [`QueryScratch`]es, per-shard result staging, merge cursors and the
+/// engine-level k-th-score tracker. Keep one per serving thread and reuse
+/// it across queries — all the *per-candidate* buffers (heaps, pools,
+/// seen-sets, answer lists) are recycled, so the inner aggregation stays
+/// allocation-free after warm-up; the scheduler itself still stages one
+/// small control struct per shard per query.
+#[derive(Default)]
+pub struct EngineScratch {
+    workers: Vec<QueryScratch>,
+    lists: Vec<Vec<ScoredPoint>>,
+    heads: Vec<usize>,
+    floor: BinaryHeap<Reverse<OrdF64>>,
+    answers: Vec<ScoredPoint>,
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    fn ensure(&mut self, shards: usize, workers: usize) {
+        if self.lists.len() != shards {
+            self.lists.resize_with(shards, Vec::new);
+        }
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, QueryScratch::new);
+        }
+    }
+}
+
+/// The sharded SD-Query execution engine: the recommended front door for
+/// every query. See the crate docs for the architecture.
+///
+/// Queries never mutate the engine, so one `SdEngine` is freely shared
+/// across threads; each consumer keeps its own [`EngineScratch`].
+#[derive(Debug, Clone)]
+pub struct SdEngine {
+    // The coordinates live only inside the shard indexes (each SdIndex owns
+    // its sub-dataset); the engine keeps just the global shape, so building
+    // or restoring an engine never duplicates the dataset.
+    dims: usize,
+    rows: usize,
+    roles: Vec<DimRole>,
+    /// First global row of shard `i` (parallel to `shards`).
+    offsets: Vec<u32>,
+    shards: Vec<SdIndex>,
+    threads: usize,
+}
+
+impl SdEngine {
+    /// Builds a single-shard engine with default options.
+    pub fn build(data: impl Into<Arc<Dataset>>, roles: &[DimRole]) -> Result<Self, SdError> {
+        Self::build_with(data, roles, &EngineOptions::default())
+    }
+
+    /// Builds the engine: partitions the dataset into contiguous shards and
+    /// builds one [`SdIndex`] per shard.
+    pub fn build_with(
+        data: impl Into<Arc<Dataset>>,
+        roles: &[DimRole],
+        options: &EngineOptions,
+    ) -> Result<Self, SdError> {
+        let data: Arc<Dataset> = data.into();
+        if roles.len() != data.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: data.dims(),
+                got: roles.len(),
+            });
+        }
+        let n = data.len();
+        let dims = data.dims();
+        let s = options.shards.max(1).min(n.max(1));
+        let mut shards = Vec::with_capacity(s);
+        let mut offsets = Vec::with_capacity(s);
+        if n > 0 {
+            for i in 0..s {
+                let a = i * n / s;
+                let b = (i + 1) * n / s;
+                let sub = Dataset::from_flat(dims, data.flat()[a * dims..b * dims].to_vec())?;
+                shards.push(SdIndex::build_with(sub, roles, &options.index)?);
+                offsets.push(a as u32);
+            }
+        }
+        Ok(SdEngine {
+            dims,
+            rows: n,
+            roles: roles.to_vec(),
+            offsets,
+            shards,
+            threads: options.threads,
+        })
+    }
+
+    /// Reassembles an engine from per-shard indexes (the snapshot restore
+    /// path). Shards must share `roles` and dimensionality; global row ids
+    /// are their row-order concatenation.
+    pub fn from_parts(
+        dims: usize,
+        roles: Vec<DimRole>,
+        shards: Vec<SdIndex>,
+    ) -> Result<Self, SdError> {
+        if dims == 0 {
+            return Err(SdError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if roles.len() != dims {
+            return Err(SdError::DimensionMismatch {
+                expected: dims,
+                got: roles.len(),
+            });
+        }
+        let mut offsets = Vec::with_capacity(shards.len());
+        let mut rows = 0usize;
+        for shard in &shards {
+            if shard.data().dims() != dims {
+                return Err(SdError::DimensionMismatch {
+                    expected: dims,
+                    got: shard.data().dims(),
+                });
+            }
+            if shard.roles() != roles.as_slice() {
+                return Err(SdError::RoleMismatch);
+            }
+            offsets.push(rows as u32);
+            rows += shard.data().len();
+            if rows > u32::MAX as usize {
+                return Err(SdError::TooManyPoints(rows));
+            }
+        }
+        Ok(SdEngine {
+            dims,
+            rows,
+            roles,
+            offsets,
+            shards,
+            threads: 0,
+        })
+    }
+
+    /// Wraps one existing [`SdIndex`] as a single-shard engine.
+    pub fn single(index: SdIndex) -> Result<Self, SdError> {
+        Self::from_parts(index.data().dims(), index.roles().to_vec(), vec![index])
+    }
+
+    /// Dimensions per point.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Build-time dimension roles.
+    pub fn roles(&self) -> &[DimRole] {
+        &self.roles
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when the engine indexes no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard indexes, in row order.
+    pub fn shards(&self) -> &[SdIndex] {
+        &self.shards
+    }
+
+    /// Sets the per-query shard worker count (`0` = auto).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Approximate heap footprint of all shard index structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(SdIndex::memory_bytes).sum()
+    }
+
+    /// Per-shard layout and footprint, in row order.
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        self.shards
+            .iter()
+            .zip(&self.offsets)
+            .map(|(shard, &offset)| ShardInfo {
+                offset: offset as usize,
+                rows: shard.data().len(),
+                memory_bytes: shard.memory_bytes(),
+            })
+            .collect()
+    }
+
+    /// The planner's decision for `query` on every shard (shard sizes
+    /// differ, so strategies can too). Observability for `sdq inspect`.
+    ///
+    /// Reflects the engine's configured execution mode: the single-worker
+    /// interleaved scheduler runs suspended aggregations (no direct 2-D
+    /// shortcut), while one-shard or multi-worker execution plans exactly
+    /// like a standalone [`SdIndex`].
+    pub fn explain(&self, query: &SdQuery, k: usize) -> Result<Vec<QueryPlan>, SdError> {
+        let s = self.shards.len();
+        let interleaved = s > 1 && resolve_threads(self.threads).clamp(1, s) == 1;
+        self.shards
+            .iter()
+            .map(|shard| {
+                if interleaved {
+                    shard.plan_aggregate(query, k)
+                } else {
+                    shard.plan(query, k)
+                }
+            })
+            .collect()
+    }
+
+    /// Answers the top-k query, allocating fresh scratch state. Steady-state
+    /// callers should prefer [`SdEngine::query_with`].
+    pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        let mut scratch = EngineScratch::new();
+        Ok(self.query_with(query, k, &mut scratch)?.to_vec())
+    }
+
+    /// Answers the top-k query with caller-owned scratch buffers, executing
+    /// shards across up to the configured worker count (see
+    /// [`EngineOptions::threads`]; `0` = auto). Returns a slice borrowed
+    /// from the scratch, **bit-identical** to the unsharded
+    /// [`SdIndex::query`] over the same data — regardless of shard count,
+    /// worker count or threshold-sharing timing.
+    pub fn query_with<'s>(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &'s mut EngineScratch,
+    ) -> Result<&'s [ScoredPoint], SdError> {
+        let workers = resolve_threads(self.threads);
+        self.query_inner(query, k, scratch, workers)?;
+        Ok(&scratch.answers)
+    }
+
+    fn query_inner(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &mut EngineScratch,
+        workers: usize,
+    ) -> Result<(), SdError> {
+        if k == 0 {
+            return Err(SdError::ZeroK);
+        }
+        if query.dims() != self.dims {
+            return Err(SdError::DimensionMismatch {
+                expected: self.dims,
+                got: query.dims(),
+            });
+        }
+        scratch.answers.clear();
+        let s = self.shards.len();
+        if s == 0 {
+            return Ok(());
+        }
+        let w = workers.clamp(1, s);
+        scratch.ensure(s, w);
+        let shared = SharedThreshold::new();
+
+        if w == 1 && s == 1 {
+            // One shard: the monolithic path (including its direct 2-D
+            // single-pair shortcut) with no cross-shard machinery.
+            let EngineScratch { workers, lists, .. } = &mut *scratch;
+            let qs = &mut workers[0];
+            let res = self.shards[0].query_shared(query, k, qs, None)?;
+            let out = &mut lists[0];
+            out.clear();
+            out.extend(
+                res.iter().map(|sp| {
+                    ScoredPoint::new(PointId::new(self.offsets[0] + sp.id.raw()), sp.score)
+                }),
+            );
+        } else if w == 1 {
+            // Single-worker, multiple shards: *interleave* the shard
+            // aggregations in small slices and keep a merged k-of-union
+            // floor over every score any slice has seen. The floor reaches
+            // the global k-th within a few rounds, so every shard —
+            // including the first — terminates against a near-final floor
+            // instead of its own weaker local one (measured ≈ the oracle
+            // floor's cost, where strictly sequential shard execution
+            // leaves the first shard floorless).
+            scratch.ensure(s, s); // one owned execution state per shard
+            let EngineScratch {
+                workers,
+                lists,
+                floor,
+                ..
+            } = &mut *scratch;
+            floor.clear();
+            let mut runs = Vec::with_capacity(s);
+            for (shard, qs) in self.shards.iter().zip(workers.iter_mut()) {
+                runs.push(shard.begin_query(query, k, qs)?);
+            }
+            // Rounds per slice: enough that each slice makes real bound
+            // progress, small enough that the merged floor forms while
+            // every shard is still early in its descent.
+            const SLICE_ROUNDS: usize = 8;
+            loop {
+                let mut all_done = true;
+                for run in runs.iter_mut() {
+                    if !run.done() {
+                        run.step(SLICE_ROUNDS, Some(&shared), |score| {
+                            track_floor(floor, k, score);
+                        });
+                        all_done &= run.done();
+                    }
+                }
+                if floor.len() == k {
+                    shared.raise(floor.peek().expect("floor is non-empty").0 .0);
+                }
+                if all_done {
+                    break;
+                }
+            }
+            for ((run, qs), (out, &offset)) in runs
+                .into_iter()
+                .zip(workers.iter_mut())
+                .zip(lists.iter_mut().zip(&self.offsets))
+            {
+                run.finish_into(qs);
+                out.clear();
+                out.extend(
+                    qs.answers()
+                        .iter()
+                        .map(|sp| ScoredPoint::new(PointId::new(offset + sp.id.raw()), sp.score)),
+                );
+            }
+        } else {
+            // Parallel execution: contiguous shard chunks per worker, the
+            // atomic threshold carries the global floor across workers.
+            let chunk = s.div_ceil(w);
+            let results: Vec<Result<(), SdError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks(chunk)
+                    .zip(self.offsets.chunks(chunk))
+                    .zip(scratch.lists.chunks_mut(chunk))
+                    .zip(scratch.workers.iter_mut())
+                    .map(|(((shard_chunk, off_chunk), lists_chunk), qs)| {
+                        let shared = &shared;
+                        scope.spawn(move || -> Result<(), SdError> {
+                            for ((shard, &offset), out) in shard_chunk
+                                .iter()
+                                .zip(off_chunk)
+                                .zip(lists_chunk.iter_mut())
+                            {
+                                let res = shard.query_shared(query, k, qs, Some(shared))?;
+                                out.clear();
+                                out.reserve(res.len());
+                                for sp in res {
+                                    out.push(ScoredPoint::new(
+                                        PointId::new(offset + sp.id.raw()),
+                                        sp.score,
+                                    ));
+                                }
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+
+        // Exact k-way merge over the per-shard canonical lists. Global ids
+        // are unique, so rank_cmp is a total order and the merge output is
+        // the canonical global top-k.
+        let EngineScratch {
+            lists,
+            heads,
+            answers,
+            ..
+        } = &mut *scratch;
+        let k_eff = k.min(self.rows);
+        heads.clear();
+        heads.resize(lists.len(), 0);
+        answers.reserve(k_eff);
+        while answers.len() < k_eff {
+            let mut best: Option<usize> = None;
+            for (i, list) in lists.iter().enumerate() {
+                if heads[i] < list.len() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            rank_cmp(&list[heads[i]], &lists[b][heads[b]])
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            match best {
+                Some(i) => {
+                    answers.push(lists[i][heads[i]]);
+                    heads[i] += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of queries in parallel with up to `threads` workers
+    /// (`0` = auto), one [`EngineScratch`] per worker; each query executes
+    /// its shards sequentially inside its worker so the batch keeps every
+    /// core busy without oversubscription. Results keep the input order and
+    /// are bit-identical to a serial [`SdEngine::query`] loop.
+    pub fn par_query_batch(
+        &self,
+        queries: &[SdQuery],
+        k: usize,
+        threads: usize,
+    ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
+        let threads = resolve_threads(threads);
+        if threads <= 1 || queries.len() <= 1 {
+            let mut scratch = EngineScratch::new();
+            return queries
+                .iter()
+                .map(|q| {
+                    self.query_inner(q, k, &mut scratch, 1)?;
+                    Ok(scratch.answers.clone())
+                })
+                .collect();
+        }
+        let n_workers = threads.min(queries.len());
+        type Bucket = Vec<(usize, Result<Vec<ScoredPoint>, SdError>)>;
+        let buckets: Vec<Bucket> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut scratch = EngineScratch::new();
+                        queries
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(n_workers)
+                            .map(|(i, q)| {
+                                let r = self
+                                    .query_inner(q, k, &mut scratch, 1)
+                                    .map(|()| scratch.answers.clone());
+                                (i, r)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Vec<ScoredPoint>> = vec![Vec::new(); queries.len()];
+        for bucket in buckets {
+            for (i, r) in bucket {
+                out[i] = r?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdq_core::multidim::PairAction;
+
+    fn sample(n: usize, dims: usize) -> (Dataset, Vec<DimRole>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| ((i * 31 + d * 17) % 101) as f64 * 0.13 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let roles: Vec<DimRole> = (0..dims)
+            .map(|d| {
+                if d % 2 == 0 {
+                    DimRole::Attractive
+                } else {
+                    DimRole::Repulsive
+                }
+            })
+            .collect();
+        (Dataset::from_rows(dims, &rows).unwrap(), roles)
+    }
+
+    fn engine(n: usize, dims: usize, shards: usize) -> SdEngine {
+        let (data, roles) = sample(n, dims);
+        SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions {
+                shards,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_layout_is_contiguous_and_balanced() {
+        let e = engine(103, 4, 4);
+        assert_eq!(e.shard_count(), 4);
+        let infos = e.shard_infos();
+        let mut next = 0;
+        for info in &infos {
+            assert_eq!(info.offset, next);
+            next += info.rows;
+            assert!(info.rows >= 103 / 4);
+            assert!(info.memory_bytes > 0);
+        }
+        assert_eq!(next, 103);
+    }
+
+    #[test]
+    fn shards_capped_at_row_count() {
+        let e = engine(3, 2, 16);
+        assert_eq!(e.shard_count(), 3);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded() {
+        let (data, roles) = sample(500, 4);
+        let mono = SdIndex::build(data.clone(), &roles).unwrap();
+        let query = SdQuery::uniform_weights(vec![0.0, 1.0, 2.0, 3.0], &roles);
+        let want = mono.query(&query, 12).unwrap();
+        for shards in [1, 2, 3, 5, 8] {
+            let e = SdEngine::build_with(
+                data.clone(),
+                &roles,
+                &EngineOptions {
+                    shards,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            let got = e.query(&query, 12).unwrap();
+            assert_eq!(got.len(), want.len(), "shards = {shards}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "shards = {shards}");
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_error_paths() {
+        let e = SdEngine::build(
+            Dataset::from_flat(2, vec![]).unwrap(),
+            &[DimRole::Attractive, DimRole::Repulsive],
+        )
+        .unwrap();
+        assert!(e.is_empty());
+        let q =
+            SdQuery::uniform_weights(vec![0.0, 0.0], &[DimRole::Attractive, DimRole::Repulsive]);
+        assert!(e.query(&q, 3).unwrap().is_empty());
+        assert!(matches!(e.query(&q, 0), Err(SdError::ZeroK)));
+        let bad = SdQuery::uniform_weights(vec![0.0], &[DimRole::Attractive]);
+        assert!(matches!(
+            e.query(&bad, 1),
+            Err(SdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_build() {
+        let e = engine(120, 3, 4);
+        let rebuilt = SdEngine::from_parts(3, e.roles().to_vec(), e.shards().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), e.len());
+        for (a, b) in rebuilt.shards().iter().zip(e.shards()) {
+            assert_eq!(a.data().flat(), b.data().flat());
+        }
+        assert_eq!(rebuilt.shard_count(), 4);
+        let q = SdQuery::uniform_weights(vec![0.5, 1.5, -3.0], e.roles());
+        assert_eq!(e.query(&q, 7).unwrap(), rebuilt.query(&q, 7).unwrap());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_shards() {
+        let e = engine(60, 3, 2);
+        assert!(matches!(
+            SdEngine::from_parts(2, e.roles()[..2].to_vec(), e.shards().to_vec()),
+            Err(SdError::DimensionMismatch { .. })
+        ));
+        let mut wrong_roles = e.roles().to_vec();
+        wrong_roles.swap(0, 1);
+        assert!(matches!(
+            SdEngine::from_parts(3, wrong_roles, e.shards().to_vec()),
+            Err(SdError::RoleMismatch)
+        ));
+    }
+
+    #[test]
+    fn explain_reports_per_shard_plans() {
+        let e = engine(400, 4, 4);
+        let q = SdQuery::uniform_weights(vec![0.0; 4], e.roles());
+        let plans = e.explain(&q, 8).unwrap();
+        assert_eq!(plans.len(), 4);
+        for p in &plans {
+            assert_eq!(p.pairs.len(), 2);
+            // Unit weights hit the 45° indexed angle on 100-row shards.
+            assert!(p.pairs.iter().all(|pp| pp.action != PairAction::Degenerate));
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let e = engine(300, 4, 3);
+        let queries: Vec<SdQuery> = (0..9)
+            .map(|i| {
+                SdQuery::new(vec![i as f64, 1.0, -2.0, 0.5], vec![1.0, 0.5, 2.0, 0.0]).unwrap()
+            })
+            .collect();
+        let serial: Vec<_> = queries.iter().map(|q| e.query(q, 6).unwrap()).collect();
+        for threads in [0, 1, 2, 4] {
+            let batch = e.par_query_batch(&queries, 6, threads).unwrap();
+            assert_eq!(batch, serial, "threads = {threads}");
+        }
+    }
+}

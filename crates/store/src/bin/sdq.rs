@@ -13,11 +13,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sdq_core::geometry::Angle;
-use sdq_core::multidim::{PairingStrategy, SdIndex, SdIndexOptions};
+use sdq_core::multidim::{resolve_threads, PairingStrategy, SdIndex, SdIndexOptions};
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
-use sdq_core::{Dataset, DimRole, QueryScratch, SdQuery};
+use sdq_core::{Dataset, DimRole, QueryScratch, ScoredPoint, SdQuery};
 use sdq_data::{generate, uniform_queries, Distribution};
+use sdq_engine::{EngineOptions, EngineScratch, SdEngine};
 use sdq_rstar::RStarTree;
 use sdq_store::{parse_roles, SectionKind, Snapshot};
 
@@ -26,25 +27,27 @@ sdq — SD-Query snapshot tool (build once, query many)
 
 USAGE:
     sdq build --out PATH (--csv FILE | --synthetic DIST --n N --dims D)
-              --roles STR [--seed S] [--index LIST] [--branching B]
-              [--angles N] [--pairing arbitrary|correlation]
+              --roles STR [--shards S] [--seed S] [--index LIST]
+              [--branching B] [--angles N] [--pairing arbitrary|correlation]
               [--alpha A] [--beta B] [--k K]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
               [--repeat N] [--threads T]
     sdq inspect PATH
     sdq bench-load PATH [--iters N]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
-              [--k K] [--queries Q] [--threads LIST] [--seed S] [--out FILE]
+              [--shards S] [--k K] [--queries Q] [--threads LIST] [--seed S]
+              [--out FILE]
 
 SUBCOMMANDS:
     build        Generate or load a dataset, build the requested indexes and
                  write one snapshot file.
     query        Load a snapshot and answer a top-k SD-Query from it.
-    inspect      Print the snapshot header, section table and artifact stats.
+    inspect      Print the snapshot header, section table, artifact stats
+                 and (for engines) the shard layout + planner decision.
     bench-load   Time snapshot load vs. in-memory index rebuild.
     bench-query  Measure query latency percentiles and batch QPS against a
-                 snapshot's sd-index (or an ad-hoc synthetic build) and write
-                 a machine-readable BENCH_queries.json.
+                 snapshot's engine/sd-index (or an ad-hoc synthetic build)
+                 and write a machine-readable BENCH_queries.json.
 
 BUILD OPTIONS:
     --out PATH         Snapshot file to write (required).
@@ -55,6 +58,8 @@ BUILD OPTIONS:
     --dims D           Synthetic dimensionality (default 2).
     --seed S           Generator seed (default 42).
     --roles STR        One char per dimension: a(ttractive) | r(epulsive).
+    --shards S         Shard the sd-index into an S-way engine (default 1;
+                       S > 1 writes a format-v2 snapshot).
     --index LIST       Comma list of sd, topk, top1, rstar, all (default sd).
                        topk/top1 need exactly one 'a' and one 'r' dimension.
     --branching B      Tree branching factor (default 8).
@@ -69,19 +74,23 @@ QUERY OPTIONS:
     --point CSV        Query point, one value per dimension (required).
     --weights CSV      Per-dimension weights (default: all 1).
     --k K              Result size (default 5).
-    --repeat N         Answer the query N times (sd-index snapshots only)
-                       and print latency percentiles + QPS (default 1).
-    --threads T        Worker threads for the repeated batch (default 1).
+    --repeat N         Answer the query N times (engine/sd-index snapshots
+                       only) and print latency percentiles + QPS (default 1).
+    --threads T        Worker threads for the repeated batch (default 1;
+                       0 = auto: the host's available parallelism).
 
 BENCH-QUERY OPTIONS:
+    --shards S         Shard count for the measured engine (default 1; a
+                       snapshot's own engine wins when present).
     --k K              Result size (default 16).
     --queries Q        Distinct uniform queries per measurement (default 256).
-    --threads LIST     Comma list of batch worker counts (default 1,4,8).
+    --threads LIST     Comma list of batch worker counts, 0 = auto
+                       (default 1,4,8).
     --seed S           Query-workload seed (default 13).
     --build-seed S     Synthetic dataset seed (default 42).
     --out FILE         JSON report path (default BENCH_queries.json).
     --synthetic/--n/--dims/--roles/--branching/--angles
-                       Build an ad-hoc sd-index instead of loading PATH.
+                       Build an ad-hoc engine instead of loading PATH.
 ";
 
 fn main() -> ExitCode {
@@ -219,12 +228,14 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let mut alpha: f64 = 1.0;
     let mut beta: f64 = 1.0;
     let mut k: usize = 1;
+    let mut shards: usize = 1;
 
     let mut all_requested = false;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
             "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--shards" => shards = flags.parsed("--shards")?,
             "--csv" => csv = Some(flags.value("--csv")?.to_string()),
             "--synthetic" => {
                 synthetic = Some(match flags.value("--synthetic")? {
@@ -278,6 +289,15 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     }
 
     let out = out.ok_or_else(|| usage("build requires --out PATH"))?;
+    // Flag validation before the (possibly expensive) dataset acquisition.
+    if shards == 0 {
+        return Err(usage("--shards must be at least 1"));
+    }
+    if shards > 1 && !index_list.contains(&IndexKind::Sd) {
+        return Err(usage(
+            "--shards applies to the sd index; add sd to --index (or drop --shards)",
+        ));
+    }
     let data = match (&csv, synthetic) {
         (Some(path), None) => read_csv_dataset(path)?,
         (None, Some(dist)) => generate(dist, n, dims, seed),
@@ -327,14 +347,31 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
                     angles: angles.clone(),
                     branching,
                 };
-                let (index, ms) = timed(|| SdIndex::build_with(data.clone(), &roles, &options));
-                let index = index.map_err(runtime)?;
-                println!(
-                    "built sd-index in {ms:.1} ms ({} pairs, {} unpaired dims)",
-                    index.pairs().len(),
-                    index.unpaired().len()
-                );
-                snap.sd = Some(index);
+                if shards > 1 {
+                    let engine_options = EngineOptions {
+                        shards,
+                        threads: 0,
+                        index: options,
+                    };
+                    let (engine, ms) =
+                        timed(|| SdEngine::build_with(data.clone(), &roles, &engine_options));
+                    let engine = engine.map_err(runtime)?;
+                    println!(
+                        "built {}-shard engine in {ms:.1} ms (≈{} KiB resident)",
+                        engine.shard_count(),
+                        engine.memory_bytes() / 1024
+                    );
+                    snap.engine = Some(engine);
+                } else {
+                    let (index, ms) = timed(|| SdIndex::build_with(data.clone(), &roles, &options));
+                    let index = index.map_err(runtime)?;
+                    println!(
+                        "built sd-index in {ms:.1} ms ({} pairs, {} unpaired dims)",
+                        index.pairs().len(),
+                        index.unpaired().len()
+                    );
+                    snap.sd = Some(index);
+                }
             }
             IndexKind::TopK => {
                 let (x, y) = two_dim_axes(&roles)?;
@@ -362,6 +399,13 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
                 snap.rstar = Some(tree);
             }
         }
+    }
+
+    // An engine-only snapshot already stores every row inside its shard
+    // sections; a separate dataset section would double the file size.
+    if snap.engine.is_some() && index_list == [IndexKind::Sd] {
+        snap.dataset = None;
+        println!("note: raw dataset section omitted (rows live in the engine shards)");
     }
 
     let (saved, save_ms) = timed(|| snap.save(&out));
@@ -451,9 +495,9 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     if repeat == 0 {
         return Err(usage("--repeat must be at least 1"));
     }
-    if threads == 0 {
-        return Err(usage("--threads must be at least 1"));
-    }
+    // --threads 0 = auto: resolve once so the printed worker count is the
+    // real one, not "0 thread(s)".
+    let threads = resolve_threads(threads);
 
     let (snap, load_ms) = timed(|| Snapshot::load(path));
     let snap = snap.map_err(runtime)?;
@@ -470,41 +514,55 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         }
     };
 
-    let results = if let Some(sd) = &snap.sd {
+    let results = if let Some(engine) = &snap.engine {
         let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
         let query = SdQuery::new(point, weights).map_err(runtime)?;
         let k = k.unwrap_or(DEFAULT_K);
-        if repeat > 1 || threads > 1 {
-            // Repeated serving measurement: a serial scratch-reuse pass for
-            // per-query percentiles, then the parallel batch path for QPS.
-            // The answer is identical across repeats; keep the last one.
+        if repeat > 1 || threads != 1 {
+            let mut scratch = EngineScratch::new();
+            serve_repeated(
+                &format!("engine ({} shards), repeat", engine.shard_count()),
+                &query,
+                repeat,
+                threads,
+                |q, collect| {
+                    let res = engine.query_with(q, k, &mut scratch).map_err(runtime)?;
+                    Ok(collect.then(|| res.to_vec()))
+                },
+                |qs| {
+                    engine.par_query_batch(qs, k, threads).map_err(runtime)?;
+                    Ok(())
+                },
+            )?
+        } else {
+            engine.query(&query, k).map_err(runtime)?
+        }
+    } else if let Some(sd) = &snap.sd {
+        let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
+        let query = SdQuery::new(point, weights).map_err(runtime)?;
+        let k = k.unwrap_or(DEFAULT_K);
+        if repeat > 1 || threads != 1 {
             let mut scratch = QueryScratch::new();
-            sd.query_with(&query, k, &mut scratch).map_err(runtime)?; // warm-up
-            let mut lat_ms = Vec::with_capacity(repeat);
-            for _ in 0..repeat - 1 {
-                let (r, ms) = timed(|| sd.query_with(&query, k, &mut scratch).map(|_| ()));
-                r.map_err(runtime)?;
-                lat_ms.push(ms);
-            }
-            let (r, ms) = timed(|| sd.query_with(&query, k, &mut scratch).map(<[_]>::to_vec));
-            let answer = r.map_err(runtime)?;
-            lat_ms.push(ms);
-            let batch: Vec<SdQuery> = vec![query.clone(); repeat];
-            let (r, batch_ms) = timed(|| sd.par_query_batch(&batch, k, threads));
-            r.map_err(runtime)?;
-            println!(
-                "repeat {repeat}: serial p50 {:.3} ms, p99 {:.3} ms; batch {threads} thread(s): {:.0} queries/s",
-                percentile(&mut lat_ms, 50.0),
-                percentile(&mut lat_ms, 99.0),
-                repeat as f64 / (batch_ms / 1e3)
-            );
-            answer
+            serve_repeated(
+                "repeat",
+                &query,
+                repeat,
+                threads,
+                |q, collect| {
+                    let res = sd.query_with(q, k, &mut scratch).map_err(runtime)?;
+                    Ok(collect.then(|| res.to_vec()))
+                },
+                |qs| {
+                    sd.par_query_batch(qs, k, threads).map_err(runtime)?;
+                    Ok(())
+                },
+            )?
         } else {
             sd.query(&query, k).map_err(runtime)?
         }
-    } else if repeat > 1 || threads > 1 {
+    } else if repeat > 1 || threads != 1 {
         return Err(usage(
-            "--repeat/--threads need a snapshot with an sd-index (rebuild with --index sd)",
+            "--repeat/--threads need a snapshot with an engine or sd-index (rebuild with --index sd)",
         ));
     } else if let Some(topk) = &snap.topk {
         if point.len() != 2 {
@@ -581,11 +639,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         "{path}: snapshot format v{} ({} bytes)",
         info.version, info.file_len
     );
-    println!("  {:<12} {:>12}  {:>10}", "section", "bytes", "crc32");
+    println!("  {:<16} {:>12}  {:>10}", "section", "bytes", "crc32");
     for s in &info.sections {
         let name = s.kind.map(SectionKind::name).unwrap_or("<unknown>");
         println!(
-            "  {:<12} {:>12}  {:>10}",
+            "  {:<16} {:>12}  {:>10}",
             name,
             s.len,
             format!("{:08x}", s.crc32)
@@ -615,6 +673,46 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
             sd.unpaired().len(),
             sd.memory_bytes() / 1024
         );
+    }
+    if let Some(engine) = &snap.engine {
+        println!(
+            "  engine: {} rows across {} shard(s), ≈{} KiB resident",
+            engine.len(),
+            engine.shard_count(),
+            engine.memory_bytes() / 1024
+        );
+        for (i, info) in engine.shard_infos().iter().enumerate() {
+            println!(
+                "    shard {i}: rows [{}, {}), {} points, ≈{} KiB",
+                info.offset,
+                info.offset + info.rows,
+                info.rows,
+                info.memory_bytes / 1024
+            );
+        }
+        // Planner observability: what the cost model would run for a
+        // unit-weight query at the dataset's per-dimension mean (the rows
+        // live inside the shard indexes; sum across them).
+        if !engine.is_empty() {
+            let dims = engine.dims();
+            let mut mean = vec![0.0f64; dims];
+            for shard in engine.shards() {
+                for (_, coords) in shard.data().iter() {
+                    for (m, &c) in mean.iter_mut().zip(coords) {
+                        *m += c;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= engine.len() as f64;
+            }
+            let sample = SdQuery::new(mean, vec![1.0; dims]).map_err(runtime)?;
+            let plans = engine.explain(&sample, DEFAULT_K).map_err(runtime)?;
+            println!("  planner (unit weights at the dataset mean, k = {DEFAULT_K}):");
+            for (i, plan) in plans.iter().enumerate() {
+                println!("    shard {i}: {plan}");
+            }
+        }
     }
     if let Some(tk) = &snap.topk {
         println!(
@@ -745,6 +843,40 @@ fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Repeated serving measurement shared by the engine and sd-index paths of
+/// `sdq query`: one warm-up pass, `repeat` timed serial passes over the
+/// caller's reusable scratch (percentiles), then the parallel batch path
+/// for QPS. The answer is identical across repeats; one final *untimed*
+/// pass collects it (`collect = true`), so the timed region contains no
+/// answer copy — the same methodology as `bench-query`.
+fn serve_repeated(
+    label_prefix: &str,
+    query: &SdQuery,
+    repeat: usize,
+    threads: usize,
+    mut once: impl FnMut(&SdQuery, bool) -> Result<Option<Vec<ScoredPoint>>, CliError>,
+    batch: impl FnOnce(&[SdQuery]) -> Result<(), CliError>,
+) -> Result<Vec<ScoredPoint>, CliError> {
+    once(query, false)?; // warm-up
+    let mut lat_ms = Vec::with_capacity(repeat);
+    for _ in 0..repeat {
+        let (r, ms) = timed(|| once(query, false));
+        r?;
+        lat_ms.push(ms);
+    }
+    let answer = once(query, true)?.expect("collect pass returns the answer");
+    let batch_queries: Vec<SdQuery> = vec![query.clone(); repeat];
+    let (r, batch_ms) = timed(|| batch(&batch_queries));
+    r?;
+    println!(
+        "{label_prefix} {repeat}: serial p50 {:.3} ms, p99 {:.3} ms; batch {threads} thread(s): {:.0} queries/s",
+        percentile(&mut lat_ms, 50.0),
+        percentile(&mut lat_ms, 99.0),
+        repeat as f64 / (batch_ms / 1e3)
+    );
+    Ok(answer)
+}
+
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     samples[samples.len() / 2]
@@ -776,11 +908,13 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let mut queries: usize = 256;
     let mut threads_list: Vec<usize> = vec![1, 4, 8];
     let mut seed: u64 = 13;
+    let mut shards: usize = 1;
     let mut out = String::from("BENCH_queries.json");
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
+            "--shards" => shards = flags.parsed("--shards")?,
             "--synthetic" => {
                 synthetic = Some(match flags.value("--synthetic")? {
                     "uniform" => Distribution::Uniform,
@@ -821,18 +955,58 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     if k == 0 || queries == 0 {
         return Err(usage("--k and --queries must be at least 1"));
     }
-    if threads_list.is_empty() || threads_list.contains(&0) {
-        return Err(usage("--threads needs a comma list of counts ≥ 1"));
+    if shards == 0 {
+        return Err(usage("--shards must be at least 1"));
+    }
+    if threads_list.is_empty() {
+        return Err(usage("--threads needs a comma list of counts (0 = auto)"));
     }
 
-    // Obtain the sd-index: snapshot or ad-hoc synthetic build.
-    let (sd, source) = match (path, synthetic) {
+    // Obtain the engine: the snapshot's own, a wrap of its sd-index, a
+    // re-shard of its dataset, or an ad-hoc synthetic build.
+    let (engine, source) = match (path, synthetic) {
         (Some(p), None) => {
             let snap = Snapshot::load(p).map_err(runtime)?;
-            let sd = snap
-                .sd
-                .ok_or_else(|| runtime("snapshot holds no sd-index (rebuild with --index sd)"))?;
-            (sd, format!("\"snapshot\": {}", json_str(p)))
+            let engine = match snap.engine {
+                Some(e) => {
+                    if shards != 1 && shards != e.shard_count() {
+                        println!(
+                            "note: using the snapshot's {}-shard engine (ignoring --shards {shards})",
+                            e.shard_count()
+                        );
+                    }
+                    e
+                }
+                None => match snap.sd {
+                    Some(sd) if shards == 1 => SdEngine::single(sd).map_err(runtime)?,
+                    _ => match (snap.dataset, snap.roles) {
+                        (Some(data), Some(roles)) => {
+                            let options = EngineOptions {
+                                shards,
+                                threads: 0,
+                                index: SdIndexOptions {
+                                    pairing: PairingStrategy::Arbitrary,
+                                    angles: angle_grid(angle_count)?,
+                                    branching,
+                                },
+                            };
+                            let (e, ms) = timed(|| SdEngine::build_with(data, &roles, &options));
+                            let e = e.map_err(runtime)?;
+                            println!(
+                                "sharded the snapshot dataset into {} shard(s) in {ms:.1} ms",
+                                e.shard_count()
+                            );
+                            e
+                        }
+                        _ => {
+                            return Err(runtime(
+                                "snapshot holds no engine, sd-index or dataset to bench",
+                            ))
+                        }
+                    },
+                },
+            };
+            (engine, format!("\"snapshot\": {}", json_str(p)))
         }
         (None, Some(dist)) => {
             let roles_spec =
@@ -845,18 +1019,24 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                     roles.len()
                 )));
             }
-            let angles = angle_grid(angle_count)?;
             let data = generate(dist, n, dims, build_seed);
-            let options = SdIndexOptions {
-                pairing: PairingStrategy::Arbitrary,
-                angles,
-                branching,
+            let options = EngineOptions {
+                shards,
+                threads: 0,
+                index: SdIndexOptions {
+                    pairing: PairingStrategy::Arbitrary,
+                    angles: angle_grid(angle_count)?,
+                    branching,
+                },
             };
-            let (index, ms) = timed(|| SdIndex::build_with(data, &roles, &options));
-            let index = index.map_err(runtime)?;
-            println!("built sd-index over {n} x {dims}-D rows in {ms:.1} ms");
+            let (engine, ms) = timed(|| SdEngine::build_with(data, &roles, &options));
+            let engine = engine.map_err(runtime)?;
+            println!(
+                "built {}-shard engine over {n} x {dims}-D rows in {ms:.1} ms",
+                engine.shard_count()
+            );
             (
-                index,
+                engine,
                 format!("\"synthetic\": {}", json_str(&format!("{dist:?}"))),
             )
         }
@@ -867,15 +1047,16 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             ))
         }
     };
-    let dims = sd.data().dims();
+    let dims = engine.dims();
+    let shards = engine.shard_count();
     let workload = uniform_queries(queries, dims, seed);
 
     // Single-query latency: scratch reuse, one warm-up pass, then one timed
     // pass per query.
-    let mut scratch = QueryScratch::new();
+    let mut scratch = EngineScratch::new();
     let mut sink = 0.0f64;
     for q in &workload {
-        sink += sd
+        sink += engine
             .query_with(q, k, &mut scratch)
             .map_err(runtime)?
             .iter()
@@ -884,7 +1065,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     }
     let mut lat_ms = Vec::with_capacity(queries);
     for q in &workload {
-        let (r, ms) = timed(|| sd.query_with(q, k, &mut scratch));
+        let (r, ms) = timed(|| engine.query_with(q, k, &mut scratch));
         sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
         lat_ms.push(ms);
     }
@@ -895,7 +1076,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
         lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
     );
     println!(
-        "single query (k = {k}, {queries} queries): p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
+        "single query ({shards} shard(s), k = {k}, {queries} queries): p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
     );
 
     // Batch throughput per worker count: best of three runs.
@@ -903,7 +1084,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     for &t in &threads_list {
         let mut best_qps = 0.0f64;
         for _ in 0..3 {
-            let (r, ms) = timed(|| sd.par_query_batch(&workload, k, t));
+            let (r, ms) = timed(|| engine.par_query_batch(&workload, k, t));
             r.map_err(runtime)?;
             best_qps = best_qps.max(queries as f64 / (ms / 1e3));
         }
@@ -913,10 +1094,11 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
 
     let json = format!(
         "{{\n  {source},\n  \"dataset\": {{\"rows\": {rows}, \"dims\": {dims}}},\n  \
+         \"shards\": {shards},\n  \
          \"k\": {k},\n  \"queries\": {queries},\n  \"query_seed\": {seed},\n  \
          \"single_query_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}, \"mean\": {mean:.4}}},\n  \
          \"batch\": [{batch}]\n}}\n",
-        rows = sd.data().len(),
+        rows = engine.len(),
         batch = batch_rows.join(", "),
     );
     std::fs::write(&out, json).map_err(|e| runtime(format!("cannot write {out}: {e}")))?;

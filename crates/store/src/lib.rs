@@ -6,7 +6,7 @@
 //! [`TopKIndex`], a §3 [`Top1Index`] and the R*-tree baseline — into one
 //! versioned, checksummed binary file that restores without any rebuilding.
 //!
-//! ## File format (version 1)
+//! ## File format (versions 1 and 2)
 //!
 //! ```text
 //! offset  size  field
@@ -18,6 +18,14 @@
 //!      …     4  CRC-32 of the section table
 //!      …        section payloads (sdq_core::codec bytes), in table order
 //! ```
+//!
+//! **Version 2** adds the sharded engine: an `engine-manifest` section
+//! (dimensionality, roles, per-shard row counts) plus one `engine-shard`
+//! section per shard — the shard's [`SdIndex`] codec bytes, with the shard
+//! ordinal carried in the table entry's previously-reserved `u32`. A
+//! snapshot without an engine is still written as version 1, so older
+//! readers keep reading everything this build produces short of engines;
+//! version-1 files load unchanged.
 //!
 //! Every section payload carries a CRC-32; the table itself is covered by a
 //! trailing table checksum, so *any* single flipped byte in the file is
@@ -49,11 +57,12 @@ mod crc32;
 
 use std::path::Path;
 
-use sdq_core::codec::{corrupt, decode_from_slice, encode_to_vec, Reader, Writer};
+use sdq_core::codec::{corrupt, decode_from_slice, encode_to_vec, Codec, Reader, Writer};
 use sdq_core::multidim::SdIndex;
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::TopKIndex;
 use sdq_core::{Dataset, DimRole, SdError};
+use sdq_engine::SdEngine;
 use sdq_rstar::RStarTree;
 
 pub use crc32::crc32;
@@ -62,7 +71,11 @@ pub use crc32::crc32;
 pub const MAGIC: [u8; 8] = *b"SDQSNAP\0";
 
 /// The newest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The original format (no engine sections). Snapshots without an engine
+/// are still written as version 1 for maximum reader compatibility.
+pub const FORMAT_V1: u32 = 1;
 
 /// Hard cap on the section count, far above anything legitimate; rejects
 /// absurd table sizes from corrupt headers before allocation.
@@ -87,6 +100,12 @@ pub enum SectionKind {
     Top1Index = 5,
     /// The R*-tree baseline substrate.
     RStarTree = 6,
+    /// The sharded engine's manifest (dims, roles, shard row counts).
+    /// Format v2+.
+    EngineManifest = 7,
+    /// One engine shard's [`SdIndex`]; the shard ordinal lives in the
+    /// table entry's reserved `u32`. Format v2+.
+    EngineShard = 8,
 }
 
 impl SectionKind {
@@ -98,6 +117,8 @@ impl SectionKind {
             4 => Some(SectionKind::TopKIndex),
             5 => Some(SectionKind::Top1Index),
             6 => Some(SectionKind::RStarTree),
+            7 => Some(SectionKind::EngineManifest),
+            8 => Some(SectionKind::EngineShard),
             _ => None,
         }
     }
@@ -111,7 +132,67 @@ impl SectionKind {
             SectionKind::TopKIndex => "topk-index",
             SectionKind::Top1Index => "top1-index",
             SectionKind::RStarTree => "rstar-tree",
+            SectionKind::EngineManifest => "engine-manifest",
+            SectionKind::EngineShard => "engine-shard",
         }
+    }
+}
+
+/// The v2 engine manifest: everything needed to validate and reassemble the
+/// shard sections into an [`SdEngine`].
+struct EngineManifest {
+    dims: usize,
+    roles: Vec<DimRole>,
+    shard_rows: Vec<u64>,
+}
+
+impl EngineManifest {
+    fn of(engine: &SdEngine) -> Self {
+        EngineManifest {
+            dims: engine.dims(),
+            roles: engine.roles().to_vec(),
+            shard_rows: engine
+                .shards()
+                .iter()
+                .map(|s| s.data().len() as u64)
+                .collect(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.usize(self.dims);
+        self.roles.encode(&mut w);
+        w.usize(self.shard_rows.len());
+        for &r in &self.shard_rows {
+            w.u64(r);
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
+        let mut r = Reader::new(bytes);
+        let dims = r.usize()?;
+        let roles = Vec::<DimRole>::decode(&mut r)?;
+        let count = r.len_prefix(8)?;
+        let mut shard_rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            shard_rows.push(r.u64()?);
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after engine manifest"));
+        }
+        if roles.len() != dims {
+            return Err(corrupt(format!(
+                "engine manifest names {} roles for {dims} dimensions",
+                roles.len()
+            )));
+        }
+        Ok(EngineManifest {
+            dims,
+            roles,
+            shard_rows,
+        })
     }
 }
 
@@ -132,6 +213,8 @@ pub struct Snapshot {
     pub top1: Option<Top1Index>,
     /// The R*-tree baseline.
     pub rstar: Option<RStarTree>,
+    /// The sharded execution engine (snapshot format v2).
+    pub engine: Option<SdEngine>,
 }
 
 /// Metadata of one stored section, as reported by [`Snapshot::inspect_bytes`].
@@ -160,6 +243,7 @@ pub struct SnapshotInfo {
 
 struct TableEntry {
     raw_kind: u32,
+    reserved: u32,
     offset: u64,
     len: u64,
     crc: u32,
@@ -179,29 +263,53 @@ impl Snapshot {
             && self.topk.is_none()
             && self.top1.is_none()
             && self.rstar.is_none()
+            && self.engine.is_none()
     }
 
-    /// Serialises every present artifact into the snapshot container format.
+    /// Serialises every present artifact into the snapshot container
+    /// format: version 2 when an engine is present, version 1 otherwise
+    /// (so engine-less snapshots stay readable by older builds).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut sections: Vec<(SectionKind, Vec<u8>)> = Vec::new();
+        // (kind, reserved, payload) — reserved carries the shard ordinal
+        // for engine-shard sections and stays 0 everywhere else.
+        let mut sections: Vec<(SectionKind, u32, Vec<u8>)> = Vec::new();
         if let Some(d) = &self.dataset {
-            sections.push((SectionKind::Dataset, encode_to_vec(d)));
+            sections.push((SectionKind::Dataset, 0, encode_to_vec(d)));
         }
         if let Some(r) = &self.roles {
-            sections.push((SectionKind::Roles, encode_to_vec(r)));
+            sections.push((SectionKind::Roles, 0, encode_to_vec(r)));
         }
         if let Some(i) = &self.sd {
-            sections.push((SectionKind::SdIndex, encode_to_vec(i)));
+            sections.push((SectionKind::SdIndex, 0, encode_to_vec(i)));
         }
         if let Some(i) = &self.topk {
-            sections.push((SectionKind::TopKIndex, encode_to_vec(i)));
+            sections.push((SectionKind::TopKIndex, 0, encode_to_vec(i)));
         }
         if let Some(i) = &self.top1 {
-            sections.push((SectionKind::Top1Index, encode_to_vec(i)));
+            sections.push((SectionKind::Top1Index, 0, encode_to_vec(i)));
         }
         if let Some(t) = &self.rstar {
-            sections.push((SectionKind::RStarTree, encode_to_vec(t)));
+            sections.push((SectionKind::RStarTree, 0, encode_to_vec(t)));
         }
+        if let Some(e) = &self.engine {
+            sections.push((
+                SectionKind::EngineManifest,
+                0,
+                EngineManifest::of(e).encode(),
+            ));
+            for (ordinal, shard) in e.shards().iter().enumerate() {
+                sections.push((
+                    SectionKind::EngineShard,
+                    ordinal as u32,
+                    encode_to_vec(shard),
+                ));
+            }
+        }
+        let version = if self.engine.is_some() {
+            FORMAT_VERSION
+        } else {
+            FORMAT_V1
+        };
 
         // Header: magic + version + count + table + table CRC.
         let table_bytes = TABLE_ENTRY_BYTES * sections.len();
@@ -209,9 +317,9 @@ impl Snapshot {
 
         let mut table = Writer::new();
         let mut offset = payload_base;
-        for (kind, payload) in &sections {
+        for (kind, reserved, payload) in &sections {
             table.u32(*kind as u32);
-            table.u32(0); // reserved
+            table.u32(*reserved);
             table.u64(offset);
             table.u64(payload.len() as u64);
             table.u32(crc32(payload));
@@ -221,11 +329,11 @@ impl Snapshot {
 
         let mut out = Vec::with_capacity(offset as usize);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
         out.extend_from_slice(&table);
         out.extend_from_slice(&crc32(&table).to_le_bytes());
-        for (_, payload) in &sections {
+        for (_, _, payload) in &sections {
             out.extend_from_slice(payload);
         }
         out
@@ -264,12 +372,13 @@ impl Snapshot {
         let mut tr = Reader::new(table_raw);
         for _ in 0..count {
             let raw_kind = tr.u32()?;
-            let _reserved = tr.u32()?;
+            let reserved = tr.u32()?;
             let offset = tr.u64()?;
             let len = tr.u64()?;
             let crc = tr.u32()?;
             entries.push(TableEntry {
                 raw_kind,
+                reserved,
                 offset,
                 len,
                 crc,
@@ -296,9 +405,10 @@ impl Snapshot {
     }
 
     /// Restores a snapshot from container bytes, verifying the magic, the
-    /// format version and every checksum before decoding.
+    /// format version and every checksum before decoding. Reads both
+    /// format versions: v1 files (no engine sections) load unchanged.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SdError> {
-        let (_version, entries) = Self::parse_header(bytes)?;
+        let (version, entries) = Self::parse_header(bytes)?;
         // Payloads are laid out back-to-back after the header; the file must
         // end exactly where the table says it does — appended garbage is as
         // suspect as truncation.
@@ -313,6 +423,8 @@ impl Snapshot {
             )));
         }
         let mut snap = Snapshot::new();
+        let mut manifest: Option<EngineManifest> = None;
+        let mut engine_shards: Vec<(u32, SdIndex)> = Vec::new();
         for entry in &entries {
             let payload = Self::section_slice(bytes, entry)?;
             let kind = SectionKind::from_u32(entry.raw_kind)
@@ -322,6 +434,13 @@ impl Snapshot {
                     section: kind.name().to_string(),
                 });
             }
+            if version < 2 && matches!(kind, SectionKind::EngineManifest | SectionKind::EngineShard)
+            {
+                return Err(corrupt(format!(
+                    "{} section in a format-v{version} file",
+                    kind.name()
+                )));
+            }
             match kind {
                 SectionKind::Dataset => snap.dataset = Some(decode_from_slice(payload)?),
                 SectionKind::Roles => snap.roles = Some(decode_from_slice(payload)?),
@@ -329,9 +448,53 @@ impl Snapshot {
                 SectionKind::TopKIndex => snap.topk = Some(decode_from_slice(payload)?),
                 SectionKind::Top1Index => snap.top1 = Some(decode_from_slice(payload)?),
                 SectionKind::RStarTree => snap.rstar = Some(decode_from_slice(payload)?),
+                SectionKind::EngineManifest => manifest = Some(EngineManifest::decode(payload)?),
+                SectionKind::EngineShard => {
+                    engine_shards.push((entry.reserved, decode_from_slice(payload)?))
+                }
             }
         }
+        snap.engine = Self::assemble_engine(manifest, engine_shards)?;
         Ok(snap)
+    }
+
+    /// Validates the engine manifest against the decoded shard sections and
+    /// reassembles the [`SdEngine`].
+    fn assemble_engine(
+        manifest: Option<EngineManifest>,
+        mut shards: Vec<(u32, SdIndex)>,
+    ) -> Result<Option<SdEngine>, SdError> {
+        let Some(m) = manifest else {
+            if shards.is_empty() {
+                return Ok(None);
+            }
+            return Err(corrupt("engine-shard section without engine-manifest"));
+        };
+        if shards.len() != m.shard_rows.len() {
+            return Err(corrupt(format!(
+                "engine manifest names {} shards but {} shard sections are present",
+                m.shard_rows.len(),
+                shards.len()
+            )));
+        }
+        shards.sort_by_key(|&(ordinal, _)| ordinal);
+        for (i, (ordinal, shard)) in shards.iter().enumerate() {
+            if *ordinal as usize != i {
+                return Err(corrupt(format!(
+                    "engine shard ordinals are not 0..{} (found {ordinal} at position {i})",
+                    shards.len()
+                )));
+            }
+            if shard.data().len() as u64 != m.shard_rows[i] {
+                return Err(corrupt(format!(
+                    "engine shard {i} holds {} rows but the manifest says {}",
+                    shard.data().len(),
+                    m.shard_rows[i]
+                )));
+            }
+        }
+        let indexes: Vec<SdIndex> = shards.into_iter().map(|(_, s)| s).collect();
+        Ok(Some(SdEngine::from_parts(m.dims, m.roles, indexes)?))
     }
 
     /// Parses only the header and section table — cheap metadata access for
@@ -425,6 +588,17 @@ mod tests {
         snap.topk = Some(TopKIndex::build(&[(0.0, 1.0), (3.0, -2.0), (5.5, 4.0)]).unwrap());
         snap.top1 = Some(Top1Index::build(&[(0.0, 1.0), (3.0, -2.0)], 1.0, 1.0, 1).unwrap());
         snap.rstar = Some(RStarTree::bulk_load(2, &[0.0, 1.0, 3.0, -2.0, 5.5, 4.0], 4));
+        snap.engine = Some(
+            SdEngine::build_with(
+                sd.data().clone(),
+                sd.roles(),
+                &sdq_engine::EngineOptions {
+                    shards: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
         snap.sd = Some(sd);
         snap
     }
@@ -458,8 +632,44 @@ mod tests {
         );
         assert_eq!(back.dataset, snap.dataset);
         assert_eq!(back.roles, snap.roles);
+        let engine = back.engine.as_ref().unwrap();
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(
+            engine.query(&q, 5).unwrap(),
+            snap.engine.as_ref().unwrap().query(&q, 5).unwrap()
+        );
+        // The engine answers exactly like the monolithic index it shards.
+        assert_eq!(
+            engine.query(&q, 5).unwrap(),
+            snap.sd.as_ref().unwrap().query(&q, 5).unwrap()
+        );
         // Deterministic bytes.
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn engineless_snapshots_stay_version_1() {
+        let mut snap = sample_snapshot();
+        snap.engine = None;
+        let bytes = snap.to_bytes();
+        let info = Snapshot::inspect_bytes(&bytes).unwrap();
+        assert_eq!(info.version, FORMAT_V1);
+        assert!(Snapshot::from_bytes(&bytes).unwrap().engine.is_none());
+    }
+
+    #[test]
+    fn engine_sections_in_v1_are_rejected() {
+        // Downgrading the version byte of a v2 file must not silently load.
+        let mut bytes = sample_snapshot().to_bytes();
+        assert_eq!(
+            Snapshot::inspect_bytes(&bytes).unwrap().version,
+            FORMAT_VERSION
+        );
+        bytes[8..12].copy_from_slice(&FORMAT_V1.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SdError::SnapshotCorrupt { .. }
+        ));
     }
 
     #[test]
@@ -554,7 +764,8 @@ mod tests {
 
         let info = Snapshot::inspect(&path).unwrap();
         assert_eq!(info.version, FORMAT_VERSION);
-        assert_eq!(info.sections.len(), 6);
+        // 6 classic sections + engine manifest + 2 shard sections.
+        assert_eq!(info.sections.len(), 9);
         assert!(info.sections.iter().all(|s| s.kind.is_some()));
 
         std::fs::remove_dir_all(&dir).unwrap();

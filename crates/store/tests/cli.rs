@@ -95,6 +95,89 @@ fn build_then_query_matches_in_memory_index() {
 }
 
 #[test]
+fn sharded_build_then_query_matches_in_memory_index() {
+    let dir = temp_dir("sharded");
+    let snap_path = dir.join("engine.sdq");
+
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "5000",
+            "--dims",
+            "4",
+            "--seed",
+            "7",
+            "--roles",
+            "arra",
+            "--shards",
+            "4",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success(), "sdq build --shards failed");
+
+    // The same workload in memory, unsharded: the engine must match it
+    // exactly (bit-identity is the engine's contract).
+    let data = generate(Distribution::Uniform, 5000, 4, 7);
+    let roles = parse_roles("arra").unwrap();
+    let index = SdIndex::build(data, &roles).unwrap();
+    let query = SdQuery::new(vec![0.5, 0.25, 0.75, 0.5], vec![1.0, 2.0, 0.5, 1.0]).unwrap();
+    let want = index.query(&query, 7).unwrap();
+
+    // Inspect prints the shard layout and the planner decision.
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq inspect");
+    assert!(out.status.success());
+    let inspect = String::from_utf8(out.stdout).unwrap();
+    assert!(inspect.contains("format v2"), "{inspect}");
+    assert!(inspect.contains("4 shard(s)"), "{inspect}");
+    assert!(inspect.contains("planner"), "{inspect}");
+
+    let output = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.25,0.75,0.5",
+            "--weights",
+            "1,2,0.5,1",
+            "--k",
+            "7",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert!(output.status.success(), "sdq query failed");
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let mut got: Vec<(usize, f64)> = Vec::new();
+    for line in stdout.lines() {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells.len() == 3 && cells[1].starts_with('p') {
+            if let (Ok(id), Ok(score)) = (cells[1][1..].parse(), cells[2].parse()) {
+                got.push((id, score));
+            }
+        }
+    }
+    assert_eq!(got.len(), want.len(), "result count differs\n{stdout}");
+    for ((gid, gscore), w) in got.iter().zip(&want) {
+        assert_eq!(*gid, w.id.index(), "ids diverge\n{stdout}");
+        assert!(
+            (gscore - w.score).abs() < 1e-6 * (1.0 + w.score.abs()),
+            "scores diverge: {gscore} vs {}\n{stdout}",
+            w.score
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn topk_query_respects_stored_roles_order() {
     // Regression: with roles "ra" (repulsive first) the topk-index is built
     // over (x = attractive dim 1, y = repulsive dim 0); the query side must
@@ -256,6 +339,7 @@ fn repeat_and_bench_query_produce_throughput_numbers() {
     let json = std::fs::read_to_string(&json_path).expect("report written");
     for key in [
         "\"dataset\"",
+        "\"shards\": 1",
         "\"k\": 4",
         "\"queries\": 16",
         "\"single_query_ms\"",

@@ -12,6 +12,7 @@
 pub use sdq_baselines as baselines;
 pub use sdq_core as core;
 pub use sdq_data as data;
+pub use sdq_engine as engine;
 pub use sdq_rstar as rstar;
 pub use sdq_store as store;
 

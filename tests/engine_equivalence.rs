@@ -1,0 +1,231 @@
+//! Exactness guarantees of the sharded `SdEngine`:
+//!
+//! * engine answers over `S` shards are **bit-identical** to the unsharded
+//!   [`SdIndex`] path — same ids, same score bits — for random datasets,
+//!   roles, weights and `k`, *including ties at the k-th score* (the
+//!   coordinate generator deliberately draws from a tiny value alphabet so
+//!   duplicated rows and tied scores are common, and zero weights force
+//!   the planner through its degenerate/1-D branches),
+//! * parallel shard execution (threshold-sharing across workers) returns
+//!   exactly the sequential answers,
+//! * a dirty, reused [`EngineScratch`] answers exactly like a fresh one,
+//! * `par_query_batch` is bit-identical to the serial loop,
+//! * snapshot round-trips (format v2) preserve engine answers bit-exactly,
+//!   and engine-less snapshots still write format v1.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sdq::core::multidim::SdIndex;
+use sdq::engine::{EngineOptions, EngineScratch, SdEngine};
+use sdq::store::{Snapshot, FORMAT_V1};
+use sdq::{Dataset, DimRole, ScoredPoint, SdQuery};
+
+/// Coordinates from a tiny alphabet: duplicate rows and exact score ties
+/// at the k-th position are the norm, not the exception.
+fn tie_heavy_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1 => Just(0.0),
+        1 => Just(1.0),
+        1 => Just(2.0),
+        1 => Just(3.0),
+        1 => Just(-1.5),
+        2 => -10.0..10.0f64,
+    ]
+}
+
+/// Weights including zeros (degenerate pairs / dropped streams) and shared
+/// magnitudes (tied contributions).
+fn tie_heavy_weight() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        2 => Just(0.0),
+        2 => Just(1.0),
+        1 => Just(0.5),
+        2 => 0.0..4.0f64,
+    ]
+}
+
+fn assert_bit_identical(
+    what: &str,
+    got: &[ScoredPoint],
+    want: &[ScoredPoint],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "{}: length mismatch", what);
+    for (g, w) in got.iter().zip(want) {
+        prop_assert_eq!(g.id, w.id, "{}: id mismatch", what);
+        prop_assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{}: score bits diverge ({} vs {})",
+            what,
+            g.score,
+            w.score
+        );
+    }
+    Ok(())
+}
+
+fn build_queries(dims: usize, raw: &[(Vec<f64>, Vec<f64>)]) -> Vec<SdQuery> {
+    raw.iter()
+        .map(|(p, w)| SdQuery::new(p[..dims].to_vec(), w[..dims].to_vec()).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The headline guarantee: shard-and-merge == monolithic, bit for bit,
+    // sequential and parallel, ties included.
+    #[test]
+    fn engine_is_bit_identical_to_unsharded(
+        rows in vec(vec(tie_heavy_coord(), 4), 1..80),
+        raw_queries in vec((vec(tie_heavy_coord(), 4), vec(tie_heavy_weight(), 4)), 1..6),
+        role_bits in 0u8..16,
+        k in 1usize..20,
+        shards in 1usize..7,
+    ) {
+        let dims = 4;
+        let roles: Vec<DimRole> = (0..dims)
+            .map(|d| if role_bits & (1 << d) != 0 { DimRole::Repulsive } else { DimRole::Attractive })
+            .collect();
+        let data = Dataset::from_rows(dims, &rows).unwrap();
+        let queries = build_queries(dims, &raw_queries);
+
+        let mono = SdIndex::build(data.clone(), &roles).unwrap();
+        let mut sequential = SdEngine::build_with(
+            data.clone(),
+            &roles,
+            &EngineOptions { shards, threads: 1, ..EngineOptions::default() },
+        ).unwrap();
+        // Same shards, but forced multi-worker execution: the shared
+        // threshold is raced across scoped threads.
+        let mut parallel = sequential.clone();
+        parallel.set_threads(4);
+
+        for q in &queries {
+            let want = mono.query(q, k).unwrap();
+            let got_seq = sequential.query(q, k).unwrap();
+            assert_bit_identical("sequential engine", &got_seq, &want)?;
+            let got_par = parallel.query(q, k).unwrap();
+            assert_bit_identical("parallel engine", &got_par, &want)?;
+        }
+        // Silence the unused-mut lint symmetrically.
+        sequential.set_threads(1);
+    }
+
+    // A scratch dirtied by arbitrary earlier queries returns exactly what
+    // a fresh engine query returns.
+    #[test]
+    fn engine_scratch_reuse_is_bit_identical(
+        rows in vec(vec(tie_heavy_coord(), 3), 1..60),
+        raw_queries in vec((vec(tie_heavy_coord(), 3), vec(tie_heavy_weight(), 3)), 1..8),
+        k in 1usize..10,
+        shards in 1usize..5,
+    ) {
+        let dims = 3;
+        let roles = [DimRole::Repulsive, DimRole::Attractive, DimRole::Attractive];
+        let data = Dataset::from_rows(dims, &rows).unwrap();
+        let queries = build_queries(dims, &raw_queries);
+        let engine = SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions { shards, threads: 1, ..EngineOptions::default() },
+        ).unwrap();
+
+        let mut scratch = EngineScratch::new();
+        for q in &queries {
+            let fresh = engine.query(q, k).unwrap();
+            let reused = engine.query_with(q, k, &mut scratch).unwrap();
+            assert_bit_identical("EngineScratch reuse", reused, &fresh)?;
+        }
+    }
+
+    // The parallel batch path returns exactly the serial answers, in input
+    // order.
+    #[test]
+    fn engine_batch_is_bit_identical_to_serial(
+        rows in vec(vec(tie_heavy_coord(), 3), 1..50),
+        raw_queries in vec((vec(tie_heavy_coord(), 3), vec(tie_heavy_weight(), 3)), 1..10),
+        k in 1usize..8,
+        shards in 1usize..5,
+        threads in 0usize..7,
+    ) {
+        let dims = 3;
+        let roles = [DimRole::Attractive, DimRole::Repulsive, DimRole::Repulsive];
+        let data = Dataset::from_rows(dims, &rows).unwrap();
+        let queries = build_queries(dims, &raw_queries);
+        let engine = SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions { shards, ..EngineOptions::default() },
+        ).unwrap();
+
+        let serial: Vec<Vec<ScoredPoint>> =
+            queries.iter().map(|q| engine.query(q, k).unwrap()).collect();
+        let batch = engine.par_query_batch(&queries, k, threads).unwrap();
+        prop_assert_eq!(serial.len(), batch.len());
+        for (s, b) in serial.iter().zip(&batch) {
+            assert_bit_identical("engine par_query_batch", b, s)?;
+        }
+    }
+
+    // Snapshot format v2: save → load → query is bit-identical, and the
+    // reassembled engine keeps its shard layout.
+    #[test]
+    fn engine_snapshot_roundtrip_is_bit_identical(
+        rows in vec(vec(tie_heavy_coord(), 4), 1..60),
+        raw_queries in vec((vec(tie_heavy_coord(), 4), vec(tie_heavy_weight(), 4)), 1..4),
+        k in 1usize..10,
+        shards in 1usize..5,
+    ) {
+        let dims = 4;
+        let roles = [
+            DimRole::Attractive,
+            DimRole::Repulsive,
+            DimRole::Repulsive,
+            DimRole::Attractive,
+        ];
+        let data = Dataset::from_rows(dims, &rows).unwrap();
+        let queries = build_queries(dims, &raw_queries);
+        let engine = SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions { shards, ..EngineOptions::default() },
+        ).unwrap();
+
+        let mut snap = Snapshot::new();
+        snap.engine = Some(engine.clone());
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        let restored = back.engine.as_ref().unwrap();
+        prop_assert_eq!(restored.shard_count(), engine.shard_count());
+        prop_assert_eq!(restored.len(), engine.len());
+        for (a, b) in restored.shards().iter().zip(engine.shards()) {
+            prop_assert_eq!(a.data().flat(), b.data().flat());
+        }
+        for q in &queries {
+            let want = engine.query(q, k).unwrap();
+            let got = restored.query(q, k).unwrap();
+            assert_bit_identical("snapshot-restored engine", &got, &want)?;
+        }
+        // Deterministic bytes.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+}
+
+/// Engine-less snapshots keep writing format v1, so files produced by this
+/// build remain readable by pre-engine readers.
+#[test]
+fn engineless_snapshot_stays_v1() {
+    let data = Dataset::from_rows(2, &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+    let roles = vec![DimRole::Attractive, DimRole::Repulsive];
+    let mut snap = Snapshot::new();
+    snap.sd = Some(SdIndex::build(data, &roles).unwrap());
+    snap.roles = Some(roles);
+    let bytes = snap.to_bytes();
+    let info = Snapshot::inspect_bytes(&bytes).unwrap();
+    assert_eq!(info.version, FORMAT_V1);
+    let back = Snapshot::from_bytes(&bytes).unwrap();
+    assert!(back.engine.is_none());
+    assert!(back.sd.is_some());
+}
