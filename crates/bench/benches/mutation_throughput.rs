@@ -1,0 +1,122 @@
+//! Criterion benchmark of the live-mutation subsystem: write throughput
+//! (insert / delete), query latency under delta + tombstone pressure, and
+//! epoch compaction cost.
+//!
+//! The interesting comparison is `query_clean` vs `query_1pct_mutations`:
+//! the acceptance bar for the write path is that a 1% delta region (plus
+//! 1% tombstones) keeps single-query latency within 15% of the pure
+//! snapshot baseline (`sdq bench-query --mutate-frac 0.01` measures the
+//! same thing machine-readably into `BENCH_queries.json`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sdq_core::DimRole;
+use sdq_data::{generate, uniform_queries, Distribution};
+use sdq_engine::{EngineOptions, EngineScratch, SdEngine};
+
+const N: usize = 50_000;
+const DIMS: usize = 4;
+const K: usize = 16;
+const SHARDS: usize = 4;
+
+fn build_engine() -> SdEngine {
+    let data = generate(Distribution::Uniform, N, DIMS, 42);
+    let roles = [
+        DimRole::Attractive,
+        DimRole::Repulsive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+    ];
+    SdEngine::build_with(
+        data,
+        &roles,
+        &EngineOptions {
+            shards: SHARDS,
+            threads: 1,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Applies 1% inserts + 1% deletes — the acceptance mutation pressure.
+fn mutate_one_percent(engine: &mut SdEngine) {
+    let m = N / 100;
+    let fresh = generate(Distribution::Uniform, m, DIMS, 7);
+    for (_, coords) in fresh.iter() {
+        engine.insert(coords).unwrap();
+    }
+    for i in 0..m {
+        let id = (i * 97) % N; // deterministic spread across all shards
+        engine.delete(sdq_core::PointId::new(id as u32)).unwrap();
+    }
+}
+
+fn bench_mutation_throughput(c: &mut Criterion) {
+    let engine = build_engine();
+    let queries = uniform_queries(64, DIMS, 13);
+    let fresh_rows = generate(Distribution::Uniform, 1000, DIMS, 7);
+
+    let mut group = c.benchmark_group("mutation_50k_4d_k16");
+    group.sample_size(10);
+
+    group.bench_function("insert_1k_rows", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| {
+                for (_, coords) in fresh_rows.iter() {
+                    e.insert(coords).unwrap();
+                }
+                e.delta_rows()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("delete_1k_rows", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| {
+                for id in 0..1000u32 {
+                    e.delete(sdq_core::PointId::new(id * 41)).unwrap();
+                }
+                e.tombstone_count()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("query_clean", |b| {
+        let mut scratch = EngineScratch::new();
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            engine.query_with(q, K, &mut scratch).unwrap().len()
+        })
+    });
+
+    let mut mutated = engine.clone();
+    mutate_one_percent(&mut mutated);
+    group.bench_function("query_1pct_mutations", |b| {
+        let mut scratch = EngineScratch::new();
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            mutated.query_with(q, K, &mut scratch).unwrap().len()
+        })
+    });
+
+    group.bench_function("compact_1pct_mutations", |b| {
+        b.iter_batched(
+            || mutated.clone(),
+            |mut e| e.compact().unwrap().live_rows,
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! The delta-region scan subproblem: exact scoring for the engine's
+//! append-only write buffer.
+//!
+//! Freshly inserted rows live outside every index structure until the next
+//! compaction, so they cannot be served by the §4/§5 bound machinery.
+//! They do not need to be: the delta region is small by construction (the
+//! compactor folds it back once it drifts), and an exact seqscan over it is
+//! cheaper than any bound bookkeeping. The scan produces two things:
+//!
+//! 1. the delta's **canonical top-k** (score descending, ties by global row
+//!    id ascending) — one more list for the engine's exact k-way merge, and
+//! 2. every live delta score fed into the caller's **k-th-score floor** —
+//!    the same floor the shard aggregations publish into and prune against
+//!    (see [`SharedThreshold`](crate::threshold::SharedThreshold)), so a
+//!    strong delta candidate terminates the indexed shard executions early
+//!    exactly like a strong candidate found by a sibling shard would.
+//!
+//! Tombstoned delta rows are dropped before scoring (see [`crate::mask`]),
+//! so they reach neither the merge nor the floor.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::mask::MaskView;
+use crate::score::{sd_score, DimRole, SdQuery};
+use crate::threshold::track_floor;
+use crate::types::{Dataset, OrdF64, PointId, ScoredPoint};
+
+/// Scans the delta region exactly: appends the canonical top-`k` of the
+/// live delta rows to `out` (with **global** ids `id_offset + local row`)
+/// and feeds every live exact score into `floor` (capacity `k`) for
+/// cross-execution pruning.
+///
+/// `pool` is the caller's recycled bounded heap (cleared here); a warmed
+/// scratch makes the scan allocation-free. `mask`, when present, must view
+/// the engine mask at `id_offset` so delta-local rows resolve correctly.
+#[allow(clippy::too_many_arguments)] // scratch-owned buffers, one call site
+pub fn scan_delta_into(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    id_offset: u32,
+    mask: Option<MaskView<'_>>,
+    pool: &mut BinaryHeap<(Reverse<OrdF64>, u32)>,
+    floor: &mut BinaryHeap<Reverse<OrdF64>>,
+    out: &mut Vec<ScoredPoint>,
+) {
+    debug_assert_eq!(data.dims(), query.dims());
+    debug_assert_eq!(data.dims(), roles.len());
+    pool.clear();
+    for (id, coords) in data.iter() {
+        if mask.is_some_and(|m| m.is_dead(id.raw())) {
+            continue;
+        }
+        let score = sd_score(coords, &query.point, roles, &query.weights);
+        track_floor(floor, k, score);
+        // Bounded min-heap of the best k: the root is the worst kept entry
+        // (lowest score, largest id among ties), matching `rank_cmp`.
+        pool.push((Reverse(OrdF64::new(score)), id.raw()));
+        if pool.len() > k {
+            pool.pop();
+        }
+    }
+    let start = out.len();
+    while let Some((Reverse(OrdF64(score)), row)) = pool.pop() {
+        out.push(ScoredPoint::new(PointId::new(id_offset + row), score));
+    }
+    // Pops arrive worst-first; flip to canonical order.
+    out[start..].reverse();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::RowMask;
+    use crate::score::rank_cmp;
+
+    fn scan(
+        data: &Dataset,
+        roles: &[DimRole],
+        query: &SdQuery,
+        k: usize,
+        offset: u32,
+        mask: Option<MaskView<'_>>,
+    ) -> (Vec<ScoredPoint>, Vec<f64>) {
+        let mut pool = BinaryHeap::new();
+        let mut floor = BinaryHeap::new();
+        let mut out = Vec::new();
+        scan_delta_into(
+            data, roles, query, k, offset, mask, &mut pool, &mut floor, &mut out,
+        );
+        let mut floors: Vec<f64> = floor.into_iter().map(|Reverse(OrdF64(s))| s).collect();
+        floors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (out, floors)
+    }
+
+    #[test]
+    fn matches_sorted_oracle_with_ties() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let roles = [DimRole::Attractive, DimRole::Repulsive];
+        let q = SdQuery::new(vec![1.0, 0.5], vec![1.0, 2.0]).unwrap();
+        let (got, floors) = scan(&data, &roles, &q, 7, 100, None);
+
+        let mut oracle: Vec<ScoredPoint> = data
+            .iter()
+            .map(|(id, c)| {
+                ScoredPoint::new(
+                    PointId::new(100 + id.raw()),
+                    sd_score(c, &q.point, &roles, &q.weights),
+                )
+            })
+            .collect();
+        oracle.sort_by(rank_cmp);
+        oracle.truncate(7);
+        assert_eq!(got, oracle);
+        // The floor holds exactly the 7 best scores.
+        assert_eq!(floors.len(), 7);
+        assert_eq!(floors[0], oracle[6].score);
+    }
+
+    #[test]
+    fn masked_rows_reach_neither_output_nor_floor() {
+        let data = Dataset::from_rows(1, &[vec![10.0], vec![9.0], vec![8.0]]).unwrap();
+        let roles = [DimRole::Repulsive];
+        let q = SdQuery::new(vec![0.0], vec![1.0]).unwrap();
+        let mut mask = RowMask::new(13);
+        mask.set(10); // delta row 0 at offset 10
+        let view = MaskView::new(&mask, 10);
+        let (got, floors) = scan(&data, &roles, &q, 2, 10, Some(view));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id.raw(), 11);
+        assert_eq!(got[0].score, 9.0);
+        assert_eq!(got[1].id.raw(), 12);
+        assert_eq!(floors, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn fewer_live_rows_than_k() {
+        let data = Dataset::from_rows(1, &[vec![1.0], vec![2.0]]).unwrap();
+        let roles = [DimRole::Repulsive];
+        let q = SdQuery::new(vec![0.0], vec![1.0]).unwrap();
+        let (got, floors) = scan(&data, &roles, &q, 5, 0, None);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].score, 2.0);
+        assert_eq!(floors.len(), 2, "floor cannot fill past the live rows");
+    }
+}

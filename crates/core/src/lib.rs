@@ -24,6 +24,10 @@
 //!   engine,
 //! * [`threshold`] — the atomic cross-shard k-th-score floor
 //!   ([`SharedThreshold`]),
+//! * [`mask`] — tombstone bitmaps ([`RowMask`]) whose dead rows are dropped
+//!   at scoring time by every masked query path,
+//! * [`delta`] — the exact seqscan subproblem over the engine's append-only
+//!   delta region (the write path's unindexed rows),
 //! * [`score`] — scoring kernels shared by indexes, baselines and tests,
 //! * [`QueryScratch`] — reusable query-execution buffers; the `query_with`
 //!   entry points answer steady-state queries with zero heap allocations,
@@ -50,8 +54,10 @@
 //! ```
 
 pub mod codec;
+pub mod delta;
 pub mod envelope;
 pub mod geometry;
+pub mod mask;
 pub mod multidim;
 pub mod score;
 mod scratch;
@@ -60,6 +66,7 @@ pub mod top1;
 pub mod topk;
 mod types;
 
+pub use mask::{MaskView, RowMask};
 pub use score::{sd_score, DimRole, SdQuery};
 pub use scratch::QueryScratch;
 pub use threshold::SharedThreshold;

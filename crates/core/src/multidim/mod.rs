@@ -47,6 +47,7 @@ pub use plan::{PairAction, PairPlan, QueryPlan};
 pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
 use crate::geometry::Angle;
+use crate::mask::MaskView;
 use crate::score::{rank_cmp, sd_score_point};
 use crate::scratch::QueryScratch;
 use crate::threshold::{track_floor, SharedThreshold};
@@ -425,6 +426,27 @@ impl SdIndex {
         scratch: &'s mut QueryScratch,
         shared: Option<&SharedThreshold>,
     ) -> Result<&'s [ScoredPoint], SdError> {
+        self.query_masked(query, k, scratch, shared, None)
+    }
+
+    /// [`SdIndex::query_shared`] with an optional tombstone [`MaskView`]:
+    /// masked rows are dropped *at scoring time* — before they can enter
+    /// the candidate pool or the k-th-score floor — so the answer is the
+    /// canonical top-k of the **live** rows only, exactly as if the dead
+    /// rows had never been indexed. Stream bounds keep covering dead rows
+    /// (admissible for the live subset; compaction restores tightness).
+    ///
+    /// With a mask present the direct single-pair shortcut is skipped and
+    /// every query runs through the (equally canonical) aggregation, which
+    /// is where the masking hook lives.
+    pub fn query_masked<'s>(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+        shared: Option<&SharedThreshold>,
+        mask: Option<MaskView<'_>>,
+    ) -> Result<&'s [ScoredPoint], SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -442,24 +464,27 @@ impl SdIndex {
 
         // Direct strategy: a single-pair query is one certified 2-D search
         // over the pair's tree (indexed-angle or Claim 6 bracketed
-        // frontier) — no aggregation machinery at all.
-        if let Some((alpha, beta, qx, qy)) = self.direct_pair(query) {
-            arbitrary::query_canonical_with(
-                &self.pair_indexes[0],
-                qx,
-                qy,
-                alpha,
-                beta,
-                k,
-                scratch,
-                shared,
-            )?;
-            return Ok(&scratch.answers);
+        // frontier) — no aggregation machinery at all. Masked executions
+        // always aggregate (the mask hook lives there).
+        if mask.is_none() {
+            if let Some((alpha, beta, qx, qy)) = self.direct_pair(query) {
+                arbitrary::query_canonical_with(
+                    &self.pair_indexes[0],
+                    qx,
+                    qy,
+                    alpha,
+                    beta,
+                    k,
+                    scratch,
+                    shared,
+                )?;
+                return Ok(&scratch.answers);
+            }
         }
 
         let streams = self.assemble_streams(query, k, scratch)?;
 
-        Ok(threshold_aggregate_shared(
+        Ok(threshold_aggregate_masked(
             &self.data,
             &self.roles,
             query,
@@ -467,6 +492,7 @@ impl SdIndex {
             streams,
             scratch,
             shared,
+            mask,
         ))
     }
 
@@ -486,6 +512,19 @@ impl SdIndex {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> Result<ShardExecution<'i>, SdError> {
+        self.begin_query_masked(query, k, scratch, None)
+    }
+
+    /// [`SdIndex::begin_query`] with an optional tombstone [`MaskView`] —
+    /// the masked execution scores (and therefore emits) live rows only;
+    /// see [`SdIndex::query_masked`] for the exactness argument.
+    pub fn begin_query_masked<'i>(
+        &'i self,
+        query: &'i SdQuery,
+        k: usize,
+        scratch: &mut QueryScratch,
+        mask: Option<MaskView<'i>>,
+    ) -> Result<ShardExecution<'i>, SdError> {
         if k == 0 {
             return Err(SdError::ZeroK);
         }
@@ -501,7 +540,8 @@ impl SdIndex {
         } else {
             self.assemble_streams(query, k, scratch)?
         };
-        let k_eff = k.min(n);
+        let live = n - mask.map_or(0, |m| m.dead_among(n));
+        let k_eff = k.min(live);
         let mut pool = std::mem::take(&mut scratch.pool);
         pool.clear();
         pool.reserve(k_eff + streams.len());
@@ -519,12 +559,30 @@ impl SdIndex {
             k_eff,
             publish: k_eff == k,
             streams,
+            mask,
             pool,
             seen,
             answers,
             floor,
             done: n == 0,
         })
+    }
+
+    /// The effective build options of this index, recovered from its
+    /// structures — what a compaction-time rebuild should pass to
+    /// [`SdIndex::build_with`] to reproduce the same physical layout. The
+    /// pairing strategy is not recorded in the index, so arbitrary pairing
+    /// is reported; pairing affects only subproblem decomposition cost,
+    /// never answers (every decomposition is exact and canonical).
+    pub fn rebuild_options(&self) -> SdIndexOptions {
+        match self.pair_indexes.first() {
+            Some(tree) => SdIndexOptions {
+                pairing: PairingStrategy::Arbitrary,
+                angles: tree.angles().to_vec(),
+                branching: tree.branching(),
+            },
+            None => SdIndexOptions::default(),
+        }
     }
 
     /// Assembles the subproblem streams for one query into the scratch's
@@ -703,6 +761,7 @@ pub(crate) fn build_pair_columns(
 /// [`SharedThreshold`] floor.
 ///
 /// [`query_frontier_with`]: crate::topk::arbitrary::query_frontier_with
+#[allow(clippy::too_many_arguments)] // internal: one call site per mode
 fn aggregate_into(
     data: &Dataset,
     roles: &[DimRole],
@@ -711,6 +770,7 @@ fn aggregate_into(
     streams: &mut [Subproblem<'_>],
     scratch: &mut QueryScratch,
     shared: Option<&SharedThreshold>,
+    mask: Option<MaskView<'_>>,
 ) {
     let pool = &mut scratch.pool;
     let seen = &mut scratch.seen;
@@ -720,9 +780,11 @@ fn aggregate_into(
     seen.clear();
     answers.clear();
     floor.clear();
-    let k_eff = k.min(data.len());
+    let n = data.len();
+    let live = n - mask.map_or(0, |m| m.dead_among(n));
+    let k_eff = k.min(live);
     // A floor over fewer than k real points cannot bound the global k-th
-    // score, so shards smaller than k never publish.
+    // score, so shards smaller than k (counting live rows) never publish.
     let publish = k_eff == k;
     // Pre-size: the pool holds at most one candidate per fetch round per
     // stream beyond the k answers still wanted.
@@ -736,6 +798,7 @@ fn aggregate_into(
         k_eff,
         publish,
         streams,
+        mask,
         pool,
         seen,
         answers,
@@ -765,6 +828,7 @@ fn aggregate_rounds<F: FnMut(f64)>(
     k_eff: usize,
     publish: bool,
     streams: &mut [Subproblem<'_>],
+    mask: Option<MaskView<'_>>,
     pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
     seen: &mut FastSet,
     answers: &mut Vec<ScoredPoint>,
@@ -841,7 +905,9 @@ fn aggregate_rounds<F: FnMut(f64)>(
         for s in streams.iter_mut() {
             if let Some((row, _)) = s.next() {
                 progressed = true;
-                if seen.insert(row) {
+                // Tombstoned rows are dropped here, before pool and floor:
+                // a dead row's score in the floor could prune live rows.
+                if seen.insert(row) && !mask.is_some_and(|m| m.is_dead(row)) {
                     let score = sd_score_point(data, PointId::new(row), query, roles);
                     track_floor(floor, k_eff, score);
                     on_score(score);
@@ -883,6 +949,7 @@ pub struct ShardExecution<'i> {
     k_eff: usize,
     publish: bool,
     streams: Vec<Subproblem<'i>>,
+    mask: Option<MaskView<'i>>,
     pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
     seen: FastSet,
     answers: Vec<ScoredPoint>,
@@ -914,6 +981,7 @@ impl<'i> ShardExecution<'i> {
                 self.k_eff,
                 self.publish,
                 &mut self.streams,
+                self.mask,
                 &mut self.pool,
                 &mut self.seen,
                 &mut self.answers,
@@ -954,7 +1022,7 @@ pub fn threshold_aggregate(
     streams: &mut [Subproblem<'_>],
 ) -> Vec<ScoredPoint> {
     let mut scratch = QueryScratch::new();
-    aggregate_into(data, roles, query, k, streams, &mut scratch, None);
+    aggregate_into(data, roles, query, k, streams, &mut scratch, None, None);
     std::mem::take(&mut scratch.answers)
 }
 
@@ -987,11 +1055,30 @@ pub fn threshold_aggregate_shared<'a, 's>(
     roles: &[DimRole],
     query: &SdQuery,
     k: usize,
-    mut streams: Vec<Subproblem<'a>>,
+    streams: Vec<Subproblem<'a>>,
     scratch: &'s mut QueryScratch,
     shared: Option<&SharedThreshold>,
 ) -> &'s [ScoredPoint] {
-    aggregate_into(data, roles, query, k, &mut streams, scratch, shared);
+    threshold_aggregate_masked(data, roles, query, k, streams, scratch, shared, None)
+}
+
+/// [`threshold_aggregate_shared`] with an optional tombstone [`MaskView`]:
+/// masked rows are dropped at scoring time, so they reach neither the
+/// candidate pool, the k-th-score floor, nor the emitted answer — the
+/// result is the canonical top-k of the live rows. See
+/// [`SdIndex::query_masked`].
+#[allow(clippy::too_many_arguments)] // mirrors the unmasked entry point
+pub fn threshold_aggregate_masked<'a, 's>(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    mut streams: Vec<Subproblem<'a>>,
+    scratch: &'s mut QueryScratch,
+    shared: Option<&SharedThreshold>,
+    mask: Option<MaskView<'_>>,
+) -> &'s [ScoredPoint] {
+    aggregate_into(data, roles, query, k, &mut streams, scratch, shared, mask);
     for s in streams.drain(..) {
         s.recycle(scratch);
     }

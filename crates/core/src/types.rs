@@ -65,6 +65,9 @@ pub enum SdError {
     },
     /// Query-time role vector disagreed with the build-time roles.
     RoleMismatch,
+    /// A row id beyond the addressable rows (base + delta region) of an
+    /// engine — deleting or restoring a row that does not exist.
+    UnknownRow { row: usize, rows: usize },
     /// An invalid branching factor (must be ≥ 2).
     InvalidBranching(usize),
     /// No indexed angles were supplied.
@@ -110,6 +113,9 @@ impl fmt::Display for SdError {
                 "projection angle {requested_deg}° outside indexed range [{min_deg}°, {max_deg}°]"
             ),
             SdError::RoleMismatch => write!(f, "query roles differ from index build roles"),
+            SdError::UnknownRow { row, rows } => {
+                write!(f, "row {row} out of range ({rows} rows addressable)")
+            }
             SdError::InvalidBranching(b) => write!(f, "branching factor {b} invalid (must be ≥ 2)"),
             SdError::NoAngles => write!(f, "at least one indexed angle is required"),
             SdError::SnapshotIo(e) => write!(f, "snapshot I/O error: {e}"),

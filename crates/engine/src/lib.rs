@@ -92,10 +92,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use sdq_core::mask::{MaskView, RowMask};
 use sdq_core::multidim::{resolve_threads, QueryPlan, SdIndex, SdIndexOptions};
 use sdq_core::score::rank_cmp;
 use sdq_core::threshold::{track_floor, SharedThreshold};
 use sdq_core::{Dataset, DimRole, OrdF64, PointId, QueryScratch, ScoredPoint, SdError, SdQuery};
+
+pub mod mutation;
+
+pub use mutation::{CompactionOptions, CompactionReport, MutationStats};
 
 /// Tuning knobs for [`SdEngine::build_with`].
 #[derive(Debug, Clone)]
@@ -126,8 +131,13 @@ impl Default for EngineOptions {
 pub struct ShardInfo {
     /// First global row id this shard covers.
     pub offset: usize,
-    /// Number of rows in the shard.
+    /// Number of rows in the shard (dead ones included).
     pub rows: usize,
+    /// Tombstoned rows inside this shard, pending compaction.
+    pub dead_rows: usize,
+    /// Engine epoch at which this shard was last rebuilt (`0` = initial
+    /// build; see [`SdEngine::compact_with`]).
+    pub epoch: u64,
     /// Approximate heap footprint of the shard's index structures.
     pub memory_bytes: usize,
 }
@@ -145,6 +155,8 @@ pub struct EngineScratch {
     lists: Vec<Vec<ScoredPoint>>,
     heads: Vec<usize>,
     floor: BinaryHeap<Reverse<OrdF64>>,
+    /// Bounded top-k heap of the delta-region seqscan (mutated engines).
+    delta_pool: BinaryHeap<(Reverse<OrdF64>, u32)>,
     answers: Vec<ScoredPoint>,
 }
 
@@ -175,12 +187,17 @@ pub struct SdEngine {
     // its sub-dataset); the engine keeps just the global shape, so building
     // or restoring an engine never duplicates the dataset.
     dims: usize,
+    /// Indexed (base) rows; delta rows live in `muts` until compaction.
     rows: usize,
     roles: Vec<DimRole>,
     /// First global row of shard `i` (parallel to `shards`).
     offsets: Vec<u32>,
     shards: Vec<SdIndex>,
     threads: usize,
+    /// Per-shard build options, reused by compaction-time rebuilds.
+    index_options: SdIndexOptions,
+    /// The write path: delta region, tombstones, epochs (see [`mutation`]).
+    muts: mutation::MutationState,
 }
 
 impl SdEngine {
@@ -217,6 +234,7 @@ impl SdEngine {
                 offsets.push(a as u32);
             }
         }
+        let muts = mutation::MutationState::new(dims, n, shards.len());
         Ok(SdEngine {
             dims,
             rows: n,
@@ -224,6 +242,8 @@ impl SdEngine {
             offsets,
             shards,
             threads: options.threads,
+            index_options: options.index.clone(),
+            muts,
         })
     }
 
@@ -265,6 +285,11 @@ impl SdEngine {
                 return Err(SdError::TooManyPoints(rows));
             }
         }
+        let index_options = shards
+            .first()
+            .map(SdIndex::rebuild_options)
+            .unwrap_or_default();
+        let muts = mutation::MutationState::new(dims, rows, shards.len());
         Ok(SdEngine {
             dims,
             rows,
@@ -272,6 +297,8 @@ impl SdEngine {
             offsets,
             shards,
             threads: 0,
+            index_options,
+            muts,
         })
     }
 
@@ -290,14 +317,17 @@ impl SdEngine {
         &self.roles
     }
 
-    /// Total number of rows.
+    /// Number of **live** rows: indexed base rows plus delta rows, minus
+    /// tombstones — the population every query ranks over. See
+    /// [`SdEngine::total_rows`](SdEngine::total_rows) for the addressable
+    /// id-space size.
     pub fn len(&self) -> usize {
-        self.rows
+        self.rows + self.muts.delta.len() - self.muts.tombstones.set_count()
     }
 
-    /// `true` when the engine indexes no rows.
+    /// `true` when the engine holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.len() == 0
     }
 
     /// Number of shards.
@@ -320,14 +350,17 @@ impl SdEngine {
         self.shards.iter().map(SdIndex::memory_bytes).sum()
     }
 
-    /// Per-shard layout and footprint, in row order.
+    /// Per-shard layout, mutation pressure and footprint, in row order.
     pub fn shard_infos(&self) -> Vec<ShardInfo> {
         self.shards
             .iter()
             .zip(&self.offsets)
-            .map(|(shard, &offset)| ShardInfo {
+            .zip(self.muts.shard_epochs.iter().zip(&self.muts.shard_dead))
+            .map(|((shard, &offset), (&epoch, &dead_rows))| ShardInfo {
                 offset: offset as usize,
                 rows: shard.data().len(),
+                dead_rows,
+                epoch,
                 memory_bytes: shard.memory_bytes(),
             })
             .collect()
@@ -338,15 +371,19 @@ impl SdEngine {
     ///
     /// Reflects the engine's configured execution mode: the single-worker
     /// interleaved scheduler runs suspended aggregations (no direct 2-D
-    /// shortcut), while one-shard or multi-worker execution plans exactly
-    /// like a standalone [`SdIndex`].
+    /// shortcut), as does any shard carrying tombstones (masked executions
+    /// always aggregate); otherwise one-shard or multi-worker execution
+    /// plans exactly like a standalone [`SdIndex`]. The delta region, when
+    /// non-empty, additionally executes as an exact seqscan outside these
+    /// per-shard plans (see [`mutation`]).
     pub fn explain(&self, query: &SdQuery, k: usize) -> Result<Vec<QueryPlan>, SdError> {
         let s = self.shards.len();
         let interleaved = s > 1 && resolve_threads(self.threads).clamp(1, s) == 1;
         self.shards
             .iter()
-            .map(|shard| {
-                if interleaved {
+            .zip(&self.muts.shard_dead)
+            .map(|(shard, &dead)| {
+                if interleaved || dead > 0 {
                     shard.plan_aggregate(query, k)
                 } else {
                     shard.plan(query, k)
@@ -397,19 +434,68 @@ impl SdEngine {
         }
         scratch.answers.clear();
         let s = self.shards.len();
-        if s == 0 {
+        // The write path: a dirty engine scans its delta region exactly
+        // (one extra merge list) and masks tombstoned rows out of every
+        // shard execution.
+        let dirty = self.has_mutations();
+        if s == 0 && !dirty {
             return Ok(());
         }
-        let w = workers.clamp(1, s);
-        scratch.ensure(s, w);
+        let w = if s > 0 { workers.clamp(1, s) } else { 1 };
+        let lists_n = s + usize::from(dirty);
+        scratch.ensure(lists_n, w);
         let shared = SharedThreshold::new();
+        let mask = if self.muts.tombstones.any() {
+            Some(&self.muts.tombstones)
+        } else {
+            None
+        };
+        scratch.floor.clear();
 
-        if w == 1 && s == 1 {
+        if dirty {
+            // Delta scan first: its canonical top-k becomes merge list `s`,
+            // and every live delta score seeds the engine's k-th-score
+            // floor, so the indexed shard executions below terminate
+            // against fresh-row candidates exactly like against a sibling
+            // shard's.
+            let EngineScratch {
+                lists,
+                floor,
+                delta_pool,
+                ..
+            } = &mut *scratch;
+            let out = &mut lists[s];
+            out.clear();
+            if !self.muts.delta.is_empty() {
+                sdq_core::delta::scan_delta_into(
+                    &self.muts.delta,
+                    &self.roles,
+                    query,
+                    k,
+                    self.rows as u32,
+                    mask.map(|m| MaskView::new(m, self.rows as u32)),
+                    delta_pool,
+                    floor,
+                    out,
+                );
+            }
+            if floor.len() == k {
+                shared.raise(floor.peek().expect("floor is non-empty").0 .0);
+            }
+        }
+
+        if s == 0 {
+            // Delta-only engine: the merge below serves straight from the
+            // delta list.
+        } else if w == 1 && s == 1 {
             // One shard: the monolithic path (including its direct 2-D
-            // single-pair shortcut) with no cross-shard machinery.
+            // single-pair shortcut when unmasked) with no cross-shard
+            // machinery beyond the delta floor.
             let EngineScratch { workers, lists, .. } = &mut *scratch;
             let qs = &mut workers[0];
-            let res = self.shards[0].query_shared(query, k, qs, None)?;
+            let shard_mask = shard_mask_view(mask, self.offsets[0], self.muts.shard_dead[0]);
+            let shared_ref = if dirty { Some(&shared) } else { None };
+            let res = self.shards[0].query_masked(query, k, qs, shared_ref, shard_mask)?;
             let out = &mut lists[0];
             out.clear();
             out.extend(
@@ -420,23 +506,30 @@ impl SdEngine {
         } else if w == 1 {
             // Single-worker, multiple shards: *interleave* the shard
             // aggregations in small slices and keep a merged k-of-union
-            // floor over every score any slice has seen. The floor reaches
-            // the global k-th within a few rounds, so every shard —
-            // including the first — terminates against a near-final floor
-            // instead of its own weaker local one (measured ≈ the oracle
-            // floor's cost, where strictly sequential shard execution
-            // leaves the first shard floorless).
-            scratch.ensure(s, s); // one owned execution state per shard
+            // floor over every score any slice has seen (pre-seeded by the
+            // delta scan above). The floor reaches the global k-th within
+            // a few rounds, so every shard — including the first —
+            // terminates against a near-final floor instead of its own
+            // weaker local one (measured ≈ the oracle floor's cost, where
+            // strictly sequential shard execution leaves the first shard
+            // floorless).
+            scratch.ensure(lists_n, s); // one owned execution state per shard
             let EngineScratch {
                 workers,
                 lists,
                 floor,
                 ..
             } = &mut *scratch;
-            floor.clear();
             let mut runs = Vec::with_capacity(s);
-            for (shard, qs) in self.shards.iter().zip(workers.iter_mut()) {
-                runs.push(shard.begin_query(query, k, qs)?);
+            for (((shard, &offset), &dead), qs) in self
+                .shards
+                .iter()
+                .zip(&self.offsets)
+                .zip(&self.muts.shard_dead)
+                .zip(workers.iter_mut())
+            {
+                let shard_mask = shard_mask_view(mask, offset, dead);
+                runs.push(shard.begin_query_masked(query, k, qs, shard_mask)?);
             }
             // Rounds per slice: enough that each slice makes real bound
             // progress, small enough that the merged floor forms while
@@ -481,29 +574,40 @@ impl SdEngine {
                     .shards
                     .chunks(chunk)
                     .zip(self.offsets.chunks(chunk))
+                    .zip(self.muts.shard_dead.chunks(chunk))
                     .zip(scratch.lists.chunks_mut(chunk))
                     .zip(scratch.workers.iter_mut())
-                    .map(|(((shard_chunk, off_chunk), lists_chunk), qs)| {
-                        let shared = &shared;
-                        scope.spawn(move || -> Result<(), SdError> {
-                            for ((shard, &offset), out) in shard_chunk
-                                .iter()
-                                .zip(off_chunk)
-                                .zip(lists_chunk.iter_mut())
-                            {
-                                let res = shard.query_shared(query, k, qs, Some(shared))?;
-                                out.clear();
-                                out.reserve(res.len());
-                                for sp in res {
-                                    out.push(ScoredPoint::new(
-                                        PointId::new(offset + sp.id.raw()),
-                                        sp.score,
-                                    ));
+                    .map(
+                        |((((shard_chunk, off_chunk), dead_chunk), lists_chunk), qs)| {
+                            let shared = &shared;
+                            scope.spawn(move || -> Result<(), SdError> {
+                                for (((shard, &offset), &dead), out) in shard_chunk
+                                    .iter()
+                                    .zip(off_chunk)
+                                    .zip(dead_chunk)
+                                    .zip(lists_chunk.iter_mut())
+                                {
+                                    let shard_mask = shard_mask_view(mask, offset, dead);
+                                    let res = shard.query_masked(
+                                        query,
+                                        k,
+                                        qs,
+                                        Some(shared),
+                                        shard_mask,
+                                    )?;
+                                    out.clear();
+                                    out.reserve(res.len());
+                                    for sp in res {
+                                        out.push(ScoredPoint::new(
+                                            PointId::new(offset + sp.id.raw()),
+                                            sp.score,
+                                        ));
+                                    }
                                 }
-                            }
-                            Ok(())
-                        })
-                    })
+                                Ok(())
+                            })
+                        },
+                    )
                     .collect();
                 handles
                     .into_iter()
@@ -515,16 +619,17 @@ impl SdEngine {
             }
         }
 
-        // Exact k-way merge over the per-shard canonical lists. Global ids
-        // are unique, so rank_cmp is a total order and the merge output is
-        // the canonical global top-k.
+        // Exact k-way merge over the per-shard canonical lists (plus the
+        // delta list when dirty). Global ids are unique, so rank_cmp is a
+        // total order and the merge output is the canonical global top-k
+        // of the live rows.
         let EngineScratch {
             lists,
             heads,
             answers,
             ..
         } = &mut *scratch;
-        let k_eff = k.min(self.rows);
+        let k_eff = k.min(self.len());
         heads.clear();
         heads.resize(lists.len(), 0);
         answers.reserve(k_eff);
@@ -612,6 +717,15 @@ impl SdEngine {
         }
         Ok(out)
     }
+}
+
+/// The tombstone view one shard's execution should receive: `None` when no
+/// dead row falls inside the shard's range (per-shard counters maintained
+/// by `delete`, so this is O(1)), so delete-free shards keep their
+/// unmasked fast paths (including the direct 2-D shortcut).
+fn shard_mask_view(mask: Option<&RowMask>, offset: u32, dead: usize) -> Option<MaskView<'_>> {
+    let view = MaskView::new(mask?, offset);
+    (dead > 0).then_some(view)
 }
 
 #[cfg(test)]

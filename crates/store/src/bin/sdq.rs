@@ -1,10 +1,13 @@
-//! `sdq` — build, persist, inspect and query SD-Query snapshots.
+//! `sdq` — build, persist, inspect, query and *mutate* SD-Query snapshots.
 //!
-//! The build-once/query-many workflow:
+//! The build-once/query-many workflow, plus the write path:
 //!
 //! ```text
 //! sdq build --synthetic uniform --n 100000 --dims 4 --roles arra --out idx.sdq
 //! sdq query idx.sdq --point 0.5,0.5,0.5,0.5 --k 10
+//! sdq insert idx.sdq --csv new_rows.csv
+//! sdq delete idx.sdq --ids 17,42
+//! sdq compact idx.sdq
 //! sdq inspect idx.sdq
 //! sdq bench-load idx.sdq
 //! ```
@@ -18,7 +21,7 @@ use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
 use sdq_core::{Dataset, DimRole, QueryScratch, ScoredPoint, SdQuery};
 use sdq_data::{generate, uniform_queries, Distribution};
-use sdq_engine::{EngineOptions, EngineScratch, SdEngine};
+use sdq_engine::{CompactionOptions, EngineOptions, EngineScratch, SdEngine};
 use sdq_rstar::RStarTree;
 use sdq_store::{parse_roles, SectionKind, Snapshot};
 
@@ -32,18 +35,27 @@ USAGE:
               [--alpha A] [--beta B] [--k K]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
               [--repeat N] [--threads T]
+    sdq insert PATH --csv FILE [--out PATH2]
+    sdq delete PATH --ids N,N,... [--out PATH2]
+    sdq compact PATH [--rebalance-factor F] [--shards S] [--out PATH2]
     sdq inspect PATH
     sdq bench-load PATH [--iters N]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
               [--shards S] [--k K] [--queries Q] [--threads LIST] [--seed S]
-              [--out FILE]
+              [--mutate-frac F] [--out FILE]
 
 SUBCOMMANDS:
     build        Generate or load a dataset, build the requested indexes and
                  write one snapshot file.
     query        Load a snapshot and answer a top-k SD-Query from it.
+    insert       Append rows (CSV file or '-' for stdin) to the engine's
+                 delta region and rewrite the snapshot (format v3).
+    delete       Tombstone rows by global id and rewrite the snapshot.
+    compact      Fold the delta region into the shards, drop tombstones,
+                 bump the engine epoch and rewrite the snapshot.
     inspect      Print the snapshot header, section table, artifact stats
-                 and (for engines) the shard layout + planner decision.
+                 and (for engines) the shard layout, per-shard delta and
+                 tombstone pressure, and the planner decision.
     bench-load   Time snapshot load vs. in-memory index rebuild.
     bench-query  Measure query latency percentiles and batch QPS against a
                  snapshot's engine/sd-index (or an ad-hoc synthetic build)
@@ -70,6 +82,18 @@ BUILD OPTIONS:
     --beta B           top1: attractive weight (default 1).
     --k K              top1: fixed k (default 1).
 
+MUTATION OPTIONS (insert / delete / compact):
+    --csv FILE         Rows to insert, one comma-separated row per line
+                       ('-' reads stdin; blank lines and '#' comments
+                       ignored).
+    --ids CSV          Global row ids to tombstone.
+    --rebalance-factor F
+                       Repartition evenly when a shard's live-row count
+                       drifts past F × the ideal share (default 1.5).
+    --shards S         Repartition into S shards while compacting.
+    --out PATH2        Write the mutated snapshot here instead of rewriting
+                       PATH in place.
+
 QUERY OPTIONS:
     --point CSV        Query point, one value per dimension (required).
     --weights CSV      Per-dimension weights (default: all 1).
@@ -80,8 +104,13 @@ QUERY OPTIONS:
                        0 = auto: the host's available parallelism).
 
 BENCH-QUERY OPTIONS:
-    --shards S         Shard count for the measured engine (default 1; a
-                       snapshot's own engine wins when present).
+    --shards S         Shard count for the measured engine (default 1).
+                       Errors when it disagrees with a snapshot's own
+                       engine manifest.
+    --mutate-frac F    After the clean measurement, insert ⌈F·n⌉ synthetic
+                       rows and tombstone ⌈F·n⌉ existing ones, re-measure
+                       single-query latency, and add a 'mutations' key to
+                       the JSON report (0 <= F < 1).
     --k K              Result size (default 16).
     --queries Q        Distinct uniform queries per measurement (default 256).
     --threads LIST     Comma list of batch worker counts, 0 = auto
@@ -131,6 +160,9 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     match cmd.as_str() {
         "build" => cmd_build(rest),
         "query" => cmd_query(rest),
+        "insert" => cmd_insert(rest),
+        "delete" => cmd_delete(rest),
+        "compact" => cmd_compact(rest),
         "inspect" => cmd_inspect(rest),
         "bench-load" => cmd_bench_load(rest),
         "bench-query" => cmd_bench_query(rest),
@@ -439,9 +471,15 @@ fn two_dim_axes(roles: &[DimRole]) -> Result<(usize, usize), CliError> {
     }
 }
 
-fn read_csv_dataset(path: &str) -> Result<Dataset, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?;
+/// Reads CSV rows from a file, or stdin when `path` is `"-"`. Blank lines
+/// and `#` comments are ignored.
+fn read_csv_rows(path: &str) -> Result<Vec<Vec<f64>>, CliError> {
+    let text = if path == "-" {
+        std::io::read_to_string(std::io::stdin())
+            .map_err(|e| runtime(format!("cannot read stdin: {e}")))?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?
+    };
     let mut rows: Vec<Vec<f64>> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -455,6 +493,11 @@ fn read_csv_dataset(path: &str) -> Result<Dataset, CliError> {
         let row = row.map_err(|e| runtime(format!("{path}:{}: {e}", lineno + 1)))?;
         rows.push(row);
     }
+    Ok(rows)
+}
+
+fn read_csv_dataset(path: &str) -> Result<Dataset, CliError> {
+    let rows = read_csv_rows(path)?;
     let dims = rows.first().map(Vec::len).unwrap_or(0);
     if dims == 0 {
         return Err(runtime(format!("{path}: no data rows")));
@@ -621,6 +664,194 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+// ─── insert / delete / compact ──────────────────────────────────────────────
+
+/// Loads a snapshot for mutation: the engine when present, otherwise a
+/// single-shard engine promoted from the sd-index (the snapshot upgrades to
+/// an engine snapshot on save — format v2/v3).
+fn load_mutable_engine(path: &str) -> Result<(Snapshot, SdEngine), CliError> {
+    let mut snap = Snapshot::load(path).map_err(runtime)?;
+    if let Some(engine) = snap.engine.take() {
+        return Ok((snap, engine));
+    }
+    if let Some(sd) = snap.sd.take() {
+        println!("note: promoting the sd-index to a single-shard engine (snapshot becomes v2+)");
+        return Ok((snap, SdEngine::single(sd).map_err(runtime)?));
+    }
+    Err(runtime(
+        "snapshot holds no engine or sd-index to mutate; rebuild with --index sd",
+    ))
+}
+
+/// Puts the mutated engine back and rewrites the snapshot atomically.
+/// Sibling artifacts (raw dataset, monolithic indexes, baselines) are kept
+/// verbatim but describe the *pre-mutation* rows, so their presence is
+/// called out — the engine is the only artifact the write path maintains.
+fn save_mutated(mut snap: Snapshot, engine: SdEngine, out: &str) -> Result<(), CliError> {
+    let mut stale: Vec<&str> = Vec::new();
+    if snap.dataset.is_some() {
+        stale.push("dataset");
+    }
+    if snap.sd.is_some() {
+        stale.push("sd-index");
+    }
+    if snap.topk.is_some() {
+        stale.push("topk-index");
+    }
+    if snap.top1.is_some() {
+        stale.push("top1-index");
+    }
+    if snap.rstar.is_some() {
+        stale.push("rstar-tree");
+    }
+    if !stale.is_empty() {
+        eprintln!(
+            "warning: snapshot also stores [{}] — those sections still describe the \
+             pre-mutation rows; only the engine reflects this write",
+            stale.join(", ")
+        );
+    }
+    snap.engine = Some(engine);
+    let (saved, ms) = timed(|| snap.save(out));
+    saved.map_err(runtime)?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {out} ({bytes} bytes) in {ms:.1} ms");
+    Ok(())
+}
+
+fn cmd_insert(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut csv: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--csv" => csv = Some(flags.value("--csv")?.to_string()),
+            "--out" => out = Some(flags.value("--out")?.to_string()),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => {
+                return Err(usage(format!(
+                    "unknown flag {other:?} (stdin rows are --csv -)"
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| usage("insert needs a snapshot path"))?;
+    let csv = csv.ok_or_else(|| usage("insert requires --csv FILE (or --csv - for stdin)"))?;
+    let rows = read_csv_rows(&csv)?;
+    if rows.is_empty() {
+        return Err(runtime(format!("{csv}: no data rows")));
+    }
+    let (snap, mut engine) = load_mutable_engine(path)?;
+    let (ids, ms) = timed(|| engine.insert_rows(&rows));
+    let ids = ids.map_err(runtime)?;
+    println!(
+        "inserted {} row(s) as {}..={} in {ms:.2} ms; delta region now {} row(s)",
+        ids.len(),
+        ids.first().expect("non-empty batch"),
+        ids.last().expect("non-empty batch"),
+        engine.delta_rows()
+    );
+    save_mutated(snap, engine, out.as_deref().unwrap_or(path))
+}
+
+fn cmd_delete(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut ids: Option<Vec<usize>> = None;
+    let mut out: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--ids" => {
+                let raw = flags.value("--ids")?;
+                ids = Some(
+                    raw.split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .map_err(|_| usage(format!("--ids: cannot parse {s:?}")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--out" => out = Some(flags.value("--out")?.to_string()),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("delete needs a snapshot path"))?;
+    let ids = ids.ok_or_else(|| usage("delete requires --ids N,N,..."))?;
+    let (snap, mut engine) = load_mutable_engine(path)?;
+    let mut newly = 0usize;
+    let mut already = 0usize;
+    for id in ids {
+        let id = u32::try_from(id)
+            .map_err(|_| runtime(format!("row {id} out of range (ids are u32)")))?;
+        if engine.delete(sdq_core::PointId::new(id)).map_err(runtime)? {
+            newly += 1;
+        } else {
+            already += 1;
+        }
+    }
+    print!("tombstoned {newly} row(s)");
+    if already > 0 {
+        print!(" ({already} already dead)");
+    }
+    println!(
+        "; {} tombstone(s) pending over {} live row(s)",
+        engine.tombstone_count(),
+        engine.len()
+    );
+    save_mutated(snap, engine, out.as_deref().unwrap_or(path))
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut out: Option<String> = None;
+    let mut options = CompactionOptions::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--rebalance-factor" => {
+                options.rebalance_factor = flags.parsed("--rebalance-factor")?;
+                if options.rebalance_factor.is_nan() || options.rebalance_factor < 1.0 {
+                    return Err(usage("--rebalance-factor must be at least 1"));
+                }
+            }
+            "--shards" => {
+                let s: usize = flags.parsed("--shards")?;
+                if s == 0 {
+                    return Err(usage("--shards must be at least 1"));
+                }
+                options.shards = Some(s);
+            }
+            "--out" => out = Some(flags.value("--out")?.to_string()),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("compact needs a snapshot path"))?;
+    let (snap, mut engine) = load_mutable_engine(path)?;
+    let (report, ms) = timed(|| engine.compact_with(&options));
+    let report = report.map_err(runtime)?;
+    println!(
+        "compacted in {ms:.1} ms: rebuilt {} of {} shard(s){}, merged {} delta row(s), \
+         dropped {} tombstone(s); epoch {}, {} live row(s)",
+        report.rebuilt_shards,
+        engine.shard_count(),
+        if report.rebalanced {
+            " (rebalanced)"
+        } else {
+            ""
+        },
+        report.merged_delta_rows,
+        report.dropped_tombstones,
+        report.epoch,
+        report.live_rows
+    );
+    save_mutated(snap, engine, out.as_deref().unwrap_or(path))
+}
+
 // ─── inspect ────────────────────────────────────────────────────────────────
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
@@ -676,35 +907,47 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(engine) = &snap.engine {
         println!(
-            "  engine: {} rows across {} shard(s), ≈{} KiB resident",
+            "  engine: {} live rows across {} shard(s), ≈{} KiB resident",
             engine.len(),
             engine.shard_count(),
             engine.memory_bytes() / 1024
         );
         for (i, info) in engine.shard_infos().iter().enumerate() {
             println!(
-                "    shard {i}: rows [{}, {}), {} points, ≈{} KiB",
+                "    shard {i}: rows [{}, {}), {} points ({} dead), epoch {}, ≈{} KiB",
                 info.offset,
                 info.offset + info.rows,
                 info.rows,
+                info.dead_rows,
+                info.epoch,
                 info.memory_bytes / 1024
             );
         }
+        let stats = engine.mutation_stats();
+        println!(
+            "    delta: {} row(s) ({} dead); {} tombstone(s) total; engine epoch {}",
+            stats.delta_rows,
+            stats.delta_dead,
+            stats.base_dead + stats.delta_dead,
+            stats.epoch
+        );
         // Planner observability: what the cost model would run for a
         // unit-weight query at the dataset's per-dimension mean (the rows
         // live inside the shard indexes; sum across them).
-        if !engine.is_empty() {
+        if engine.shard_count() > 0 {
             let dims = engine.dims();
             let mut mean = vec![0.0f64; dims];
+            let mut counted = 0usize;
             for shard in engine.shards() {
                 for (_, coords) in shard.data().iter() {
                     for (m, &c) in mean.iter_mut().zip(coords) {
                         *m += c;
                     }
                 }
+                counted += shard.data().len();
             }
             for m in &mut mean {
-                *m /= engine.len() as f64;
+                *m /= counted.max(1) as f64;
             }
             let sample = SdQuery::new(mean, vec![1.0; dims]).map_err(runtime)?;
             let plans = engine.explain(&sample, DEFAULT_K).map_err(runtime)?;
@@ -909,12 +1152,18 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let mut threads_list: Vec<usize> = vec![1, 4, 8];
     let mut seed: u64 = 13;
     let mut shards: usize = 1;
+    let mut shards_set = false;
+    let mut mutate_frac: f64 = 0.0;
     let mut out = String::from("BENCH_queries.json");
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
-            "--shards" => shards = flags.parsed("--shards")?,
+            "--shards" => {
+                shards = flags.parsed("--shards")?;
+                shards_set = true;
+            }
+            "--mutate-frac" => mutate_frac = flags.parsed("--mutate-frac")?,
             "--synthetic" => {
                 synthetic = Some(match flags.value("--synthetic")? {
                     "uniform" => Distribution::Uniform,
@@ -961,6 +1210,9 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     if threads_list.is_empty() {
         return Err(usage("--threads needs a comma list of counts (0 = auto)"));
     }
+    if !(0.0..1.0).contains(&mutate_frac) {
+        return Err(usage("--mutate-frac must be in [0, 1)"));
+    }
 
     // Obtain the engine: the snapshot's own, a wrap of its sd-index, a
     // re-shard of its dataset, or an ad-hoc synthetic build.
@@ -969,10 +1221,25 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             let snap = Snapshot::load(p).map_err(runtime)?;
             let engine = match snap.engine {
                 Some(e) => {
-                    if shards != 1 && shards != e.shard_count() {
-                        println!(
-                            "note: using the snapshot's {}-shard engine (ignoring --shards {shards})",
+                    // Silently ignoring a disagreeing --shards would label
+                    // the measurement with a layout it never ran.
+                    if shards_set && shards != e.shard_count() {
+                        return Err(usage(format!(
+                            "--shards {shards} disagrees with the snapshot's engine manifest \
+                             ({} shards); drop --shards or rebuild the snapshot",
                             e.shard_count()
+                        )));
+                    }
+                    // A v3 snapshot's engine already carries writes: the
+                    // numbers below would not be the pure-snapshot
+                    // baseline future PRs compare against.
+                    if e.has_mutations() {
+                        eprintln!(
+                            "warning: snapshot engine carries {} delta row(s) and {} \
+                             tombstone(s) — measurements include that write pressure \
+                             (run `sdq compact` first for a clean baseline)",
+                            e.delta_rows(),
+                            e.tombstone_count()
                         );
                     }
                     e
@@ -1047,34 +1314,14 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             ))
         }
     };
+    let mut engine = engine;
     let dims = engine.dims();
     let shards = engine.shard_count();
     let workload = uniform_queries(queries, dims, seed);
 
     // Single-query latency: scratch reuse, one warm-up pass, then one timed
     // pass per query.
-    let mut scratch = EngineScratch::new();
-    let mut sink = 0.0f64;
-    for q in &workload {
-        sink += engine
-            .query_with(q, k, &mut scratch)
-            .map_err(runtime)?
-            .iter()
-            .map(|sp| sp.score)
-            .sum::<f64>();
-    }
-    let mut lat_ms = Vec::with_capacity(queries);
-    for q in &workload {
-        let (r, ms) = timed(|| engine.query_with(q, k, &mut scratch));
-        sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
-        lat_ms.push(ms);
-    }
-    std::hint::black_box(sink);
-    let (p50, p99, mean) = (
-        percentile(&mut lat_ms, 50.0),
-        percentile(&mut lat_ms, 99.0),
-        lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
-    );
+    let (p50, p99, mean) = measure_single_query(&engine, &workload, k)?;
     println!(
         "single query ({shards} shard(s), k = {k}, {queries} queries): p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
     );
@@ -1091,19 +1338,94 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
         println!("batch {t} thread(s): {best_qps:.0} queries/s");
         batch_rows.push(format!("{{\"threads\": {t}, \"qps\": {best_qps:.1}}}"));
     }
+    let clean_rows = engine.len();
+
+    // Mutation pressure pass: apply ⌈frac·n⌉ inserts + deletes, re-measure
+    // the single-query path against the delta region + tombstone mask.
+    let mutations_json = if mutate_frac > 0.0 {
+        let victims = engine.total_rows();
+        let m = ((clean_rows as f64) * mutate_frac).ceil() as usize;
+        let fresh = generate(Distribution::Uniform, m, dims, build_seed ^ 0x5eed);
+        for (_, coords) in fresh.iter() {
+            engine.insert(coords).map_err(runtime)?;
+        }
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut deleted = 0usize;
+        let mut attempts = 0usize;
+        while deleted < m && attempts < 64 * m.max(1) {
+            attempts += 1;
+            state = splitmix64(state);
+            let id = (state % victims as u64) as u32;
+            if engine.delete(sdq_core::PointId::new(id)).map_err(runtime)? {
+                deleted += 1;
+            }
+        }
+        let (mp50, mp99, mmean) = measure_single_query(&engine, &workload, k)?;
+        println!(
+            "single query with {:.1}% delta + {deleted} tombstone(s): p50 {mp50:.3} ms \
+             ({:+.1}% vs clean), p99 {mp99:.3} ms, mean {mmean:.3} ms",
+            100.0 * mutate_frac,
+            100.0 * (mp50 - p50) / p50,
+        );
+        format!(
+            ",\n  \"mutations\": {{\"frac\": {mutate_frac}, \"inserted\": {m}, \
+             \"deleted\": {deleted}, \
+             \"single_query_ms\": {{\"p50\": {mp50:.4}, \"p99\": {mp99:.4}, \"mean\": {mmean:.4}}}}}"
+        )
+    } else {
+        String::new()
+    };
 
     let json = format!(
-        "{{\n  {source},\n  \"dataset\": {{\"rows\": {rows}, \"dims\": {dims}}},\n  \
+        "{{\n  {source},\n  \"dataset\": {{\"rows\": {clean_rows}, \"dims\": {dims}}},\n  \
          \"shards\": {shards},\n  \
          \"k\": {k},\n  \"queries\": {queries},\n  \"query_seed\": {seed},\n  \
          \"single_query_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}, \"mean\": {mean:.4}}},\n  \
-         \"batch\": [{batch}]\n}}\n",
-        rows = engine.len(),
+         \"batch\": [{batch}]{mutations_json}\n}}\n",
         batch = batch_rows.join(", "),
     );
     std::fs::write(&out, json).map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// One warm-up pass over the workload, then one timed pass per query with
+/// a reused scratch; returns `(p50, p99, mean)` in milliseconds.
+fn measure_single_query(
+    engine: &SdEngine,
+    workload: &[SdQuery],
+    k: usize,
+) -> Result<(f64, f64, f64), CliError> {
+    let mut scratch = EngineScratch::new();
+    let mut sink = 0.0f64;
+    for q in workload {
+        sink += engine
+            .query_with(q, k, &mut scratch)
+            .map_err(runtime)?
+            .iter()
+            .map(|sp| sp.score)
+            .sum::<f64>();
+    }
+    let mut lat_ms = Vec::with_capacity(workload.len());
+    for q in workload {
+        let (r, ms) = timed(|| engine.query_with(q, k, &mut scratch));
+        sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
+        lat_ms.push(ms);
+    }
+    std::hint::black_box(sink);
+    Ok((
+        percentile(&mut lat_ms, 50.0),
+        percentile(&mut lat_ms, 99.0),
+        lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
+    ))
+}
+
+/// SplitMix64 step: the deterministic victim-id stream of `--mutate-frac`.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Minimal JSON string escaping (quotes and backslashes).

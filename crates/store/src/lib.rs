@@ -6,7 +6,7 @@
 //! [`TopKIndex`], a §3 [`Top1Index`] and the R*-tree baseline — into one
 //! versioned, checksummed binary file that restores without any rebuilding.
 //!
-//! ## File format (versions 1 and 2)
+//! ## File format (versions 1, 2 and 3)
 //!
 //! ```text
 //! offset  size  field
@@ -26,6 +26,16 @@
 //! snapshot without an engine is still written as version 1, so older
 //! readers keep reading everything this build produces short of engines;
 //! version-1 files load unchanged.
+//!
+//! **Version 3** adds the engine's uncompacted write state: a
+//! `mutation-delta` section (the delta-region rows as plain [`Dataset`]
+//! codec bytes) and a `mutation-tombstones` section (the addressable row
+//! domain as a `u64`, then the dead row ids as a sorted ascending `u32`
+//! list). Both are written only when non-empty, and the version only bumps
+//! to 3 when at least one is — a compacted (delta-free, tombstone-free)
+//! engine still writes version 2 and a plain index still writes version 1,
+//! so every file is readable by the oldest reader that understands its
+//! content. v1/v2 files load unchanged.
 //!
 //! Every section payload carries a CRC-32; the table itself is covered by a
 //! trailing table checksum, so *any* single flipped byte in the file is
@@ -71,11 +81,19 @@ pub use crc32::crc32;
 pub const MAGIC: [u8; 8] = *b"SDQSNAP\0";
 
 /// The newest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The original format (no engine sections). Snapshots without an engine
 /// are still written as version 1 for maximum reader compatibility.
 pub const FORMAT_V1: u32 = 1;
+
+/// The sharded-engine format. Engines without uncompacted mutations are
+/// still written as version 2.
+pub const FORMAT_V2: u32 = 2;
+
+/// The live-mutation format (delta + tombstone sections). Pinned so a
+/// future version bump cannot shift what these sections require.
+pub const FORMAT_V3: u32 = 3;
 
 /// Hard cap on the section count, far above anything legitimate; rejects
 /// absurd table sizes from corrupt headers before allocation.
@@ -106,6 +124,12 @@ pub enum SectionKind {
     /// One engine shard's [`SdIndex`]; the shard ordinal lives in the
     /// table entry's reserved `u32`. Format v2+.
     EngineShard = 8,
+    /// The engine's delta region: uncompacted inserted rows, as plain
+    /// [`Dataset`] codec bytes. Format v3+.
+    MutationDelta = 9,
+    /// The engine's tombstones: the addressable row domain (`u64`) plus the
+    /// dead row ids as a sorted ascending `u32` list. Format v3+.
+    MutationTombstones = 10,
 }
 
 impl SectionKind {
@@ -119,6 +143,8 @@ impl SectionKind {
             6 => Some(SectionKind::RStarTree),
             7 => Some(SectionKind::EngineManifest),
             8 => Some(SectionKind::EngineShard),
+            9 => Some(SectionKind::MutationDelta),
+            10 => Some(SectionKind::MutationTombstones),
             _ => None,
         }
     }
@@ -134,6 +160,22 @@ impl SectionKind {
             SectionKind::RStarTree => "rstar-tree",
             SectionKind::EngineManifest => "engine-manifest",
             SectionKind::EngineShard => "engine-shard",
+            SectionKind::MutationDelta => "mutation-delta",
+            SectionKind::MutationTombstones => "mutation-tombstones",
+        }
+    }
+
+    /// The lowest format version in which this section kind may appear.
+    fn min_version(self) -> u32 {
+        match self {
+            SectionKind::Dataset
+            | SectionKind::Roles
+            | SectionKind::SdIndex
+            | SectionKind::TopKIndex
+            | SectionKind::Top1Index
+            | SectionKind::RStarTree => FORMAT_V1,
+            SectionKind::EngineManifest | SectionKind::EngineShard => FORMAT_V2,
+            SectionKind::MutationDelta | SectionKind::MutationTombstones => FORMAT_V3,
         }
     }
 }
@@ -304,11 +346,21 @@ impl Snapshot {
                     encode_to_vec(shard),
                 ));
             }
+            if !e.delta().is_empty() {
+                sections.push((SectionKind::MutationDelta, 0, encode_to_vec(e.delta())));
+            }
+            let tombstones = e.tombstone_ids();
+            if !tombstones.is_empty() {
+                let mut w = Writer::new();
+                w.u64(e.total_rows() as u64);
+                w.u32s(&tombstones);
+                sections.push((SectionKind::MutationTombstones, 0, w.into_bytes()));
+            }
         }
-        let version = if self.engine.is_some() {
-            FORMAT_VERSION
-        } else {
-            FORMAT_V1
+        let version = match &self.engine {
+            Some(e) if e.has_mutations() => FORMAT_V3,
+            Some(_) => FORMAT_V2,
+            None => FORMAT_V1,
         };
 
         // Header: magic + version + count + table + table CRC.
@@ -425,6 +477,8 @@ impl Snapshot {
         let mut snap = Snapshot::new();
         let mut manifest: Option<EngineManifest> = None;
         let mut engine_shards: Vec<(u32, SdIndex)> = Vec::new();
+        let mut delta: Option<Dataset> = None;
+        let mut tombstones: Option<(u64, Vec<u32>)> = None;
         for entry in &entries {
             let payload = Self::section_slice(bytes, entry)?;
             let kind = SectionKind::from_u32(entry.raw_kind)
@@ -434,8 +488,7 @@ impl Snapshot {
                     section: kind.name().to_string(),
                 });
             }
-            if version < 2 && matches!(kind, SectionKind::EngineManifest | SectionKind::EngineShard)
-            {
+            if version < kind.min_version() {
                 return Err(corrupt(format!(
                     "{} section in a format-v{version} file",
                     kind.name()
@@ -452,10 +505,59 @@ impl Snapshot {
                 SectionKind::EngineShard => {
                     engine_shards.push((entry.reserved, decode_from_slice(payload)?))
                 }
+                SectionKind::MutationDelta => delta = Some(decode_from_slice(payload)?),
+                SectionKind::MutationTombstones => {
+                    tombstones = Some(Self::decode_tombstones(payload)?)
+                }
             }
         }
         snap.engine = Self::assemble_engine(manifest, engine_shards)?;
+        if delta.is_some() || tombstones.is_some() {
+            let Some(engine) = snap.engine.as_mut() else {
+                return Err(corrupt("mutation section without an engine"));
+            };
+            let delta = match delta {
+                Some(d) => d,
+                None => Dataset::from_flat(engine.dims(), Vec::new())
+                    .expect("empty dataset is always valid"),
+            };
+            let domain = (engine.total_rows() + delta.len()) as u64;
+            let ids = match tombstones {
+                Some((stored_domain, ids)) => {
+                    if stored_domain != domain {
+                        return Err(corrupt(format!(
+                            "tombstone domain {stored_domain} disagrees with the \
+                             {domain} addressable rows (base + delta)"
+                        )));
+                    }
+                    ids
+                }
+                None => Vec::new(),
+            };
+            engine.restore_mutations(delta, &ids)?;
+        }
         Ok(snap)
+    }
+
+    /// Decodes a `mutation-tombstones` payload: `u64` domain plus sorted
+    /// strictly-ascending `u32` ids (canonical, so bytes stay
+    /// deterministic across save→load→save).
+    fn decode_tombstones(payload: &[u8]) -> Result<(u64, Vec<u32>), SdError> {
+        let mut r = Reader::new(payload);
+        let domain = r.u64()?;
+        let ids = r.u32s()?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after tombstone list"));
+        }
+        for pair in ids.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(corrupt(format!(
+                    "tombstone ids not strictly ascending ({} then {})",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok((domain, ids))
     }
 
     /// Validates the engine manifest against the decoded shard sections and
@@ -580,6 +682,8 @@ mod tests {
         SdIndex::build(data, &roles).unwrap()
     }
 
+    /// A full snapshot whose engine carries uncompacted mutations — the
+    /// byte-flip/truncation sweeps below therefore cover the v3 sections.
     fn sample_snapshot() -> Snapshot {
         let mut snap = Snapshot::new();
         let sd = sample_sd();
@@ -588,17 +692,19 @@ mod tests {
         snap.topk = Some(TopKIndex::build(&[(0.0, 1.0), (3.0, -2.0), (5.5, 4.0)]).unwrap());
         snap.top1 = Some(Top1Index::build(&[(0.0, 1.0), (3.0, -2.0)], 1.0, 1.0, 1).unwrap());
         snap.rstar = Some(RStarTree::bulk_load(2, &[0.0, 1.0, 3.0, -2.0, 5.5, 4.0], 4));
-        snap.engine = Some(
-            SdEngine::build_with(
-                sd.data().clone(),
-                sd.roles(),
-                &sdq_engine::EngineOptions {
-                    shards: 2,
-                    ..Default::default()
-                },
-            )
-            .unwrap(),
-        );
+        let mut engine = SdEngine::build_with(
+            sd.data().clone(),
+            sd.roles(),
+            &sdq_engine::EngineOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        engine.insert(&[0.5, 4.5, 9.0]).unwrap();
+        engine.insert(&[-0.2, 8.0, 1.0]).unwrap();
+        engine.delete(sdq_core::PointId::new(3)).unwrap();
+        snap.engine = Some(engine);
         snap.sd = Some(sd);
         snap
     }
@@ -634,17 +740,81 @@ mod tests {
         assert_eq!(back.roles, snap.roles);
         let engine = back.engine.as_ref().unwrap();
         assert_eq!(engine.shard_count(), 2);
+        // Mutation state survives the round trip: delta rows, tombstones
+        // and the answers that depend on both.
+        assert_eq!(engine.delta_rows(), 2);
+        assert_eq!(engine.tombstone_count(), 1);
+        assert_eq!(
+            engine.tombstone_ids(),
+            snap.engine.as_ref().unwrap().tombstone_ids()
+        );
         assert_eq!(
             engine.query(&q, 5).unwrap(),
             snap.engine.as_ref().unwrap().query(&q, 5).unwrap()
         );
-        // The engine answers exactly like the monolithic index it shards.
-        assert_eq!(
-            engine.query(&q, 5).unwrap(),
-            snap.sd.as_ref().unwrap().query(&q, 5).unwrap()
-        );
         // Deterministic bytes.
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn clean_engine_matches_monolithic_and_stays_v2() {
+        let sd = sample_sd();
+        let mut snap = Snapshot::new();
+        snap.engine = Some(
+            SdEngine::build_with(
+                sd.data().clone(),
+                sd.roles(),
+                &sdq_engine::EngineOptions {
+                    shards: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let bytes = snap.to_bytes();
+        assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_V2);
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        let engine = back.engine.as_ref().unwrap();
+        assert!(!engine.has_mutations());
+        let q = SdQuery::uniform_weights(vec![0.2, 3.0, 7.0], sd.roles());
+        // A clean engine answers exactly like the monolithic index.
+        assert_eq!(engine.query(&q, 5).unwrap(), sd.query(&q, 5).unwrap());
+    }
+
+    #[test]
+    fn mutated_snapshot_is_version_3_and_compacted_drops_back_to_v2() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        assert_eq!(
+            Snapshot::inspect_bytes(&bytes).unwrap().version,
+            FORMAT_VERSION
+        );
+        let mut back = Snapshot::from_bytes(&bytes).unwrap();
+        back.engine.as_mut().unwrap().compact().unwrap();
+        let compacted = back.to_bytes();
+        assert_eq!(
+            Snapshot::inspect_bytes(&compacted).unwrap().version,
+            FORMAT_V2,
+            "compaction removes the need for v3"
+        );
+    }
+
+    #[test]
+    fn mutation_sections_in_old_versions_are_rejected() {
+        // Downgrading the version field of a v3 file must not silently
+        // load (the version is deliberately outside the table CRC; the
+        // section gating is the defence).
+        for old in [FORMAT_V1, FORMAT_V2] {
+            let mut bytes = sample_snapshot().to_bytes();
+            bytes[8..12].copy_from_slice(&old.to_le_bytes());
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&bytes).unwrap_err(),
+                    SdError::SnapshotCorrupt { .. }
+                ),
+                "v{old} file with mutation sections loaded"
+            );
+        }
     }
 
     #[test]
@@ -764,8 +934,9 @@ mod tests {
 
         let info = Snapshot::inspect(&path).unwrap();
         assert_eq!(info.version, FORMAT_VERSION);
-        // 6 classic sections + engine manifest + 2 shard sections.
-        assert_eq!(info.sections.len(), 9);
+        // 6 classic sections + engine manifest + 2 shard sections + delta
+        // + tombstones.
+        assert_eq!(info.sections.len(), 11);
         assert!(info.sections.iter().all(|s| s.kind.is_some()));
 
         std::fs::remove_dir_all(&dir).unwrap();

@@ -388,3 +388,273 @@ fn repeat_and_bench_query_produce_throughput_numbers() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Parses the ranked result table of `sdq query` output.
+fn parse_results(stdout: &str) -> Vec<(usize, f64)> {
+    let mut got = Vec::new();
+    for line in stdout.lines() {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells.len() == 3 && cells[1].starts_with('p') {
+            if let (Ok(id), Ok(score)) = (cells[1][1..].parse(), cells[2].parse()) {
+                got.push((id, score));
+            }
+        }
+    }
+    got
+}
+
+fn assert_results_match(stdout: &str, want: &[sdq_core::ScoredPoint]) {
+    let got = parse_results(stdout);
+    assert_eq!(got.len(), want.len(), "result count differs\n{stdout}");
+    for ((gid, gscore), w) in got.iter().zip(want) {
+        assert_eq!(*gid, w.id.index(), "ids diverge\n{stdout}");
+        assert!(
+            (gscore - w.score).abs() < 1e-6 * (1.0 + w.score.abs()),
+            "scores diverge: {gscore} vs {}\n{stdout}",
+            w.score
+        );
+    }
+}
+
+/// The full write-path lifecycle through the CLI — insert → query →
+/// delete → compact → query — cross-checked against the same mutations
+/// applied to an in-memory engine at every step.
+#[test]
+fn mutation_lifecycle_matches_in_memory_engine() {
+    use sdq_engine::{EngineOptions, SdEngine};
+
+    let dir = temp_dir("mutate");
+    let snap_path = dir.join("live.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "2000",
+            "--dims",
+            "3",
+            "--seed",
+            "9",
+            "--roles",
+            "arr",
+            "--shards",
+            "2",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success(), "sdq build failed");
+
+    // The in-memory mirror of every CLI mutation below.
+    let data = generate(Distribution::Uniform, 2000, 3, 9);
+    let roles = parse_roles("arr").unwrap();
+    let mut mirror = SdEngine::build_with(
+        data,
+        &roles,
+        &EngineOptions {
+            shards: 2,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Insert three rows from CSV (one with an extreme repulsive coordinate,
+    // so the delta region visibly wins a rank).
+    let csv_path = dir.join("rows.csv");
+    std::fs::write(
+        &csv_path,
+        "# fresh rows\n0.5,9.0,0.5\n0.1,0.2,0.3\n0.9,0.9,0.1\n",
+    )
+    .unwrap();
+    let out = sdq()
+        .args([
+            "insert",
+            snap_path.to_str().unwrap(),
+            "--csv",
+            csv_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn sdq insert");
+    assert!(out.status.success(), "sdq insert failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("inserted 3 row(s) as p2000..=p2002"),
+        "{stdout}"
+    );
+    for row in [[0.5, 9.0, 0.5], [0.1, 0.2, 0.3], [0.9, 0.9, 0.1]] {
+        mirror.insert(&row).unwrap();
+    }
+
+    // Inspect reports the v3 sections and the per-shard mutation pressure.
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq inspect");
+    assert!(out.status.success());
+    let inspect = String::from_utf8(out.stdout).unwrap();
+    assert!(inspect.contains("format v3"), "{inspect}");
+    assert!(inspect.contains("mutation-delta"), "{inspect}");
+    assert!(inspect.contains("delta: 3 row(s) (0 dead)"), "{inspect}");
+
+    let query_cli = |k: &str| -> String {
+        let out = sdq()
+            .args([
+                "query",
+                snap_path.to_str().unwrap(),
+                "--point",
+                "0.5,0.5,0.5",
+                "--weights",
+                "1,2,1",
+                "--k",
+                k,
+            ])
+            .output()
+            .expect("spawn sdq query");
+        assert!(out.status.success(), "sdq query failed");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let query = sdq_core::SdQuery::new(vec![0.5, 0.5, 0.5], vec![1.0, 2.0, 1.0]).unwrap();
+    assert_results_match(&query_cli("6"), &mirror.query(&query, 6).unwrap());
+
+    // Tombstone two base rows and one delta row (and repeat one id: the
+    // CLI reports it as already dead rather than failing).
+    let out = sdq()
+        .args([
+            "delete",
+            snap_path.to_str().unwrap(),
+            "--ids",
+            "17,900,2001,17",
+        ])
+        .output()
+        .expect("spawn sdq delete");
+    assert!(out.status.success(), "sdq delete failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("tombstoned 3 row(s) (1 already dead)"),
+        "{stdout}"
+    );
+    for id in [17u32, 900, 2001] {
+        mirror.delete(sdq_core::PointId::new(id)).unwrap();
+    }
+    assert_results_match(&query_cli("6"), &mirror.query(&query, 6).unwrap());
+
+    // Deleting an unknown id is a runtime error, exit code 1.
+    let out = sdq()
+        .args(["delete", snap_path.to_str().unwrap(), "--ids", "999999"])
+        .output()
+        .expect("spawn sdq delete");
+    assert_eq!(out.status.code(), Some(1), "unknown id must fail");
+
+    // Compact: delta folds back, tombstones drop, epoch bumps, and the
+    // snapshot returns to format v2.
+    let out = sdq()
+        .args(["compact", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq compact");
+    assert!(out.status.success(), "sdq compact failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("merged 2 delta row(s)"), "{stdout}");
+    assert!(stdout.contains("dropped 3 tombstone(s)"), "{stdout}");
+    assert!(stdout.contains("epoch 1"), "{stdout}");
+    mirror.compact().unwrap();
+    assert_results_match(&query_cli("6"), &mirror.query(&query, 6).unwrap());
+
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq inspect");
+    let inspect = String::from_utf8(out.stdout).unwrap();
+    // Compacted: back to format v2, no mutation sections, no dead rows.
+    // (Epoch counters are per-process observability, not persisted.)
+    assert!(inspect.contains("format v2"), "{inspect}");
+    assert!(!inspect.contains("mutation-delta"), "{inspect}");
+    assert!(inspect.contains("delta: 0 row(s)"), "{inspect}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `bench-query` must refuse a --shards that disagrees with the snapshot's
+/// engine manifest, and --mutate-frac must add the 'mutations' key.
+#[test]
+fn bench_query_shard_mismatch_errors_and_mutate_frac_reports() {
+    let dir = temp_dir("bench-mutate");
+    let snap_path = dir.join("e2.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "2000",
+            "--dims",
+            "4",
+            "--seed",
+            "3",
+            "--roles",
+            "arra",
+            "--shards",
+            "2",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success());
+
+    // Disagreeing --shards: usage error (exit 2), not a silent override.
+    let out = sdq()
+        .args([
+            "bench-query",
+            snap_path.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--queries",
+            "4",
+            "--threads",
+            "1",
+        ])
+        .output()
+        .expect("spawn sdq bench-query");
+    assert_eq!(out.status.code(), Some(2), "expected usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("disagrees with the snapshot's engine manifest"),
+        "{stderr}"
+    );
+
+    // Matching --shards is accepted; --mutate-frac adds the mutations key.
+    let json_path = dir.join("bench.json");
+    let out = sdq()
+        .args([
+            "bench-query",
+            snap_path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--k",
+            "4",
+            "--queries",
+            "16",
+            "--threads",
+            "1",
+            "--mutate-frac",
+            "0.01",
+            "--out",
+        ])
+        .arg(&json_path)
+        .output()
+        .expect("spawn sdq bench-query");
+    assert!(out.status.success(), "bench-query --mutate-frac failed");
+    let json = std::fs::read_to_string(&json_path).expect("report written");
+    for key in [
+        "\"mutations\"",
+        "\"frac\": 0.01",
+        "\"inserted\": 20",
+        "\"deleted\": 20",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
