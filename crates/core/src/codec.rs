@@ -768,7 +768,7 @@ impl Codec for TopKIndex {
         })?;
 
         let pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
-        Ok(TopKIndex {
+        let mut index = TopKIndex {
             branching,
             angles,
             pts,
@@ -781,7 +781,13 @@ impl Codec for TopKIndex {
             free_nodes,
             deep_leaves,
             rebuild_threshold,
-        })
+            blocks: None,
+        };
+        // The SoA leaf blocks are derived state (never on the wire — the
+        // v1 format is unchanged); reassemble them at decode so a loaded
+        // index queries through the same block-scored path as a built one.
+        index.refresh_blocks();
+        Ok(index)
     }
 }
 

@@ -21,10 +21,202 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::kernels::{self, LaneBlock, LANES};
 use crate::mask::MaskView;
 use crate::score::{sd_score, DimRole, SdQuery};
 use crate::threshold::track_floor;
-use crate::types::{Dataset, OrdF64, PointId, ScoredPoint};
+use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
+
+/// The delta region's structure-of-arrays mirror: cache-aligned blocks of
+/// [`LANES`] rows with one coordinate column per dimension and per-block
+/// per-dimension `[min, max]` micro-envelopes, maintained incrementally as
+/// rows append.
+///
+/// [`scan_delta_blocks_into`] scans it instead of the row-major dataset:
+/// whole blocks whose envelope bound falls strictly below the running
+/// k-th-best delta score are rejected without scoring a single row, the
+/// rest are scored by the batch kernels, and tombstones apply as one
+/// branchless word-AND per block. The row-major [`Dataset`] stays the
+/// source of truth for persistence and compaction; this mirror is derived,
+/// append-synchronised state.
+#[derive(Debug, Clone)]
+pub struct DeltaBlocks {
+    dims: usize,
+    len: usize,
+    /// Block-major, dimension-minor: `cols[b * dims + d].0[l]` is row
+    /// `b * LANES + l`, dimension `d`. Tail lanes hold `0.0` (finite for
+    /// the kernels, masked out of every result).
+    cols: Vec<LaneBlock>,
+    /// Per-block per-dimension envelope minima: `env_min[b * dims + d]`.
+    env_min: Vec<f64>,
+    env_max: Vec<f64>,
+}
+
+impl DeltaBlocks {
+    /// An empty mirror for `dims`-dimensional rows.
+    pub fn new(dims: usize) -> Self {
+        DeltaBlocks {
+            dims: dims.max(1),
+            len: 0,
+            cols: Vec::new(),
+            env_min: Vec::new(),
+            env_max: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the mirror from a row-major delta dataset (snapshot load).
+    pub fn from_dataset(data: &Dataset) -> Self {
+        let mut blocks = DeltaBlocks::new(data.dims());
+        for (_, coords) in data.iter() {
+            blocks.push_row(coords).expect("dataset rows are validated");
+        }
+        blocks
+    }
+
+    /// Rows mirrored so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no rows are mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one (already validated) row.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), SdError> {
+        if row.len() != self.dims {
+            return Err(SdError::DimensionMismatch {
+                expected: self.dims,
+                got: row.len(),
+            });
+        }
+        let lane = self.len % LANES;
+        if lane == 0 {
+            self.cols
+                .resize(self.cols.len() + self.dims, LaneBlock::default());
+            self.env_min
+                .resize(self.env_min.len() + self.dims, f64::INFINITY);
+            self.env_max
+                .resize(self.env_max.len() + self.dims, f64::NEG_INFINITY);
+        }
+        let b = self.len / LANES;
+        for (d, &v) in row.iter().enumerate() {
+            self.cols[b * self.dims + d].0[lane] = v;
+            let e = b * self.dims + d;
+            self.env_min[e] = self.env_min[e].min(v);
+            self.env_max[e] = self.env_max[e].max(v);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Drops every mirrored row (compaction folded the delta away).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.cols.clear();
+        self.env_min.clear();
+        self.env_max.clear();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cols.len() * std::mem::size_of::<LaneBlock>()
+            + (self.env_min.len() + self.env_max.len()) * 8
+    }
+}
+
+/// [`scan_delta_into`] over the SoA mirror: identical results (canonical
+/// top-`k` appended to `out`, every score that could matter fed into
+/// `floor`), with block-level envelope pruning against the running k-th
+/// delta score, kernel-batched scoring, and tombstones applied as one
+/// word-AND per block. `sw` is a recycled buffer for the role-signed
+/// weights (cleared here).
+#[allow(clippy::too_many_arguments)] // scratch-owned buffers, one call site
+pub fn scan_delta_blocks_into(
+    blocks: &DeltaBlocks,
+    roles: &[DimRole],
+    query: &SdQuery,
+    k: usize,
+    id_offset: u32,
+    mask: Option<MaskView<'_>>,
+    pool: &mut BinaryHeap<(Reverse<OrdF64>, u32)>,
+    floor: &mut BinaryHeap<Reverse<OrdF64>>,
+    out: &mut Vec<ScoredPoint>,
+    sw: &mut Vec<f64>,
+) {
+    debug_assert_eq!(blocks.dims, query.dims());
+    debug_assert_eq!(blocks.dims, roles.len());
+    pool.clear();
+    sw.clear();
+    sw.extend(roles.iter().zip(&query.weights).map(|(r, &w)| r.sign() * w));
+    let dims = blocks.dims;
+    let mut scores = [0.0f64; LANES];
+    let n_blocks = blocks.len.div_ceil(LANES);
+    for b in 0..n_blocks {
+        let base = (b * LANES) as u32;
+        let in_block = LANES.min(blocks.len - b * LANES);
+        let full = if in_block == LANES {
+            u32::MAX
+        } else {
+            (1u32 << in_block) - 1
+        };
+        // Tombstones: one branchless word-AND over the block's lanes.
+        let live = full & !mask.map_or(0, |m| m.dead_word32(base));
+        if live == 0 {
+            continue;
+        }
+        // The pool root is the k-th best live delta score so far; a lane
+        // strictly below it can change neither the delta top-k nor the
+        // floor, so a block whose envelope bound is below it is dead
+        // weight — skipped before any lane is scored.
+        let fl = if pool.len() == k {
+            pool.peek().expect("pool is non-empty").0 .0 .0
+        } else {
+            f64::NEG_INFINITY
+        };
+        if fl > f64::NEG_INFINITY {
+            let e = b * dims;
+            let bound = kernels::envelope_bound(
+                &blocks.env_min[e..e + dims],
+                &blocks.env_max[e..e + dims],
+                &query.point,
+                sw,
+            );
+            if fl > bound {
+                continue;
+            }
+        }
+        kernels::score_zero(&mut scores);
+        for (d, &swd) in sw.iter().enumerate() {
+            kernels::score_add_dim(
+                &mut scores,
+                &blocks.cols[b * dims + d].0,
+                query.point[d],
+                swd,
+            );
+        }
+        let mut surv = kernels::survivors(&scores, live, fl);
+        while surv != 0 {
+            let l = surv.trailing_zeros() as usize;
+            surv &= surv - 1;
+            let score = scores[l];
+            track_floor(floor, k, score);
+            // Bounded min-heap of the best k: the root is the worst kept
+            // entry (lowest score, largest id among ties) under `rank_cmp`.
+            pool.push((Reverse(OrdF64::new(score)), base + l as u32));
+            if pool.len() > k {
+                pool.pop();
+            }
+        }
+    }
+    let start = out.len();
+    while let Some((Reverse(OrdF64(score)), row)) = pool.pop() {
+        out.push(ScoredPoint::new(PointId::new(id_offset + row), score));
+    }
+    // Pops arrive worst-first; flip to canonical order.
+    out[start..].reverse();
+}
 
 /// Scans the delta region exactly: appends the canonical top-`k` of the
 /// live delta rows to `out` (with **global** ids `id_offset + local row`)
@@ -136,6 +328,74 @@ mod tests {
         assert_eq!(got[0].score, 9.0);
         assert_eq!(got[1].id.raw(), 12);
         assert_eq!(floors, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn blocks_scan_matches_rowwise_scan_bitwise() {
+        // Tie-heavy coordinates across several blocks, with and without
+        // tombstones: the SoA scan must reproduce the row-wise scan
+        // bit-for-bit (ids and score bits).
+        let rows: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![(i % 4) as f64, (i % 3) as f64, (i % 7) as f64 * 0.5])
+            .collect();
+        let data = Dataset::from_rows(3, &rows).unwrap();
+        let blocks = DeltaBlocks::from_dataset(&data);
+        assert_eq!(blocks.len(), 150);
+        let roles = [DimRole::Attractive, DimRole::Repulsive, DimRole::Repulsive];
+        let q = SdQuery::new(vec![1.5, 0.0, 2.0], vec![0.7, 1.0, 1.3]).unwrap();
+
+        let mut mask = RowMask::new(400);
+        for r in [200usize, 201, 233, 280, 349] {
+            mask.set(r);
+        }
+        for (k, view) in [
+            (1, None),
+            (5, None),
+            (40, None),
+            (200, None),
+            (5, Some(MaskView::new(&mask, 200))),
+            (64, Some(MaskView::new(&mask, 200))),
+        ] {
+            let (want, want_floor) = scan(&data, &roles, &q, k, 200, view);
+            let mut pool = BinaryHeap::new();
+            let mut floor = BinaryHeap::new();
+            let mut out = Vec::new();
+            let mut sw = Vec::new();
+            scan_delta_blocks_into(
+                &blocks, &roles, &q, k, 200, view, &mut pool, &mut floor, &mut out, &mut sw,
+            );
+            assert_eq!(out.len(), want.len(), "k = {k}");
+            for (g, w) in out.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "k = {k}");
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "k = {k}");
+            }
+            // The floor root (k-th best) must agree when full.
+            let mut floors: Vec<f64> = floor.into_iter().map(|Reverse(OrdF64(s))| s).collect();
+            floors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if want_floor.len() == k {
+                assert_eq!(floors[0].to_bits(), want_floor[0].to_bits(), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_blocks_maintain_envelopes_incrementally() {
+        let mut blocks = DeltaBlocks::new(2);
+        assert!(blocks.is_empty());
+        assert!(blocks.push_row(&[1.0]).is_err(), "arity validated");
+        for i in 0..70 {
+            blocks.push_row(&[i as f64, -(i as f64)]).unwrap();
+        }
+        assert_eq!(blocks.len(), 70);
+        assert!(blocks.memory_bytes() > 0);
+        // Block 0 holds rows 0..32: per-dim envelopes [0,31] and [-31,0].
+        assert_eq!(blocks.env_min[0], 0.0);
+        assert_eq!(blocks.env_max[0], 31.0);
+        assert_eq!(blocks.env_min[1], -31.0);
+        assert_eq!(blocks.env_max[1], 0.0);
+        blocks.clear();
+        assert!(blocks.is_empty());
+        assert_eq!(blocks.memory_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! Vectorized block-scoring kernels with runtime ISA dispatch.
+//!
+//! Every hot loop in the workspace ultimately evaluates the same shape of
+//! arithmetic: *for a batch of points, accumulate `Σ_d sw_d·|p_d − q_d|`*
+//! (the SD-score with pre-signed weights, Eqn. 3) or a rotated projection
+//! key. This module owns that arithmetic once, over fixed-width
+//! structure-of-arrays *lanes* ([`LANES`] points per block), with three
+//! interchangeable backends:
+//!
+//! * a chunk-oriented **scalar** loop (the portable reference, and the
+//!   `SDQ_FORCE_SCALAR` escape hatch),
+//! * an **SSE2** path (baseline on `x86_64`),
+//! * an **AVX2** path selected by runtime feature detection.
+//!
+//! ## Bit-identity contract
+//!
+//! All three backends produce **bit-identical** results: kernels vectorize
+//! *across points* — each lane accumulates one point's score in dimension
+//! order, exactly the order [`sd_score`](crate::score::sd_score) uses — and
+//! every backend performs the same IEEE-754 operations (`sub`, `abs` as a
+//! sign-bit mask, `mul`, `add`; never FMA, whose single rounding would
+//! diverge from the scalar path). Score ties therefore resolve identically
+//! whether a query ran vectorized or forced-scalar, which is what keeps the
+//! engine's canonical-answer guarantee independent of the host CPU.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use sdq_core::kernels::{self, LANES};
+//! use sdq_core::{sd_score, DimRole};
+//!
+//! // Two dimensions, SoA layout: one coordinate column per dimension.
+//! let xs: Vec<f64> = (0..LANES).map(|l| l as f64).collect();
+//! let ys: Vec<f64> = (0..LANES).map(|l| (l * 7 % 5) as f64).collect();
+//! let roles = [DimRole::Attractive, DimRole::Repulsive];
+//! let (q, w) = ([1.5, 2.0], [0.7, 1.3]);
+//! // Pre-signed weights: attractive dims subtract, repulsive dims add.
+//! let sw = [roles[0].sign() * w[0], roles[1].sign() * w[1]];
+//!
+//! let mut scores = [0.0; LANES];
+//! kernels::score_zero(&mut scores);
+//! kernels::score_add_dim(&mut scores, &xs, q[0], sw[0]);
+//! kernels::score_add_dim(&mut scores, &ys, q[1], sw[1]);
+//!
+//! for l in 0..LANES {
+//!     let scalar = sd_score(&[xs[l], ys[l]], &q, &roles, &w);
+//!     assert_eq!(scores[l].to_bits(), scalar.to_bits()); // bit-identical
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Points per block: the fixed lane width of every SoA block in the
+/// workspace (tree leaf blocks, delta-region blocks, gather batches).
+///
+/// 32 doubles = 256 bytes per dimension column = 4 cache lines, and 8 AVX2
+/// vectors — wide enough to amortise per-block bookkeeping, small enough
+/// that per-block min/max micro-envelopes still prune usefully.
+pub const LANES: usize = 32;
+
+/// A cache-aligned lane group: one dimension column of one block.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+pub struct LaneBlock(pub [f64; LANES]);
+
+impl Default for LaneBlock {
+    fn default() -> Self {
+        LaneBlock([0.0; LANES])
+    }
+}
+
+/// The instruction-set level the kernels dispatch to.
+///
+/// Dispatch is per kernel: the score accumulators have AVX2 and SSE2 arms;
+/// [`rotate_block`] and [`survivors`] have AVX2 arms and otherwise run the
+/// chunked-scalar loops (which the compiler autovectorizes at the x86-64
+/// SSE2 baseline). Every arm is bit-identical, so the level reported in
+/// `BENCH_queries.json` is a performance label, never a results label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable chunked-scalar loops (also the `SDQ_FORCE_SCALAR` path).
+    Scalar,
+    /// 2-lane `std::arch` SSE2 (baseline on `x86_64`).
+    Sse2,
+    /// 4-lane `std::arch` AVX2 (runtime-detected).
+    Avx2,
+}
+
+impl Isa {
+    /// Lower-case name, as reported in `BENCH_queries.json`'s `simd` key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+        }
+    }
+}
+
+const ISA_UNSET: u8 = u8::MAX;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(ISA_UNSET);
+
+fn detect() -> Isa {
+    // The escape hatch: any non-empty value other than "0" forces the
+    // scalar reference path (useful for debugging and the CI job that
+    // keeps both dispatch paths green).
+    if std::env::var("SDQ_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return Isa::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Isa::Avx2
+        } else {
+            Isa::Sse2 // x86_64 baseline
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Scalar
+    }
+}
+
+/// The ISA level every kernel currently dispatches to (detected once, then
+/// cached; see [`force_scalar`] for the programmatic override).
+#[inline]
+pub fn active() -> Isa {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => Isa::Scalar,
+        1 => Isa::Sse2,
+        2 => Isa::Avx2,
+        _ => {
+            let isa = detect();
+            ACTIVE.store(isa as u8, Ordering::Relaxed);
+            isa
+        }
+    }
+}
+
+/// Forces (`true`) or lifts (`false`) the scalar fallback at runtime — the
+/// programmatic twin of `SDQ_FORCE_SCALAR`, used by the bit-identity tests
+/// to run both dispatch paths inside one process. Lifting re-runs
+/// detection (which still honours the environment variable).
+pub fn force_scalar(on: bool) {
+    if on {
+        ACTIVE.store(Isa::Scalar as u8, Ordering::Relaxed);
+    } else {
+        ACTIVE.store(ISA_UNSET, Ordering::Relaxed);
+    }
+}
+
+// ─── accumulation kernels ───────────────────────────────────────────────────
+
+/// Clears a score accumulator. Scores must start from `+0.0` — exactly like
+/// the scalar `sd_score` — so that signed-zero terms round identically.
+#[inline]
+pub fn score_zero(acc: &mut [f64]) {
+    acc.fill(0.0);
+}
+
+/// Accumulates one dimension into per-lane scores:
+/// `acc[l] += sw · |col[l] − q|`.
+///
+/// Calling this once per dimension, in dimension order, over a zeroed
+/// accumulator reproduces [`sd_score`](crate::score::sd_score) bit-for-bit
+/// in every lane (`sw` is the role-signed weight `sign·w`, whose product
+/// with the absolute difference rounds identically to the scalar
+/// `sign * w * |p − q|`).
+#[inline]
+pub fn score_add_dim(acc: &mut [f64], col: &[f64], q: f64, sw: f64) {
+    debug_assert_eq!(acc.len(), col.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { score_add_dim_avx2(acc, col, q, sw) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => unsafe { score_add_dim_sse2(acc, col, q, sw) },
+        _ => score_add_dim_scalar(acc, col, q, sw),
+    }
+}
+
+fn score_add_dim_scalar(acc: &mut [f64], col: &[f64], q: f64, sw: f64) {
+    for (a, &c) in acc.iter_mut().zip(col) {
+        *a += sw * (c - q).abs();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn score_add_dim_avx2(acc: &mut [f64], col: &[f64], q: f64, sw: f64) {
+    use std::arch::x86_64::*;
+    let qv = _mm256_set1_pd(q);
+    let wv = _mm256_set1_pd(sw);
+    let abs_mask = _mm256_set1_pd(f64::from_bits(0x7fff_ffff_ffff_ffff));
+    let n = acc.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let c = _mm256_loadu_pd(col.as_ptr().add(i));
+        let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+        let t = _mm256_and_pd(_mm256_sub_pd(c, qv), abs_mask);
+        // mul then add (no FMA): identical rounding to the scalar path.
+        let r = _mm256_add_pd(a, _mm256_mul_pd(wv, t));
+        _mm256_storeu_pd(acc.as_mut_ptr().add(i), r);
+        i += 4;
+    }
+    score_add_dim_scalar(&mut acc[i..], &col[i..], q, sw);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn score_add_dim_sse2(acc: &mut [f64], col: &[f64], q: f64, sw: f64) {
+    use std::arch::x86_64::*;
+    let qv = _mm_set1_pd(q);
+    let wv = _mm_set1_pd(sw);
+    let abs_mask = _mm_set1_pd(f64::from_bits(0x7fff_ffff_ffff_ffff));
+    let n = acc.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let c = _mm_loadu_pd(col.as_ptr().add(i));
+        let a = _mm_loadu_pd(acc.as_ptr().add(i));
+        let t = _mm_and_pd(_mm_sub_pd(c, qv), abs_mask);
+        let r = _mm_add_pd(a, _mm_mul_pd(wv, t));
+        _mm_storeu_pd(acc.as_mut_ptr().add(i), r);
+        i += 2;
+    }
+    score_add_dim_scalar(&mut acc[i..], &col[i..], q, sw);
+}
+
+/// Scores one 2-D SoA block at raw weights: per lane,
+/// `out[l] = (−β)·|x[l] − qx| + α·|y[l] − qy|` — bit-identical to
+/// [`sd_score_2d`](crate::score::sd_score_2d) (IEEE addition of the negated
+/// term commutes with the scalar subtraction).
+#[inline]
+pub fn score_block_2d(
+    out: &mut [f64],
+    xs: &[f64],
+    ys: &[f64],
+    qx: f64,
+    qy: f64,
+    alpha: f64,
+    beta: f64,
+) {
+    score_zero(out);
+    score_add_dim(out, xs, qx, -beta);
+    score_add_dim(out, ys, qy, alpha);
+}
+
+// ─── rotated projection keys ────────────────────────────────────────────────
+
+/// Computes both rotated projection keys of a 2-D SoA block:
+/// `u[l] = cos·y[l] − sin·x[l]`, `v[l] = cos·y[l] + sin·x[l]` —
+/// bit-identical to [`Angle::u`]/[`Angle::v`](crate::geometry::Angle::v).
+/// The leaf-page expansion of the packed index batches its per-point heap
+/// priorities through this.
+#[inline]
+pub fn rotate_block(u: &mut [f64], v: &mut [f64], xs: &[f64], ys: &[f64], cos: f64, sin: f64) {
+    debug_assert!(u.len() == v.len() && u.len() == xs.len() && u.len() == ys.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { rotate_block_avx2(u, v, xs, ys, cos, sin) },
+        _ => rotate_block_scalar(u, v, xs, ys, cos, sin),
+    }
+}
+
+fn rotate_block_scalar(u: &mut [f64], v: &mut [f64], xs: &[f64], ys: &[f64], cos: f64, sin: f64) {
+    for l in 0..u.len() {
+        let cy = cos * ys[l];
+        let sx = sin * xs[l];
+        u[l] = cy - sx;
+        v[l] = cy + sx;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rotate_block_avx2(
+    u: &mut [f64],
+    v: &mut [f64],
+    xs: &[f64],
+    ys: &[f64],
+    cos: f64,
+    sin: f64,
+) {
+    use std::arch::x86_64::*;
+    let cv = _mm256_set1_pd(cos);
+    let sv = _mm256_set1_pd(sin);
+    let n = u.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        let y = _mm256_loadu_pd(ys.as_ptr().add(i));
+        let cy = _mm256_mul_pd(cv, y);
+        let sx = _mm256_mul_pd(sv, x);
+        _mm256_storeu_pd(u.as_mut_ptr().add(i), _mm256_sub_pd(cy, sx));
+        _mm256_storeu_pd(v.as_mut_ptr().add(i), _mm256_add_pd(cy, sx));
+        i += 4;
+    }
+    rotate_block_scalar(&mut u[i..], &mut v[i..], &xs[i..], &ys[i..], cos, sin);
+}
+
+// ─── survivor selection ─────────────────────────────────────────────────────
+
+/// Batched k-th-floor compare: returns the bitmask of lanes that are alive
+/// in `live` **and** whose score is `≥ floor` — the candidates that could
+/// still matter to a top-k whose current k-th best is `floor` (ties kept;
+/// strict losers can never displace k known scores). Lanes `≥ scores.len()`
+/// are reported dead.
+#[inline]
+pub fn survivors(scores: &[f64], live: u32, floor: f64) -> u32 {
+    debug_assert!(scores.len() <= 32);
+    let mask = match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { ge_mask_avx2(scores, floor) },
+        _ => ge_mask_scalar(scores, floor),
+    };
+    mask & live
+}
+
+fn ge_mask_scalar(scores: &[f64], floor: f64) -> u32 {
+    let mut m = 0u32;
+    for (l, &s) in scores.iter().enumerate() {
+        m |= u32::from(s >= floor) << l;
+    }
+    m
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ge_mask_avx2(scores: &[f64], floor: f64) -> u32 {
+    use std::arch::x86_64::*;
+    let fv = _mm256_set1_pd(floor);
+    let n = scores.len();
+    let mut m = 0u32;
+    let mut i = 0;
+    while i + 4 <= n {
+        let s = _mm256_loadu_pd(scores.as_ptr().add(i));
+        let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(s, fv);
+        m |= (_mm256_movemask_pd(ge) as u32) << i;
+        i += 4;
+    }
+    if i < n {
+        m |= ge_mask_scalar(&scores[i..], floor) << i;
+    }
+    m
+}
+
+// ─── envelope bounds ────────────────────────────────────────────────────────
+
+/// Admissible upper bound on the SD-score of every point inside a per-block
+/// per-dimension `[min, max]` micro-envelope, at query `q` with pre-signed
+/// weights `sw` (accumulated in dimension order, like the scores).
+///
+/// Admissibility is bit-safe: every per-dimension term is the same chain of
+/// IEEE operations the scoring kernel performs on a coordinate inside the
+/// envelope, and IEEE `sub`/`abs`/`mul`-by-constant/`add` are all monotone,
+/// so the floating-point bound dominates every floating-point score in the
+/// block. Blocks whose bound falls strictly below a k-th-score floor are
+/// rejected before any point is scored.
+#[inline]
+pub fn envelope_bound(min: &[f64], max: &[f64], q: &[f64], sw: &[f64]) -> f64 {
+    debug_assert!(min.len() == max.len() && min.len() == q.len() && min.len() == sw.len());
+    let mut acc = 0.0f64;
+    for d in 0..q.len() {
+        let (lo, hi, qd, w) = (min[d], max[d], q[d], sw[d]);
+        if w >= 0.0 {
+            // Repulsive: farthest endpoint maximises the contribution.
+            acc += w * (lo - qd).abs().max((hi - qd).abs());
+        } else {
+            // Attractive (negative weight): the closest point of the
+            // interval minimises the distance, maximising the contribution.
+            let near = if qd < lo {
+                lo - qd
+            } else if qd > hi {
+                qd - hi
+            } else {
+                0.0
+            };
+            acc += w * near;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{sd_score, DimRole};
+    use rand::{Rng, SeedableRng};
+
+    fn with_each_isa(mut f: impl FnMut()) {
+        // Scalar first, then whatever the host detects (AVX2 or SSE2).
+        force_scalar(true);
+        f();
+        force_scalar(false);
+        f();
+        #[cfg(target_arch = "x86_64")]
+        {
+            ACTIVE.store(Isa::Sse2 as u8, Ordering::Relaxed);
+            f();
+            force_scalar(false);
+        }
+    }
+
+    #[test]
+    fn score_matches_scalar_bitwise_all_isas() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for dims in 1..=6 {
+            let roles: Vec<DimRole> = (0..dims)
+                .map(|d| {
+                    if d % 2 == 0 {
+                        DimRole::Repulsive
+                    } else {
+                        DimRole::Attractive
+                    }
+                })
+                .collect();
+            let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1e6..1e6)).collect();
+            let w: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let sw: Vec<f64> = roles.iter().zip(&w).map(|(r, &w)| r.sign() * w).collect();
+            let cols: Vec<Vec<f64>> = (0..dims)
+                .map(|_| (0..LANES).map(|_| rng.gen_range(-1e6..1e6)).collect())
+                .collect();
+            with_each_isa(|| {
+                let mut out = [0.0f64; LANES];
+                score_zero(&mut out);
+                for d in 0..dims {
+                    score_add_dim(&mut out, &cols[d], q[d], sw[d]);
+                }
+                for l in 0..LANES {
+                    let p: Vec<f64> = (0..dims).map(|d| cols[d][l]).collect();
+                    let want = sd_score(&p, &q, &roles, &w);
+                    assert_eq!(out[l].to_bits(), want.to_bits(), "lane {l}, dims {dims}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn signed_zero_terms_match_scalar() {
+        // Attractive dims at zero distance produce −0.0 terms; the kernel
+        // must accumulate them exactly like the scalar `0.0 + (−0.0)`.
+        let roles = [DimRole::Attractive, DimRole::Attractive];
+        let q = [1.0, 2.0];
+        let w = [3.0, 4.0];
+        let sw = [-3.0, -4.0];
+        let xs = [1.0f64; LANES];
+        let ys = [2.0f64; LANES];
+        with_each_isa(|| {
+            let mut out = [0.0f64; LANES];
+            score_zero(&mut out);
+            score_add_dim(&mut out, &xs, q[0], sw[0]);
+            score_add_dim(&mut out, &ys, q[1], sw[1]);
+            let want = sd_score(&[1.0, 2.0], &q, &roles, &w);
+            for &o in &out {
+                assert_eq!(o.to_bits(), want.to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn rotate_matches_angle_keys_bitwise() {
+        use crate::geometry::Angle;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = Angle::from_weights(0.37, 1.21).unwrap();
+        let xs: Vec<f64> = (0..LANES).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let ys: Vec<f64> = (0..LANES).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        with_each_isa(|| {
+            let (mut u, mut v) = ([0.0; LANES], [0.0; LANES]);
+            rotate_block(&mut u, &mut v, &xs, &ys, a.cos, a.sin);
+            for l in 0..LANES {
+                assert_eq!(u[l].to_bits(), a.u(xs[l], ys[l]).to_bits());
+                assert_eq!(v[l].to_bits(), a.v(xs[l], ys[l]).to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn survivors_respects_live_and_floor() {
+        let mut scores = [0.0f64; LANES];
+        for (l, s) in scores.iter_mut().enumerate() {
+            *s = l as f64;
+        }
+        with_each_isa(|| {
+            let all = survivors(&scores, u32::MAX, 16.0);
+            assert_eq!(all, u32::MAX << 16, "lanes 16.. survive a floor of 16");
+            let live = 0b1010_1010_1010_1010_1010_1010_1010_1010u32;
+            assert_eq!(survivors(&scores, live, 16.0), live & (u32::MAX << 16));
+            assert_eq!(survivors(&scores, u32::MAX, -1.0), u32::MAX);
+            assert_eq!(survivors(&scores, u32::MAX, 1e9), 0);
+            // Short block: tail lanes report dead.
+            assert_eq!(survivors(&scores[..5], u32::MAX, -1.0), 0b1_1111);
+        });
+    }
+
+    #[test]
+    fn envelope_bound_dominates_every_interior_score() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let dims = rng.gen_range(1..5);
+            let roles: Vec<DimRole> = (0..dims)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        DimRole::Repulsive
+                    } else {
+                        DimRole::Attractive
+                    }
+                })
+                .collect();
+            let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let w: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let sw: Vec<f64> = roles.iter().zip(&w).map(|(r, &w)| r.sign() * w).collect();
+            let min: Vec<f64> = (0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let max: Vec<f64> = min.iter().map(|&m| m + rng.gen_range(0.0..5.0)).collect();
+            let bound = envelope_bound(&min, &max, &q, &sw);
+            for _ in 0..32 {
+                let p: Vec<f64> = (0..dims).map(|d| rng.gen_range(min[d]..=max[d])).collect();
+                let s = sd_score(&p, &q, &roles, &w);
+                assert!(s <= bound, "score {s} above envelope bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn isa_reports_a_name_and_force_scalar_toggles() {
+        force_scalar(true);
+        assert_eq!(active(), Isa::Scalar);
+        assert_eq!(active().name(), "scalar");
+        force_scalar(false);
+        let isa = active();
+        assert!(matches!(isa, Isa::Scalar | Isa::Sse2 | Isa::Avx2));
+        assert!(!isa.name().is_empty());
+    }
+}

@@ -57,6 +57,7 @@ pub mod codec;
 pub mod delta;
 pub mod envelope;
 pub mod geometry;
+pub mod kernels;
 pub mod mask;
 pub mod multidim;
 pub mod score;

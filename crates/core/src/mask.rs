@@ -107,6 +107,23 @@ impl RowMask {
         n + (self.bits[last] & hi_mask).count_ones() as usize
     }
 
+    /// The dead bits of rows `[start, start + 32)` as one word (bit `l` =
+    /// row `start + l`; rows outside the domain report live) — the
+    /// branchless block-mask form the SoA scan kernels AND against their
+    /// live-lane masks.
+    #[inline]
+    pub fn dead_word32(&self, start: usize) -> u32 {
+        let w = start / 64;
+        let off = start % 64;
+        let lo = self.bits.get(w).copied().unwrap_or(0) >> off;
+        let hi = if off == 0 {
+            0
+        } else {
+            self.bits.get(w + 1).copied().unwrap_or(0) << (64 - off)
+        };
+        (lo | hi) as u32
+    }
+
     /// The dead row ids, ascending — the canonical serialisation order.
     pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {
@@ -142,6 +159,14 @@ impl<'a> MaskView<'a> {
     pub fn dead_among(&self, n: usize) -> usize {
         self.mask
             .count_range(self.offset as usize, self.offset as usize + n)
+    }
+
+    /// The dead bits of local rows `[local_start, local_start + 32)` as one
+    /// word; see [`RowMask::dead_word32`].
+    #[inline]
+    pub fn dead_word32(&self, local_start: u32) -> u32 {
+        self.mask
+            .dead_word32(self.offset as usize + local_start as usize)
     }
 }
 
@@ -208,6 +233,28 @@ mod tests {
         assert!(m.get(9));
         assert!(m.set(499));
         assert_eq!(m.set_count(), 2);
+    }
+
+    #[test]
+    fn dead_word_matches_per_bit_reads() {
+        let mut m = RowMask::new(200);
+        for r in [0usize, 5, 31, 32, 63, 64, 65, 96, 127, 130, 199] {
+            m.set(r);
+        }
+        for start in [0usize, 1, 17, 31, 32, 33, 63, 64, 65, 100, 180, 190, 500] {
+            let word = m.dead_word32(start);
+            for l in 0..32 {
+                assert_eq!(
+                    word & (1 << l) != 0,
+                    m.get(start + l),
+                    "start {start}, lane {l}"
+                );
+            }
+        }
+        // Views shift by their offset.
+        let v = MaskView::new(&m, 64);
+        assert_eq!(v.dead_word32(0), m.dead_word32(64));
+        assert_eq!(v.dead_word32(7), m.dead_word32(71));
     }
 
     #[test]

@@ -47,10 +47,12 @@ pub use plan::{PairAction, PairPlan, QueryPlan};
 pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
 use crate::geometry::Angle;
+use crate::kernels::{self, LANES};
 use crate::mask::MaskView;
-use crate::score::{rank_cmp, sd_score_point};
-use crate::scratch::QueryScratch;
+use crate::score::rank_cmp;
+use crate::scratch::{QueryScratch, StampSet};
 use crate::threshold::{track_floor, SharedThreshold};
+use crate::topk::blocks::{BlockFrontier, BlockSet};
 use crate::topk::stream::{inflate, FastSet, PairFrontier};
 use crate::topk::{arbitrary, default_angles, TopKIndex};
 use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
@@ -134,6 +136,41 @@ impl<'a> Subproblem<'a> {
     fn recycle(self, scratch: &mut QueryScratch) {
         if let Subproblem::Pair2d(s) = self {
             s.recycle(scratch);
+        }
+    }
+
+    /// Fetches this stream's next *emission unit* into `out`:
+    ///
+    /// * 1-D and per-point streams append one row (exactly like
+    ///   [`Subproblem::next`]);
+    /// * a block-backed 2-D stream appends every live row of its next
+    ///   surviving SoA leaf block (up to [`LANES`] at once), after
+    ///   block-level floor pruning: with `prune = Some((f, others))` —
+    ///   `f` the current k-th-score floor and `others` the sum of every
+    ///   *other* stream's admissible bound — any block whose raw subscore
+    ///   bound `b` satisfies `f > inflate(b + others)` is certifiably
+    ///   outside the top-k (every point in it scores at most `b + others`)
+    ///   and is discarded before a single point is scored.
+    ///
+    /// Returns `false` once the stream is drained (nothing appended).
+    #[inline]
+    fn next_unit(&mut self, prune: Option<(f64, f64)>, out: &mut Vec<u32>) -> bool {
+        match self {
+            Subproblem::Pair2d(s) => s.next_unit(prune, out),
+            Subproblem::Attractive1d(s) => match s.next() {
+                Some((row, _)) => {
+                    out.push(row);
+                    true
+                }
+                None => false,
+            },
+            Subproblem::Repulsive1d(s) => match s.next() {
+                Some((row, _)) => {
+                    out.push(row);
+                    true
+                }
+                None => false,
+            },
         }
     }
 }
@@ -287,6 +324,24 @@ impl SdIndex {
                     .map(|(a, r)| a.memory_bytes() + r.memory_bytes())
                     .sum()
             })
+    }
+
+    /// Aggregate SoA leaf-block statistics across the per-pair trees:
+    /// `(blocks, resident bytes, stale trees)` — a tree is *stale* when a
+    /// point-level mutation dropped its derived block layout (its queries
+    /// fall back to the per-point frontier until the next rebuild).
+    pub fn block_stats(&self) -> (usize, usize, usize) {
+        let (mut blocks, mut bytes, mut stale) = (0, 0, 0);
+        for tree in &self.pair_indexes {
+            match tree.block_stats() {
+                Some((b, m)) => {
+                    blocks += b;
+                    bytes += m;
+                }
+                None => stale += 1,
+            }
+        }
+        (blocks, bytes, stale)
     }
 
     /// The cost-model decision for `query` against this index: which
@@ -546,12 +601,14 @@ impl SdIndex {
         pool.clear();
         pool.reserve(k_eff + streams.len());
         let mut seen = std::mem::take(&mut scratch.seen);
-        seen.clear();
+        seen.begin(n);
         let mut answers = std::mem::take(&mut scratch.answers);
         answers.clear();
         answers.reserve(k_eff);
         let mut floor = std::mem::take(&mut scratch.floor);
         floor.clear();
+        let mut batch = std::mem::take(&mut scratch.rows);
+        batch.clear();
         Ok(ShardExecution {
             data: self.data.as_ref(),
             roles: &self.roles,
@@ -564,6 +621,10 @@ impl SdIndex {
             seen,
             answers,
             floor,
+            batch,
+            gather: std::mem::take(&mut scratch.gather),
+            scores: std::mem::take(&mut scratch.scores),
+            fbuf: std::mem::take(&mut scratch.fbuf),
             done: n == 0,
         })
     }
@@ -772,15 +833,22 @@ fn aggregate_into(
     shared: Option<&SharedThreshold>,
     mask: Option<MaskView<'_>>,
 ) {
-    let pool = &mut scratch.pool;
-    let seen = &mut scratch.seen;
-    let answers = &mut scratch.answers;
-    let floor = &mut scratch.floor;
+    let QueryScratch {
+        pool,
+        seen,
+        answers,
+        floor,
+        rows,
+        gather,
+        scores,
+        fbuf,
+        ..
+    } = &mut *scratch;
     pool.clear();
-    seen.clear();
     answers.clear();
     floor.clear();
     let n = data.len();
+    seen.begin(n);
     let live = n - mask.map_or(0, |m| m.dead_among(n));
     let k_eff = k.min(live);
     // A floor over fewer than k real points cannot bound the global k-th
@@ -806,9 +874,108 @@ fn aggregate_into(
         shared,
         usize::MAX,
         &mut |_| {},
+        rows,
+        gather,
+        scores,
+        fbuf,
     );
     debug_assert!(done, "unbounded aggregation must complete");
     answers.sort_unstable_by(rank_cmp);
+}
+
+/// Scores one round's fetched rows — deduplicated, tombstone-masked, then
+/// batched through the SoA scoring kernels in [`LANES`]-wide gathers —
+/// feeding the k-th-score floor, the caller's `on_score` observer and the
+/// candidate pool.
+///
+/// Once the floor holds `k_eff` real scores, lanes strictly below its root
+/// are dropped by the batched survivor compare before touching any heap:
+/// they can never displace `k_eff` known scores (ties survive, preserving
+/// canonical tie resolution), and a score below the local floor is also
+/// below every merged floor downstream of `on_score`, so skipping the
+/// observer too loses nothing.
+#[allow(clippy::too_many_arguments)] // internal: one call site
+fn score_rows_batched<F: FnMut(f64)>(
+    data: &Dataset,
+    roles: &[DimRole],
+    query: &SdQuery,
+    batch: &[u32],
+    mask: Option<MaskView<'_>>,
+    k_eff: usize,
+    publish: bool,
+    pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
+    seen: &mut StampSet,
+    floor: &mut BinaryHeap<Reverse<OrdF64>>,
+    on_score: &mut F,
+    gather: &mut Vec<f64>,
+    scores: &mut Vec<f64>,
+) {
+    let dims = data.dims();
+    let flat = data.flat();
+    // Fixed-size after the first call: no steady-state allocation.
+    gather.resize(dims * LANES, 0.0);
+    scores.resize(LANES, 0.0);
+    let mut lane_rows = [0u32; LANES];
+    let mut cnt = 0usize;
+    let flush = |cnt: usize,
+                 lane_rows: &[u32; LANES],
+                 gather: &mut Vec<f64>,
+                 scores: &mut Vec<f64>,
+                 floor: &mut BinaryHeap<Reverse<OrdF64>>,
+                 pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
+                 on_score: &mut F| {
+        kernels::score_zero(scores);
+        for d in 0..dims {
+            let sw = roles[d].sign() * query.weights[d];
+            kernels::score_add_dim(
+                &mut scores[..],
+                &gather[d * LANES..(d + 1) * LANES],
+                query.point[d],
+                sw,
+            );
+        }
+        // Stale lanes beyond `cnt` hold the previous gather's (finite)
+        // coordinates; the live mask drops them.
+        let live = if cnt == LANES {
+            u32::MAX
+        } else {
+            (1u32 << cnt) - 1
+        };
+        let fl = if publish && floor.len() == k_eff {
+            floor.peek().expect("floor is non-empty").0 .0
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut surv = kernels::survivors(scores, live, fl);
+        while surv != 0 {
+            let l = surv.trailing_zeros() as usize;
+            surv &= surv - 1;
+            let score = scores[l];
+            track_floor(floor, k_eff, score);
+            on_score(score);
+            pool.push((OrdF64::new(score), Reverse(lane_rows[l])));
+        }
+    };
+    for &row in batch {
+        // Tombstoned rows are dropped here, before pool and floor: a dead
+        // row's score in the floor could prune live rows.
+        if !seen.insert(row) || mask.is_some_and(|m| m.is_dead(row)) {
+            continue;
+        }
+        let base = row as usize * dims;
+        for d in 0..dims {
+            gather[d * LANES + cnt] = flat[base + d];
+        }
+        lane_rows[cnt] = row;
+        cnt += 1;
+        if cnt == LANES {
+            flush(cnt, &lane_rows, gather, scores, floor, pool, on_score);
+            cnt = 0;
+        }
+    }
+    if cnt > 0 {
+        flush(cnt, &lane_rows, gather, scores, floor, pool, on_score);
+    }
 }
 
 /// Runs up to `rounds` iterations of the aggregation loop over
@@ -817,9 +984,17 @@ fn aggregate_into(
 /// implementation behind [`aggregate_into`] (run to completion) and
 /// [`ShardExecution::step`] (interleaved shard execution).
 ///
+/// One iteration fetches one *emission unit* per subproblem — a single row
+/// for 1-D streams, a whole SoA leaf block for block-backed 2-D streams —
+/// and scores the round's union through the batched kernels
+/// ([`score_rows_batched`]). Block streams additionally receive a
+/// per-stream floor-pruning threshold (`k`-th-score floor minus the other
+/// streams' bounds), so whole blocks certifiably outside the top-k are
+/// rejected before any of their points is scored.
+///
 /// `on_score` observes the exact full score of every newly fetched
-/// distinct row — the engine feeds these into its merged cross-shard
-/// k-th-score tracker.
+/// distinct row that could still matter to a top-k — the engine feeds
+/// these into its merged cross-shard k-th-score tracker.
 #[allow(clippy::too_many_arguments)] // internal: one call site per mode
 fn aggregate_rounds<F: FnMut(f64)>(
     data: &Dataset,
@@ -830,23 +1005,35 @@ fn aggregate_rounds<F: FnMut(f64)>(
     streams: &mut [Subproblem<'_>],
     mask: Option<MaskView<'_>>,
     pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
-    seen: &mut FastSet,
+    seen: &mut StampSet,
     answers: &mut Vec<ScoredPoint>,
     floor: &mut BinaryHeap<Reverse<OrdF64>>,
     shared: Option<&SharedThreshold>,
     mut rounds: usize,
     on_score: &mut F,
+    batch: &mut Vec<u32>,
+    gather: &mut Vec<f64>,
+    scores: &mut Vec<f64>,
+    fbuf: &mut Vec<f64>,
 ) -> bool {
     while rounds > 0 {
         rounds -= 1;
 
-        // Threshold over rows unseen by *every* stream.
+        // Threshold over rows unseen by *every* stream; per-stream bounds
+        // staged for the block-pruning thresholds below.
         let mut tau = 0.0;
         let mut any_drained = false;
+        fbuf.clear();
         for s in streams.iter() {
             match s.bound() {
-                Some(b) => tau += b,
-                None => any_drained = true,
+                Some(b) => {
+                    fbuf.push(b);
+                    tau += b;
+                }
+                None => {
+                    fbuf.push(f64::NEG_INFINITY);
+                    any_drained = true;
+                }
             }
         }
 
@@ -871,8 +1058,8 @@ fn aggregate_rounds<F: FnMut(f64)>(
         // k-th-score floor: once k exact scores are known — here or in a
         // sibling shard — and τ certifies every unfetched row is strictly
         // below them, the remaining answers are already pooled.
+        let mut f = f64::NEG_INFINITY;
         if !any_drained {
-            let mut f = f64::NEG_INFINITY;
             if floor.len() == k_eff {
                 f = floor.peek().expect("floor is non-empty").0 .0;
                 if publish {
@@ -897,24 +1084,31 @@ fn aggregate_rounds<F: FnMut(f64)>(
             }
         }
 
-        // One fetch per subproblem per iteration (§5's "top point is
-        // fetched for each of the subproblems"). Measured against both a
-        // highest-bound-first schedule and batched pulls: round-robin
-        // single pulls fetch the fewest rows, and fetches dominate cost.
+        // One emission unit per subproblem per iteration (§5's "top point
+        // is fetched for each of the subproblems", at block granularity
+        // for block-backed streams). Block streams prune against
+        // `f − Σ other bounds`: a block bounded below that can hold no
+        // top-k row no matter what the other subproblems contribute.
         let mut progressed = false;
-        for s in streams.iter_mut() {
-            if let Some((row, _)) = s.next() {
-                progressed = true;
-                // Tombstoned rows are dropped here, before pool and floor:
-                // a dead row's score in the floor could prune live rows.
-                if seen.insert(row) && !mask.is_some_and(|m| m.is_dead(row)) {
-                    let score = sd_score_point(data, PointId::new(row), query, roles);
-                    track_floor(floor, k_eff, score);
-                    on_score(score);
-                    pool.push((OrdF64::new(score), Reverse(row)));
+        batch.clear();
+        for (i, s) in streams.iter_mut().enumerate() {
+            let prune = if !any_drained && f > f64::NEG_INFINITY {
+                let mut others = 0.0;
+                for (j, &b) in fbuf.iter().enumerate() {
+                    if j != i {
+                        others += b;
+                    }
                 }
-            }
+                Some((f, others))
+            } else {
+                None
+            };
+            progressed |= s.next_unit(prune, batch);
         }
+        score_rows_batched(
+            data, roles, query, batch, mask, k_eff, publish, pool, seen, floor, on_score, gather,
+            scores,
+        );
         if !progressed {
             // Everything fetched; drain what remains.
             while answers.len() < k_eff {
@@ -951,9 +1145,13 @@ pub struct ShardExecution<'i> {
     streams: Vec<Subproblem<'i>>,
     mask: Option<MaskView<'i>>,
     pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
-    seen: FastSet,
+    seen: StampSet,
     answers: Vec<ScoredPoint>,
     floor: BinaryHeap<Reverse<OrdF64>>,
+    batch: Vec<u32>,
+    gather: Vec<f64>,
+    scores: Vec<f64>,
+    fbuf: Vec<f64>,
     done: bool,
 }
 
@@ -989,6 +1187,10 @@ impl<'i> ShardExecution<'i> {
                 shared,
                 rounds,
                 &mut on_score,
+                &mut self.batch,
+                &mut self.gather,
+                &mut self.scores,
+                &mut self.fbuf,
             );
         }
         self.done
@@ -1008,6 +1210,10 @@ impl<'i> ShardExecution<'i> {
         scratch.seen = self.seen;
         scratch.floor = self.floor;
         scratch.answers = self.answers;
+        scratch.rows = self.batch;
+        scratch.gather = self.gather;
+        scratch.scores = self.scores;
+        scratch.fbuf = self.fbuf;
     }
 }
 
@@ -1103,12 +1309,34 @@ pub struct Pair2DStream<'a> {
 enum PairInner<'a> {
     /// Both weights zero: every subscore is exactly 0; enumerate rows.
     Degenerate { next_row: u32, n: u32 },
-    /// One best-first frontier, single-angle or dual-bracket scored.
+    /// Per-point fallback frontier for trees whose derived block layout is
+    /// stale (point-level mutation since the last rebuild).
     Tree {
         frontier: PairFrontier<'a>,
         /// Dedup: a slot surfaces once per projection stream containing it.
         seen: FastSet,
         /// `√(α² + β²)`: converts normalised θ_q scores to raw subscores.
+        r: f64,
+    },
+    /// The hot path: a best-first frontier over the tree's SoA leaf
+    /// blocks. Whole blocks surface (and are prunable against the
+    /// k-th-score floor) at once; the batched [`Subproblem::next_unit`]
+    /// path kernel-scores a popped block's lanes on the pair and filters
+    /// them against the floor before emission. The stage below only
+    /// serves the one-point-at-a-time [`SubproblemStream`] contract.
+    Blocks {
+        frontier: BlockFrontier<'a>,
+        blocks: &'a BlockSet,
+        /// Lanes of the block most recently popped through `next()`:
+        /// `(slot, exact raw pair subscore)`, in lane order (the frontier
+        /// contract permits unsorted emission; `bound()` max-scans the
+        /// remainder).
+        staged: Vec<(u32, f64)>,
+        staged_pos: usize,
+        qx: f64,
+        qy: f64,
+        alpha: f64,
+        beta: f64,
         r: f64,
     },
 }
@@ -1135,6 +1363,27 @@ impl<'a> Pair2DStream<'a> {
         let theta = Angle::from_weights(alpha, beta)?;
         let r = alpha.hypot(beta);
         let eval = index.frontier_eval(&theta)?;
+        if let Some(blocks) = index.blocks() {
+            return Ok(Pair2DStream {
+                inner: PairInner::Blocks {
+                    frontier: BlockFrontier::with_scratch(
+                        blocks,
+                        qx,
+                        qy,
+                        eval,
+                        scratch.take_angle(),
+                    ),
+                    blocks,
+                    staged: scratch.take_stage(),
+                    staged_pos: 0,
+                    qx,
+                    qy,
+                    alpha,
+                    beta,
+                    r,
+                },
+            });
+        }
         Ok(Pair2DStream {
             inner: PairInner::Tree {
                 frontier: PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle()),
@@ -1152,7 +1401,131 @@ impl<'a> Pair2DStream<'a> {
                 scratch.put_angle(frontier.into_scratch());
                 scratch.put_set(seen);
             }
+            PairInner::Blocks {
+                frontier, staged, ..
+            } => {
+                scratch.put_angle(frontier.into_scratch());
+                scratch.put_stage(staged);
+            }
         }
+    }
+
+    /// Batch fetch: see [`Subproblem::next_unit`].
+    fn next_unit(&mut self, prune: Option<(f64, f64)>, out: &mut Vec<u32>) -> bool {
+        match &mut self.inner {
+            PairInner::Blocks {
+                frontier,
+                blocks,
+                staged,
+                staged_pos,
+                qx,
+                qy,
+                alpha,
+                beta,
+                r,
+            } => {
+                let r = *r;
+                // Rows staged by an earlier `next()` call are already
+                // surfaced (the frontier bound no longer covers them):
+                // flush them first.
+                let mut progressed = false;
+                if *staged_pos < staged.len() {
+                    for &(slot, _) in &staged[*staged_pos..] {
+                        out.push(slot);
+                    }
+                    staged.clear();
+                    *staged_pos = 0;
+                    progressed = true;
+                }
+                // One whole block per round; envelope-level pruning first.
+                let picked = frontier.next_block(|b| match prune {
+                    Some((f, others)) => f > inflate(r * b + others),
+                    None => false,
+                });
+                if let Some(block) = picked {
+                    progressed = true;
+                    let mut live = blocks.live(block);
+                    let slots = blocks.slots(block);
+                    match prune {
+                        Some((f, others)) => {
+                            // Per-lane floor filter on the cheap SoA pair
+                            // subscores: a lane with
+                            // `f > inflate(subscore + others)` can hold no
+                            // top-k row no matter what the other streams
+                            // contribute, and dies here — before it is
+                            // ever gathered or scored on the full query.
+                            let mut scores = [0.0f64; LANES];
+                            kernels::score_block_2d(
+                                &mut scores,
+                                blocks.xs(block),
+                                blocks.ys(block),
+                                *qx,
+                                *qy,
+                                *alpha,
+                                *beta,
+                            );
+                            while live != 0 {
+                                let l = live.trailing_zeros() as usize;
+                                live &= live - 1;
+                                if f <= inflate(scores[l] + others) {
+                                    out.push(slots[l]);
+                                }
+                            }
+                        }
+                        None => {
+                            while live != 0 {
+                                let l = live.trailing_zeros() as usize;
+                                live &= live - 1;
+                                out.push(slots[l]);
+                            }
+                        }
+                    }
+                }
+                progressed
+            }
+            _ => match self.next() {
+                Some((row, _)) => {
+                    out.push(row);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+/// Kernel-scores one SoA leaf block on its pair and stages the live lanes
+/// (lane order; the frontier contract permits unsorted emission) for the
+/// one-point-at-a-time trait path.
+#[allow(clippy::too_many_arguments)] // internal: one cold call site
+fn stage_block(
+    staged: &mut Vec<(u32, f64)>,
+    staged_pos: &mut usize,
+    blocks: &BlockSet,
+    block: u32,
+    qx: f64,
+    qy: f64,
+    alpha: f64,
+    beta: f64,
+) {
+    staged.clear();
+    *staged_pos = 0;
+    let mut scores = [0.0f64; LANES];
+    kernels::score_block_2d(
+        &mut scores,
+        blocks.xs(block),
+        blocks.ys(block),
+        qx,
+        qy,
+        alpha,
+        beta,
+    );
+    let mut live = blocks.live(block);
+    let slots = blocks.slots(block);
+    while live != 0 {
+        let l = live.trailing_zeros() as usize;
+        live &= live - 1;
+        staged.push((slots[l], scores[l]));
     }
 }
 
@@ -1161,6 +1534,27 @@ impl SubproblemStream for Pair2DStream<'_> {
         match &self.inner {
             PairInner::Degenerate { next_row, n } => (next_row < n).then_some(0.0),
             PairInner::Tree { frontier, r, .. } => frontier.bound().map(|b| r * b),
+            PairInner::Blocks {
+                frontier,
+                staged,
+                staged_pos,
+                r,
+                ..
+            } => {
+                let tree = frontier.bound().map(|b| *r * b);
+                if *staged_pos < staged.len() {
+                    // Exact max over the unconsumed staged lanes.
+                    let head = staged[*staged_pos..]
+                        .iter()
+                        .fold(f64::NEG_INFINITY, |acc, &(_, sc)| acc.max(sc));
+                    Some(match tree {
+                        Some(t) => t.max(head),
+                        None => head,
+                    })
+                } else {
+                    tree
+                }
+            }
         }
     }
 
@@ -1183,6 +1577,25 @@ impl SubproblemStream for Pair2DStream<'_> {
                     return Some((slot, *r * score));
                 }
             },
+            PairInner::Blocks {
+                frontier,
+                blocks,
+                staged,
+                staged_pos,
+                qx,
+                qy,
+                alpha,
+                beta,
+                ..
+            } => {
+                if *staged_pos >= staged.len() {
+                    let block = frontier.next_block(|_| false)?;
+                    stage_block(staged, staged_pos, blocks, block, *qx, *qy, *alpha, *beta);
+                }
+                let (slot, score) = staged[*staged_pos];
+                *staged_pos += 1;
+                Some((slot, score))
+            }
         }
     }
 }

@@ -44,6 +44,42 @@ use crate::multidim::Subproblem;
 use crate::topk::stream::{AngleScratch, FastSet};
 use crate::types::{OrdF64, ScoredPoint};
 
+/// A generation-stamped membership set over dense row ids `0..n`: one
+/// `u32` stamp per row, `insert` is a single indexed compare-and-store —
+/// an order of magnitude cheaper than hashing on the aggregation's
+/// per-fetched-row dedup path. `begin(n)` opens a new generation (O(1)
+/// amortised; the stamp array zeroes only on first growth and on the
+/// ~4-billion-query generation wrap).
+#[derive(Default)]
+pub(crate) struct StampSet {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl StampSet {
+    /// Starts a fresh set over ids `0..n` without clearing memory.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stale stamps from 2^32 generations ago could alias.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// `true` when `row` was not yet in the current generation.
+    #[inline]
+    pub(crate) fn insert(&mut self, row: u32) -> bool {
+        let slot = &mut self.stamps[row as usize];
+        let fresh = *slot != self.generation;
+        *slot = self.generation;
+        fresh
+    }
+}
+
 /// Owned, reusable buffers for the whole query path.
 ///
 /// Obtain one with [`QueryScratch::new`], then pass it to the `query_with`
@@ -64,8 +100,9 @@ pub struct QueryScratch {
     /// Candidate pool of the outer threshold loop (TA aggregation and the
     /// bracketed single-pair path).
     pub(crate) pool: BinaryHeap<(OrdF64, Reverse<u32>)>,
-    /// Rows already scored by the outer loop.
-    pub(crate) seen: FastSet,
+    /// Rows already scored by the outer loop (stamped, not hashed: the
+    /// dedup check runs once per fetched row).
+    pub(crate) seen: StampSet,
     /// The answer buffer `query_with` returns a borrow of.
     pub(crate) answers: Vec<ScoredPoint>,
     /// Row/position staging buffer (packed bracketing candidates).
@@ -75,6 +112,18 @@ pub struct QueryScratch {
     /// cross-shard [`SharedThreshold`](crate::threshold::SharedThreshold)
     /// publishing.
     pub(crate) floor: BinaryHeap<Reverse<OrdF64>>,
+    /// Gather buffer of the batched aggregation: fetched rows transposed
+    /// into dimension-major SoA lanes for the scoring kernels
+    /// (`dims × LANES` once warmed).
+    pub(crate) gather: Vec<f64>,
+    /// Per-lane kernel output of the batched aggregation.
+    pub(crate) scores: Vec<f64>,
+    /// Per-stream bound staging of one aggregation round (feeds the
+    /// block-level floor-pruning thresholds).
+    pub(crate) fbuf: Vec<f64>,
+    /// Spare `(slot, subscore)` staging buffers for block-backed streams
+    /// serving the one-point-at-a-time trait path.
+    stages: Vec<Vec<(u32, f64)>>,
     /// Recycled subproblem list of the §5 aggregation. Empty between
     /// queries; only the allocation is retained.
     subproblems: Vec<Subproblem<'static>>,
@@ -115,6 +164,18 @@ impl QueryScratch {
     /// Returns a seen-set to the pool for reuse.
     pub(crate) fn put_set(&mut self, s: FastSet) {
         self.sets.push(s);
+    }
+
+    /// Pops a recycled (cleared) stage buffer.
+    pub(crate) fn take_stage(&mut self) -> Vec<(u32, f64)> {
+        let mut s = self.stages.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    /// Returns a stage buffer to the pool for reuse.
+    pub(crate) fn put_stage(&mut self, s: Vec<(u32, f64)>) {
+        self.stages.push(s);
     }
 
     /// Hands out the recycled (empty) subproblem buffer for assembling a

@@ -12,8 +12,8 @@
 //! dataset (measured: hundreds of ms at n = 10⁶ for θ_q ≈ 20° under the
 //! default 22.5° grid).
 //!
-//! **Dual-bracket TA** (`query_bracketed`, the default): treat the two
-//! bracketing certified streams as TA lists. A point unseen by both
+//! **Dual-bracket TA** (the default, via [`query_canonical_with`]): treat
+//! the two bracketing certified streams as TA lists. A point unseen by both
 //! streams satisfies `s_θl(p) ≤ B_l` and `s_θu(p) ≤ B_u`; the sharpest
 //! threshold at θ_q is the value of the 2-variable linear programme
 //!
@@ -30,9 +30,11 @@
 
 use std::cmp::Reverse;
 
+use super::blocks::{BlockFrontier, BlockSet};
 use super::stream::{inflate, AngleQuery, FrontierEval, PairFrontier};
 use super::TopKIndex;
 use crate::geometry::Angle;
+use crate::kernels::{self, LANES};
 use crate::score::rank_cmp;
 use crate::scratch::QueryScratch;
 use crate::threshold::{track_floor, SharedThreshold};
@@ -91,36 +93,6 @@ pub(crate) fn dual_bound(bl: f64, bu: f64, tl: &Angle, tu: &Angle, tq: &Angle) -
     best
 }
 
-/// Default arbitrary-angle path: dual-bracket threshold search over **one**
-/// best-first frontier whose node priorities are the per-node `dual_bound`
-/// LP values (see module docs) — tighter than combining two whole-stream
-/// bounds, and it walks the tree once instead of twice. Exact;
-/// `O(pulls · b log_b n)` with pull counts comparable to the indexed-angle
-/// case in practice. Writes the (sorted) answer into `scratch.answers`; a
-/// warmed scratch makes the whole procedure allocation-free.
-#[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
-pub(crate) fn query_bracketed_with(
-    index: &TopKIndex,
-    qx: f64,
-    qy: f64,
-    alpha: f64,
-    beta: f64,
-    k: usize,
-    theta: &Angle,
-    scratch: &mut QueryScratch,
-) -> Result<(), SdError> {
-    let (lo, hi) = index.bracketing(theta)?;
-    let eval = FrontierEval::Dual {
-        lo: index.angles[lo],
-        lo_i: lo,
-        hi: index.angles[hi],
-        hi_i: hi,
-        theta: *theta,
-    };
-    query_frontier_with(index, qx, qy, alpha, beta, k, eval, scratch, None);
-    Ok(())
-}
-
 /// Full 2-D query over one §4 tree as a single certified frontier search —
 /// the engine's *direct* strategy for single-pair queries. Picks the
 /// indexed-angle frontier when θ_q is indexed and the Claim 6 bracketed
@@ -174,6 +146,12 @@ pub(crate) fn query_frontier_with(
     scratch: &mut QueryScratch,
     shared: Option<&SharedThreshold>,
 ) {
+    // The hot path runs over the derived SoA leaf blocks (absent only
+    // after a point-level mutation, until the next rebuild/refresh).
+    if let Some(blocks) = index.blocks() {
+        query_frontier_blocks(index, blocks, qx, qy, alpha, beta, k, eval, scratch, shared);
+        return;
+    }
     let r = alpha.hypot(beta);
     let mut frontier = PairFrontier::with_scratch(index, qx, qy, eval, scratch.take_angle());
     let k_eff = k.min(index.n_alive);
@@ -189,7 +167,7 @@ pub(crate) fn query_frontier_with(
             ..
         } = &mut *scratch;
         pool.clear();
-        seen.clear();
+        seen.begin(index.pts.len());
         answers.clear();
         floor.clear();
         answers.reserve(k_eff);
@@ -242,6 +220,124 @@ pub(crate) fn query_frontier_with(
                     track_floor(floor, k_eff, sp.score);
                     pool.push((OrdF64::new(sp.score), Reverse(slot)));
                 }
+            }
+        }
+        answers.sort_unstable_by(rank_cmp);
+    }
+    scratch.put_angle(frontier.into_scratch());
+}
+
+/// The block-layout twin of the certified-frontier loop: pops whole SoA
+/// leaf blocks in best-first bound order, batch-scores every popped block
+/// through the 2-D kernel (bit-identical to `rescore`'s `sd_score_2d`),
+/// and pools the surviving lanes. Identical emission and stop rules —
+/// strict inflated-bound certification, k-th-score floor, shared floor —
+/// plus two block-level savings:
+///
+/// * a popped envelope or block whose bound already falls below the floor
+///   is discarded without expanding or scoring anything under it;
+/// * blocks surface exactly once (block-level dedup), so there is no
+///   per-point seen-set hashing at all on this path.
+#[allow(clippy::too_many_arguments)] // internal hot path; mirrors query_with
+fn query_frontier_blocks(
+    index: &TopKIndex,
+    blocks: &BlockSet,
+    qx: f64,
+    qy: f64,
+    alpha: f64,
+    beta: f64,
+    k: usize,
+    eval: FrontierEval,
+    scratch: &mut QueryScratch,
+    shared: Option<&SharedThreshold>,
+) {
+    let r = alpha.hypot(beta);
+    let mut frontier = BlockFrontier::with_scratch(blocks, qx, qy, eval, scratch.take_angle());
+    let k_eff = k.min(index.n_alive);
+    let publish = k_eff == k;
+    {
+        let QueryScratch {
+            pool,
+            answers,
+            floor,
+            scores,
+            ..
+        } = &mut *scratch;
+        pool.clear();
+        answers.clear();
+        floor.clear();
+        answers.reserve(k_eff);
+        scores.resize(LANES, 0.0);
+
+        while answers.len() < k_eff {
+            let threshold = frontier.bound().map(|b| r * b);
+            // Certified canonical emission.
+            if let Some(&(OrdF64(s), Reverse(slot))) = pool.peek() {
+                let done = match threshold {
+                    Some(t) => s > inflate(t),
+                    None => true,
+                };
+                if done {
+                    pool.pop();
+                    answers.push(ScoredPoint::new(PointId::new(slot), s));
+                    continue;
+                }
+            } else if threshold.is_none() {
+                break;
+            }
+            // Floor-based early termination (and the block-prune value).
+            let mut f = f64::NEG_INFINITY;
+            if let Some(t) = threshold {
+                if floor.len() == k_eff {
+                    f = floor.peek().expect("floor is non-empty").0 .0;
+                    if publish {
+                        if let Some(h) = shared {
+                            h.raise(f);
+                        }
+                    }
+                }
+                if let Some(h) = shared {
+                    f = f.max(h.floor());
+                }
+                if f > inflate(t) {
+                    while answers.len() < k_eff {
+                        match pool.pop() {
+                            Some((OrdF64(s), Reverse(slot))) => {
+                                answers.push(ScoredPoint::new(PointId::new(slot), s))
+                            }
+                            None => break,
+                        }
+                    }
+                    break;
+                }
+            }
+            // Fetch one block; anything bounded below the floor dies here.
+            let Some(block) = frontier.next_block(|b| f > inflate(r * b)) else {
+                continue; // drained: the next iteration drains the pool
+            };
+            kernels::score_block_2d(
+                scores,
+                blocks.xs(block),
+                blocks.ys(block),
+                qx,
+                qy,
+                alpha,
+                beta,
+            );
+            // Lanes strictly below k_eff known scores can never be emitted.
+            let fl = if floor.len() == k_eff {
+                f.max(floor.peek().expect("floor is non-empty").0 .0)
+            } else {
+                f64::NEG_INFINITY
+            };
+            let slots = blocks.slots(block);
+            let mut surv = kernels::survivors(scores, blocks.live(block), fl);
+            while surv != 0 {
+                let l = surv.trailing_zeros() as usize;
+                surv &= surv - 1;
+                let score = scores[l];
+                track_floor(floor, k_eff, score);
+                pool.push((OrdF64::new(score), Reverse(slots[l])));
             }
         }
         answers.sort_unstable_by(rank_cmp);

@@ -1,0 +1,539 @@
+//! Structure-of-arrays leaf blocks over a §4 tree's points, plus the
+//! best-first block frontier that replaces per-point frontier emission on
+//! the query hot path.
+//!
+//! A [`BlockSet`] regroups the tree's live points — in x-sorted order, the
+//! same order the balanced bulk load uses — into cache-aligned blocks of
+//! [`LANES`] points with split `x`/`y` coordinate columns, the originating
+//! point slots, a live-lane mask, and *micro-envelopes*: per-block
+//! per-indexed-angle projection [`AngleBounds`] plus the block's x-range.
+//! Above the blocks sits a pointer-free implicit tree (fanout
+//! [`GROUP_FANOUT`]) of aggregated envelopes, so a frontier search descends
+//! `O(log n)` levels and then consumes whole blocks.
+//!
+//! The payoff is threefold:
+//!
+//! * frontier heaps hold **blocks, not points** — a pop surfaces up to 32
+//!   points at once instead of one, collapsing heap churn ~32×;
+//! * surfaced blocks are scored by the [`kernels`](crate::kernels) batch
+//!   kernels over contiguous SoA columns — no pointer chasing, no
+//!   per-point call;
+//! * a block whose envelope bound falls strictly below the caller's
+//!   k-th-score floor (the `prune` hook of [`BlockFrontier::next_block`])
+//!   is rejected **before any of its points is scored** — the §4
+//!   bound-driven pruning of Claim 6, pushed below node granularity.
+//!
+//! The set is derived state: built from the point table at bulk load (and
+//! at snapshot decode), dropped by point-level `insert`/`delete` (queries
+//! fall back to the exact per-point frontier until the next rebuild), and
+//! never serialised — the v1 wire format is unchanged.
+
+use crate::geometry::Angle;
+use crate::kernels::{LaneBlock, LANES};
+use crate::types::OrdF64;
+
+use super::stream::{key_to_score, AngleScratch, FrontierEval, StreamKind};
+use super::AngleBounds;
+
+/// Fanout of the implicit envelope tree above the blocks.
+pub(crate) const GROUP_FANOUT: usize = 8;
+
+/// One level of aggregated envelopes above the block level.
+#[derive(Debug, Clone)]
+struct Level {
+    /// Node-major per-angle bounds: `bounds[node * m + angle_i]`.
+    bounds: Vec<AngleBounds>,
+    /// Per-node `(xmin, xmax)`.
+    xr: Vec<(f64, f64)>,
+}
+
+/// The derived SoA block layout of one tree's live points. See the module
+/// docs.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockSet {
+    n_blocks: usize,
+    /// Number of indexed angles (`bounds` stride).
+    m: usize,
+    /// Cache-aligned coordinate columns, one [`LaneBlock`] per block.
+    xs: Vec<LaneBlock>,
+    ys: Vec<LaneBlock>,
+    /// Originating point slots, `slots[b * LANES + l]`; dead lanes hold
+    /// `u32::MAX` and are never read (masked by `live`).
+    slots: Vec<u32>,
+    /// Per-block live-lane mask (only the tail block can be partial).
+    live: Vec<u32>,
+    /// Block-major per-angle micro-envelopes: `bounds[b * m + angle_i]`.
+    bounds: Vec<AngleBounds>,
+    /// Per-block `(xmin, xmax)` (lanes are x-sorted, so `xs[0]`/`xs[len-1]`).
+    xr: Vec<(f64, f64)>,
+    /// Implicit envelope tree: `levels[0]` groups blocks, each further
+    /// level groups the one below, last level has a single root. Empty when
+    /// `n_blocks == 1`.
+    levels: Vec<Level>,
+}
+
+impl BlockSet {
+    /// Builds the block layout over `order` (live slots, x-sorted with
+    /// slot-id tie-break — the bulk-load order). `order` must be non-empty.
+    pub(crate) fn build(pts: &[(f64, f64)], order: &[u32], angles: &[Angle]) -> BlockSet {
+        debug_assert!(!order.is_empty());
+        let m = angles.len();
+        let n_blocks = order.len().div_ceil(LANES);
+        let mut set = BlockSet {
+            n_blocks,
+            m,
+            xs: vec![LaneBlock::default(); n_blocks],
+            ys: vec![LaneBlock::default(); n_blocks],
+            slots: vec![u32::MAX; n_blocks * LANES],
+            live: vec![0; n_blocks],
+            bounds: vec![AngleBounds::EMPTY; n_blocks * m],
+            xr: vec![(f64::INFINITY, f64::NEG_INFINITY); n_blocks],
+            levels: Vec::new(),
+        };
+        for (b, chunk) in order.chunks(LANES).enumerate() {
+            let (xb, yb) = (&mut set.xs[b].0, &mut set.ys[b].0);
+            for (l, &slot) in chunk.iter().enumerate() {
+                let (x, y) = pts[slot as usize];
+                xb[l] = x;
+                yb[l] = y;
+                set.slots[b * LANES + l] = slot;
+                let xr = &mut set.xr[b];
+                xr.0 = xr.0.min(x);
+                xr.1 = xr.1.max(x);
+                for (i, a) in angles.iter().enumerate() {
+                    set.bounds[b * m + i].extend_point(a.u(x, y), a.v(x, y));
+                }
+            }
+            // Pad dead lanes with the last live point: finite coordinates
+            // keep the kernels NaN-free, the live mask keeps them unread.
+            let last = chunk.len() - 1;
+            for l in chunk.len()..LANES {
+                xb[l] = xb[last];
+                yb[l] = yb[last];
+            }
+            set.live[b] = if chunk.len() == LANES {
+                u32::MAX
+            } else {
+                (1u32 << chunk.len()) - 1
+            };
+        }
+        // Envelope tree above the blocks.
+        let mut built: Vec<Level> = Vec::new();
+        loop {
+            let level = {
+                let (below_bounds, below_xr): (&[AngleBounds], &[(f64, f64)]) = match built.last() {
+                    None => (&set.bounds, &set.xr),
+                    Some(l) => (&l.bounds, &l.xr),
+                };
+                if below_xr.len() <= 1 {
+                    break;
+                }
+                let len = below_xr.len().div_ceil(GROUP_FANOUT);
+                let mut level = Level {
+                    bounds: vec![AngleBounds::EMPTY; len * m],
+                    xr: vec![(f64::INFINITY, f64::NEG_INFINITY); len],
+                };
+                for (j, bxr) in below_xr.iter().enumerate() {
+                    let g = j / GROUP_FANOUT;
+                    let xr = &mut level.xr[g];
+                    xr.0 = xr.0.min(bxr.0);
+                    xr.1 = xr.1.max(bxr.1);
+                    for i in 0..m {
+                        level.bounds[g * m + i].extend(&below_bounds[j * m + i]);
+                    }
+                }
+                level
+            };
+            built.push(level);
+        }
+        set.levels = built;
+        set
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub(crate) fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// One block's x-coordinate lanes.
+    #[inline]
+    pub(crate) fn xs(&self, b: u32) -> &[f64; LANES] {
+        &self.xs[b as usize].0
+    }
+
+    /// One block's y-coordinate lanes.
+    #[inline]
+    pub(crate) fn ys(&self, b: u32) -> &[f64; LANES] {
+        &self.ys[b as usize].0
+    }
+
+    /// One block's originating point slots (dead lanes hold `u32::MAX`).
+    #[inline]
+    pub(crate) fn slots(&self, b: u32) -> &[u32] {
+        &self.slots[b as usize * LANES..(b as usize + 1) * LANES]
+    }
+
+    /// One block's live-lane mask.
+    #[inline]
+    pub(crate) fn live(&self, b: u32) -> u32 {
+        self.live[b as usize]
+    }
+
+    /// Approximate heap footprint in bytes (the derived side tables the
+    /// memory report must not undercount).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.xs.len() * std::mem::size_of::<LaneBlock>() * 2
+            + self.slots.len() * 4
+            + self.live.len() * 4
+            + self.bounds.len() * std::mem::size_of::<AngleBounds>()
+            + self.xr.len() * std::mem::size_of::<(f64, f64)>()
+            + self
+                .levels
+                .iter()
+                .map(|l| {
+                    l.bounds.len() * std::mem::size_of::<AngleBounds>()
+                        + l.xr.len() * std::mem::size_of::<(f64, f64)>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Heap level code for block-level entries; `lvl_code(i) = i + 1` addresses
+/// `levels[i]`.
+const BLOCK_LVL: u32 = 0;
+
+/// Uncertified best-first frontier over a [`BlockSet`] whose heap
+/// priorities are admissible normalised θ_q score bounds — the block-layout
+/// twin of [`PairFrontier`](super::stream::PairFrontier). Instead of
+/// surfacing points one at a time, [`BlockFrontier::next_block`] surfaces
+/// whole leaf blocks (once each, deduplicated across the four projection
+/// heaps), after giving the caller's `prune` hook a chance to reject the
+/// block against its k-th-score floor before any point is scored.
+pub(crate) struct BlockFrontier<'a> {
+    set: &'a BlockSet,
+    qx: f64,
+    qy: f64,
+    eval: FrontierEval,
+    /// Recycled heaps + block-dedup seen-set (`pool` unused).
+    pub(crate) s: AngleScratch,
+}
+
+impl<'a> BlockFrontier<'a> {
+    /// Starts a frontier reusing a warmed scratch (reset internally).
+    pub(crate) fn with_scratch(
+        set: &'a BlockSet,
+        qx: f64,
+        qy: f64,
+        eval: FrontierEval,
+        mut s: AngleScratch,
+    ) -> Self {
+        s.reset();
+        let mut f = BlockFrontier {
+            set,
+            qx,
+            qy,
+            eval,
+            s,
+        };
+        let root_lvl = set.levels.len() as u32; // 0 = the single block
+        for kind in StreamKind::ALL {
+            f.push(kind, root_lvl, 0);
+        }
+        f
+    }
+
+    /// Recovers the scratch buffers for reuse by a later query.
+    pub(crate) fn into_scratch(self) -> AngleScratch {
+        self.s
+    }
+
+    #[inline]
+    fn entry_tables(&self, lvl: u32) -> (&[AngleBounds], &[(f64, f64)]) {
+        if lvl == BLOCK_LVL {
+            (&self.set.bounds, &self.set.xr)
+        } else {
+            let l = &self.set.levels[lvl as usize - 1];
+            (&l.bounds, &l.xr)
+        }
+    }
+
+    /// Admissible θ_q score bound of one entry for one stream kind.
+    #[inline]
+    fn entry_score(&self, lvl: u32, idx: u32, kind: StreamKind) -> f64 {
+        let (bounds, _) = self.entry_tables(lvl);
+        let base = idx as usize * self.set.m;
+        match &self.eval {
+            FrontierEval::Single { angle, angle_i } => {
+                key_to_score(&bounds[base + angle_i], kind, angle, self.qx, self.qy)
+            }
+            FrontierEval::Dual {
+                lo,
+                lo_i,
+                hi,
+                hi_i,
+                theta,
+            } => {
+                let sl = key_to_score(&bounds[base + lo_i], kind, lo, self.qx, self.qy);
+                let su = key_to_score(&bounds[base + hi_i], kind, hi, self.qx, self.qy);
+                super::arbitrary::dual_bound(sl, su, lo, hi, theta)
+            }
+        }
+    }
+
+    #[inline]
+    fn tables_len(&self, lvl: u32) -> usize {
+        if lvl == BLOCK_LVL {
+            self.set.n_blocks
+        } else {
+            self.set.levels[lvl as usize - 1].xr.len()
+        }
+    }
+
+    fn push(&mut self, kind: StreamKind, lvl: u32, idx: u32) {
+        let (_, xr) = self.entry_tables(lvl);
+        let (xmin, xmax) = xr[idx as usize];
+        let valid = if kind.left_side() {
+            xmin < self.qx
+        } else {
+            xmax >= self.qx
+        };
+        if !valid {
+            return;
+        }
+        let prio = self.entry_score(lvl, idx, kind);
+        self.s.heaps[kind as usize].push((OrdF64::new(prio), std::cmp::Reverse(lvl), idx));
+    }
+
+    /// Admissible upper bound (normalised θ_q units) on every point in a
+    /// block not yet surfaced; `None` once drained.
+    #[inline]
+    pub(crate) fn bound(&self) -> Option<f64> {
+        let mut acc: Option<f64> = None;
+        for h in &self.s.heaps {
+            if let Some(&(OrdF64(p), _, _)) = h.peek() {
+                acc = Some(match acc {
+                    Some(a) if a >= p => a,
+                    _ => p,
+                });
+            }
+        }
+        acc
+    }
+
+    /// Surfaces the next not-yet-emitted block, or `None` once drained.
+    ///
+    /// `prune(bound)` is consulted on every popped entry (inner envelope or
+    /// block) with its admissible normalised score bound; returning `true`
+    /// discards the entry — and with it every point underneath — without
+    /// expansion or scoring. Callers prune against a k-th-score floor: once
+    /// `k` exact scores dominate the bound, nothing below it can reach the
+    /// answer, so the whole subtree is certifiably irrelevant.
+    pub(crate) fn next_block(&mut self, mut prune: impl FnMut(f64) -> bool) -> Option<u32> {
+        loop {
+            // Argmax over the four heads.
+            let mut best: Option<(usize, f64)> = None;
+            for (k, h) in self.s.heaps.iter().enumerate() {
+                if let Some(&(OrdF64(p), _, _)) = h.peek() {
+                    let better = match best {
+                        Some((_, cur)) => OrdF64(p) >= OrdF64(cur),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((k, p));
+                    }
+                }
+            }
+            let (kind_i, _) = best?;
+            let kind = StreamKind::ALL[kind_i];
+            let (OrdF64(prio), std::cmp::Reverse(lvl), idx) =
+                self.s.heaps[kind_i].pop().expect("peeked entry");
+            if prune(prio) {
+                continue;
+            }
+            if lvl == BLOCK_LVL {
+                if self.s.seen.insert(idx) {
+                    return Some(idx);
+                }
+                continue;
+            }
+            // Expand the envelope group one level down.
+            let child_lvl = lvl - 1;
+            let start = idx as usize * GROUP_FANOUT;
+            let end = (start + GROUP_FANOUT).min(self.tables_len(child_lvl));
+            for c in start..end {
+                self.push(kind, child_lvl, c as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::default_angles;
+
+    fn sorted_order(pts: &[(f64, f64)]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..pts.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            OrdF64(pts[a as usize].0)
+                .cmp(&OrdF64(pts[b as usize].0))
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    fn sample(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                (
+                    ((i * 37) % 101) as f64 * 0.31 - 3.0,
+                    ((i * 53) % 97) as f64 * 0.17 - 2.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_covers_every_point_once() {
+        for n in [1usize, 31, 32, 33, 64, 257, 1000] {
+            let pts = sample(n);
+            let order = sorted_order(&pts);
+            let set = BlockSet::build(&pts, &order, &default_angles());
+            assert_eq!(set.n_blocks(), n.div_ceil(LANES));
+            let mut seen = vec![false; n];
+            for b in 0..set.n_blocks() as u32 {
+                let live = set.live(b);
+                let slots = set.slots(b);
+                for (l, &slot) in slots.iter().enumerate() {
+                    if live & (1 << l) != 0 {
+                        let s = slot as usize;
+                        assert!(!seen[s], "slot {s} twice");
+                        seen[s] = true;
+                        assert_eq!(set.xs(b)[l], pts[s].0);
+                        assert_eq!(set.ys(b)[l], pts[s].1);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every point in some block");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_conservative() {
+        let pts = sample(500);
+        let order = sorted_order(&pts);
+        let angles = default_angles();
+        let set = BlockSet::build(&pts, &order, &angles);
+        let m = angles.len();
+        for b in 0..set.n_blocks() {
+            let live = set.live(b as u32);
+            for l in 0..LANES {
+                if live & (1 << l) == 0 {
+                    continue;
+                }
+                let (x, y) = (set.xs(b as u32)[l], set.ys(b as u32)[l]);
+                let (xmin, xmax) = set.xr[b];
+                assert!(xmin <= x && x <= xmax);
+                for (i, a) in angles.iter().enumerate() {
+                    let bd = &set.bounds[b * m + i];
+                    let (u, v) = (a.u(x, y), a.v(x, y));
+                    assert!(bd.min_u <= u && u <= bd.max_u);
+                    assert!(bd.min_v <= v && v <= bd.max_v);
+                }
+            }
+        }
+        // Level envelopes cover their groups.
+        for (li, level) in set.levels.iter().enumerate() {
+            let (below_bounds, below_xr): (&[AngleBounds], &[(f64, f64)]) = if li == 0 {
+                (&set.bounds, &set.xr)
+            } else {
+                (&set.levels[li - 1].bounds, &set.levels[li - 1].xr)
+            };
+            for (j, &(bxmin, bxmax)) in below_xr.iter().enumerate() {
+                let g = j / GROUP_FANOUT;
+                assert!(level.xr[g].0 <= bxmin && level.xr[g].1 >= bxmax);
+                for i in 0..m {
+                    let gb = &level.bounds[g * m + i];
+                    let cb = &below_bounds[j * m + i];
+                    assert!(gb.max_u >= cb.max_u && gb.min_u <= cb.min_u);
+                    assert!(gb.max_v >= cb.max_v && gb.min_v <= cb.min_v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_surfaces_every_block_exactly_once() {
+        let pts = sample(333);
+        let order = sorted_order(&pts);
+        let angles = default_angles();
+        let set = BlockSet::build(&pts, &order, &angles);
+        let eval = FrontierEval::Single {
+            angle: angles[2],
+            angle_i: 2,
+        };
+        let mut f = BlockFrontier::with_scratch(&set, 0.5, 0.5, eval, AngleScratch::default());
+        let mut seen = vec![false; set.n_blocks()];
+        let mut bounds = Vec::new();
+        while let Some(b) = f.next_block(|_| false) {
+            assert!(!seen[b as usize]);
+            seen[b as usize] = true;
+            bounds.push(f.bound());
+        }
+        assert!(seen.iter().all(|&s| s), "every block surfaced");
+        assert!(f.next_block(|_| false).is_none());
+    }
+
+    #[test]
+    fn frontier_bound_dominates_unsurfaced_scores() {
+        let pts = sample(400);
+        let order = sorted_order(&pts);
+        let angles = default_angles();
+        let set = BlockSet::build(&pts, &order, &angles);
+        for (qx, qy) in [(0.0, 0.0), (5.0, -2.0), (-3.0, 1.0)] {
+            for eval in [
+                FrontierEval::Single {
+                    angle: angles[1],
+                    angle_i: 1,
+                },
+                crate::topk::TopKIndex::build(&pts)
+                    .unwrap()
+                    .frontier_eval(&Angle::from_weights(1.0, 0.3).unwrap())
+                    .unwrap(),
+            ] {
+                let theta = match &eval {
+                    FrontierEval::Single { angle, .. } => *angle,
+                    FrontierEval::Dual { theta, .. } => *theta,
+                };
+                let mut f =
+                    BlockFrontier::with_scratch(&set, qx, qy, eval, AngleScratch::default());
+                let mut unsurfaced: std::collections::HashSet<u32> =
+                    (0..set.n_blocks() as u32).collect();
+                loop {
+                    let bound = f.bound();
+                    // Every point of every unsurfaced block scores <= bound.
+                    for &b in &unsurfaced {
+                        let live = set.live(b);
+                        for l in 0..LANES {
+                            if live & (1 << l) != 0 {
+                                let s = theta.normalized_score(set.xs(b)[l], set.ys(b)[l], qx, qy);
+                                assert!(
+                                    s <= bound.expect("blocks remain") + 1e-9,
+                                    "unsurfaced point above bound"
+                                );
+                            }
+                        }
+                    }
+                    match f.next_block(|_| false) {
+                        Some(b) => {
+                            unsurfaced.remove(&b);
+                        }
+                        None => break,
+                    }
+                }
+                assert!(unsurfaced.is_empty());
+            }
+        }
+    }
+}

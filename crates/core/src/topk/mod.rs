@@ -21,11 +21,14 @@
 //! `O(k·b·log_b n + k)`; construction `O(n log n)` — the §4 bounds.
 
 pub mod arbitrary;
+pub(crate) mod blocks;
 pub mod packed;
 pub(crate) mod stream;
 
+use std::sync::Arc;
+
 use crate::geometry::Angle;
-use crate::score::{rank_cmp, sd_score_2d};
+use crate::score::sd_score_2d;
 use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
 
@@ -119,6 +122,12 @@ pub struct TopKIndex {
     /// |U|/n > θ policy).
     pub(crate) deep_leaves: usize,
     pub(crate) rebuild_threshold: f64,
+    /// Derived SoA leaf-block layout (see [`blocks`]): present after every
+    /// bulk load / rebuild / snapshot decode, dropped by point-level
+    /// `insert`/`delete` (queries then fall back to the exact per-point
+    /// frontier until the next rebuild). Behind an `Arc` so clones share
+    /// it; never serialised — the wire format is unchanged.
+    pub(crate) blocks: Option<Arc<blocks::BlockSet>>,
 }
 
 impl TopKIndex {
@@ -179,6 +188,7 @@ impl TopKIndex {
             free_nodes: Vec::new(),
             deep_leaves: 0,
             rebuild_threshold: 0.25,
+            blocks: None,
         };
         idx.rebuild();
         Ok(idx)
@@ -224,8 +234,8 @@ impl TopKIndex {
         }
     }
 
-    /// Approximate heap footprint in bytes: point table plus tree nodes with
-    /// their per-angle bound tuples.
+    /// Approximate heap footprint in bytes: point table, tree nodes with
+    /// their per-angle bound tuples, and the derived SoA leaf-block tables.
     pub fn memory_bytes(&self) -> usize {
         let pts = self.pts.len() * std::mem::size_of::<(f64, f64)>() + self.alive.len();
         let nodes: usize = self
@@ -235,7 +245,8 @@ impl TopKIndex {
             .sum();
         let tables = self.node_xr.len() * std::mem::size_of::<(f64, f64)>()
             + self.node_bounds.len() * std::mem::size_of::<AngleBounds>();
-        pts + nodes + tables
+        let blocks = self.blocks.as_ref().map_or(0, |b| b.memory_bytes());
+        pts + nodes + tables + blocks
     }
 
     /// Number of live tree nodes.
@@ -297,24 +308,12 @@ impl TopKIndex {
                 value: qy,
             });
         }
-        let theta = Angle::from_weights(alpha, beta)?;
+        // One certified frontier search serves both the indexed-angle and
+        // the Claim 6 bracketed case ([`arbitrary::query_canonical_with`]
+        // picks the evaluation), running over the SoA leaf blocks whenever
+        // the derived layout is current.
         scratch.answers.clear();
-        if let Some(i) = self.indexed_angle(&theta) {
-            let mut aq = AngleQuery::with_scratch(self, i, qx, qy, scratch.take_angle());
-            scratch.answers.reserve(k.min(self.n_alive));
-            while scratch.answers.len() < k {
-                match aq.next() {
-                    Some((slot, _)) => scratch
-                        .answers
-                        .push(self.rescore(slot, qx, qy, alpha, beta)),
-                    None => break,
-                }
-            }
-            scratch.put_angle(aq.into_scratch());
-            scratch.answers.sort_unstable_by(rank_cmp);
-        } else {
-            arbitrary::query_bracketed_with(self, qx, qy, alpha, beta, k, &theta, scratch)?;
-        }
+        arbitrary::query_canonical_with(self, qx, qy, alpha, beta, k, scratch, None)?;
         Ok(&scratch.answers)
     }
 
@@ -329,6 +328,24 @@ impl TopKIndex {
     ) -> ScoredPoint {
         let (x, y) = self.pts[slot as usize];
         ScoredPoint::new(PointId::new(slot), sd_score_2d(x, y, qx, qy, alpha, beta))
+    }
+
+    /// The derived SoA leaf-block layout, when current (`None` after a
+    /// point-level mutation until the next rebuild/refresh).
+    #[inline]
+    pub(crate) fn blocks(&self) -> Option<&blocks::BlockSet> {
+        self.blocks.as_deref()
+    }
+
+    /// `(block count, resident bytes)` of the derived SoA leaf-block
+    /// layout — the same leading shape [`SdIndex::block_stats`] aggregates
+    /// (lane width is the global [`kernels::LANES`](crate::kernels::LANES))
+    /// — or `None` while it is stale (point-level mutation since the last
+    /// rebuild). Observability for `sdq inspect`.
+    pub fn block_stats(&self) -> Option<(usize, usize)> {
+        self.blocks
+            .as_ref()
+            .map(|b| (b.n_blocks(), b.memory_bytes()))
     }
 
     /// Finds an indexed angle equal to `theta` (up to 1e-12 on the sine of
@@ -396,6 +413,9 @@ impl TopKIndex {
                 value: y,
             });
         }
+        // Point-level mutation invalidates the derived block layout; a
+        // mid-insert rebalance rebuild re-derives it below.
+        self.blocks = None;
         let slot = self.pts.len() as u32;
         self.pts.push((x, y));
         self.alive.push(true);
@@ -433,6 +453,7 @@ impl TopKIndex {
             debug_assert!(false, "live point missing from tree");
             return false;
         }
+        self.blocks = None;
         self.alive[slot] = false;
         self.n_alive -= 1;
         // Collapse a single-child root chain.
@@ -617,27 +638,60 @@ impl TopKIndex {
         false
     }
 
-    /// Rebuilds the balanced tree over the live points (bulk load).
+    /// The live slots in bulk-load order: x ascending, slot-id tie-break.
+    /// The single source of the order both the balanced tree and the SoA
+    /// block layout are built over — a built index and a decoded one must
+    /// derive identical blocks.
+    fn live_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.pts.len() as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect();
+        order.sort_by(|&a, &b| {
+            OrdF64(self.pts[a as usize].0)
+                .cmp(&OrdF64(self.pts[b as usize].0))
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Rebuilds the balanced tree over the live points (bulk load) and
+    /// re-derives the SoA leaf-block layout.
     pub fn rebuild(&mut self) {
         self.nodes.clear();
         self.node_xr.clear();
         self.node_bounds.clear();
         self.free_nodes.clear();
         self.deep_leaves = 0;
-        let mut order: Vec<u32> = (0..self.pts.len() as u32)
-            .filter(|&i| self.alive[i as usize])
-            .collect();
+        self.blocks = None;
+        let order = self.live_order();
         if order.is_empty() {
             self.root = None;
             return;
         }
-        order.sort_by(|&a, &b| {
-            OrdF64(self.pts[a as usize].0)
-                .cmp(&OrdF64(self.pts[b as usize].0))
-                .then(a.cmp(&b))
-        });
         let root = self.build_rec(&order);
         self.root = Some(root);
+        self.blocks = Some(Arc::new(blocks::BlockSet::build(
+            &self.pts,
+            &order,
+            &self.angles,
+        )));
+    }
+
+    /// Re-derives the SoA leaf-block layout from the live point table —
+    /// what snapshot decode runs after reassembling the tree, and what a
+    /// caller who mutated a tree point-wise can invoke to restore the
+    /// block-scored query path without a full tree rebuild.
+    pub fn refresh_blocks(&mut self) {
+        let order = self.live_order();
+        if order.is_empty() {
+            self.blocks = None;
+            return;
+        }
+        self.blocks = Some(Arc::new(blocks::BlockSet::build(
+            &self.pts,
+            &order,
+            &self.angles,
+        )));
     }
 
     fn build_rec(&mut self, slots: &[u32]) -> u32 {

@@ -22,6 +22,7 @@ use std::cmp::Reverse;
 use super::stream::{inflate, AngleScratch};
 use super::AngleBounds;
 use crate::geometry::Angle;
+use crate::kernels::{self, LANES};
 use crate::score::{rank_cmp, sd_score_2d};
 use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
@@ -425,23 +426,6 @@ impl<'a> PackedAngleQuery<'a> {
         self.s.heaps[kind].push((OrdF64::new(prio), Reverse(level), idx));
     }
 
-    fn push_point(&mut self, kind: usize, pos: u32) {
-        let (x, y) = (self.index.xs[pos as usize], self.index.ys[pos as usize]);
-        let left_side = kind == 1 || kind == 3;
-        let valid = if left_side { x < self.qx } else { x >= self.qx };
-        if !valid {
-            return;
-        }
-        let a = &self.angle;
-        let prio = match kind {
-            0 => a.u(x, y),
-            1 => a.v(x, y),
-            2 => -a.v(x, y),
-            _ => -a.u(x, y),
-        };
-        self.s.heaps[kind].push((OrdF64::new(prio), Reverse(POINT_LEVEL), pos));
-    }
-
     fn stream_bound(&self, kind: usize) -> Option<f64> {
         let a = &self.angle;
         self.s.heaps[kind]
@@ -462,11 +446,46 @@ impl<'a> PackedAngleQuery<'a> {
             }
             if level == 0 {
                 // Leaf page: surface its points individually (the paper's
-                // in-leaf comparison step).
-                let start = idx as usize * self.index.page;
-                let end = (start + self.index.page).min(self.index.xs.len());
-                for pos in start..end {
-                    self.push_point(kind, pos as u32);
+                // in-leaf comparison step). The page is SoA and x-sorted,
+                // so both rotated keys of every point come from one batched
+                // kernel call — bit-identical to the scalar `Angle::u`/`v`.
+                let index = self.index;
+                let start = idx as usize * index.page;
+                let end = (start + index.page).min(index.xs.len());
+                let a = self.angle;
+                let left_side = kind == 1 || kind == 3;
+                let (mut u, mut v) = ([0.0f64; LANES], [0.0f64; LANES]);
+                let mut s = start;
+                while s < end {
+                    let e = (s + LANES).min(end);
+                    let c = e - s;
+                    kernels::rotate_block(
+                        &mut u[..c],
+                        &mut v[..c],
+                        &index.xs[s..e],
+                        &index.ys[s..e],
+                        a.cos,
+                        a.sin,
+                    );
+                    for l in 0..c {
+                        let x = index.xs[s + l];
+                        let valid = if left_side { x < self.qx } else { x >= self.qx };
+                        if !valid {
+                            continue;
+                        }
+                        let prio = match kind {
+                            0 => u[l],
+                            1 => v[l],
+                            2 => -v[l],
+                            _ => -u[l],
+                        };
+                        self.s.heaps[kind].push((
+                            OrdF64::new(prio),
+                            Reverse(POINT_LEVEL),
+                            (s + l) as u32,
+                        ));
+                    }
+                    s = e;
                 }
             } else {
                 let child_level = level - 1;

@@ -178,11 +178,6 @@ impl<'a> RawAngleStream<'a> {
         q
     }
 
-    /// Recovers the scratch buffers for reuse by a later query.
-    pub(crate) fn into_scratch(self) -> AngleScratch {
-        self.s
-    }
-
     /// The angle this stream runs at.
     pub(crate) fn angle(&self) -> Angle {
         self.angle
@@ -319,7 +314,13 @@ impl<'a> RawAngleStream<'a> {
 /// score bound at angle `a` (the subtree's score upper bound for points on
 /// the stream's side of the axis).
 #[inline]
-fn key_to_score(b: &super::AngleBounds, kind: StreamKind, a: &Angle, qx: f64, qy: f64) -> f64 {
+pub(crate) fn key_to_score(
+    b: &super::AngleBounds,
+    kind: StreamKind,
+    a: &Angle,
+    qx: f64,
+    qy: f64,
+) -> f64 {
     match kind {
         StreamKind::Llp => b.max_u + a.sin * qx - a.cos * qy,
         StreamKind::Rlp => b.max_v - a.sin * qx - a.cos * qy,
@@ -555,11 +556,6 @@ impl<'a> AngleQuery<'a> {
         AngleQuery {
             raw: RawAngleStream::with_scratch(index, angle_i, qx, qy, s),
         }
-    }
-
-    /// Recovers the scratch buffers for reuse by a later query.
-    pub(crate) fn into_scratch(self) -> AngleScratch {
-        self.raw.into_scratch()
     }
 
     /// The angle this query runs at.

@@ -157,6 +157,8 @@ pub struct EngineScratch {
     floor: BinaryHeap<Reverse<OrdF64>>,
     /// Bounded top-k heap of the delta-region seqscan (mutated engines).
     delta_pool: BinaryHeap<(Reverse<OrdF64>, u32)>,
+    /// Role-signed weight staging of the delta block scan.
+    delta_sw: Vec<f64>,
     answers: Vec<ScoredPoint>,
 }
 
@@ -345,9 +347,13 @@ impl SdEngine {
         self.threads = threads;
     }
 
-    /// Approximate heap footprint of all shard index structures.
+    /// Approximate heap footprint of all shard index structures plus the
+    /// write path (delta rows, their SoA block mirror, tombstone bitmap).
     pub fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(SdIndex::memory_bytes).sum()
+        let shards: usize = self.shards.iter().map(SdIndex::memory_bytes).sum();
+        let delta = self.muts.delta.flat().len() * 8 + self.muts.delta_blocks.memory_bytes();
+        let mask = self.muts.tombstones.domain().div_ceil(64) * 8;
+        shards + delta + mask
     }
 
     /// Per-shard layout, mutation pressure and footprint, in row order.
@@ -462,13 +468,14 @@ impl SdEngine {
                 lists,
                 floor,
                 delta_pool,
+                delta_sw,
                 ..
             } = &mut *scratch;
             let out = &mut lists[s];
             out.clear();
             if !self.muts.delta.is_empty() {
-                sdq_core::delta::scan_delta_into(
-                    &self.muts.delta,
+                sdq_core::delta::scan_delta_blocks_into(
+                    &self.muts.delta_blocks,
                     &self.roles,
                     query,
                     k,
@@ -477,6 +484,7 @@ impl SdEngine {
                     delta_pool,
                     floor,
                     out,
+                    delta_sw,
                 );
             }
             if floor.len() == k {

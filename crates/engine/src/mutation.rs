@@ -91,6 +91,7 @@
 //! ```
 
 use sdq_core::codec::corrupt;
+use sdq_core::delta::DeltaBlocks;
 use sdq_core::mask::RowMask;
 use sdq_core::multidim::SdIndex;
 use sdq_core::{Dataset, PointId, SdError};
@@ -105,6 +106,9 @@ pub(crate) struct MutationState {
     /// Rows inserted since the last compaction; global id = base rows +
     /// delta index. Scored exactly by the delta-scan subproblem.
     pub(crate) delta: Dataset,
+    /// Append-synchronised SoA mirror of `delta` (cache-aligned blocks +
+    /// per-block per-dimension envelopes) — what queries actually scan.
+    pub(crate) delta_blocks: DeltaBlocks,
     /// Dead rows over base ∪ delta ids.
     pub(crate) tombstones: RowMask,
     /// Per-shard dead-row counts, maintained by `delete` so the per-query
@@ -122,6 +126,7 @@ impl MutationState {
     pub(crate) fn new(dims: usize, base_rows: usize, shards: usize) -> Self {
         MutationState {
             delta: empty_delta(dims),
+            delta_blocks: DeltaBlocks::new(dims),
             tombstones: RowMask::new(base_rows),
             shard_dead: vec![0; shards],
             shard_epochs: vec![0; shards],
@@ -206,6 +211,10 @@ impl SdEngine {
             return Err(SdError::TooManyPoints(total + 1));
         }
         self.muts.delta.push_row(row)?;
+        self.muts
+            .delta_blocks
+            .push_row(row)
+            .expect("row was validated by the dataset push");
         self.muts.tombstones.grow(total + 1);
         Ok(PointId::new(total as u32))
     }
@@ -322,6 +331,7 @@ impl SdEngine {
                 return Err(corrupt(format!("duplicate tombstone id {id}")));
             }
         }
+        self.muts.delta_blocks = DeltaBlocks::from_dataset(&delta);
         self.muts.delta = delta;
         self.muts.shard_dead = self
             .offsets
@@ -486,6 +496,7 @@ impl SdEngine {
 
         self.rows = live_total;
         self.muts.delta = empty_delta(dims);
+        self.muts.delta_blocks.clear();
         self.muts.tombstones = RowMask::new(live_total);
         self.muts.shard_dead = vec![0; self.shards.len()];
         self.muts.epoch = epoch_next;

@@ -41,8 +41,8 @@ USAGE:
     sdq inspect PATH
     sdq bench-load PATH [--iters N]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
-              [--shards S] [--k K] [--queries Q] [--threads LIST] [--seed S]
-              [--mutate-frac F] [--out FILE]
+              [--shards S] [--k K] [--queries Q] [--warmup N] [--threads LIST]
+              [--seed S] [--mutate-frac F] [--out FILE]
 
 SUBCOMMANDS:
     build        Generate or load a dataset, build the requested indexes and
@@ -113,6 +113,8 @@ BENCH-QUERY OPTIONS:
                        the JSON report (0 <= F < 1).
     --k K              Result size (default 16).
     --queries Q        Distinct uniform queries per measurement (default 256).
+    --warmup N         Warm-up queries discarded before timing (default: one
+                       full pass over the workload; 0 measures cold).
     --threads LIST     Comma list of batch worker counts, 0 = auto
                        (default 1,4,8).
     --seed S           Query-workload seed (default 13).
@@ -904,6 +906,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
             sd.unpaired().len(),
             sd.memory_bytes() / 1024
         );
+        print_block_stats("    ", sd.block_stats());
     }
     if let Some(engine) = &snap.engine {
         println!(
@@ -923,6 +926,14 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
                 info.memory_bytes / 1024
             );
         }
+        print_block_stats(
+            "    ",
+            engine
+                .shards()
+                .iter()
+                .map(|s| s.block_stats())
+                .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2)),
+        );
         let stats = engine.mutation_stats();
         println!(
             "    delta: {} row(s) ({} dead); {} tombstone(s) total; engine epoch {}",
@@ -959,12 +970,20 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(tk) = &snap.topk {
         println!(
-            "  topk-index: {} live points, {} nodes, {} angles, branching {}",
+            "  topk-index: {} live points, {} nodes, {} angles, branching {}, ≈{} KiB resident",
             tk.len(),
             tk.num_nodes(),
             tk.angles().len(),
-            tk.branching()
+            tk.branching(),
+            tk.memory_bytes() / 1024
         );
+        if let Some((blocks, bytes)) = tk.block_stats() {
+            println!(
+                "    block table: {blocks} SoA leaf block(s) × {} lanes, ≈{} KiB",
+                sdq_core::kernels::LANES,
+                bytes / 1024
+            );
+        }
     }
     if let Some(t1) = &snap.top1 {
         let (alpha, beta) = t1.weights();
@@ -978,6 +997,23 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         println!("  rstar-tree: {} live points, {} dims", rt.len(), rt.dims());
     }
     Ok(())
+}
+
+/// The SoA block-table line `inspect` prints under an sd-index or engine
+/// artifact (aggregated `(blocks, bytes, stale trees)` — counted in
+/// `memory_bytes`, so the footprint report no longer undercounts the
+/// derived query-time state).
+fn print_block_stats(indent: &str, (blocks, bytes, stale): (usize, usize, usize)) {
+    println!(
+        "{indent}block tables: {blocks} SoA leaf block(s) × {} lanes, ≈{} KiB{}",
+        sdq_core::kernels::LANES,
+        bytes / 1024,
+        if stale > 0 {
+            format!(" ({stale} stale tree(s))")
+        } else {
+            String::new()
+        }
+    );
 }
 
 // ─── bench-load ─────────────────────────────────────────────────────────────
@@ -1149,6 +1185,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let mut build_seed: u64 = 42;
     let mut k: usize = BENCH_K;
     let mut queries: usize = 256;
+    let mut warmup: Option<usize> = None;
     let mut threads_list: Vec<usize> = vec![1, 4, 8];
     let mut seed: u64 = 13;
     let mut shards: usize = 1;
@@ -1183,6 +1220,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             "--angles" => angle_count = flags.parsed("--angles")?,
             "--k" => k = flags.parsed("--k")?,
             "--queries" => queries = flags.parsed("--queries")?,
+            "--warmup" => warmup = Some(flags.parsed("--warmup")?),
             "--seed" => seed = flags.parsed("--seed")?,
             "--build-seed" => build_seed = flags.parsed("--build-seed")?,
             "--threads" => {
@@ -1319,11 +1357,13 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let shards = engine.shard_count();
     let workload = uniform_queries(queries, dims, seed);
 
-    // Single-query latency: scratch reuse, one warm-up pass, then one timed
-    // pass per query.
-    let (p50, p99, mean) = measure_single_query(&engine, &workload, k)?;
+    // Single-query latency: scratch reuse, `warmup` discarded warm-up
+    // queries (default: one full pass), then one timed pass per query.
+    let warmup = warmup.unwrap_or(queries);
+    let (p50, p99, mean) = measure_single_query(&engine, &workload, k, warmup)?;
     println!(
-        "single query ({shards} shard(s), k = {k}, {queries} queries): p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
+        "single query ({shards} shard(s), k = {k}, {queries} queries, {warmup} warm-up): \
+         p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
     );
 
     // Batch throughput per worker count: best of three runs.
@@ -1360,7 +1400,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                 deleted += 1;
             }
         }
-        let (mp50, mp99, mmean) = measure_single_query(&engine, &workload, k)?;
+        let (mp50, mp99, mmean) = measure_single_query(&engine, &workload, k, warmup)?;
         println!(
             "single query with {:.1}% delta + {deleted} tombstone(s): p50 {mp50:.3} ms \
              ({:+.1}% vs clean), p99 {mp99:.3} ms, mean {mmean:.3} ms",
@@ -1376,10 +1416,15 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
         String::new()
     };
 
+    // Host keys: trajectory numbers are only comparable when the CPU and
+    // the kernels' dispatched ISA level are pinned next to them.
+    let cpu = json_str(&cpu_model());
+    let simd = json_str(sdq_core::kernels::active().name());
     let json = format!(
         "{{\n  {source},\n  \"dataset\": {{\"rows\": {clean_rows}, \"dims\": {dims}}},\n  \
          \"shards\": {shards},\n  \
-         \"k\": {k},\n  \"queries\": {queries},\n  \"query_seed\": {seed},\n  \
+         \"k\": {k},\n  \"queries\": {queries},\n  \"warmup\": {warmup},\n  \"query_seed\": {seed},\n  \
+         \"cpu\": {cpu},\n  \"simd\": {simd},\n  \
          \"single_query_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}, \"mean\": {mean:.4}}},\n  \
          \"batch\": [{batch}]{mutations_json}\n}}\n",
         batch = batch_rows.join(", "),
@@ -1389,16 +1434,18 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// One warm-up pass over the workload, then one timed pass per query with
-/// a reused scratch; returns `(p50, p99, mean)` in milliseconds.
+/// `warmup` discarded warm-up queries (cycling the workload), then one
+/// timed pass per query with a reused scratch; returns `(p50, p99, mean)`
+/// in milliseconds.
 fn measure_single_query(
     engine: &SdEngine,
     workload: &[SdQuery],
     k: usize,
+    warmup: usize,
 ) -> Result<(f64, f64, f64), CliError> {
     let mut scratch = EngineScratch::new();
     let mut sink = 0.0f64;
-    for q in workload {
+    for q in workload.iter().cycle().take(warmup) {
         sink += engine
             .query_with(q, k, &mut scratch)
             .map_err(runtime)?
@@ -1418,6 +1465,21 @@ fn measure_single_query(
         percentile(&mut lat_ms, 99.0),
         lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
     ))
+}
+
+/// The host CPU model, best effort: the first `model name` of
+/// `/proc/cpuinfo` on Linux, the target architecture elsewhere.
+fn cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, name)) = rest.split_once(':') {
+                    return name.trim().to_string();
+                }
+            }
+        }
+    }
+    std::env::consts::ARCH.to_string()
 }
 
 /// SplitMix64 step: the deterministic victim-id stream of `--mutate-frac`.

@@ -1,0 +1,249 @@
+//! Bit-identity guarantees of the vectorized scoring kernels:
+//!
+//! * the batch kernels reproduce the scalar [`sd_score`] **bit-for-bit**
+//!   in every lane — all role mixes, weights including zero, NaN-free
+//!   extreme magnitudes, signed-zero terms — under every dispatchable ISA
+//!   (forced-scalar and the host's detected level),
+//! * the batched k-th-floor survivor compare agrees with a per-lane scalar
+//!   filter under arbitrary dirty live masks,
+//! * end-to-end: a mutated, sharded [`SdEngine`] answers **bit-identically**
+//!   (ids and score bits, k-th-score ties included) with the scalar
+//!   fallback forced and with runtime dispatch active — the property that
+//!   makes `SDQ_FORCE_SCALAR` a pure performance knob and canonical
+//!   answers host-independent.
+
+use std::sync::Mutex;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sdq::core::kernels::{self, LANES};
+use sdq::engine::{EngineOptions, EngineScratch, SdEngine};
+use sdq::{sd_score, Dataset, DimRole, PointId, ScoredPoint, SdQuery};
+
+/// `force_scalar` is process-global; serialize the tests that toggle it.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once with the scalar fallback forced and once with runtime
+/// dispatch, restoring dispatch afterwards.
+fn with_both_dispatches(mut f: impl FnMut(bool)) {
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    kernels::force_scalar(true);
+    f(true);
+    kernels::force_scalar(false);
+    f(false);
+}
+
+/// Coordinates spanning ties (tiny alphabet) and NaN-free extremes.
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        2 => Just(0.0),
+        1 => Just(-0.0),
+        2 => Just(1.0),
+        1 => Just(-1.5),
+        1 => Just(1e300),
+        1 => Just(-1e300),
+        1 => Just(1e-300),
+        3 => -100.0..100.0f64,
+    ]
+}
+
+fn weight() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        2 => Just(0.0),
+        2 => Just(1.0),
+        1 => Just(2.5),
+        2 => 0.0..10.0f64,
+    ]
+}
+
+fn role() -> impl Strategy<Value = DimRole> {
+    prop_oneof![Just(DimRole::Attractive), Just(DimRole::Repulsive)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Lane-for-lane, the kernel accumulation is the scalar `sd_score`.
+    #[test]
+    fn kernel_scores_match_scalar_bitwise(
+        dims in 1usize..7,
+        seed_cols in vec(coord(), 7 * LANES),
+        q in vec(coord(), 7),
+        w in vec(weight(), 7),
+        roles in vec(role(), 7),
+    ) {
+        let cols: Vec<&[f64]> = (0..dims).map(|d| &seed_cols[d * LANES..(d + 1) * LANES]).collect();
+        with_both_dispatches(|forced| {
+            let mut out = [0.0f64; LANES];
+            kernels::score_zero(&mut out);
+            for d in 0..dims {
+                kernels::score_add_dim(&mut out, cols[d], q[d], roles[d].sign() * w[d]);
+            }
+            for l in 0..LANES {
+                let p: Vec<f64> = (0..dims).map(|d| cols[d][l]).collect();
+                let want = sd_score(&p, &q[..dims], &roles[..dims], &w[..dims]);
+                assert_eq!(
+                    out[l].to_bits(),
+                    want.to_bits(),
+                    "lane {l} (forced_scalar = {forced})"
+                );
+            }
+        });
+    }
+
+    // The batched survivor compare is the scalar filter, dirty masks
+    // included (dead lanes never survive; ties at the floor do).
+    #[test]
+    fn survivors_match_scalar_filter(
+        scores in vec(coord(), LANES),
+        live in 0u32..=u32::MAX,
+        floor in coord(),
+    ) {
+        with_both_dispatches(|forced| {
+            let got = kernels::survivors(&scores, live, floor);
+            for (l, &s) in scores.iter().enumerate() {
+                let want = live & (1 << l) != 0 && s >= floor;
+                assert_eq!(
+                    got & (1 << l) != 0,
+                    want,
+                    "lane {l} (forced_scalar = {forced})"
+                );
+            }
+        });
+    }
+}
+
+/// Tie-heavy end-to-end workload: forced-scalar answers must equal
+/// dispatched answers bit-for-bit through the whole engine — sharding,
+/// delta region, tombstones, k-th-score ties and all.
+#[test]
+fn engine_answers_bit_identical_scalar_vs_dispatched() {
+    // Tiny coordinate alphabet: k-th-score ties are the norm.
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            vec![
+                (i % 5) as f64,
+                (i % 3) as f64,
+                ((i * 7) % 4) as f64 * 0.5,
+                (i % 2) as f64,
+            ]
+        })
+        .collect();
+    let roles = vec![
+        DimRole::Attractive,
+        DimRole::Repulsive,
+        DimRole::Attractive,
+        DimRole::Repulsive,
+    ];
+    let queries: Vec<SdQuery> = (0..24)
+        .map(|i| {
+            SdQuery::new(
+                vec![
+                    (i % 4) as f64,
+                    (i % 3) as f64 * 0.5,
+                    1.0,
+                    (i % 5) as f64 * 0.25,
+                ],
+                vec![1.0, (i % 3) as f64, 0.5, if i % 4 == 0 { 0.0 } else { 2.0 }],
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let run = |queries: &[SdQuery]| -> Vec<Vec<ScoredPoint>> {
+        let data = Dataset::from_rows(4, &rows).unwrap();
+        let mut engine = SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions {
+                shards: 3,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        // Dirty the engine: fresh rows in the delta region, tombstones in
+        // base and delta — the masked + delta-scan paths must match too.
+        for i in 0..40 {
+            engine
+                .insert(&[(i % 5) as f64, 2.0, (i % 3) as f64, 0.0])
+                .unwrap();
+        }
+        for id in [3u32, 77, 200, 399, 401, 410] {
+            engine.delete(PointId::new(id)).unwrap();
+        }
+        let mut scratch = EngineScratch::new();
+        queries
+            .iter()
+            .flat_map(|q| {
+                [1usize, 7, 16, 500]
+                    .into_iter()
+                    .map(|k| engine.query_with(q, k, &mut scratch).unwrap().to_vec())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    kernels::force_scalar(true);
+    let scalar = run(&queries);
+    kernels::force_scalar(false);
+    let dispatched = run(&queries);
+
+    assert_eq!(scalar.len(), dispatched.len());
+    for (i, (a, b)) in scalar.iter().zip(&dispatched).enumerate() {
+        assert_eq!(a.len(), b.len(), "answer {i}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "answer {i}");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "answer {i}: {} vs {}",
+                x.score,
+                y.score
+            );
+        }
+    }
+}
+
+/// The 2-D certified block path (TopKIndex direct queries) is likewise
+/// dispatch-independent, stale-block fallback included.
+#[test]
+fn topk_direct_path_bit_identical_scalar_vs_dispatched() {
+    use sdq::core::topk::TopKIndex;
+    let pts: Vec<(f64, f64)> = (0..300)
+        .map(|i| (((i * 13) % 7) as f64, ((i * 5) % 9) as f64 * 0.5))
+        .collect();
+    let run = || {
+        let mut index = TopKIndex::build(&pts).unwrap();
+        let mut out = Vec::new();
+        for (qx, qy, alpha, beta, k) in [
+            (3.0, 1.0, 1.0, 1.0, 9),
+            (0.5, 2.0, 2.0, 0.7, 25),
+            (6.0, 0.0, 0.3, 1.9, 4),
+        ] {
+            out.push(index.query(qx, qy, alpha, beta, k).unwrap());
+        }
+        // Point-level mutation drops the block layout: the per-point
+        // fallback must produce the same canonical answers.
+        let id = index.insert(100.0, 100.0).unwrap();
+        out.push(index.query(3.0, 1.0, 1.0, 1.0, 9).unwrap());
+        index.delete(id);
+        out.push(index.query(3.0, 1.0, 1.0, 1.0, 9).unwrap());
+        index.refresh_blocks();
+        out.push(index.query(3.0, 1.0, 1.0, 1.0, 9).unwrap());
+        out
+    };
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    kernels::force_scalar(true);
+    let scalar = run();
+    kernels::force_scalar(false);
+    let dispatched = run();
+    for (a, b) in scalar.iter().zip(&dispatched) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+}
