@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 
 use crate::kernels::{self, LaneBlock, LANES};
 use crate::mask::MaskView;
+use crate::profile::QueryProfile;
 use crate::score::{sd_score, DimRole, SdQuery};
 use crate::threshold::track_floor;
 use crate::types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
@@ -131,7 +132,9 @@ impl DeltaBlocks {
 /// `floor`), with block-level envelope pruning against the running k-th
 /// delta score, kernel-batched scoring, and tombstones applied as one
 /// word-AND per block. `sw` is a recycled buffer for the role-signed
-/// weights (cleared here).
+/// weights (cleared here). Scan statistics — rows scanned, blocks
+/// envelope-pruned, tombstoned lanes dropped — accumulate into `prof`
+/// (not reset here: the engine owns the per-query reset).
 #[allow(clippy::too_many_arguments)] // scratch-owned buffers, one call site
 pub fn scan_delta_blocks_into(
     blocks: &DeltaBlocks,
@@ -144,6 +147,7 @@ pub fn scan_delta_blocks_into(
     floor: &mut BinaryHeap<Reverse<OrdF64>>,
     out: &mut Vec<ScoredPoint>,
     sw: &mut Vec<f64>,
+    prof: &mut QueryProfile,
 ) {
     debug_assert_eq!(blocks.dims, query.dims());
     debug_assert_eq!(blocks.dims, roles.len());
@@ -163,6 +167,7 @@ pub fn scan_delta_blocks_into(
         };
         // Tombstones: one branchless word-AND over the block's lanes.
         let live = full & !mask.map_or(0, |m| m.dead_word32(base));
+        prof.tombstones_skipped += u64::from((full & !live).count_ones());
         if live == 0 {
             continue;
         }
@@ -184,9 +189,15 @@ pub fn scan_delta_blocks_into(
                 sw,
             );
             if fl > bound {
+                prof.delta_blocks_pruned += 1;
                 continue;
             }
         }
+        let scanned = u64::from(live.count_ones());
+        prof.delta_rows_scanned += scanned;
+        prof.rows_fetched += scanned;
+        prof.points_gathered += scanned;
+        prof.kernel_batches += 1;
         kernels::score_zero(&mut scores);
         for (d, &swd) in sw.iter().enumerate() {
             kernels::score_add_dim(
@@ -201,7 +212,8 @@ pub fn scan_delta_blocks_into(
             let l = surv.trailing_zeros() as usize;
             surv &= surv - 1;
             let score = scores[l];
-            track_floor(floor, k, score);
+            prof.points_scored += 1;
+            prof.floor_updates += u64::from(track_floor(floor, k, score));
             // Bounded min-heap of the best k: the root is the worst kept
             // entry (lowest score, largest id among ties) under `rank_cmp`.
             pool.push((Reverse(OrdF64::new(score)), base + l as u32));
@@ -361,10 +373,20 @@ mod tests {
             let mut floor = BinaryHeap::new();
             let mut out = Vec::new();
             let mut sw = Vec::new();
+            let mut prof = QueryProfile::new();
             scan_delta_blocks_into(
                 &blocks, &roles, &q, k, 200, view, &mut pool, &mut floor, &mut out, &mut sw,
+                &mut prof,
             );
             assert_eq!(out.len(), want.len(), "k = {k}");
+            assert!(prof.points_scored <= prof.delta_rows_scanned, "k = {k}");
+            if prof.delta_blocks_pruned == 0 {
+                assert_eq!(
+                    prof.delta_rows_scanned + prof.tombstones_skipped,
+                    150,
+                    "k = {k}: every delta row is scanned or tombstoned"
+                );
+            }
             for (g, w) in out.iter().zip(&want) {
                 assert_eq!(g.id, w.id, "k = {k}");
                 assert_eq!(g.score.to_bits(), w.score.to_bits(), "k = {k}");

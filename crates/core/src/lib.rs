@@ -29,6 +29,9 @@
 //! * [`delta`] — the exact seqscan subproblem over the engine's append-only
 //!   delta region (the write path's unindexed rows),
 //! * [`score`] — scoring kernels shared by indexes, baselines and tests,
+//! * [`profile`] — always-on per-query execution counters ([`QueryProfile`])
+//!   behind every hot path: pruning effectiveness, kernel batches, floor
+//!   convergence, per-stage timings,
 //! * [`QueryScratch`] — reusable query-execution buffers; the `query_with`
 //!   entry points answer steady-state queries with zero heap allocations,
 //! * [`codec`] — serde-free binary round-trips of datasets and indexes (the
@@ -60,6 +63,7 @@ pub mod geometry;
 pub mod kernels;
 pub mod mask;
 pub mod multidim;
+pub mod profile;
 pub mod score;
 mod scratch;
 pub mod threshold;
@@ -68,6 +72,7 @@ pub mod topk;
 mod types;
 
 pub use mask::{MaskView, RowMask};
+pub use profile::QueryProfile;
 pub use score::{sd_score, DimRole, SdQuery};
 pub use scratch::QueryScratch;
 pub use threshold::SharedThreshold;

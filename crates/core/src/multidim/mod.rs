@@ -49,6 +49,7 @@ pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 use crate::geometry::Angle;
 use crate::kernels::{self, LANES};
 use crate::mask::MaskView;
+use crate::profile::QueryProfile;
 use crate::score::rank_cmp;
 use crate::scratch::{QueryScratch, StampSet};
 use crate::threshold::{track_floor, SharedThreshold};
@@ -153,12 +154,20 @@ impl<'a> Subproblem<'a> {
     ///   and is discarded before a single point is scored.
     ///
     /// Returns `false` once the stream is drained (nothing appended).
+    /// `prof` receives the fetch's execution counters (1-D pulls, frontier
+    /// walk statistics, per-lane mask drops).
     #[inline]
-    fn next_unit(&mut self, prune: Option<(f64, f64)>, out: &mut Vec<u32>) -> bool {
+    fn next_unit(
+        &mut self,
+        prune: Option<(f64, f64)>,
+        out: &mut Vec<u32>,
+        prof: &mut QueryProfile,
+    ) -> bool {
         match self {
-            Subproblem::Pair2d(s) => s.next_unit(prune, out),
+            Subproblem::Pair2d(s) => s.next_unit(prune, out, prof),
             Subproblem::Attractive1d(s) => match s.next() {
                 Some((row, _)) => {
+                    prof.onedim_rows_pulled += 1;
                     out.push(row);
                     true
                 }
@@ -166,11 +175,21 @@ impl<'a> Subproblem<'a> {
             },
             Subproblem::Repulsive1d(s) => match s.next() {
                 Some((row, _)) => {
+                    prof.onedim_rows_pulled += 1;
                     out.push(row);
                     true
                 }
                 None => false,
             },
+        }
+    }
+
+    /// Flushes any walk counters still buffered inside the stream's
+    /// frontier into `prof` (called once per aggregation slice, so pops
+    /// performed by `bound()` staging are not lost).
+    fn flush_profile(&mut self, prof: &mut QueryProfile) {
+        if let Subproblem::Pair2d(s) = self {
+            s.flush_profile(prof);
         }
     }
 }
@@ -513,6 +532,7 @@ impl SdIndex {
         }
         let n = self.data.len();
         if n == 0 {
+            scratch.profile.reset();
             scratch.answers.clear();
             return Ok(&scratch.answers);
         }
@@ -520,9 +540,13 @@ impl SdIndex {
         // Direct strategy: a single-pair query is one certified 2-D search
         // over the pair's tree (indexed-angle or Claim 6 bracketed
         // frontier) — no aggregation machinery at all. Masked executions
-        // always aggregate (the mask hook lives there).
+        // always aggregate (the mask hook lives there). The direct search
+        // bypasses the instrumented aggregation loop, so its profile only
+        // reports emission count, ISA and wall time.
         if mask.is_none() {
             if let Some((alpha, beta, qx, qy)) = self.direct_pair(query) {
+                scratch.profile.reset();
+                let t0 = scratch.profile.timing.then(std::time::Instant::now);
                 arbitrary::query_canonical_with(
                     &self.pair_indexes[0],
                     qx,
@@ -533,6 +557,11 @@ impl SdIndex {
                     scratch,
                     shared,
                 )?;
+                scratch.profile.isa = kernels::active().name();
+                scratch.profile.emitted = scratch.answers.len() as u64;
+                if let Some(t0) = t0 {
+                    scratch.profile.aggregate_nanos += t0.elapsed().as_nanos() as u64;
+                }
                 return Ok(&scratch.answers);
             }
         }
@@ -609,6 +638,7 @@ impl SdIndex {
         floor.clear();
         let mut batch = std::mem::take(&mut scratch.rows);
         batch.clear();
+        scratch.profile.reset();
         Ok(ShardExecution {
             data: self.data.as_ref(),
             roles: &self.roles,
@@ -625,6 +655,7 @@ impl SdIndex {
             gather: std::mem::take(&mut scratch.gather),
             scores: std::mem::take(&mut scratch.scores),
             fbuf: std::mem::take(&mut scratch.fbuf),
+            profile: scratch.profile,
             done: n == 0,
         })
     }
@@ -842,8 +873,11 @@ fn aggregate_into(
         gather,
         scores,
         fbuf,
+        profile,
         ..
     } = &mut *scratch;
+    profile.reset();
+    let t0 = profile.timing.then(std::time::Instant::now);
     pool.clear();
     answers.clear();
     floor.clear();
@@ -878,9 +912,18 @@ fn aggregate_into(
         gather,
         scores,
         fbuf,
+        profile,
     );
     debug_assert!(done, "unbounded aggregation must complete");
     answers.sort_unstable_by(rank_cmp);
+    for s in streams.iter_mut() {
+        s.flush_profile(profile);
+    }
+    profile.floor_value = floor.peek().map_or(f64::NEG_INFINITY, |r| r.0 .0);
+    profile.emitted = answers.len() as u64;
+    if let Some(t0) = t0 {
+        profile.aggregate_nanos += t0.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Scores one round's fetched rows — deduplicated, tombstone-masked, then
@@ -909,9 +952,11 @@ fn score_rows_batched<F: FnMut(f64)>(
     on_score: &mut F,
     gather: &mut Vec<f64>,
     scores: &mut Vec<f64>,
+    prof: &mut QueryProfile,
 ) {
     let dims = data.dims();
     let flat = data.flat();
+    prof.isa = kernels::active().name();
     // Fixed-size after the first call: no steady-state allocation.
     gather.resize(dims * LANES, 0.0);
     scores.resize(LANES, 0.0);
@@ -923,7 +968,9 @@ fn score_rows_batched<F: FnMut(f64)>(
                  scores: &mut Vec<f64>,
                  floor: &mut BinaryHeap<Reverse<OrdF64>>,
                  pool: &mut BinaryHeap<(OrdF64, Reverse<u32>)>,
-                 on_score: &mut F| {
+                 on_score: &mut F,
+                 prof: &mut QueryProfile| {
+        prof.kernel_batches += 1;
         kernels::score_zero(scores);
         for d in 0..dims {
             let sw = roles[d].sign() * query.weights[d];
@@ -951,17 +998,24 @@ fn score_rows_batched<F: FnMut(f64)>(
             let l = surv.trailing_zeros() as usize;
             surv &= surv - 1;
             let score = scores[l];
-            track_floor(floor, k_eff, score);
+            prof.points_scored += 1;
+            prof.floor_updates += u64::from(track_floor(floor, k_eff, score));
             on_score(score);
             pool.push((OrdF64::new(score), Reverse(lane_rows[l])));
         }
     };
     for &row in batch {
-        // Tombstoned rows are dropped here, before pool and floor: a dead
-        // row's score in the floor could prune live rows.
-        if !seen.insert(row) || mask.is_some_and(|m| m.is_dead(row)) {
+        if !seen.insert(row) {
+            prof.seen_hits += 1;
             continue;
         }
+        // Tombstoned rows are dropped here, before pool and floor: a dead
+        // row's score in the floor could prune live rows.
+        if mask.is_some_and(|m| m.is_dead(row)) {
+            prof.tombstones_skipped += 1;
+            continue;
+        }
+        prof.points_gathered += 1;
         let base = row as usize * dims;
         for d in 0..dims {
             gather[d * LANES + cnt] = flat[base + d];
@@ -969,12 +1023,12 @@ fn score_rows_batched<F: FnMut(f64)>(
         lane_rows[cnt] = row;
         cnt += 1;
         if cnt == LANES {
-            flush(cnt, &lane_rows, gather, scores, floor, pool, on_score);
+            flush(cnt, &lane_rows, gather, scores, floor, pool, on_score, prof);
             cnt = 0;
         }
     }
     if cnt > 0 {
-        flush(cnt, &lane_rows, gather, scores, floor, pool, on_score);
+        flush(cnt, &lane_rows, gather, scores, floor, pool, on_score, prof);
     }
 }
 
@@ -1015,9 +1069,11 @@ fn aggregate_rounds<F: FnMut(f64)>(
     gather: &mut Vec<f64>,
     scores: &mut Vec<f64>,
     fbuf: &mut Vec<f64>,
+    prof: &mut QueryProfile,
 ) -> bool {
     while rounds > 0 {
         rounds -= 1;
+        prof.rounds += 1;
 
         // Threshold over rows unseen by *every* stream; per-stream bounds
         // staged for the block-pruning thresholds below.
@@ -1103,11 +1159,12 @@ fn aggregate_rounds<F: FnMut(f64)>(
             } else {
                 None
             };
-            progressed |= s.next_unit(prune, batch);
+            progressed |= s.next_unit(prune, batch, prof);
         }
+        prof.rows_fetched += batch.len() as u64;
         score_rows_batched(
             data, roles, query, batch, mask, k_eff, publish, pool, seen, floor, on_score, gather,
-            scores,
+            scores, prof,
         );
         if !progressed {
             // Everything fetched; drain what remains.
@@ -1152,6 +1209,7 @@ pub struct ShardExecution<'i> {
     gather: Vec<f64>,
     scores: Vec<f64>,
     fbuf: Vec<f64>,
+    profile: QueryProfile,
     done: bool,
 }
 
@@ -1191,9 +1249,17 @@ impl<'i> ShardExecution<'i> {
                 &mut self.gather,
                 &mut self.scores,
                 &mut self.fbuf,
+                &mut self.profile,
             );
         }
         self.done
+    }
+
+    /// Execution counters accumulated so far (finalized counters — floor
+    /// value, emission count, stream-buffered walk statistics — land in the
+    /// scratch's profile at [`ShardExecution::finish_into`]).
+    pub fn profile(&self) -> &QueryProfile {
+        &self.profile
     }
 
     /// Sorts the canonical answer into `scratch.answers` and hands every
@@ -1202,6 +1268,11 @@ impl<'i> ShardExecution<'i> {
     pub fn finish_into(mut self, scratch: &mut QueryScratch) {
         debug_assert!(self.done, "finish_into before completion");
         self.answers.sort_unstable_by(rank_cmp);
+        for s in self.streams.iter_mut() {
+            s.flush_profile(&mut self.profile);
+        }
+        self.profile.floor_value = self.floor.peek().map_or(f64::NEG_INFINITY, |r| r.0 .0);
+        self.profile.emitted = self.answers.len() as u64;
         for s in self.streams.drain(..) {
             s.recycle(scratch);
         }
@@ -1214,6 +1285,7 @@ impl<'i> ShardExecution<'i> {
         scratch.gather = self.gather;
         scratch.scores = self.scores;
         scratch.fbuf = self.fbuf;
+        scratch.profile = self.profile;
     }
 }
 
@@ -1410,8 +1482,33 @@ impl<'a> Pair2DStream<'a> {
         }
     }
 
+    /// Drains the walk counters buffered inside the frontier into `prof`.
+    /// Counters accumulate inside the frontiers (so `bound()` staging and
+    /// the one-point trait path need no profile plumbing) and are flushed
+    /// here — on every batched fetch and once more at query end.
+    fn flush_profile(&mut self, prof: &mut QueryProfile) {
+        match &mut self.inner {
+            PairInner::Degenerate { .. } => {}
+            PairInner::Tree { frontier, .. } => {
+                prof.nodes_visited += frontier.take_nodes();
+            }
+            PairInner::Blocks { frontier, .. } => {
+                let c = frontier.take_counters();
+                prof.nodes_visited += c.nodes_visited;
+                prof.envelope_nodes_rejected += c.envelope_rejected;
+                prof.blocks_floor_pruned += c.blocks_floor_pruned;
+                prof.blocks_popped += c.blocks_popped;
+            }
+        }
+    }
+
     /// Batch fetch: see [`Subproblem::next_unit`].
-    fn next_unit(&mut self, prune: Option<(f64, f64)>, out: &mut Vec<u32>) -> bool {
+    fn next_unit(
+        &mut self,
+        prune: Option<(f64, f64)>,
+        out: &mut Vec<u32>,
+        prof: &mut QueryProfile,
+    ) -> bool {
         match &mut self.inner {
             PairInner::Blocks {
                 frontier,
@@ -1442,6 +1539,13 @@ impl<'a> Pair2DStream<'a> {
                     Some((f, others)) => f > inflate(r * b + others),
                     None => false,
                 });
+                {
+                    let c = frontier.take_counters();
+                    prof.nodes_visited += c.nodes_visited;
+                    prof.envelope_nodes_rejected += c.envelope_rejected;
+                    prof.blocks_floor_pruned += c.blocks_floor_pruned;
+                    prof.blocks_popped += c.blocks_popped;
+                }
                 if let Some(block) = picked {
                     progressed = true;
                     let mut live = blocks.live(block);
@@ -1469,6 +1573,8 @@ impl<'a> Pair2DStream<'a> {
                                 live &= live - 1;
                                 if f <= inflate(scores[l] + others) {
                                     out.push(slots[l]);
+                                } else {
+                                    prof.lanes_masked += 1;
                                 }
                             }
                         }
@@ -1483,13 +1589,18 @@ impl<'a> Pair2DStream<'a> {
                 }
                 progressed
             }
-            _ => match self.next() {
-                Some((row, _)) => {
-                    out.push(row);
-                    true
+            _ => {
+                let fetched = self.next();
+                self.flush_profile(prof);
+                match fetched {
+                    Some((row, _)) => {
+                        prof.tree_rows_pulled += 1;
+                        out.push(row);
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
-            },
+            }
         }
     }
 }

@@ -1,0 +1,304 @@
+//! Per-query execution profiles: plain counters behind every hot path.
+//!
+//! The paper's central claims are *pruning* claims — the §4/§5 machinery
+//! wins because most envelope nodes, leaf blocks and points are never
+//! scored — and [`QueryProfile`] is how that is observed. Every query
+//! entry point increments a fixed set of `u64` counters as it runs: the
+//! frontier walks ([`PairFrontier`]/[`BlockFrontier`]), the block-level
+//! floor pruning, the per-lane mask filter, the batched scoring kernels,
+//! the delta seqscan, the tombstone mask and the k-way shard merge.
+//!
+//! The counters live inside [`QueryScratch`](crate::QueryScratch) (and are
+//! aggregated per engine query into
+//! `EngineScratch`), so they are recycled with
+//! the scratch and the steady-state **zero-allocation** guarantee holds.
+//! They are cheap enough to stay always-on: plain increments on state the
+//! hot loops already own. Only wall-clock timestamping has a cost worth
+//! gating — set [`QueryProfile::timing`] to collect per-stage nanosecond
+//! timings.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use sdq_core::{Dataset, DimRole, QueryScratch, SdQuery};
+//! use sdq_core::multidim::SdIndex;
+//!
+//! let rows: Vec<Vec<f64>> = (0..640)
+//!     .map(|i| vec![(i % 31) as f64, (i % 17) as f64, (i % 7) as f64, i as f64 * 0.01])
+//!     .collect();
+//! let roles = vec![
+//!     DimRole::Attractive,
+//!     DimRole::Repulsive,
+//!     DimRole::Repulsive,
+//!     DimRole::Attractive,
+//! ];
+//! let index = SdIndex::build(Dataset::from_rows(4, &rows).unwrap(), &roles).unwrap();
+//!
+//! let mut scratch = QueryScratch::new();
+//! scratch.profile.timing = true; // opt into per-stage nanos
+//! let query = SdQuery::uniform_weights(vec![3.0, 1.0, 2.0, 0.5], &roles);
+//! let top = index.query_with(&query, 8, &mut scratch).unwrap();
+//! assert_eq!(top.len(), 8);
+//!
+//! let p = &scratch.profile;
+//! assert_eq!(p.emitted, 8);
+//! // Internal consistency: nothing is scored that was not gathered first,
+//! // and nothing is gathered that was not fetched from some stream.
+//! assert!(p.points_scored <= p.points_gathered);
+//! assert!(p.points_gathered <= p.rows_fetched);
+//! // The pruning funnel is monotone non-increasing after the first stage.
+//! let funnel = p.funnel(rows.len() as u64);
+//! for w in funnel.windows(2).skip(1) {
+//!     assert!(w[0].1 >= w[1].1, "{} < {}", w[0].0, w[1].0);
+//! }
+//! assert!(p.aggregate_nanos > 0, "timing was enabled");
+//! ```
+//!
+//! [`PairFrontier`]: crate::topk::stream
+//! [`BlockFrontier`]: crate::topk::blocks
+
+use crate::kernels::LANES;
+
+/// Execution counters for one query (or one shard's share of one engine
+/// query; the engine sums its shards' profiles into one).
+///
+/// All counters are plain `u64`s incremented inline on the hot paths —
+/// always on. `floor_value` is the final k-th-score floor; `isa` names the
+/// kernel backend that scored the batches. The three `*_nanos` stage
+/// timings are collected only while [`QueryProfile::timing`] is set, and
+/// only by the top-level driver of a query (they are **not** summed by
+/// [`QueryProfile::merge`], so per-shard and engine-level timings never
+/// double-count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryProfile {
+    /// Inner tree/envelope nodes expanded by the per-point and per-block
+    /// frontiers.
+    pub nodes_visited: u64,
+    /// Envelope-tree nodes rejected against the k-th-score floor — every
+    /// block and point underneath discarded unseen.
+    pub envelope_nodes_rejected: u64,
+    /// SoA leaf blocks surfaced by a block frontier (each holds up to
+    /// [`LANES`] points).
+    pub blocks_popped: u64,
+    /// Leaf blocks rejected whole against the floor at pop time.
+    pub blocks_floor_pruned: u64,
+    /// Lanes of surfaced blocks dropped by the per-lane pair-subscore
+    /// filter before gathering.
+    pub lanes_masked: u64,
+    /// Rows surfaced by per-point tree frontiers (stale-block fallback and
+    /// degenerate enumeration).
+    pub tree_rows_pulled: u64,
+    /// Rows surfaced by the 1-D sorted-column streams.
+    pub onedim_rows_pulled: u64,
+    /// Candidate rows handed to the scoring stage by all streams (block
+    /// lanes + tree rows + 1-D rows + delta rows), duplicates included.
+    pub rows_fetched: u64,
+    /// Distinct live rows gathered into SoA lanes for full scoring.
+    pub points_gathered: u64,
+    /// Rows whose exact full SD-score was computed and kept (survived the
+    /// batched k-th-floor survivor compare).
+    pub points_scored: u64,
+    /// Kernel batch invocations (each scores up to [`LANES`] lanes).
+    pub kernel_batches: u64,
+    /// Kernel backend that scored the batches (`"avx2"`, `"sse2"`,
+    /// `"scalar"`; empty until a batch runs).
+    pub isa: &'static str,
+    /// Live delta-region rows scanned by the exact seqscan.
+    pub delta_rows_scanned: u64,
+    /// Delta SoA blocks rejected whole by their envelope bound.
+    pub delta_blocks_pruned: u64,
+    /// Rows dropped by the tombstone mask (indexed and delta).
+    pub tombstones_skipped: u64,
+    /// Rows dropped by the seen-set (already scored this query).
+    pub seen_hits: u64,
+    /// Updates to the k-th-score floor (insertions and improvements).
+    pub floor_updates: u64,
+    /// Final k-th-score floor (`-inf` until `k` scores are known).
+    pub floor_value: f64,
+    /// Aggregation rounds executed (one fetch per stream each).
+    pub rounds: u64,
+    /// K-way merge steps taken by the engine (rows popped across shard
+    /// lists; `0` on the monolithic path).
+    pub merge_rounds: u64,
+    /// Rows emitted into the final answer.
+    pub emitted: u64,
+    /// Collect per-stage wall-clock timings. Off by default: counters are
+    /// free, timestamps are not.
+    pub timing: bool,
+    /// Nanoseconds in the delta-region seqscan (engine path, dirty only).
+    pub delta_scan_nanos: u64,
+    /// Nanoseconds in shard aggregation (or the whole monolithic query).
+    pub aggregate_nanos: u64,
+    /// Nanoseconds in the engine's k-way merge.
+    pub merge_nanos: u64,
+}
+
+impl Default for QueryProfile {
+    fn default() -> Self {
+        QueryProfile {
+            nodes_visited: 0,
+            envelope_nodes_rejected: 0,
+            blocks_popped: 0,
+            blocks_floor_pruned: 0,
+            lanes_masked: 0,
+            tree_rows_pulled: 0,
+            onedim_rows_pulled: 0,
+            rows_fetched: 0,
+            points_gathered: 0,
+            points_scored: 0,
+            kernel_batches: 0,
+            isa: "",
+            delta_rows_scanned: 0,
+            delta_blocks_pruned: 0,
+            tombstones_skipped: 0,
+            seen_hits: 0,
+            floor_updates: 0,
+            floor_value: f64::NEG_INFINITY,
+            rounds: 0,
+            merge_rounds: 0,
+            emitted: 0,
+            timing: false,
+            delta_scan_nanos: 0,
+            aggregate_nanos: 0,
+            merge_nanos: 0,
+        }
+    }
+}
+
+impl QueryProfile {
+    /// A zeroed profile with timing disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes every counter and timing, preserving the [`timing`] toggle.
+    /// Called at the start of each query served from the owning scratch.
+    ///
+    /// [`timing`]: QueryProfile::timing
+    pub fn reset(&mut self) {
+        *self = QueryProfile {
+            timing: self.timing,
+            ..QueryProfile::default()
+        };
+    }
+
+    /// Accumulates another profile's counters into this one (the engine
+    /// sums per-shard profiles). Counters add; `floor_value` takes the
+    /// max (floors only rise); stage timings are deliberately **not**
+    /// summed — they belong to the top-level driver alone.
+    pub fn merge(&mut self, other: &QueryProfile) {
+        self.nodes_visited += other.nodes_visited;
+        self.envelope_nodes_rejected += other.envelope_nodes_rejected;
+        self.blocks_popped += other.blocks_popped;
+        self.blocks_floor_pruned += other.blocks_floor_pruned;
+        self.lanes_masked += other.lanes_masked;
+        self.tree_rows_pulled += other.tree_rows_pulled;
+        self.onedim_rows_pulled += other.onedim_rows_pulled;
+        self.rows_fetched += other.rows_fetched;
+        self.points_gathered += other.points_gathered;
+        self.points_scored += other.points_scored;
+        self.kernel_batches += other.kernel_batches;
+        if self.isa.is_empty() {
+            self.isa = other.isa;
+        }
+        self.delta_rows_scanned += other.delta_rows_scanned;
+        self.delta_blocks_pruned += other.delta_blocks_pruned;
+        self.tombstones_skipped += other.tombstones_skipped;
+        self.seen_hits += other.seen_hits;
+        self.floor_updates += other.floor_updates;
+        if other.floor_value > self.floor_value {
+            self.floor_value = other.floor_value;
+        }
+        self.rounds += other.rounds;
+        self.merge_rounds += other.merge_rounds;
+        self.emitted += other.emitted;
+    }
+
+    /// The pruning funnel: how many points were still in play after each
+    /// pruning stage, labelled, monotone non-increasing from the second
+    /// stage on (the first stage is the dataset size supplied by the
+    /// caller; on multi-pair queries the envelope stage counts each
+    /// pair's coverage separately, so it is bounded by `pairs × n`, not
+    /// `n`).
+    ///
+    /// Stages after the first are derived from the counters:
+    /// block-granularity stages count [`LANES`] points per block (the
+    /// admissible upper bound on what survived), and rows from non-block
+    /// streams (1-D, per-point fallback, delta seqscan) pass undiminished
+    /// through the stages that cannot prune them.
+    pub fn funnel(&self, points_in_dataset: u64) -> [(&'static str, u64); 6] {
+        let lanes = LANES as u64;
+        let pass_through =
+            self.tree_rows_pulled + self.onedim_rows_pulled + self.delta_rows_scanned;
+        let survived_envelope =
+            (self.blocks_popped + self.blocks_floor_pruned) * lanes + pass_through;
+        let survived_block_floor = self.blocks_popped * lanes + pass_through;
+        [
+            ("points in dataset", points_in_dataset),
+            ("survived envelope tree", survived_envelope),
+            ("survived block floor", survived_block_floor),
+            ("survived lane mask", self.rows_fetched),
+            ("fully scored", self.points_scored),
+            ("emitted", self.emitted),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_preserves_timing_toggle() {
+        let mut p = QueryProfile::new();
+        p.timing = true;
+        p.rounds = 7;
+        p.floor_value = 3.5;
+        p.aggregate_nanos = 99;
+        p.reset();
+        assert!(p.timing);
+        assert_eq!(p.rounds, 0);
+        assert_eq!(p.aggregate_nanos, 0);
+        assert_eq!(p.floor_value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_floor_skips_timing() {
+        let mut a = QueryProfile {
+            blocks_popped: 3,
+            floor_value: 1.0,
+            aggregate_nanos: 10,
+            ..QueryProfile::default()
+        };
+        let b = QueryProfile {
+            blocks_popped: 4,
+            floor_value: 2.0,
+            isa: "avx2",
+            aggregate_nanos: 50,
+            ..QueryProfile::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks_popped, 7);
+        assert_eq!(a.floor_value, 2.0);
+        assert_eq!(a.isa, "avx2");
+        assert_eq!(a.aggregate_nanos, 10, "timings are driver-owned");
+    }
+
+    #[test]
+    fn funnel_is_monotone_on_consistent_counters() {
+        let p = QueryProfile {
+            blocks_popped: 10,
+            blocks_floor_pruned: 5,
+            lanes_masked: 40,
+            rows_fetched: 280,
+            points_gathered: 270,
+            points_scored: 100,
+            emitted: 16,
+            ..QueryProfile::default()
+        };
+        let f = p.funnel(100_000);
+        for w in f.windows(2) {
+            assert!(w[0].1 >= w[1].1, "{} < {}", w[0].0, w[1].0);
+        }
+    }
+}

@@ -41,6 +41,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::multidim::Subproblem;
+use crate::profile::QueryProfile;
 use crate::topk::stream::{AngleScratch, FastSet};
 use crate::types::{OrdF64, ScoredPoint};
 
@@ -121,6 +122,11 @@ pub struct QueryScratch {
     /// Per-stream bound staging of one aggregation round (feeds the
     /// block-level floor-pruning thresholds).
     pub(crate) fbuf: Vec<f64>,
+    /// Execution counters of the most recent query served from this
+    /// scratch — reset at query start, always on (see
+    /// [`QueryProfile`]). Set [`QueryProfile::timing`] before querying to
+    /// also collect per-stage nanosecond timings.
+    pub profile: QueryProfile,
     /// Spare `(slot, subscore)` staging buffers for block-backed streams
     /// serving the one-point-at-a-time trait path.
     stages: Vec<Vec<(u32, f64)>>,

@@ -26,16 +26,24 @@ use crate::types::OrdF64;
 /// best `cap` scores seen so far; the heap top is then the running
 /// k-th-best floor — the value to [`SharedThreshold::raise`] once the heap
 /// holds `cap = k` real scores. Shared by the aggregation loops in this
-/// crate and the engine's merged cross-shard tracker.
+/// crate and the engine's merged cross-shard tracker. Returns `true` when
+/// the heap changed (the score entered the tracked top `cap`) — the
+/// query profile counts these as floor updates.
 #[inline]
-pub fn track_floor(floor: &mut BinaryHeap<Reverse<OrdF64>>, cap: usize, score: f64) {
+pub fn track_floor(floor: &mut BinaryHeap<Reverse<OrdF64>>, cap: usize, score: f64) -> bool {
     if floor.len() < cap {
         floor.push(Reverse(OrdF64::new(score)));
+        true
     } else if let Some(&Reverse(kth)) = floor.peek() {
         if kth < OrdF64(score) {
             floor.pop();
             floor.push(Reverse(OrdF64::new(score)));
+            true
+        } else {
+            false
         }
+    } else {
+        false
     }
 }
 

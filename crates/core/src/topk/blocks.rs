@@ -217,6 +217,25 @@ pub(crate) struct BlockFrontier<'a> {
     eval: FrontierEval,
     /// Recycled heaps + block-dedup seen-set (`pool` unused).
     pub(crate) s: AngleScratch,
+    /// Walk counters since the last [`BlockFrontier::take_counters`]
+    /// drain — flushed into a
+    /// [`QueryProfile`](crate::profile::QueryProfile) by the aggregation
+    /// loop. `(envelope nodes expanded, envelope nodes pruned, blocks
+    /// floor-pruned, blocks popped)`.
+    counters: FrontierCounters,
+}
+
+/// Internal accumulator for [`BlockFrontier`] walk statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FrontierCounters {
+    /// Envelope nodes expanded one level down.
+    pub(crate) nodes_visited: u64,
+    /// Envelope nodes pruned whole (every block underneath discarded).
+    pub(crate) envelope_rejected: u64,
+    /// Leaf blocks pruned at pop time against the caller's floor.
+    pub(crate) blocks_floor_pruned: u64,
+    /// Leaf blocks surfaced to the caller.
+    pub(crate) blocks_popped: u64,
 }
 
 impl<'a> BlockFrontier<'a> {
@@ -235,6 +254,7 @@ impl<'a> BlockFrontier<'a> {
             qy,
             eval,
             s,
+            counters: FrontierCounters::default(),
         };
         let root_lvl = set.levels.len() as u32; // 0 = the single block
         for kind in StreamKind::ALL {
@@ -246,6 +266,13 @@ impl<'a> BlockFrontier<'a> {
     /// Recovers the scratch buffers for reuse by a later query.
     pub(crate) fn into_scratch(self) -> AngleScratch {
         self.s
+    }
+
+    /// Drains the walk counters accumulated since the last call
+    /// (profiling).
+    #[inline]
+    pub(crate) fn take_counters(&mut self) -> FrontierCounters {
+        std::mem::take(&mut self.counters)
     }
 
     #[inline]
@@ -349,15 +376,29 @@ impl<'a> BlockFrontier<'a> {
             let (OrdF64(prio), std::cmp::Reverse(lvl), idx) =
                 self.s.heaps[kind_i].pop().expect("peeked entry");
             if prune(prio) {
+                if lvl == BLOCK_LVL {
+                    // Mark the block seen: the floor only rises and every
+                    // stream bound only falls, so a once-pruned block is
+                    // pruned forever — its remaining heap entries can be
+                    // dropped without consulting `prune`, and the counter
+                    // stays distinct-block accurate.
+                    if self.s.seen.insert(idx) {
+                        self.counters.blocks_floor_pruned += 1;
+                    }
+                } else {
+                    self.counters.envelope_rejected += 1;
+                }
                 continue;
             }
             if lvl == BLOCK_LVL {
                 if self.s.seen.insert(idx) {
+                    self.counters.blocks_popped += 1;
                     return Some(idx);
                 }
                 continue;
             }
             // Expand the envelope group one level down.
+            self.counters.nodes_visited += 1;
             let child_lvl = lvl - 1;
             let start = idx as usize * GROUP_FANOUT;
             let end = (start + GROUP_FANOUT).min(self.tables_len(child_lvl));

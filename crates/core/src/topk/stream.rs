@@ -362,6 +362,10 @@ pub(crate) struct PairFrontier<'a> {
     qy: f64,
     eval: FrontierEval,
     s: AngleScratch,
+    /// Inner-node expansions since the last [`PairFrontier::take_nodes`]
+    /// drain — the aggregation loop flushes this into its
+    /// [`QueryProfile`](crate::profile::QueryProfile).
+    nodes: u64,
 }
 
 impl<'a> PairFrontier<'a> {
@@ -380,6 +384,7 @@ impl<'a> PairFrontier<'a> {
             qy,
             eval,
             s,
+            nodes: 0,
         };
         if let Some(root) = index.root {
             for kind in StreamKind::ALL {
@@ -392,6 +397,13 @@ impl<'a> PairFrontier<'a> {
     /// Recovers the scratch buffers for reuse by a later query.
     pub(crate) fn into_scratch(self) -> AngleScratch {
         self.s
+    }
+
+    /// Drains the inner-node expansion count accumulated since the last
+    /// call (profiling).
+    #[inline]
+    pub(crate) fn take_nodes(&mut self) -> u64 {
+        std::mem::take(&mut self.nodes)
     }
 
     /// Admissible θ_q score bound of one node for one stream kind.
@@ -515,6 +527,7 @@ impl<'a> PairFrontier<'a> {
                 return Some((id, prio));
             }
             // Inner node: expand, then re-evaluate the argmax.
+            self.nodes += 1;
             for child in &index.nodes[id as usize].children {
                 match *child {
                     Child::Inner(c) => self.push_node(kind, c),

@@ -145,6 +145,23 @@ fn steady_state_queries_do_not_allocate() {
         "SdIndex::query_with allocated {n} times after warm-up"
     );
 
+    // ── profiled path: counters + stage timestamps must also be free ─────
+    scratch.profile.timing = true;
+    run_sd(&mut scratch, &mut sink);
+    let n = count_allocs(|| run_sd(&mut scratch, &mut sink));
+    assert_eq!(
+        n, 0,
+        "profiled SdIndex::query_with allocated {n} times after warm-up"
+    );
+    // And the profile actually observed the work it rode along with.
+    let p = &scratch.profile;
+    assert!(
+        p.rows_fetched > 0 && p.points_scored > 0,
+        "profile is empty"
+    );
+    assert_eq!(p.emitted, 16);
+    assert!(p.aggregate_nanos > 0, "timing was enabled");
+
     // The checksum keeps every query's work observable.
     assert!(sink.is_finite());
 }

@@ -90,13 +90,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sdq_core::mask::{MaskView, RowMask};
 use sdq_core::multidim::{resolve_threads, QueryPlan, SdIndex, SdIndexOptions};
 use sdq_core::score::rank_cmp;
 use sdq_core::threshold::{track_floor, SharedThreshold};
-use sdq_core::{Dataset, DimRole, OrdF64, PointId, QueryScratch, ScoredPoint, SdError, SdQuery};
+use sdq_core::{
+    Dataset, DimRole, OrdF64, PointId, QueryProfile, QueryScratch, ScoredPoint, SdError, SdQuery,
+};
 
 pub mod mutation;
 
@@ -160,6 +163,11 @@ pub struct EngineScratch {
     /// Role-signed weight staging of the delta block scan.
     delta_sw: Vec<f64>,
     answers: Vec<ScoredPoint>,
+    /// Execution counters of the most recent query served through this
+    /// scratch: the merged per-shard profiles plus the engine's own delta
+    /// scan and merge statistics. Always on; set [`QueryProfile::timing`]
+    /// before querying to also collect per-stage wall times.
+    pub profile: QueryProfile,
 }
 
 impl EngineScratch {
@@ -176,6 +184,94 @@ impl EngineScratch {
             self.workers.resize_with(workers, QueryScratch::new);
         }
     }
+}
+
+/// Slots of the [`EngineMetrics`] per-shard floor-contribution histogram:
+/// slot `i` accumulates the k-th-score-floor updates contributed by shard
+/// `i`, with every shard `≥ FLOOR_HIST_SLOTS − 1` folded into the last
+/// slot (so resharding never invalidates the registry).
+pub const FLOOR_HIST_SLOTS: usize = 16;
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    queries_served: AtomicU64,
+    rows_scored: AtomicU64,
+    compactions: AtomicU64,
+    epoch_transitions: AtomicU64,
+    floor_contributions: [AtomicU64; FLOOR_HIST_SLOTS],
+}
+
+/// The engine's lifetime metrics registry: monotonic atomic counters fed
+/// by every query and compaction served by this engine (and by all of its
+/// clones — the registry is shared behind an `Arc`, so serving threads
+/// holding engine clones aggregate into one place).
+///
+/// All counters are updated with relaxed atomics on the serving paths;
+/// [`EngineMetrics::snapshot`] reads a coherent-enough point-in-time copy
+/// for dashboards (individual counters are exact, cross-counter skew is
+/// bounded by in-flight queries).
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    inner: Arc<MetricsInner>,
+}
+
+impl EngineMetrics {
+    /// Folds one completed query's profile into the registry.
+    fn record_query(&self, prof: &QueryProfile) {
+        self.inner.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .rows_scored
+            .fetch_add(prof.points_scored, Ordering::Relaxed);
+    }
+
+    /// Credits `floor_updates` k-th-score-floor raises to `shard`.
+    fn record_shard_floor(&self, shard: usize, floor_updates: u64) {
+        if floor_updates > 0 {
+            let slot = shard.min(FLOOR_HIST_SLOTS - 1);
+            self.inner.floor_contributions[slot].fetch_add(floor_updates, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one compaction and the epochs it advanced.
+    fn record_compaction(&self, epoch_transitions: u64) {
+        self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .epoch_transitions
+            .fetch_add(epoch_transitions, Ordering::Relaxed);
+    }
+
+    /// A plain point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut floor_contributions = [0u64; FLOOR_HIST_SLOTS];
+        for (out, c) in floor_contributions
+            .iter_mut()
+            .zip(&self.inner.floor_contributions)
+        {
+            *out = c.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            queries_served: self.inner.queries_served.load(Ordering::Relaxed),
+            rows_scored: self.inner.rows_scored.load(Ordering::Relaxed),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            epoch_transitions: self.inner.epoch_transitions.load(Ordering::Relaxed),
+            floor_contributions,
+        }
+    }
+}
+
+/// A point-in-time copy of the [`EngineMetrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Queries answered (successful `query_with`/`query` calls).
+    pub queries_served: u64,
+    /// Points fully scored across all queries (post-pruning survivors).
+    pub rows_scored: u64,
+    /// Compactions performed (no-op compactions on clean engines included).
+    pub compactions: u64,
+    /// Shard epochs advanced by compactions (rebuilt shards).
+    pub epoch_transitions: u64,
+    /// Per-shard k-th-score-floor update credits; see [`FLOOR_HIST_SLOTS`].
+    pub floor_contributions: [u64; FLOOR_HIST_SLOTS],
 }
 
 /// The sharded SD-Query execution engine: the recommended front door for
@@ -200,6 +296,9 @@ pub struct SdEngine {
     index_options: SdIndexOptions,
     /// The write path: delta region, tombstones, epochs (see [`mutation`]).
     muts: mutation::MutationState,
+    /// Lifetime counters, shared across engine clones (see
+    /// [`EngineMetrics`]).
+    metrics: EngineMetrics,
 }
 
 impl SdEngine {
@@ -246,6 +345,7 @@ impl SdEngine {
             threads: options.threads,
             index_options: options.index.clone(),
             muts,
+            metrics: EngineMetrics::default(),
         })
     }
 
@@ -301,6 +401,7 @@ impl SdEngine {
             threads: 0,
             index_options,
             muts,
+            metrics: EngineMetrics::default(),
         })
     }
 
@@ -345,6 +446,13 @@ impl SdEngine {
     /// Sets the per-query shard worker count (`0` = auto).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+
+    /// The engine's lifetime metrics registry. The handle is cheap to
+    /// clone and stays connected to this engine (and all of its clones)
+    /// after the engine itself is dropped.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// Approximate heap footprint of all shard index structures plus the
@@ -439,17 +547,24 @@ impl SdEngine {
             });
         }
         scratch.answers.clear();
+        scratch.profile.reset();
+        let timing = scratch.profile.timing;
         let s = self.shards.len();
         // The write path: a dirty engine scans its delta region exactly
         // (one extra merge list) and masks tombstoned rows out of every
         // shard execution.
         let dirty = self.has_mutations();
         if s == 0 && !dirty {
+            self.metrics.record_query(&scratch.profile);
             return Ok(());
         }
         let w = if s > 0 { workers.clamp(1, s) } else { 1 };
         let lists_n = s + usize::from(dirty);
         scratch.ensure(lists_n, w);
+        for qs in scratch.workers.iter_mut() {
+            qs.profile.reset();
+            qs.profile.timing = timing;
+        }
         let shared = SharedThreshold::new();
         let mask = if self.muts.tombstones.any() {
             Some(&self.muts.tombstones)
@@ -469,11 +584,13 @@ impl SdEngine {
                 floor,
                 delta_pool,
                 delta_sw,
+                profile,
                 ..
             } = &mut *scratch;
             let out = &mut lists[s];
             out.clear();
             if !self.muts.delta.is_empty() {
+                let t0 = timing.then(std::time::Instant::now);
                 sdq_core::delta::scan_delta_blocks_into(
                     &self.muts.delta_blocks,
                     &self.roles,
@@ -485,12 +602,17 @@ impl SdEngine {
                     floor,
                     out,
                     delta_sw,
+                    profile,
                 );
+                if let Some(t0) = t0 {
+                    profile.delta_scan_nanos += t0.elapsed().as_nanos() as u64;
+                }
             }
             if floor.len() == k {
                 shared.raise(floor.peek().expect("floor is non-empty").0 .0);
             }
         }
+        let t_agg = timing.then(std::time::Instant::now);
 
         if s == 0 {
             // Delta-only engine: the merge below serves straight from the
@@ -511,6 +633,7 @@ impl SdEngine {
                     ScoredPoint::new(PointId::new(self.offsets[0] + sp.id.raw()), sp.score)
                 }),
             );
+            self.metrics.record_shard_floor(0, qs.profile.floor_updates);
         } else if w == 1 {
             // Single-worker, multiple shards: *interleave* the shard
             // aggregations in small slices and keep a merged k-of-union
@@ -522,6 +645,10 @@ impl SdEngine {
             // strictly sequential shard execution leaves the first shard
             // floorless).
             scratch.ensure(lists_n, s); // one owned execution state per shard
+            for qs in scratch.workers.iter_mut() {
+                qs.profile.reset();
+                qs.profile.timing = timing;
+            }
             let EngineScratch {
                 workers,
                 lists,
@@ -560,12 +687,14 @@ impl SdEngine {
                     break;
                 }
             }
-            for ((run, qs), (out, &offset)) in runs
+            for (i, ((run, qs), (out, &offset))) in runs
                 .into_iter()
                 .zip(workers.iter_mut())
                 .zip(lists.iter_mut().zip(&self.offsets))
+                .enumerate()
             {
                 run.finish_into(qs);
+                self.metrics.record_shard_floor(i, qs.profile.floor_updates);
                 out.clear();
                 out.extend(
                     qs.answers()
@@ -585,15 +714,22 @@ impl SdEngine {
                     .zip(self.muts.shard_dead.chunks(chunk))
                     .zip(scratch.lists.chunks_mut(chunk))
                     .zip(scratch.workers.iter_mut())
+                    .enumerate()
                     .map(
-                        |((((shard_chunk, off_chunk), dead_chunk), lists_chunk), qs)| {
+                        |(ci, ((((shard_chunk, off_chunk), dead_chunk), lists_chunk), qs))| {
                             let shared = &shared;
                             scope.spawn(move || -> Result<(), SdError> {
-                                for (((shard, &offset), &dead), out) in shard_chunk
+                                // Each shard's execution resets the worker
+                                // profile, so shard profiles accumulate in
+                                // a chunk-level copy handed back at the end.
+                                let mut acc = QueryProfile::new();
+                                acc.timing = qs.profile.timing;
+                                for (j, (((shard, &offset), &dead), out)) in shard_chunk
                                     .iter()
                                     .zip(off_chunk)
                                     .zip(dead_chunk)
                                     .zip(lists_chunk.iter_mut())
+                                    .enumerate()
                                 {
                                     let shard_mask = shard_mask_view(mask, offset, dead);
                                     let res = shard.query_masked(
@@ -611,7 +747,13 @@ impl SdEngine {
                                             sp.score,
                                         ));
                                     }
+                                    self.metrics.record_shard_floor(
+                                        ci * chunk + j,
+                                        qs.profile.floor_updates,
+                                    );
+                                    acc.merge(&qs.profile);
                                 }
+                                qs.profile = acc;
                                 Ok(())
                             })
                         },
@@ -627,14 +769,22 @@ impl SdEngine {
             }
         }
 
+        if let Some(t) = t_agg {
+            scratch.profile.aggregate_nanos += t.elapsed().as_nanos() as u64;
+        }
+
         // Exact k-way merge over the per-shard canonical lists (plus the
         // delta list when dirty). Global ids are unique, so rank_cmp is a
         // total order and the merge output is the canonical global top-k
         // of the live rows.
+        let t_merge = timing.then(std::time::Instant::now);
         let EngineScratch {
+            workers: worker_scratches,
             lists,
             heads,
+            floor,
             answers,
+            profile,
             ..
         } = &mut *scratch;
         let k_eff = k.min(self.len());
@@ -659,12 +809,31 @@ impl SdEngine {
             }
             match best {
                 Some(i) => {
+                    profile.merge_rounds += 1;
                     answers.push(lists[i][heads[i]]);
                     heads[i] += 1;
                 }
                 None => break,
             }
         }
+        // Fold the per-shard profiles into the engine-level one (unused
+        // worker scratches were reset above and merge as zeros), then pin
+        // the query-final facts: the emitted answer count and the highest
+        // k-th-score floor any execution reached.
+        for qs in worker_scratches.iter() {
+            profile.merge(&qs.profile);
+        }
+        profile.emitted = answers.len() as u64;
+        if floor.len() == k {
+            let merged = floor.peek().expect("floor is non-empty").0 .0;
+            if merged > profile.floor_value {
+                profile.floor_value = merged;
+            }
+        }
+        if let Some(t) = t_merge {
+            profile.merge_nanos += t.elapsed().as_nanos() as u64;
+        }
+        self.metrics.record_query(profile);
         Ok(())
     }
 

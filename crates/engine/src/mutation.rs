@@ -120,6 +120,13 @@ pub(crate) struct MutationState {
     /// Engine compaction epoch; bumped once per [`SdEngine::compact_with`]
     /// that had work to do.
     pub(crate) epoch: u64,
+    /// Lifetime rows inserted through this engine, compactions and
+    /// [`SdEngine::restore_mutations`] included (restored delta rows count:
+    /// they are inserts that happened logically before the snapshot).
+    pub(crate) inserted_total: u64,
+    /// Lifetime rows deleted (first-time tombstones only), preserved across
+    /// compactions and restores like `inserted_total`.
+    pub(crate) deleted_total: u64,
 }
 
 impl MutationState {
@@ -131,6 +138,8 @@ impl MutationState {
             shard_dead: vec![0; shards],
             shard_epochs: vec![0; shards],
             epoch: 0,
+            inserted_total: 0,
+            deleted_total: 0,
         }
     }
 
@@ -180,6 +189,10 @@ pub struct CompactionReport {
     pub epoch: u64,
     /// Live rows after the call (every row is live post-compaction).
     pub live_rows: usize,
+    /// Rows physically rewritten into rebuilt shards (0 for a no-op).
+    pub rows_moved: usize,
+    /// Wall time of the whole compaction, in microseconds.
+    pub duration_micros: u64,
 }
 
 /// Engine-level mutation counters, as reported by
@@ -195,6 +208,14 @@ pub struct MutationStats {
     pub base_dead: usize,
     /// Current engine compaction epoch.
     pub epoch: u64,
+    /// Lifetime rows inserted through this engine. Cumulative: compaction
+    /// folds the delta away and [`SdEngine::restore_mutations`] swaps the
+    /// live state, but neither resets this count (a restore *adds* the
+    /// restored delta rows — inserts that logically preceded the snapshot).
+    pub inserted_total: u64,
+    /// Lifetime first-time deletes, cumulative like `inserted_total` (a
+    /// restore adds the restored tombstones).
+    pub deleted_total: u64,
 }
 
 impl SdEngine {
@@ -216,6 +237,7 @@ impl SdEngine {
             .push_row(row)
             .expect("row was validated by the dataset push");
         self.muts.tombstones.grow(total + 1);
+        self.muts.inserted_total += 1;
         Ok(PointId::new(total as u32))
     }
 
@@ -238,12 +260,15 @@ impl SdEngine {
             });
         }
         let newly = self.muts.tombstones.set(id.index());
-        if newly && id.index() < self.rows {
-            let shard = self
-                .offsets
-                .partition_point(|&o| (o as usize) <= id.index())
-                - 1;
-            self.muts.shard_dead[shard] += 1;
+        if newly {
+            self.muts.deleted_total += 1;
+            if id.index() < self.rows {
+                let shard = self
+                    .offsets
+                    .partition_point(|&o| (o as usize) <= id.index())
+                    - 1;
+                self.muts.shard_dead[shard] += 1;
+            }
         }
         Ok(newly)
     }
@@ -302,12 +327,20 @@ impl SdEngine {
             delta_dead,
             base_dead: self.muts.tombstones.set_count() - delta_dead,
             epoch: self.muts.epoch,
+            inserted_total: self.muts.inserted_total,
+            deleted_total: self.muts.deleted_total,
         }
     }
 
     /// Restores mutation state from persisted parts (the snapshot-load
     /// path): the delta rows and the sorted tombstoned ids. Validates
     /// dimensionality and every id against the combined id space.
+    ///
+    /// The cumulative [`MutationStats::inserted_total`] /
+    /// [`MutationStats::deleted_total`] counters are **not** reset: the
+    /// restored delta rows and tombstones are added to them (they are
+    /// mutations that logically happened before the snapshot), on top of
+    /// whatever this engine instance had already counted.
     pub fn restore_mutations(&mut self, delta: Dataset, tombstones: &[u32]) -> Result<(), SdError> {
         if delta.dims() != self.dims {
             return Err(SdError::DimensionMismatch {
@@ -332,6 +365,8 @@ impl SdEngine {
             }
         }
         self.muts.delta_blocks = DeltaBlocks::from_dataset(&delta);
+        self.muts.inserted_total += delta.len() as u64;
+        self.muts.deleted_total += tombstones.len() as u64;
         self.muts.delta = delta;
         self.muts.shard_dead = self
             .offsets
@@ -365,7 +400,9 @@ impl SdEngine {
         &mut self,
         options: &CompactionOptions,
     ) -> Result<CompactionReport, SdError> {
+        let t0 = std::time::Instant::now();
         if !self.has_mutations() && options.shards.is_none_or(|s| s == self.shards.len()) {
+            self.metrics.record_compaction(0);
             return Ok(CompactionReport {
                 rebuilt_shards: 0,
                 dropped_tombstones: 0,
@@ -373,6 +410,8 @@ impl SdEngine {
                 rebalanced: false,
                 epoch: self.muts.epoch,
                 live_rows: self.len(),
+                rows_moved: 0,
+                duration_micros: t0.elapsed().as_micros() as u64,
             });
         }
         let dims = self.dims;
@@ -399,8 +438,13 @@ impl SdEngine {
             self.shards.clear();
             self.offsets.clear();
             self.rows = 0;
+            let (inserted_total, deleted_total) =
+                (self.muts.inserted_total, self.muts.deleted_total);
             self.muts = MutationState::new(dims, 0, 0);
             self.muts.epoch = epoch_next;
+            self.muts.inserted_total = inserted_total;
+            self.muts.deleted_total = deleted_total;
+            self.metrics.record_compaction(0);
             return Ok(CompactionReport {
                 rebuilt_shards: 0,
                 dropped_tombstones: dropped,
@@ -408,6 +452,8 @@ impl SdEngine {
                 rebalanced: true,
                 epoch: epoch_next,
                 live_rows: 0,
+                rows_moved: 0,
+                duration_micros: t0.elapsed().as_micros() as u64,
             });
         }
 
@@ -450,6 +496,8 @@ impl SdEngine {
                 rebalanced: true,
                 epoch: epoch_next,
                 live_rows: live_total,
+                rows_moved: live_total,
+                duration_micros: 0, // stamped below, after the epilogue
             }
         } else {
             // In-place path: rebuild only the shards with dead rows, plus
@@ -475,6 +523,10 @@ impl SdEngine {
                 ));
             }
             let rebuilt = replacements.len();
+            let moved: usize = replacements
+                .iter()
+                .map(|(_, index)| index.data().len())
+                .sum();
             for (i, index) in replacements {
                 self.shards[i] = index;
                 self.muts.shard_epochs[i] = epoch_next;
@@ -491,6 +543,8 @@ impl SdEngine {
                 rebalanced: false,
                 epoch: epoch_next,
                 live_rows: live_total,
+                rows_moved: moved,
+                duration_micros: 0, // stamped below, after the epilogue
             }
         };
 
@@ -501,6 +555,11 @@ impl SdEngine {
         self.muts.shard_dead = vec![0; self.shards.len()];
         self.muts.epoch = epoch_next;
         debug_assert_eq!(self.muts.shard_epochs.len(), self.shards.len());
+        self.metrics.record_compaction(report.rebuilt_shards as u64);
+        let report = CompactionReport {
+            duration_micros: t0.elapsed().as_micros() as u64,
+            ..report
+        };
         Ok(report)
     }
 

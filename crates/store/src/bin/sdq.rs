@@ -16,10 +16,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sdq_core::geometry::Angle;
-use sdq_core::multidim::{resolve_threads, PairingStrategy, SdIndex, SdIndexOptions};
+use sdq_core::multidim::{resolve_threads, PairingStrategy, QueryPlan, SdIndex, SdIndexOptions};
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
-use sdq_core::{Dataset, DimRole, QueryScratch, ScoredPoint, SdQuery};
+use sdq_core::{Dataset, DimRole, QueryProfile, QueryScratch, ScoredPoint, SdQuery};
 use sdq_data::{generate, uniform_queries, Distribution};
 use sdq_engine::{CompactionOptions, EngineOptions, EngineScratch, SdEngine};
 use sdq_rstar::RStarTree;
@@ -35,6 +35,7 @@ USAGE:
               [--alpha A] [--beta B] [--k K]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
               [--repeat N] [--threads T]
+              [--explain | --profile | --profile-json]
     sdq insert PATH --csv FILE [--out PATH2]
     sdq delete PATH --ids N,N,... [--out PATH2]
     sdq compact PATH [--rebalance-factor F] [--shards S] [--out PATH2]
@@ -102,6 +103,11 @@ QUERY OPTIONS:
                        only) and print latency percentiles + QPS (default 1).
     --threads T        Worker threads for the repeated batch (default 1;
                        0 = auto: the host's available parallelism).
+    --explain          Print the planner's per-pair strategy table (chosen
+                       strategy + estimated cost) without running the query.
+    --profile          Run the query once with per-stage timing and print
+                       the execution counter tree plus the pruning funnel.
+    --profile-json     Like --profile but machine-readable JSON on stdout.
 
 BENCH-QUERY OPTIONS:
     --shards S         Shard count for the measured engine (default 1).
@@ -522,6 +528,9 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut k: Option<usize> = None;
     let mut repeat: usize = 1;
     let mut threads: usize = 1;
+    let mut explain = false;
+    let mut profile = false;
+    let mut profile_json = false;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -531,6 +540,9 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             "--k" => k = Some(flags.parsed("--k")?),
             "--repeat" => repeat = flags.parsed("--repeat")?,
             "--threads" => threads = flags.parsed("--threads")?,
+            "--explain" => explain = true,
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -540,12 +552,81 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     if repeat == 0 {
         return Err(usage("--repeat must be at least 1"));
     }
+    if (explain || profile || profile_json) && (repeat > 1 || threads != 1) {
+        return Err(usage(
+            "--explain/--profile observe one query; drop --repeat/--threads",
+        ));
+    }
     // --threads 0 = auto: resolve once so the printed worker count is the
     // real one, not "0 thread(s)".
     let threads = resolve_threads(threads);
 
     let (snap, load_ms) = timed(|| Snapshot::load(path));
     let snap = snap.map_err(runtime)?;
+
+    // EXPLAIN / ANALYZE modes: the §5 planner and the execution profile
+    // are only defined for the aggregation paths (engine or sd-index).
+    if explain || profile || profile_json {
+        let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
+        let query = SdQuery::new(point, weights).map_err(runtime)?;
+        let k = k.unwrap_or(DEFAULT_K);
+        if explain {
+            let plans: Vec<QueryPlan> = if let Some(engine) = &snap.engine {
+                engine.explain(&query, k).map_err(runtime)?
+            } else if let Some(sd) = &snap.sd {
+                vec![sd.plan(&query, k).map_err(runtime)?]
+            } else {
+                return Err(runtime(
+                    "--explain needs an engine or sd-index snapshot (rebuild with --index sd)",
+                ));
+            };
+            println!("loaded {path} in {load_ms:.1} ms");
+            print_plan_table(&plans, k);
+            return Ok(());
+        }
+        let (results, prof, live, wall_ms, layout) = if let Some(engine) = &snap.engine {
+            let mut scratch = EngineScratch::new();
+            scratch.profile.timing = true;
+            let (r, ms) = timed(|| {
+                engine
+                    .query_with(&query, k, &mut scratch)
+                    .map(<[ScoredPoint]>::to_vec)
+            });
+            (
+                r.map_err(runtime)?,
+                scratch.profile,
+                engine.len() as u64,
+                ms,
+                format!("engine, {} shard(s)", engine.shard_count()),
+            )
+        } else if let Some(sd) = &snap.sd {
+            let mut scratch = QueryScratch::new();
+            scratch.profile.timing = true;
+            let (r, ms) = timed(|| {
+                sd.query_with(&query, k, &mut scratch)
+                    .map(<[ScoredPoint]>::to_vec)
+            });
+            (
+                r.map_err(runtime)?,
+                scratch.profile,
+                sd.data().len() as u64,
+                ms,
+                String::from("monolithic sd-index"),
+            )
+        } else {
+            return Err(runtime(
+                "--profile needs an engine or sd-index snapshot (rebuild with --index sd)",
+            ));
+        };
+        if profile_json {
+            print!("{}", profile_json_string(&prof, live, k, wall_ms));
+            return Ok(());
+        }
+        println!("loaded {path} in {load_ms:.1} ms");
+        print_profile(&prof, live, k, wall_ms, &layout);
+        print_results(&results);
+        return Ok(());
+    }
 
     // The 2-D indexes were built with x = the attractive dimension and
     // y = the repulsive one, in whatever order the roles named them; map the
@@ -653,6 +734,12 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     };
 
     println!("loaded {path} in {load_ms:.1} ms");
+    print_results(&results);
+    Ok(())
+}
+
+/// The ranked answer table shared by the plain and `--profile` query paths.
+fn print_results(results: &[ScoredPoint]) {
     println!("top-{}:", results.len());
     println!("  {:>4}  {:>10}  {:>14}", "rank", "point", "sd-score");
     for (rank, sp) in results.iter().enumerate() {
@@ -663,7 +750,155 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             sp.score
         );
     }
-    Ok(())
+}
+
+/// `--explain`: the planner's per-pair decision table, one row per 2-D
+/// subproblem per shard, without executing anything.
+fn print_plan_table(plans: &[QueryPlan], k: usize) {
+    println!("planner decisions (k = {k}):");
+    println!(
+        "  {:>5}  {:<16} {:<20} {:>12}",
+        "shard", "pair", "strategy", "est. cost"
+    );
+    for (i, plan) in plans.iter().enumerate() {
+        for p in &plan.pairs {
+            let strategy = if plan.direct {
+                format!("direct {}", p.action.name())
+            } else {
+                p.action.name().to_string()
+            };
+            println!(
+                "  {:>5}  {:<16} {:<20} {:>12.0}",
+                i,
+                format!("(d{} r, d{} a)", p.repulsive, p.attractive),
+                strategy,
+                p.est_cost
+            );
+        }
+        if plan.unpaired_streams > 0 {
+            println!(
+                "  {:>5}  {:<16} {:<20} {:>12}",
+                i,
+                "unpaired",
+                format!("{} × 1d-stream", plan.unpaired_streams),
+                "-"
+            );
+        }
+    }
+    println!("  (costs in candidate-handling units; the query was not executed)");
+}
+
+/// `--profile`: the execution counter tree, the pruning funnel and — when
+/// timing ran — the per-stage wall-clock split.
+fn print_profile(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f64, layout: &str) {
+    let isa = if p.isa.is_empty() { "(none)" } else { p.isa };
+    println!("profiled query ({layout}, k = {k}): {wall_ms:.3} ms wall, kernels {isa}");
+    println!("counters:");
+    println!(
+        "  frontier   nodes_visited {} · envelope_nodes_rejected {}",
+        p.nodes_visited, p.envelope_nodes_rejected
+    );
+    println!(
+        "  blocks     popped {} · floor_pruned {} · lanes_masked {}",
+        p.blocks_popped, p.blocks_floor_pruned, p.lanes_masked
+    );
+    println!(
+        "  streams    tree_rows {} · onedim_rows {} · rounds {}",
+        p.tree_rows_pulled, p.onedim_rows_pulled, p.rounds
+    );
+    println!(
+        "  scoring    rows_fetched {} · gathered {} · scored {} · kernel_batches {}",
+        p.rows_fetched, p.points_gathered, p.points_scored, p.kernel_batches
+    );
+    println!(
+        "  dedup      seen_hits {} · tombstones_skipped {}",
+        p.seen_hits, p.tombstones_skipped
+    );
+    println!(
+        "  delta      rows_scanned {} · blocks_pruned {}",
+        p.delta_rows_scanned, p.delta_blocks_pruned
+    );
+    let floor = if p.floor_value.is_finite() {
+        format!("{:.6}", p.floor_value)
+    } else {
+        String::from("-inf")
+    };
+    println!("  floor      updates {} · final {floor}", p.floor_updates);
+    println!(
+        "  merge      rounds {} · emitted {}",
+        p.merge_rounds, p.emitted
+    );
+    println!("pruning funnel:");
+    let funnel = p.funnel(live_points);
+    let base = funnel[0].1.max(1) as f64;
+    for (stage, pts) in funnel {
+        println!(
+            "  {:<24} {:>12}  {:>7.2}%",
+            stage,
+            pts,
+            100.0 * pts as f64 / base
+        );
+    }
+    if p.timing {
+        println!(
+            "timings: delta scan {} ns · aggregate {} ns · merge {} ns",
+            p.delta_scan_nanos, p.aggregate_nanos, p.merge_nanos
+        );
+    }
+}
+
+/// `--profile-json`: the whole profile machine-readably — every counter,
+/// the funnel and the stage timings. `floor_value` is `null` until k real
+/// scores exist (JSON has no `-inf`).
+fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f64) -> String {
+    let funnel: Vec<String> = p
+        .funnel(live_points)
+        .iter()
+        .map(|(stage, pts)| format!("{{\"stage\": {}, \"points\": {pts}}}", json_str(stage)))
+        .collect();
+    let floor = if p.floor_value.is_finite() {
+        format!("{}", p.floor_value)
+    } else {
+        String::from("null")
+    };
+    format!(
+        "{{\n  \"k\": {k},\n  \"wall_ms\": {wall_ms:.4},\n  \"isa\": {isa},\n  \
+         \"counters\": {{\n    \
+         \"nodes_visited\": {}, \"envelope_nodes_rejected\": {},\n    \
+         \"blocks_popped\": {}, \"blocks_floor_pruned\": {}, \"lanes_masked\": {},\n    \
+         \"tree_rows_pulled\": {}, \"onedim_rows_pulled\": {}, \"rows_fetched\": {},\n    \
+         \"points_gathered\": {}, \"points_scored\": {}, \"kernel_batches\": {},\n    \
+         \"delta_rows_scanned\": {}, \"delta_blocks_pruned\": {}, \"tombstones_skipped\": {},\n    \
+         \"seen_hits\": {}, \"floor_updates\": {}, \"rounds\": {}, \"merge_rounds\": {},\n    \
+         \"emitted\": {}\n  }},\n  \
+         \"floor_value\": {floor},\n  \
+         \"funnel\": [{funnel}],\n  \
+         \"timings_nanos\": {{\"delta_scan\": {}, \"aggregate\": {}, \"merge\": {}}}\n}}\n",
+        p.nodes_visited,
+        p.envelope_nodes_rejected,
+        p.blocks_popped,
+        p.blocks_floor_pruned,
+        p.lanes_masked,
+        p.tree_rows_pulled,
+        p.onedim_rows_pulled,
+        p.rows_fetched,
+        p.points_gathered,
+        p.points_scored,
+        p.kernel_batches,
+        p.delta_rows_scanned,
+        p.delta_blocks_pruned,
+        p.tombstones_skipped,
+        p.seen_hits,
+        p.floor_updates,
+        p.rounds,
+        p.merge_rounds,
+        p.emitted,
+        p.delta_scan_nanos,
+        p.aggregate_nanos,
+        p.merge_nanos,
+        isa = json_str(p.isa),
+        funnel = funnel.join(", "),
+    )
 }
 
 // ─── insert / delete / compact ──────────────────────────────────────────────
@@ -837,8 +1072,10 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
     let (report, ms) = timed(|| engine.compact_with(&options));
     let report = report.map_err(runtime)?;
     println!(
-        "compacted in {ms:.1} ms: rebuilt {} of {} shard(s){}, merged {} delta row(s), \
-         dropped {} tombstone(s); epoch {}, {} live row(s)",
+        "compacted in {ms:.1} ms ({} µs in-engine): rebuilt {} of {} shard(s){}, \
+         moved {} row(s), merged {} delta row(s), dropped {} tombstone(s); \
+         epoch {}, {} live row(s)",
+        report.duration_micros,
         report.rebuilt_shards,
         engine.shard_count(),
         if report.rebalanced {
@@ -846,6 +1083,7 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
         } else {
             ""
         },
+        report.rows_moved,
         report.merged_delta_rows,
         report.dropped_tombstones,
         report.epoch,
@@ -906,7 +1144,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
             sd.unpaired().len(),
             sd.memory_bytes() / 1024
         );
-        print_block_stats("    ", sd.block_stats());
+        let stats = sd.block_stats();
+        print_block_stats("    ", blocks_covered(std::iter::once(sd)), stats);
+        let sample = mean_query(std::iter::once(sd.data())).map_err(runtime)?;
+        let plan = sd.plan(&sample, DEFAULT_K).map_err(runtime)?;
+        println!("    planner (unit weights at the dataset mean, k = {DEFAULT_K}): {plan}");
     }
     if let Some(engine) = &snap.engine {
         println!(
@@ -928,6 +1170,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         }
         print_block_stats(
             "    ",
+            blocks_covered(engine.shards().iter()),
             engine
                 .shards()
                 .iter()
@@ -944,23 +1187,10 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         );
         // Planner observability: what the cost model would run for a
         // unit-weight query at the dataset's per-dimension mean (the rows
-        // live inside the shard indexes; sum across them).
+        // live inside the shard indexes; sum across them). Each shard plans
+        // against its own sorted-column stats, so strategies can differ.
         if engine.shard_count() > 0 {
-            let dims = engine.dims();
-            let mut mean = vec![0.0f64; dims];
-            let mut counted = 0usize;
-            for shard in engine.shards() {
-                for (_, coords) in shard.data().iter() {
-                    for (m, &c) in mean.iter_mut().zip(coords) {
-                        *m += c;
-                    }
-                }
-                counted += shard.data().len();
-            }
-            for m in &mut mean {
-                *m /= counted.max(1) as f64;
-            }
-            let sample = SdQuery::new(mean, vec![1.0; dims]).map_err(runtime)?;
+            let sample = mean_query(engine.shards().iter().map(|s| s.data())).map_err(runtime)?;
             let plans = engine.explain(&sample, DEFAULT_K).map_err(runtime)?;
             println!("  planner (unit weights at the dataset mean, k = {DEFAULT_K}):");
             for (i, plan) in plans.iter().enumerate() {
@@ -1002,11 +1232,23 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
 /// The SoA block-table line `inspect` prints under an sd-index or engine
 /// artifact (aggregated `(blocks, bytes, stale trees)` — counted in
 /// `memory_bytes`, so the footprint report no longer undercounts the
-/// derived query-time state).
-fn print_block_stats(indent: &str, (blocks, bytes, stale): (usize, usize, usize)) {
+/// derived query-time state). `covered` is the total point count stored
+/// across all live block tables (each pair tree blocks every row it
+/// covers, so a 2-pair index over n rows packs 2·n points into lanes);
+/// the fill factor reports how full the fixed-capacity lanes are.
+fn print_block_stats(indent: &str, covered: usize, (blocks, bytes, stale): (usize, usize, usize)) {
+    let lanes = sdq_core::kernels::LANES;
+    let fill = if blocks > 0 {
+        format!(
+            ", fill {:.1}% ({:.1}/{lanes} points per block)",
+            100.0 * covered as f64 / (blocks * lanes) as f64,
+            covered as f64 / blocks as f64
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{indent}block tables: {blocks} SoA leaf block(s) × {} lanes, ≈{} KiB{}",
-        sdq_core::kernels::LANES,
+        "{indent}block tables: {blocks} SoA leaf block(s) × {lanes} lanes, ≈{} KiB{}{fill}",
         bytes / 1024,
         if stale > 0 {
             format!(" ({stale} stale tree(s))")
@@ -1014,6 +1256,44 @@ fn print_block_stats(indent: &str, (blocks, bytes, stale): (usize, usize, usize)
             String::new()
         }
     );
+}
+
+/// Total points packed into live SoA block tables across one or more
+/// sd-indexes: every non-stale pair tree blocks all the rows its index
+/// covers. The numerator of the `inspect` fill factor.
+fn blocks_covered<'a>(indexes: impl Iterator<Item = &'a SdIndex>) -> usize {
+    indexes
+        .map(|sd| {
+            let (_, _, stale) = sd.block_stats();
+            sd.data().len() * sd.pairs().len().saturating_sub(stale)
+        })
+        .sum()
+}
+
+/// A unit-weight probe query at the per-dimension mean of one or more
+/// datasets (the engine's rows live inside its shard indexes, so the mean
+/// sums across them). The planner sample `sdq inspect` reports against.
+fn mean_query<'a>(
+    datasets: impl Iterator<Item = &'a Dataset>,
+) -> Result<SdQuery, sdq_core::SdError> {
+    let mut mean: Vec<f64> = Vec::new();
+    let mut counted = 0usize;
+    for data in datasets {
+        if mean.is_empty() {
+            mean = vec![0.0; data.dims()];
+        }
+        for (_, coords) in data.iter() {
+            for (m, &c) in mean.iter_mut().zip(coords) {
+                *m += c;
+            }
+        }
+        counted += data.len();
+    }
+    for m in &mut mean {
+        *m /= counted.max(1) as f64;
+    }
+    let dims = mean.len();
+    SdQuery::new(mean, vec![1.0; dims])
 }
 
 // ─── bench-load ─────────────────────────────────────────────────────────────
@@ -1360,10 +1640,20 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     // Single-query latency: scratch reuse, `warmup` discarded warm-up
     // queries (default: one full pass), then one timed pass per query.
     let warmup = warmup.unwrap_or(queries);
-    let (p50, p99, mean) = measure_single_query(&engine, &workload, k, warmup)?;
+    let (lat, prof_sum) = measure_single_query(&engine, &workload, k, warmup)?;
     println!(
         "single query ({shards} shard(s), k = {k}, {queries} queries, {warmup} warm-up): \
-         p50 {p50:.3} ms, p99 {p99:.3} ms, mean {mean:.3} ms"
+         p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, mean {:.3} ms",
+        lat.p50, lat.p90, lat.p99, lat.p999, lat.mean
+    );
+    println!(
+        "pruning (means/query): {:.0} blocks floor-pruned, {:.0} popped, {:.0} rows fetched, \
+         {:.0} scored, {:.0} emitted",
+        prof_sum.blocks_floor_pruned as f64 / queries as f64,
+        prof_sum.blocks_popped as f64 / queries as f64,
+        prof_sum.rows_fetched as f64 / queries as f64,
+        prof_sum.points_scored as f64 / queries as f64,
+        prof_sum.emitted as f64 / queries as f64,
     );
 
     // Batch throughput per worker count: best of three runs.
@@ -1383,12 +1673,18 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     // Mutation pressure pass: apply ⌈frac·n⌉ inserts + deletes, re-measure
     // the single-query path against the delta region + tombstone mask.
     let mutations_json = if mutate_frac > 0.0 {
+        let base_stats = engine.mutation_stats();
         let victims = engine.total_rows();
         let m = ((clean_rows as f64) * mutate_frac).ceil() as usize;
         let fresh = generate(Distribution::Uniform, m, dims, build_seed ^ 0x5eed);
         for (_, coords) in fresh.iter() {
             engine.insert(coords).map_err(runtime)?;
         }
+        // Tombstone exactly m distinct pre-insert victims: the random
+        // stream skips ids it already killed (`delete` reports newly-dead
+        // only), and a sequential sweep finishes the quota when the
+        // random draws keep colliding at large F — the reported count can
+        // no longer drift from the applied one.
         let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
         let mut deleted = 0usize;
         let mut attempts = 0usize;
@@ -1400,17 +1696,42 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                 deleted += 1;
             }
         }
-        let (mp50, mp99, mmean) = measure_single_query(&engine, &workload, k, warmup)?;
+        let mut sweep = 0u32;
+        while deleted < m && (sweep as usize) < victims {
+            if engine
+                .delete(sdq_core::PointId::new(sweep))
+                .map_err(runtime)?
+            {
+                deleted += 1;
+            }
+            sweep += 1;
+        }
+        // The engine's own cumulative accounting must agree with what this
+        // harness reports into the JSON.
+        let stats = engine.mutation_stats();
+        let ins_applied = stats.inserted_total - base_stats.inserted_total;
+        let del_applied = stats.deleted_total - base_stats.deleted_total;
+        if ins_applied != m as u64 || del_applied != deleted as u64 {
+            return Err(runtime(format!(
+                "mutation accounting mismatch: engine recorded {ins_applied} insert(s) / \
+                 {del_applied} delete(s), harness reports {m} / {deleted}"
+            )));
+        }
+        let (mlat, _) = measure_single_query(&engine, &workload, k, warmup)?;
         println!(
-            "single query with {:.1}% delta + {deleted} tombstone(s): p50 {mp50:.3} ms \
-             ({:+.1}% vs clean), p99 {mp99:.3} ms, mean {mmean:.3} ms",
+            "single query with {:.1}% delta + {deleted} tombstone(s): p50 {:.3} ms \
+             ({:+.1}% vs clean), p99 {:.3} ms, mean {:.3} ms",
             100.0 * mutate_frac,
-            100.0 * (mp50 - p50) / p50,
+            mlat.p50,
+            100.0 * (mlat.p50 - lat.p50) / lat.p50,
+            mlat.p99,
+            mlat.mean,
         );
         format!(
             ",\n  \"mutations\": {{\"frac\": {mutate_frac}, \"inserted\": {m}, \
              \"deleted\": {deleted}, \
-             \"single_query_ms\": {{\"p50\": {mp50:.4}, \"p99\": {mp99:.4}, \"mean\": {mmean:.4}}}}}"
+             \"single_query_ms\": {}}}",
+            mlat.json()
         )
     } else {
         String::new()
@@ -1425,8 +1746,11 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
          \"shards\": {shards},\n  \
          \"k\": {k},\n  \"queries\": {queries},\n  \"warmup\": {warmup},\n  \"query_seed\": {seed},\n  \
          \"cpu\": {cpu},\n  \"simd\": {simd},\n  \
-         \"single_query_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}, \"mean\": {mean:.4}}},\n  \
+         \"single_query_ms\": {lat_json},\n  \
+         \"profile\": {profile_json},\n  \
          \"batch\": [{batch}]{mutations_json}\n}}\n",
+        lat_json = lat.json(),
+        profile_json = profile_means_json(&prof_sum, queries),
         batch = batch_rows.join(", "),
     );
     std::fs::write(&out, json).map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
@@ -1434,15 +1758,45 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Latency summary of one measured workload, nearest-rank percentiles
+/// over the recorded per-query samples.
+struct LatencySummary {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    p999: f64,
+    mean: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(lat_ms: &mut [f64]) -> LatencySummary {
+        LatencySummary {
+            p50: percentile(lat_ms, 50.0),
+            p90: percentile(lat_ms, 90.0),
+            p99: percentile(lat_ms, 99.0),
+            p999: percentile(lat_ms, 99.9),
+            mean: lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \"mean\": {:.4}}}",
+            self.p50, self.p90, self.p99, self.p999, self.mean
+        )
+    }
+}
+
 /// `warmup` discarded warm-up queries (cycling the workload), then one
-/// timed pass per query with a reused scratch; returns `(p50, p99, mean)`
-/// in milliseconds.
+/// timed pass per query with a reused scratch; returns the latency
+/// summary plus the execution counters summed over the timed queries
+/// (divide by `workload.len()` for per-query means).
 fn measure_single_query(
     engine: &SdEngine,
     workload: &[SdQuery],
     k: usize,
     warmup: usize,
-) -> Result<(f64, f64, f64), CliError> {
+) -> Result<(LatencySummary, QueryProfile), CliError> {
     let mut scratch = EngineScratch::new();
     let mut sink = 0.0f64;
     for q in workload.iter().cycle().take(warmup) {
@@ -1454,17 +1808,47 @@ fn measure_single_query(
             .sum::<f64>();
     }
     let mut lat_ms = Vec::with_capacity(workload.len());
+    let mut prof_sum = QueryProfile::new();
     for q in workload {
         let (r, ms) = timed(|| engine.query_with(q, k, &mut scratch));
         sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
+        prof_sum.merge(&scratch.profile);
         lat_ms.push(ms);
     }
     std::hint::black_box(sink);
-    Ok((
-        percentile(&mut lat_ms, 50.0),
-        percentile(&mut lat_ms, 99.0),
-        lat_ms.iter().sum::<f64>() / lat_ms.len() as f64,
-    ))
+    Ok((LatencySummary::from_samples(&mut lat_ms), prof_sum))
+}
+
+/// The BENCH_queries.json `profile` key: mean execution counters per
+/// query of the clean single-query measurement, so pruning-effectiveness
+/// regressions show in the same diff as latency regressions.
+fn profile_means_json(sum: &QueryProfile, queries: usize) -> String {
+    let n = queries.max(1) as f64;
+    let m = |v: u64| format!("{:.2}", v as f64 / n);
+    format!(
+        "{{\"queries\": {queries}, \"nodes_visited\": {}, \"envelope_nodes_rejected\": {}, \
+         \"blocks_popped\": {}, \"blocks_floor_pruned\": {}, \"lanes_masked\": {}, \
+         \"rows_fetched\": {}, \"points_gathered\": {}, \"points_scored\": {}, \
+         \"kernel_batches\": {}, \"seen_hits\": {}, \"tombstones_skipped\": {}, \
+         \"delta_rows_scanned\": {}, \"floor_updates\": {}, \"rounds\": {}, \
+         \"merge_rounds\": {}, \"emitted\": {}}}",
+        m(sum.nodes_visited),
+        m(sum.envelope_nodes_rejected),
+        m(sum.blocks_popped),
+        m(sum.blocks_floor_pruned),
+        m(sum.lanes_masked),
+        m(sum.rows_fetched),
+        m(sum.points_gathered),
+        m(sum.points_scored),
+        m(sum.kernel_batches),
+        m(sum.seen_hits),
+        m(sum.tombstones_skipped),
+        m(sum.delta_rows_scanned),
+        m(sum.floor_updates),
+        m(sum.rounds),
+        m(sum.merge_rounds),
+        m(sum.emitted),
+    )
 }
 
 /// The host CPU model, best effort: the first `model name` of
