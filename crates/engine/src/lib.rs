@@ -199,6 +199,11 @@ struct MetricsInner {
     compactions: AtomicU64,
     epoch_transitions: AtomicU64,
     floor_contributions: [AtomicU64; FLOOR_HIST_SLOTS],
+    wal_records_appended: AtomicU64,
+    wal_bytes_appended: AtomicU64,
+    wal_syncs: AtomicU64,
+    wal_records_replayed: AtomicU64,
+    wal_checkpoints: AtomicU64,
 }
 
 /// The engine's lifetime metrics registry: monotonic atomic counters fed
@@ -240,6 +245,35 @@ impl EngineMetrics {
             .fetch_add(epoch_transitions, Ordering::Relaxed);
     }
 
+    /// Records `records` WAL records (`bytes` on disk) appended ahead of
+    /// the mutations they log. Fed by the store crate's durable wrapper —
+    /// the counters live here so `metrics` sees one registry per engine.
+    pub fn record_wal_append(&self, records: u64, bytes: u64) {
+        self.inner
+            .wal_records_appended
+            .fetch_add(records, Ordering::Relaxed);
+        self.inner
+            .wal_bytes_appended
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one WAL fsync (an explicit sync or a group-commit flush).
+    pub fn record_wal_sync(&self) {
+        self.inner.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `records` WAL records replayed during recovery.
+    pub fn record_wal_replay(&self, records: u64) {
+        self.inner
+            .wal_records_replayed
+            .fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Records one durable checkpoint (snapshot + WAL rotation).
+    pub fn record_wal_checkpoint(&self) {
+        self.inner.wal_checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut floor_contributions = [0u64; FLOOR_HIST_SLOTS];
@@ -255,6 +289,11 @@ impl EngineMetrics {
             compactions: self.inner.compactions.load(Ordering::Relaxed),
             epoch_transitions: self.inner.epoch_transitions.load(Ordering::Relaxed),
             floor_contributions,
+            wal_records_appended: self.inner.wal_records_appended.load(Ordering::Relaxed),
+            wal_bytes_appended: self.inner.wal_bytes_appended.load(Ordering::Relaxed),
+            wal_syncs: self.inner.wal_syncs.load(Ordering::Relaxed),
+            wal_records_replayed: self.inner.wal_records_replayed.load(Ordering::Relaxed),
+            wal_checkpoints: self.inner.wal_checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -272,6 +311,16 @@ pub struct MetricsSnapshot {
     pub epoch_transitions: u64,
     /// Per-shard k-th-score-floor update credits; see [`FLOOR_HIST_SLOTS`].
     pub floor_contributions: [u64; FLOOR_HIST_SLOTS],
+    /// WAL records appended ahead of mutations (durable wrapper only).
+    pub wal_records_appended: u64,
+    /// WAL bytes appended (record frames, header excluded).
+    pub wal_bytes_appended: u64,
+    /// WAL fsyncs issued (per-record or group-commit flushes).
+    pub wal_syncs: u64,
+    /// WAL records replayed into the engine during recovery.
+    pub wal_records_replayed: u64,
+    /// Durable checkpoints taken (snapshot + WAL rotation).
+    pub wal_checkpoints: u64,
 }
 
 /// The sharded SD-Query execution engine: the recommended front door for

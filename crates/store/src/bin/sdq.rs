@@ -23,7 +23,9 @@ use sdq_core::{Dataset, DimRole, QueryProfile, QueryScratch, ScoredPoint, SdQuer
 use sdq_data::{generate, uniform_queries, Distribution};
 use sdq_engine::{CompactionOptions, EngineOptions, EngineScratch, SdEngine};
 use sdq_rstar::RStarTree;
-use sdq_store::{parse_roles, SectionKind, Snapshot};
+use sdq_store::{
+    parse_roles, wal, DiskStorage, DurableEngine, DurableOptions, SectionKind, Snapshot, SyncPolicy,
+};
 
 const USAGE: &str = "\
 sdq — SD-Query snapshot tool (build once, query many)
@@ -36,9 +38,12 @@ USAGE:
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
               [--repeat N] [--threads T]
               [--explain | --profile | --profile-json]
-    sdq insert PATH --csv FILE [--out PATH2]
-    sdq delete PATH --ids N,N,... [--out PATH2]
-    sdq compact PATH [--rebalance-factor F] [--shards S] [--out PATH2]
+    sdq insert PATH --csv FILE [--out PATH2 | --wal [--sync-every N]]
+    sdq delete PATH --ids N,N,... [--out PATH2 | --wal [--sync-every N]]
+    sdq compact PATH [--rebalance-factor F] [--shards S]
+              [--out PATH2 | --wal]
+    sdq recover PATH
+    sdq wal-stress PATH --rows N [--sync-every N] [--seed S]
     sdq inspect PATH
     sdq bench-load PATH [--iters N]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
@@ -53,7 +58,13 @@ SUBCOMMANDS:
                  delta region and rewrite the snapshot (format v3).
     delete       Tombstone rows by global id and rewrite the snapshot.
     compact      Fold the delta region into the shards, drop tombstones,
-                 bump the engine epoch and rewrite the snapshot.
+                 bump the engine epoch and rewrite the snapshot. With
+                 --wal this also rotates the log (a durable checkpoint).
+    recover      Open a WAL-backed snapshot, replay the log (truncating a
+                 torn tail), checkpoint, and report what was recovered.
+    wal-stress   Insert synthetic rows one by one through the WAL,
+                 printing 'acked N' after each acknowledged write — the
+                 kill -9 crash-smoke driver.
     inspect      Print the snapshot header, section table, artifact stats
                  and (for engines) the shard layout, per-shard delta and
                  tombstone pressure, and the planner decision.
@@ -94,6 +105,14 @@ MUTATION OPTIONS (insert / delete / compact):
     --shards S         Repartition into S shards while compacting.
     --out PATH2        Write the mutated snapshot here instead of rewriting
                        PATH in place.
+    --wal              Write-ahead-log the mutation before applying it:
+                       appends to PATH.wal (creating it — and upgrading the
+                       snapshot to engine-only format v4 — on first use),
+                       so an acknowledged write survives a crash. A
+                       WAL-backed snapshot refuses non---wal mutations.
+    --sync-every N     Group commit: fsync the WAL once every N records
+                       instead of after each one (default 1 = every
+                       record). An unsynced ack may be lost in a crash.
 
 QUERY OPTIONS:
     --point CSV        Query point, one value per dimension (required).
@@ -171,6 +190,8 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "insert" => cmd_insert(rest),
         "delete" => cmd_delete(rest),
         "compact" => cmd_compact(rest),
+        "recover" => cmd_recover(rest),
+        "wal-stress" => cmd_wal_stress(rest),
         "inspect" => cmd_inspect(rest),
         "bench-load" => cmd_bench_load(rest),
         "bench-query" => cmd_bench_query(rest),
@@ -561,8 +582,8 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     // real one, not "0 thread(s)".
     let threads = resolve_threads(threads);
 
-    let (snap, load_ms) = timed(|| Snapshot::load(path));
-    let snap = snap.map_err(runtime)?;
+    let (snap, load_ms) = timed(|| load_query_snapshot(path));
+    let snap = snap?;
 
     // EXPLAIN / ANALYZE modes: the §5 planner and the execution profile
     // are only defined for the aggregation paths (engine or sd-index).
@@ -903,11 +924,115 @@ fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f6
 
 // ─── insert / delete / compact ──────────────────────────────────────────────
 
+// ─── durability helpers ─────────────────────────────────────────────────────
+
+/// The WAL sidecar of snapshot `path` (`idx.sdq` → `idx.sdq.wal`).
+fn wal_sidecar(path: &str) -> String {
+    format!("{path}.wal")
+}
+
+/// Splits a snapshot path into a [`DiskStorage`] rooted at its parent
+/// directory plus the bare file name the durable engine works with.
+fn disk_parts(path: &str) -> Result<(DiskStorage, String), CliError> {
+    let p = std::path::Path::new(path);
+    let name = p
+        .file_name()
+        .ok_or_else(|| usage(format!("{path}: not a file path")))?
+        .to_string_lossy()
+        .into_owned();
+    let dir = p.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let storage = DiskStorage::new(dir).map_err(|e| runtime(format!("{}: {e}", dir.display())))?;
+    Ok((storage, name))
+}
+
+fn sync_policy(sync_every: u32) -> Result<SyncPolicy, CliError> {
+    match sync_every {
+        0 => Err(usage("--sync-every must be at least 1")),
+        1 => Ok(SyncPolicy::Always),
+        n => Ok(SyncPolicy::EveryN(n)),
+    }
+}
+
+/// Opens snapshot `path` as a [`DurableEngine`], enabling the WAL on
+/// first use: a snapshot that is not yet WAL-backed is promoted (sd-index
+/// → single-shard engine if needed) and checkpointed to generation 1.
+fn open_durable(path: &str, opts: DurableOptions) -> Result<DurableEngine, CliError> {
+    let (storage, name) = disk_parts(path)?;
+    let snap = Snapshot::load(path).map_err(runtime)?;
+    if snap.durability.is_none() && !std::path::Path::new(&wal_sidecar(path)).exists() {
+        let mut snap = snap;
+        let engine = if let Some(engine) = snap.engine.take() {
+            engine
+        } else if let Some(sd) = snap.sd.take() {
+            println!("note: promoting the sd-index to a single-shard engine");
+            SdEngine::single(sd).map_err(runtime)?
+        } else {
+            return Err(runtime(
+                "snapshot holds no engine or sd-index to mutate; rebuild with --index sd",
+            ));
+        };
+        println!(
+            "note: enabling the WAL — {path} becomes an engine-only v4 snapshot with a \
+             {} sidecar",
+            wal_sidecar(path)
+        );
+        return DurableEngine::create(storage, name, engine, opts).map_err(runtime);
+    }
+    let d = DurableEngine::open(storage, name, opts).map_err(runtime)?;
+    let rec = d.recovery();
+    if rec.truncated_bytes > 0 {
+        eprintln!(
+            "note: truncated a {}-byte torn tail off {}",
+            rec.truncated_bytes,
+            wal_sidecar(path)
+        );
+    }
+    if rec.stale_wal_reset {
+        eprintln!("note: discarded a stale pre-checkpoint WAL (its records were already applied)");
+    }
+    if rec.replayed_records > 0 {
+        println!(
+            "replayed {} wal record(s) from {}",
+            rec.replayed_records,
+            wal_sidecar(path)
+        );
+    }
+    Ok(d)
+}
+
+/// Loads a snapshot for querying. A WAL-backed snapshot is opened through
+/// the durable engine instead, so the answers include every acknowledged
+/// write still sitting in the log (recovery also truncates a torn tail,
+/// exactly as a serving restart would).
+fn load_query_snapshot(path: &str) -> Result<Snapshot, CliError> {
+    let mut snap = Snapshot::load(path).map_err(runtime)?;
+    if snap.durability.is_some() || std::path::Path::new(&wal_sidecar(path)).exists() {
+        let (storage, name) = disk_parts(path)?;
+        let d = DurableEngine::open(storage, name, DurableOptions::default()).map_err(runtime)?;
+        let rec = d.recovery();
+        if rec.replayed_records > 0 {
+            eprintln!(
+                "note: replayed {} wal record(s) from {}",
+                rec.replayed_records,
+                wal_sidecar(path)
+            );
+        }
+        snap.engine = Some(d.engine().clone());
+    }
+    Ok(snap)
+}
+
 /// Loads a snapshot for mutation: the engine when present, otherwise a
 /// single-shard engine promoted from the sd-index (the snapshot upgrades to
 /// an engine snapshot on save — format v2/v3).
 fn load_mutable_engine(path: &str) -> Result<(Snapshot, SdEngine), CliError> {
     let mut snap = Snapshot::load(path).map_err(runtime)?;
+    if snap.durability.is_some() || std::path::Path::new(&wal_sidecar(path)).exists() {
+        return Err(runtime(format!(
+            "{path} is WAL-backed; mutate it with --wal so the log and snapshot stay \
+             in step"
+        )));
+    }
     if let Some(engine) = snap.engine.take() {
         return Ok((snap, engine));
     }
@@ -960,11 +1085,15 @@ fn cmd_insert(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
     let mut csv: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut use_wal = false;
+    let mut sync_every: u32 = 1;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
             "--csv" => csv = Some(flags.value("--csv")?.to_string()),
             "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--wal" => use_wal = true,
+            "--sync-every" => sync_every = flags.parsed("--sync-every")?,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => {
                 return Err(usage(format!(
@@ -978,6 +1107,29 @@ fn cmd_insert(args: &[String]) -> Result<(), CliError> {
     let rows = read_csv_rows(&csv)?;
     if rows.is_empty() {
         return Err(runtime(format!("{csv}: no data rows")));
+    }
+    if use_wal {
+        if out.is_some() {
+            return Err(usage("--wal logs against PATH in place; drop --out"));
+        }
+        let opts = DurableOptions {
+            sync: sync_policy(sync_every)?,
+        };
+        let mut d = open_durable(path, opts)?;
+        let (ids, ms) = timed(|| d.insert_rows(&rows));
+        let ids = ids.map_err(runtime)?;
+        let status = d.wal_status();
+        println!(
+            "inserted {} row(s) as {}..={} in {ms:.2} ms; wal: {} record(s) \
+             ({} durable), {} byte(s) pending since checkpoint",
+            ids.len(),
+            ids.first().expect("non-empty batch"),
+            ids.last().expect("non-empty batch"),
+            status.records,
+            status.durable_records,
+            status.pending_bytes
+        );
+        return Ok(());
     }
     let (snap, mut engine) = load_mutable_engine(path)?;
     let (ids, ms) = timed(|| engine.insert_rows(&rows));
@@ -996,6 +1148,8 @@ fn cmd_delete(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
     let mut ids: Option<Vec<usize>> = None;
     let mut out: Option<String> = None;
+    let mut use_wal = false;
+    let mut sync_every: u32 = 1;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
@@ -1012,19 +1166,55 @@ fn cmd_delete(args: &[String]) -> Result<(), CliError> {
                 );
             }
             "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--wal" => use_wal = true,
+            "--sync-every" => sync_every = flags.parsed("--sync-every")?,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
     }
     let path = path.ok_or_else(|| usage("delete needs a snapshot path"))?;
     let ids = ids.ok_or_else(|| usage("delete requires --ids N,N,..."))?;
+    if use_wal && out.is_some() {
+        return Err(usage("--wal logs against PATH in place; drop --out"));
+    }
+    let to_u32 = |id: usize| {
+        u32::try_from(id).map_err(|_| runtime(format!("row {id} out of range (ids are u32)")))
+    };
+    if use_wal {
+        let opts = DurableOptions {
+            sync: sync_policy(sync_every)?,
+        };
+        let mut d = open_durable(path, opts)?;
+        let mut newly = 0usize;
+        let mut already = 0usize;
+        for id in ids {
+            if d.delete(sdq_core::PointId::new(to_u32(id)?))
+                .map_err(runtime)?
+            {
+                newly += 1;
+            } else {
+                already += 1;
+            }
+        }
+        let status = d.wal_status();
+        print!("tombstoned {newly} row(s)");
+        if already > 0 {
+            print!(" ({already} already dead)");
+        }
+        println!(
+            "; wal: {} record(s) ({} durable), {} byte(s) pending since checkpoint",
+            status.records, status.durable_records, status.pending_bytes
+        );
+        return Ok(());
+    }
     let (snap, mut engine) = load_mutable_engine(path)?;
     let mut newly = 0usize;
     let mut already = 0usize;
     for id in ids {
-        let id = u32::try_from(id)
-            .map_err(|_| runtime(format!("row {id} out of range (ids are u32)")))?;
-        if engine.delete(sdq_core::PointId::new(id)).map_err(runtime)? {
+        if engine
+            .delete(sdq_core::PointId::new(to_u32(id)?))
+            .map_err(runtime)?
+        {
             newly += 1;
         } else {
             already += 1;
@@ -1045,6 +1235,7 @@ fn cmd_delete(args: &[String]) -> Result<(), CliError> {
 fn cmd_compact(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
     let mut out: Option<String> = None;
+    let mut use_wal = false;
     let mut options = CompactionOptions::default();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -1063,11 +1254,32 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
                 options.shards = Some(s);
             }
             "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--wal" => use_wal = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
     }
     let path = path.ok_or_else(|| usage("compact needs a snapshot path"))?;
+    if use_wal {
+        if out.is_some() {
+            return Err(usage("--wal logs against PATH in place; drop --out"));
+        }
+        let mut d = open_durable(path, DurableOptions::default())?;
+        let (report, ms) = timed(|| d.compact_with(&options));
+        let report = report.map_err(runtime)?;
+        let status = d.wal_status();
+        println!(
+            "compacted in {ms:.1} ms: rebuilt {} shard(s), merged {} delta row(s), \
+             dropped {} tombstone(s); checkpointed as generation {} (epoch {}), \
+             wal rotated",
+            report.rebuilt_shards,
+            report.merged_delta_rows,
+            report.dropped_tombstones,
+            status.generation,
+            status.last_checkpoint_epoch
+        );
+        return Ok(());
+    }
     let (snap, mut engine) = load_mutable_engine(path)?;
     let (report, ms) = timed(|| engine.compact_with(&options));
     let report = report.map_err(runtime)?;
@@ -1090,6 +1302,116 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
         report.live_rows
     );
     save_mutated(snap, engine, out.as_deref().unwrap_or(path))
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("recover needs a snapshot path"))?;
+    if !std::path::Path::new(&wal_sidecar(path)).exists() && !std::path::Path::new(path).exists() {
+        return Err(runtime(format!("{path}: no such snapshot")));
+    }
+    // open_durable replays the log (printing what it truncated or
+    // discarded); the checkpoint folds the replayed state into the
+    // snapshot and starts a clean generation.
+    let mut d = open_durable(path, DurableOptions::default())?;
+    let replayed = d.recovery().replayed_records;
+    d.checkpoint().map_err(runtime)?;
+    let status = d.wal_status();
+    println!(
+        "recovered {path}: {} record(s) replayed, {} live row(s); checkpointed as \
+         generation {} (epoch {})",
+        replayed,
+        d.engine().len(),
+        status.generation,
+        status.last_checkpoint_epoch
+    );
+    Ok(())
+}
+
+/// The kill -9 crash-smoke driver: inserts deterministic rows through the
+/// WAL one at a time, printing (and flushing) `acked N` — the total
+/// addressable row count — after each acknowledged write. A harness kills
+/// the process mid-run, reopens with `sdq recover`, and checks the live
+/// store holds at least the last acked count.
+fn cmd_wal_stress(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut rows: usize = 0;
+    let mut sync_every: u32 = 1;
+    let mut seed: u64 = 42;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--rows" => rows = flags.parsed("--rows")?,
+            "--sync-every" => sync_every = flags.parsed("--sync-every")?,
+            "--seed" => seed = flags.parsed("--seed")?,
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("wal-stress needs a snapshot path"))?;
+    if rows == 0 {
+        return Err(usage("wal-stress requires --rows N (N ≥ 1)"));
+    }
+    let opts = DurableOptions {
+        sync: sync_policy(sync_every)?,
+    };
+    let mut d = if std::path::Path::new(path).exists() {
+        open_durable(path, opts)?
+    } else {
+        // Bootstrap a tiny 2-D store so the stress can run from nothing.
+        let base: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()])
+            .collect();
+        let data = Dataset::from_rows(2, &base).map_err(runtime)?;
+        let engine =
+            SdEngine::build(data, &parse_roles("ar").map_err(runtime)?).map_err(runtime)?;
+        let (storage, name) = disk_parts(path)?;
+        DurableEngine::create(storage, name, engine, opts).map_err(runtime)?
+    };
+    let dims = d.engine().dims();
+    let mut state = seed;
+    let mut coord = move || {
+        // splitmix64 → [0, 1)
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    for _ in 0..rows {
+        let row: Vec<f64> = (0..dims).map(|_| coord()).collect();
+        d.insert(&row).map_err(runtime)?;
+        // Under --sync-every N an ack only promises durability once the
+        // group fsync lands; the harness reads the durable count.
+        let status = d.wal_status();
+        let mut lock = stdout.lock();
+        writeln!(
+            lock,
+            "acked {} (durable records {})",
+            d.engine().total_rows(),
+            status.durable_records
+        )
+        .map_err(runtime)?;
+        lock.flush().map_err(runtime)?;
+    }
+    let status = d.wal_status();
+    println!(
+        "wal-stress done: {} record(s) ({} durable), {} live row(s), generation {}",
+        status.records,
+        status.durable_records,
+        d.engine().len(),
+        status.generation
+    );
+    Ok(())
 }
 
 // ─── inspect ────────────────────────────────────────────────────────────────
@@ -1225,6 +1547,48 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(rt) = &snap.rstar {
         println!("  rstar-tree: {} live points, {} dims", rt.len(), rt.dims());
+    }
+
+    // Durability status: present whenever the snapshot or a WAL sidecar
+    // says this store is WAL-backed.
+    let wal_file = wal_sidecar(path);
+    let wal_present = std::path::Path::new(&wal_file).exists();
+    if let Some(d) = &snap.durability {
+        println!(
+            "  durability: generation {}, last checkpoint epoch {}",
+            d.generation, d.checkpoint_epoch
+        );
+        if !wal_present {
+            println!("    wal: {wal_file} missing — acknowledged writes may be lost");
+        } else {
+            match std::fs::read(&wal_file) {
+                Err(e) => println!("    wal: {wal_file}: unreadable ({e})"),
+                Ok(bytes) => match wal::recover(&bytes) {
+                    Err(e) => println!("    wal: corrupt ({e})"),
+                    Ok(rec) if rec.header.generation < d.generation => println!(
+                        "    wal: stale (generation {}, already folded into the snapshot)",
+                        rec.header.generation
+                    ),
+                    Ok(rec) => {
+                        let pending = rec.valid_len - wal::WAL_HEADER_BYTES as u64;
+                        let torn = if rec.truncated_bytes > 0 {
+                            format!(", {}-byte torn tail", rec.truncated_bytes)
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "    wal: {} record(s), {} byte(s) pending since checkpoint \
+                             ({} file bytes{torn})",
+                            rec.records.len(),
+                            pending,
+                            bytes.len()
+                        );
+                    }
+                },
+            }
+        }
+    } else if wal_present {
+        println!("  durability: {wal_file} exists but the snapshot carries no durability section");
     }
     Ok(())
 }

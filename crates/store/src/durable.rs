@@ -1,0 +1,921 @@
+//! Crash-safe serving: an [`SdEngine`] whose every mutation is written to
+//! a [WAL](crate::wal) *before* it is applied, paired with fsync'd
+//! checkpoint rotation and torn-tail recovery.
+//!
+//! ## Files
+//!
+//! A durable engine owns two names inside one [`Storage`] directory:
+//!
+//! * `NAME` — the snapshot (container format v4: the engine plus a
+//!   `durability` section carrying the checkpoint generation).
+//! * `NAME.wal` — the write-ahead log, whose header carries the same
+//!   generation.
+//!
+//! ## The contract
+//!
+//! [`DurableEngine::insert`]/[`insert_rows`]/[`delete`] append to the WAL
+//! first and apply to the in-memory engine second. What an `Ok` return
+//! *means* depends on the [`SyncPolicy`]:
+//!
+//! * [`SyncPolicy::Always`] — the record was fsync'd; the mutation
+//!   survives any crash. This is the default.
+//! * [`SyncPolicy::EveryN`] — group commit: the record is in the OS
+//!   buffer; it is guaranteed durable once the batch fsync at the Nth
+//!   pending record (or an explicit [`DurableEngine::sync`]) returns.
+//! * [`SyncPolicy::Never`] — no fsync until [`DurableEngine::sync`] or a
+//!   checkpoint; a crash may lose everything since then.
+//!
+//! In all cases recovery yields a *prefix* of the acknowledged ops: the
+//! WAL is append-only and replayed in order, a torn tail is truncated at
+//! the first bad record, and [`DurableEngine::durable_records`] records
+//! how much of the log an fsync has confirmed.
+//!
+//! ## Checkpoint rotation
+//!
+//! [`DurableEngine::checkpoint`] folds the log into the snapshot
+//! atomically: write the new snapshot to a temp file, fsync it, rename it
+//! over the old one, fsync the directory — then start a fresh WAL (new
+//! generation, written via the same temp + rename + dir-fsync dance). A
+//! crash between the two renames leaves a new snapshot beside the old
+//! log; the generation mismatch tells [`DurableEngine::open`] the log is
+//! stale and its records are already inside the snapshot, so nothing is
+//! replayed twice. Inserts double-checked: a stale log can never sneak
+//! past the generation gate because the snapshot's generation only moves
+//! forward.
+
+use sdq_core::{PointId, ScoredPoint, SdError, SdQuery};
+use sdq_engine::{CompactionOptions, CompactionReport, SdEngine};
+
+use crate::io::{DiskStorage, Storage};
+use crate::wal::{self, WalHeader, WalRecord};
+use crate::{DurabilityInfo, Snapshot};
+
+/// When WAL appends are fsync'd — what an acknowledged write means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync after every record: an `Ok` mutation is durable.
+    #[default]
+    Always,
+    /// Group commit: fsync once every `N` pending records.
+    EveryN(u32),
+    /// fsync only on explicit [`DurableEngine::sync`] or checkpoint.
+    Never,
+}
+
+/// Tuning for [`DurableEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableOptions {
+    /// The WAL fsync policy.
+    pub sync: SyncPolicy,
+}
+
+/// What [`DurableEngine::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed into the engine.
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated off the WAL.
+    pub truncated_bytes: u64,
+    /// The WAL predated the snapshot (crash between the checkpoint's two
+    /// renames); its records were already in the snapshot and it was
+    /// reset.
+    pub stale_wal_reset: bool,
+    /// The snapshot was not durability-enabled yet; a generation-1
+    /// checkpoint bootstrapped it.
+    pub bootstrapped: bool,
+}
+
+/// Point-in-time durability counters (the `sdq inspect` durability line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Records appended since the last checkpoint.
+    pub records: u64,
+    /// Records confirmed on stable storage by an fsync.
+    pub durable_records: u64,
+    /// Record bytes pending in the WAL since the last checkpoint.
+    pub pending_bytes: u64,
+    /// Total WAL file length (header included).
+    pub wal_bytes: u64,
+    /// Current checkpoint generation.
+    pub generation: u64,
+    /// Engine epoch recorded at the last checkpoint.
+    pub last_checkpoint_epoch: u64,
+}
+
+/// The crash-safe engine wrapper. Generic over [`Storage`] so the
+/// fault-injection tests drive it over [`crate::MemStorage`]; production
+/// code uses [`DiskStorage`].
+#[derive(Debug)]
+pub struct DurableEngine<S: Storage = DiskStorage> {
+    storage: S,
+    snap_name: String,
+    engine: SdEngine,
+    opts: DurableOptions,
+    generation: u64,
+    checkpoint_epoch: u64,
+    appended_records: u64,
+    durable_records: u64,
+    appended_bytes: u64,
+    wal_len: u64,
+    /// Set when the on-disk WAL may disagree with the in-memory engine
+    /// (failed append/fsync/rotation); every mutation then fails until a
+    /// successful checkpoint or a reopen re-establishes agreement.
+    poisoned: Option<String>,
+    recovery: RecoveryReport,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> SdError {
+    SdError::SnapshotIo(format!("{what}: {e}"))
+}
+
+impl<S: Storage> DurableEngine<S> {
+    fn wal_name(snap_name: &str) -> String {
+        format!("{snap_name}.wal")
+    }
+
+    fn snap_tmp(snap_name: &str) -> String {
+        format!("{snap_name}.tmp")
+    }
+
+    fn wal_tmp(snap_name: &str) -> String {
+        format!("{snap_name}.wal.tmp")
+    }
+
+    /// Starts a new durable store: writes a generation-1 snapshot of
+    /// `engine` plus a fresh WAL into `storage`, replacing whatever was
+    /// at those names.
+    pub fn create(
+        storage: S,
+        snap_name: impl Into<String>,
+        engine: SdEngine,
+        opts: DurableOptions,
+    ) -> Result<Self, SdError> {
+        let mut this = DurableEngine {
+            storage,
+            snap_name: snap_name.into(),
+            engine,
+            opts,
+            generation: 0,
+            checkpoint_epoch: 0,
+            appended_records: 0,
+            durable_records: 0,
+            appended_bytes: 0,
+            wal_len: 0,
+            poisoned: None,
+            recovery: RecoveryReport {
+                bootstrapped: true,
+                ..Default::default()
+            },
+        };
+        this.checkpoint()?;
+        Ok(this)
+    }
+
+    /// Opens (and recovers) a durable store: restores the snapshot,
+    /// validates the WAL against it, truncates a torn tail at the first
+    /// bad record and replays the survivors. A snapshot that is not yet
+    /// durability-enabled is bootstrapped with a generation-1 checkpoint.
+    pub fn open(
+        storage: S,
+        snap_name: impl Into<String>,
+        opts: DurableOptions,
+    ) -> Result<Self, SdError> {
+        let snap_name = snap_name.into();
+        let wal_name = Self::wal_name(&snap_name);
+
+        let snap_bytes = storage
+            .read(&snap_name)
+            .map_err(|e| io_err(&snap_name, e))?;
+        let snap = Snapshot::from_bytes(&snap_bytes)?;
+        let durability = snap.durability;
+        let Some(engine) = snap.engine else {
+            return Err(SdError::SnapshotCorrupt {
+                detail: format!("{snap_name}: durable open needs an engine snapshot"),
+            });
+        };
+
+        let mut this = DurableEngine {
+            storage,
+            snap_name,
+            engine,
+            opts,
+            generation: durability.map(|d| d.generation).unwrap_or(0),
+            checkpoint_epoch: durability.map(|d| d.checkpoint_epoch).unwrap_or(0),
+            appended_records: 0,
+            durable_records: 0,
+            appended_bytes: 0,
+            wal_len: 0,
+            poisoned: None,
+            recovery: RecoveryReport::default(),
+        };
+
+        let wal_exists = this.storage.exists(&wal_name);
+        match (durability, wal_exists) {
+            (None, false) => {
+                // Plain engine snapshot: bootstrap durability.
+                this.recovery.bootstrapped = true;
+                this.checkpoint()?;
+            }
+            (None, true) => {
+                return Err(SdError::SnapshotCorrupt {
+                    detail: format!(
+                        "{} exists but {} carries no durability section; refusing to \
+                         guess which is current (run `sdq recover` on a matched pair)",
+                        wal_name, this.snap_name
+                    ),
+                });
+            }
+            (Some(d), false) => {
+                return Err(SdError::SnapshotCorrupt {
+                    detail: format!(
+                        "{}: durability generation {} expects {}, which is missing — \
+                         acknowledged writes may be lost; restore the log or re-create \
+                         the store",
+                        this.snap_name, d.generation, wal_name
+                    ),
+                });
+            }
+            (Some(d), true) => {
+                let wal_bytes = this
+                    .storage
+                    .read(&wal_name)
+                    .map_err(|e| io_err(&wal_name, e))?;
+                let header = WalHeader::decode(&wal_bytes)?;
+                if header.generation > d.generation {
+                    return Err(SdError::SnapshotCorrupt {
+                        detail: format!(
+                            "{wal_name} is generation {} but the snapshot is generation {} \
+                             — mismatched files",
+                            header.generation, d.generation
+                        ),
+                    });
+                }
+                if header.generation < d.generation {
+                    // Crash between the checkpoint's snapshot rename and
+                    // its WAL rotation: every logged record is already in
+                    // the snapshot.
+                    this.recovery.stale_wal_reset = true;
+                    this.reset_wal()?;
+                } else {
+                    this.validate_header(&header)?;
+                    let rec = wal::recover(&wal_bytes)?;
+                    if rec.truncated_bytes > 0 {
+                        this.storage
+                            .set_len(&wal_name, rec.valid_len)
+                            .map_err(|e| io_err(&wal_name, e))?;
+                        this.storage
+                            .sync_file(&wal_name)
+                            .map_err(|e| io_err(&wal_name, e))?;
+                    }
+                    this.recovery.truncated_bytes = rec.truncated_bytes;
+                    this.recovery.replayed_records = rec.records.len() as u64;
+                    for record in &rec.records {
+                        this.apply(record).map_err(|e| SdError::SnapshotCorrupt {
+                            detail: format!("{wal_name}: replay failed: {e}"),
+                        })?;
+                    }
+                    this.engine
+                        .metrics()
+                        .record_wal_replay(rec.records.len() as u64);
+                    this.appended_records = rec.records.len() as u64;
+                    this.durable_records = this.appended_records;
+                    this.appended_bytes = rec.valid_len - wal::WAL_HEADER_BYTES as u64;
+                    this.wal_len = rec.valid_len;
+                }
+            }
+        }
+
+        // Leftover temp files from an interrupted checkpoint are garbage.
+        for tmp in [
+            Self::snap_tmp(&this.snap_name),
+            Self::wal_tmp(&this.snap_name),
+        ] {
+            if this.storage.exists(&tmp) {
+                let _ = this.storage.remove(&tmp);
+            }
+        }
+        Ok(this)
+    }
+
+    fn validate_header(&self, header: &WalHeader) -> Result<(), SdError> {
+        if header.dims as usize != self.engine.dims() {
+            return Err(SdError::SnapshotCorrupt {
+                detail: format!(
+                    "wal names {} dims but the engine has {}",
+                    header.dims,
+                    self.engine.dims()
+                ),
+            });
+        }
+        if header.base_rows != self.engine.total_rows() as u64 {
+            return Err(SdError::SnapshotCorrupt {
+                detail: format!(
+                    "wal base row count {} disagrees with the snapshot's {} addressable rows",
+                    header.base_rows,
+                    self.engine.total_rows()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, record: &WalRecord) -> Result<(), SdError> {
+        match record {
+            WalRecord::Insert(row) => {
+                self.engine.insert(row)?;
+            }
+            WalRecord::InsertRows(rows) => {
+                self.engine.insert_rows(rows)?;
+            }
+            // Deletes are idempotent (`Ok(false)` on an already-dead row),
+            // which is what makes a stale-generation WAL of pure deletes
+            // harmless even before the generation gate existed.
+            WalRecord::Delete(id) => {
+                self.engine.delete(PointId::new(*id))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_usable(&self) -> Result<(), SdError> {
+        match &self.poisoned {
+            Some(why) => Err(SdError::SnapshotIo(format!(
+                "durable engine needs recovery ({why}); checkpoint or reopen"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, why: impl Into<String>) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(why.into());
+        }
+    }
+
+    fn append_record(&mut self, record: &WalRecord) -> Result<(), SdError> {
+        let bytes = record.encode();
+        let wal_name = Self::wal_name(&self.snap_name);
+        if let Err(e) = self.storage.append(&wal_name, &bytes) {
+            self.poison("wal append failed; the log tail may be torn");
+            return Err(io_err(&wal_name, e));
+        }
+        self.appended_records += 1;
+        self.appended_bytes += bytes.len() as u64;
+        self.wal_len += bytes.len() as u64;
+        self.engine
+            .metrics()
+            .record_wal_append(1, bytes.len() as u64);
+        match self.opts.sync {
+            SyncPolicy::Always => self.sync(),
+            SyncPolicy::EveryN(n) => {
+                if self.appended_records - self.durable_records >= u64::from(n.max(1)) {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            SyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Forces the WAL to stable storage: after `Ok`, every previously
+    /// acknowledged mutation is durable.
+    pub fn sync(&mut self) -> Result<(), SdError> {
+        if self.durable_records == self.appended_records && self.poisoned.is_none() {
+            return Ok(());
+        }
+        self.ensure_usable()?;
+        let wal_name = Self::wal_name(&self.snap_name);
+        if let Err(e) = self.storage.sync_file(&wal_name) {
+            self.poison("wal fsync failed; durability of recent writes is unknown");
+            return Err(io_err(&wal_name, e));
+        }
+        self.durable_records = self.appended_records;
+        self.engine.metrics().record_wal_sync();
+        Ok(())
+    }
+
+    /// Durably inserts one row; the returned id is assigned exactly as
+    /// [`SdEngine::insert`] would.
+    pub fn insert(&mut self, row: &[f64]) -> Result<PointId, SdError> {
+        self.ensure_usable()?;
+        self.validate_row(row)?;
+        self.append_record(&WalRecord::Insert(row.to_vec()))?;
+        self.engine.insert(row)
+    }
+
+    /// Durably inserts a batch as one WAL record (one fsync under
+    /// [`SyncPolicy::Always`], however many rows).
+    pub fn insert_rows(&mut self, rows: &[Vec<f64>]) -> Result<Vec<PointId>, SdError> {
+        self.ensure_usable()?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        for row in rows {
+            self.validate_row(row)?;
+        }
+        self.append_record(&WalRecord::InsertRows(rows.to_vec()))?;
+        self.engine.insert_rows(rows)
+    }
+
+    /// Durably tombstones a row; `Ok(true)` when newly dead.
+    pub fn delete(&mut self, id: PointId) -> Result<bool, SdError> {
+        self.ensure_usable()?;
+        if id.index() >= self.engine.total_rows() {
+            return Err(SdError::UnknownRow {
+                row: id.index(),
+                rows: self.engine.total_rows(),
+            });
+        }
+        self.append_record(&WalRecord::Delete(id.raw()))?;
+        self.engine.delete(id)
+    }
+
+    /// Mutations are validated *before* they are logged, so the WAL never
+    /// holds a record the engine would reject on replay.
+    fn validate_row(&self, row: &[f64]) -> Result<(), SdError> {
+        if row.len() != self.engine.dims() {
+            return Err(SdError::DimensionMismatch {
+                expected: self.engine.dims(),
+                got: row.len(),
+            });
+        }
+        for (dim, &value) in row.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(SdError::NonFiniteCoordinate {
+                    row: self.engine.total_rows(),
+                    dim,
+                    value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the snapshot a checkpoint writes: the engine, its roles and
+    /// the durability section. Stale sibling artifacts are deliberately
+    /// not carried — the engine is the only artifact the write path
+    /// maintains.
+    fn checkpoint_snapshot(&self, generation: u64) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.engine = Some(self.engine.clone());
+        snap.roles = Some(self.engine.roles().to_vec());
+        snap.durability = Some(DurabilityInfo {
+            generation,
+            checkpoint_epoch: self.engine.epoch(),
+        });
+        snap
+    }
+
+    fn atomic_replace(&mut self, tmp: &str, target: &str, bytes: &[u8]) -> Result<(), SdError> {
+        self.storage
+            .write_file(tmp, bytes)
+            .map_err(|e| io_err(tmp, e))?;
+        self.storage.sync_file(tmp).map_err(|e| io_err(tmp, e))?;
+        self.storage
+            .rename(tmp, target)
+            .map_err(|e| io_err(target, e))?;
+        self.storage.sync_dir().map_err(|e| io_err(target, e))?;
+        Ok(())
+    }
+
+    /// Starts a fresh WAL for the current generation (atomically, via
+    /// temp + rename, so the log never has a torn header).
+    fn reset_wal(&mut self) -> Result<(), SdError> {
+        let header = WalHeader {
+            dims: self.engine.dims() as u32,
+            generation: self.generation,
+            base_rows: self.engine.total_rows() as u64,
+        };
+        let bytes = header.encode();
+        self.atomic_replace(
+            &Self::wal_tmp(&self.snap_name),
+            &Self::wal_name(&self.snap_name),
+            &bytes,
+        )?;
+        self.appended_records = 0;
+        self.durable_records = 0;
+        self.appended_bytes = 0;
+        self.wal_len = bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Folds the WAL into a new snapshot and rotates the log: temp
+    /// snapshot → fsync → rename → dir fsync, then the same for a fresh
+    /// WAL one generation up. Recovers a poisoned engine (the rewritten
+    /// pair supersedes whatever was wrong on disk).
+    pub fn checkpoint(&mut self) -> Result<(), SdError> {
+        let generation = self.generation + 1;
+        let bytes = self.checkpoint_snapshot(generation).to_bytes();
+        let snap_name = self.snap_name.clone();
+        self.atomic_replace(&Self::snap_tmp(&snap_name), &snap_name, &bytes)?;
+        // The snapshot is durable at the new generation; until the WAL
+        // rotates too, the old log is stale (open() discards it by the
+        // generation gate). A failure past this point therefore poisons:
+        // in-memory appends would land in a log recovery ignores.
+        self.generation = generation;
+        self.checkpoint_epoch = self.engine.epoch();
+        if let Err(e) = self.reset_wal() {
+            self.poison("wal rotation failed after the snapshot rename");
+            return Err(e);
+        }
+        self.poisoned = None;
+        self.engine.metrics().record_wal_checkpoint();
+        Ok(())
+    }
+
+    /// Compacts the engine and checkpoints. Compaction renumbers rows, so
+    /// the checkpoint is not optional — a failure poisons the engine
+    /// rather than letting new WAL records reference renumbered ids.
+    pub fn compact_with(
+        &mut self,
+        options: &CompactionOptions,
+    ) -> Result<CompactionReport, SdError> {
+        self.ensure_usable()?;
+        let report = self.engine.compact_with(options)?;
+        if let Err(e) = self.checkpoint() {
+            self.poison("checkpoint after compaction failed; row ids diverge from the log");
+            return Err(e);
+        }
+        Ok(report)
+    }
+
+    /// [`Self::compact_with`] under default options.
+    pub fn compact(&mut self) -> Result<CompactionReport, SdError> {
+        self.compact_with(&CompactionOptions::default())
+    }
+
+    /// Answers a query from the in-memory engine (acknowledged writes are
+    /// immediately visible).
+    pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        self.engine.query(query, k)
+    }
+
+    /// The wrapped engine (read-only — mutations must go through the WAL).
+    pub fn engine(&self) -> &SdEngine {
+        &self.engine
+    }
+
+    /// What [`Self::open`] recovered.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Records confirmed durable by an fsync.
+    pub fn durable_records(&self) -> u64 {
+        self.durable_records
+    }
+
+    /// Current durability counters.
+    pub fn wal_status(&self) -> WalStatus {
+        WalStatus {
+            records: self.appended_records,
+            durable_records: self.durable_records,
+            pending_bytes: self.appended_bytes,
+            wal_bytes: self.wal_len,
+            generation: self.generation,
+            last_checkpoint_epoch: self.checkpoint_epoch,
+        }
+    }
+
+    /// The underlying storage (fault-injection tests inspect it).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Consumes the engine, returning the storage.
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{Fault, FaultScript, MemStorage};
+    use sdq_core::Dataset;
+    use sdq_engine::EngineOptions;
+
+    fn sample_engine() -> SdEngine {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                vec![(x * 0.9).cos(), 5.0 - x * 0.4]
+            })
+            .collect();
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let roles = crate::parse_roles("ar").unwrap();
+        SdEngine::build_with(
+            data,
+            &roles,
+            &EngineOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn probe() -> SdQuery {
+        SdQuery::uniform_weights(vec![0.3, 2.0], &crate::parse_roles("ar").unwrap())
+    }
+
+    #[test]
+    fn create_append_reopen_replays() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let id = d.insert(&[0.1, 0.2]).unwrap();
+        assert_eq!(id.index(), 20);
+        d.insert_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        assert!(d.delete(PointId::new(3)).unwrap());
+        assert_eq!(d.wal_status().records, 3);
+        assert_eq!(d.durable_records(), 3, "Always policy acks durably");
+
+        let want = d.query(&probe(), 6).unwrap();
+        let storage = d.into_storage();
+        let back = DurableEngine::open(storage, "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(back.recovery().replayed_records, 3);
+        assert_eq!(back.recovery().truncated_bytes, 0);
+        assert_eq!(back.engine().total_rows(), 23);
+        assert_eq!(back.query(&probe(), 6).unwrap(), want, "bit-identical");
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_reopen_is_identical() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.5, 0.5]).unwrap();
+        d.delete(PointId::new(1)).unwrap();
+        let gen_before = d.wal_status().generation;
+        d.checkpoint().unwrap();
+        let status = d.wal_status();
+        assert_eq!(status.generation, gen_before + 1);
+        assert_eq!(status.records, 0, "checkpoint folds the log");
+        assert_eq!(status.pending_bytes, 0);
+
+        let want = d.query(&probe(), 5).unwrap();
+        let back =
+            DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(back.recovery().replayed_records, 0);
+        assert!(!back.recovery().stale_wal_reset);
+        assert_eq!(back.query(&probe(), 5).unwrap(), want);
+    }
+
+    #[test]
+    fn compact_checkpoints_and_survives_reopen() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.5, 0.5]).unwrap();
+        d.delete(PointId::new(0)).unwrap();
+        let report = d.compact().unwrap();
+        assert!(report.merged_delta_rows > 0);
+        assert!(!d.engine().has_mutations());
+        let want = d.query(&probe(), 5).unwrap();
+        let back =
+            DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(back.query(&probe(), 5).unwrap(), want);
+    }
+
+    #[test]
+    fn group_commit_acks_at_the_batch_boundary() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions {
+                sync: SyncPolicy::EveryN(3),
+            },
+        )
+        .unwrap();
+        d.insert(&[0.1, 0.1]).unwrap();
+        d.insert(&[0.2, 0.2]).unwrap();
+        assert_eq!(d.durable_records(), 0, "pending in the OS buffer");
+        d.insert(&[0.3, 0.3]).unwrap();
+        assert_eq!(
+            d.durable_records(),
+            3,
+            "third record triggers the group fsync"
+        );
+        d.insert(&[0.4, 0.4]).unwrap();
+        assert_eq!(d.durable_records(), 3);
+        d.sync().unwrap();
+        assert_eq!(d.durable_records(), 4, "explicit sync drains the group");
+    }
+
+    #[test]
+    fn torn_append_poisons_until_checkpoint() {
+        let mut storage = MemStorage::new();
+        // Creation consumes a deterministic number of points; script the
+        // tear far enough ahead to hit the second insert's append.
+        let d = DurableEngine::create(
+            storage.clone(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let insert_append_point = d.storage().io_points(); // next op = first append
+        storage.set_script({
+            let mut s = FaultScript::none();
+            s.push(Fault::Torn {
+                at: insert_append_point + 2, // first insert: append + fsync
+                keep: 3,
+            });
+            s
+        });
+        let mut d = DurableEngine::create(
+            storage,
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.1, 0.1]).unwrap();
+        let err = d.insert(&[0.2, 0.2]).unwrap_err();
+        assert!(matches!(err, SdError::SnapshotIo(_)), "got {err:?}");
+        // Poisoned: no further mutations until recovery.
+        assert!(matches!(
+            d.insert(&[0.3, 0.3]).unwrap_err(),
+            SdError::SnapshotIo(_)
+        ));
+        // Reopen: the torn tail is truncated, the acknowledged insert
+        // survives.
+        let back =
+            DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(back.recovery().replayed_records, 1);
+        assert!(back.recovery().truncated_bytes > 0);
+        assert_eq!(back.engine().total_rows(), 21);
+    }
+
+    #[test]
+    fn checkpoint_recovers_a_poisoned_engine() {
+        let mut storage = MemStorage::new();
+        let d = DurableEngine::create(
+            storage.clone(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let next = d.storage().io_points();
+        storage.set_script({
+            let mut s = FaultScript::none();
+            s.push(Fault::Fail { at: next + 1 }); // first insert's fsync
+            s
+        });
+        let mut d = DurableEngine::create(
+            storage,
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        let err = d.insert(&[0.1, 0.1]).unwrap_err();
+        assert!(matches!(err, SdError::SnapshotIo(_)));
+        assert!(d.insert(&[0.2, 0.2]).is_err(), "poisoned");
+        // The failed insert was logged but never applied (append-first
+        // ordering) and never acknowledged. Checkpoint persists the
+        // in-memory truth — without that phantom row — and rotates past
+        // the questionable log, clearing the poison.
+        d.checkpoint().unwrap();
+        d.insert(&[0.2, 0.2]).unwrap();
+        let back =
+            DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(back.engine().total_rows(), 21);
+    }
+
+    #[test]
+    fn stale_wal_after_interrupted_rotation_is_discarded() {
+        // Crash exactly between the checkpoint's snapshot rename and its
+        // WAL rotation: the new snapshot already holds the logged insert;
+        // replaying the stale log would double-apply it.
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.1, 0.2]).unwrap();
+        let base = d.storage().io_points();
+        let mut found_stale = false;
+        // The checkpoint performs 8 storage ops (2 × write/sync/rename/
+        // sync_dir); crash at each and reopen.
+        for crash in base..base + 8 {
+            let mut storage = d.storage().clone();
+            storage.set_script(FaultScript::crash_at(crash));
+            let mut victim = DurableEngine {
+                storage,
+                snap_name: d.snap_name.clone(),
+                engine: d.engine.clone(),
+                opts: d.opts,
+                generation: d.generation,
+                checkpoint_epoch: d.checkpoint_epoch,
+                appended_records: d.appended_records,
+                durable_records: d.durable_records,
+                appended_bytes: d.appended_bytes,
+                wal_len: d.wal_len,
+                poisoned: None,
+                recovery: RecoveryReport::default(),
+            };
+            assert!(victim.checkpoint().is_err(), "crash point {crash}");
+            let image = victim.into_storage().crash_image();
+            let back = DurableEngine::open(image, "idx.sdq", DurableOptions::default())
+                .unwrap_or_else(|e| panic!("crash point {crash}: reopen failed: {e}"));
+            assert_eq!(
+                back.engine().total_rows(),
+                21,
+                "crash point {crash}: exactly one insert, never double-applied"
+            );
+            found_stale |= back.recovery().stale_wal_reset;
+        }
+        assert!(
+            found_stale,
+            "some crash point must land between the two renames"
+        );
+    }
+
+    #[test]
+    fn mismatched_wal_generation_is_typed() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.1, 0.2]).unwrap();
+        let mut storage = d.into_storage();
+        // Forge a future-generation WAL header.
+        let bytes = WalHeader {
+            dims: 2,
+            generation: 99,
+            base_rows: 20,
+        }
+        .encode();
+        storage.write_file("idx.sdq.wal", &bytes).unwrap();
+        let err = DurableEngine::open(storage, "idx.sdq", DurableOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, SdError::SnapshotCorrupt { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_wal_for_durable_snapshot_is_typed() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        d.insert(&[0.1, 0.2]).unwrap();
+        let mut storage = d.into_storage();
+        storage.remove("idx.sdq.wal").unwrap();
+        let err = DurableEngine::open(storage, "idx.sdq", DurableOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, SdError::SnapshotCorrupt { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected_before_logging() {
+        let mut d = DurableEngine::create(
+            MemStorage::new(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            d.insert(&[1.0]).unwrap_err(),
+            SdError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            d.insert(&[1.0, f64::NAN]).unwrap_err(),
+            SdError::NonFiniteCoordinate { .. }
+        ));
+        assert!(matches!(
+            d.delete(PointId::new(10_000)).unwrap_err(),
+            SdError::UnknownRow { .. }
+        ));
+        assert_eq!(d.wal_status().records, 0, "nothing was logged");
+    }
+}

@@ -6,7 +6,7 @@
 //! [`TopKIndex`], a §3 [`Top1Index`] and the R*-tree baseline — into one
 //! versioned, checksummed binary file that restores without any rebuilding.
 //!
-//! ## File format (versions 1, 2 and 3)
+//! ## File format (versions 1 through 4)
 //!
 //! ```text
 //! offset  size  field
@@ -37,6 +37,12 @@
 //! so every file is readable by the oldest reader that understands its
 //! content. v1/v2 files load unchanged.
 //!
+//! **Version 4** adds the `durability` section: the checkpoint generation
+//! and epoch that tie a snapshot to its write-ahead log (see the
+//! [`durable`] module). As before, the version only bumps when the
+//! section is present — snapshots written outside a [`DurableEngine`]
+//! keep their old version.
+//!
 //! Every section payload carries a CRC-32; the table itself is covered by a
 //! trailing table checksum, so *any* single flipped byte in the file is
 //! detected before decoding begins. Structural validation inside
@@ -64,6 +70,9 @@
 //! ```
 
 mod crc32;
+pub mod durable;
+pub mod io;
+pub mod wal;
 
 use std::path::Path;
 
@@ -76,12 +85,14 @@ use sdq_engine::SdEngine;
 use sdq_rstar::RStarTree;
 
 pub use crc32::crc32;
+pub use durable::{DurableEngine, DurableOptions, RecoveryReport, SyncPolicy, WalStatus};
+pub use io::{DiskStorage, Fault, FaultScript, MemStorage, Storage};
 
 /// `b"SDQSNAP\0"` — the first 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SDQSNAP\0";
 
 /// The newest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The original format (no engine sections). Snapshots without an engine
 /// are still written as version 1 for maximum reader compatibility.
@@ -94,6 +105,10 @@ pub const FORMAT_V2: u32 = 2;
 /// The live-mutation format (delta + tombstone sections). Pinned so a
 /// future version bump cannot shift what these sections require.
 pub const FORMAT_V3: u32 = 3;
+
+/// The durability format (checkpoint-generation section tying a snapshot
+/// to its WAL). Only [`DurableEngine`] checkpoints write it.
+pub const FORMAT_V4: u32 = 4;
 
 /// Hard cap on the section count, far above anything legitimate; rejects
 /// absurd table sizes from corrupt headers before allocation.
@@ -130,6 +145,9 @@ pub enum SectionKind {
     /// The engine's tombstones: the addressable row domain (`u64`) plus the
     /// dead row ids as a sorted ascending `u32` list. Format v3+.
     MutationTombstones = 10,
+    /// Durability metadata: checkpoint generation (`u64`) and checkpoint
+    /// epoch (`u64`), linking the snapshot to its WAL. Format v4+.
+    Durability = 11,
 }
 
 impl SectionKind {
@@ -145,6 +163,7 @@ impl SectionKind {
             8 => Some(SectionKind::EngineShard),
             9 => Some(SectionKind::MutationDelta),
             10 => Some(SectionKind::MutationTombstones),
+            11 => Some(SectionKind::Durability),
             _ => None,
         }
     }
@@ -162,6 +181,7 @@ impl SectionKind {
             SectionKind::EngineShard => "engine-shard",
             SectionKind::MutationDelta => "mutation-delta",
             SectionKind::MutationTombstones => "mutation-tombstones",
+            SectionKind::Durability => "durability",
         }
     }
 
@@ -176,7 +196,44 @@ impl SectionKind {
             | SectionKind::RStarTree => FORMAT_V1,
             SectionKind::EngineManifest | SectionKind::EngineShard => FORMAT_V2,
             SectionKind::MutationDelta | SectionKind::MutationTombstones => FORMAT_V3,
+            SectionKind::Durability => FORMAT_V4,
         }
+    }
+}
+
+/// The v4 durability section: ties a snapshot to its write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityInfo {
+    /// Checkpoint generation; must match the WAL header's generation for
+    /// the log to be replayed (a lower WAL generation means its records
+    /// are already folded into this snapshot).
+    pub generation: u64,
+    /// Engine epoch at the checkpoint that wrote this snapshot.
+    pub checkpoint_epoch: u64,
+}
+
+impl DurabilityInfo {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.generation);
+        w.u64(self.checkpoint_epoch);
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
+        let mut r = Reader::new(bytes);
+        let generation = r.u64()?;
+        let checkpoint_epoch = r.u64()?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after durability section"));
+        }
+        if generation == 0 {
+            return Err(corrupt("durability generation 0 is invalid"));
+        }
+        Ok(DurabilityInfo {
+            generation,
+            checkpoint_epoch,
+        })
     }
 }
 
@@ -257,6 +314,9 @@ pub struct Snapshot {
     pub rstar: Option<RStarTree>,
     /// The sharded execution engine (snapshot format v2).
     pub engine: Option<SdEngine>,
+    /// Durability metadata written by [`DurableEngine`] checkpoints
+    /// (snapshot format v4).
+    pub durability: Option<DurabilityInfo>,
 }
 
 /// Metadata of one stored section, as reported by [`Snapshot::inspect_bytes`].
@@ -306,6 +366,7 @@ impl Snapshot {
             && self.top1.is_none()
             && self.rstar.is_none()
             && self.engine.is_none()
+            && self.durability.is_none()
     }
 
     /// Serialises every present artifact into the snapshot container
@@ -357,10 +418,17 @@ impl Snapshot {
                 sections.push((SectionKind::MutationTombstones, 0, w.into_bytes()));
             }
         }
-        let version = match &self.engine {
-            Some(e) if e.has_mutations() => FORMAT_V3,
-            Some(_) => FORMAT_V2,
-            None => FORMAT_V1,
+        if let Some(d) = &self.durability {
+            sections.push((SectionKind::Durability, 0, d.encode()));
+        }
+        let version = if self.durability.is_some() {
+            FORMAT_V4
+        } else {
+            match &self.engine {
+                Some(e) if e.has_mutations() => FORMAT_V3,
+                Some(_) => FORMAT_V2,
+                None => FORMAT_V1,
+            }
         };
 
         // Header: magic + version + count + table + table CRC.
@@ -509,6 +577,7 @@ impl Snapshot {
                 SectionKind::MutationTombstones => {
                     tombstones = Some(Self::decode_tombstones(payload)?)
                 }
+                SectionKind::Durability => snap.durability = Some(DurabilityInfo::decode(payload)?),
             }
         }
         snap.engine = Self::assemble_engine(manifest, engine_shards)?;
@@ -618,20 +687,14 @@ impl Snapshot {
         })
     }
 
-    /// Writes the snapshot to `path` (atomically: temp file + rename).
+    /// Writes the snapshot to `path` atomically *and durably*: temp file
+    /// → `sync_all` → rename → parent-directory fsync, so a crash at any
+    /// point leaves either the old file or the complete new one.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SdError> {
         let path = path.as_ref();
         let bytes = self.to_bytes();
-        // Append to the full file name (`x.sdq` → `x.sdq.tmp`) rather than
-        // replacing the extension, so saves to `x.sdq` and `x.dat` in one
-        // directory cannot collide on the same temp path.
-        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        let io = |e: std::io::Error| SdError::SnapshotIo(format!("{}: {e}", path.display()));
-        std::fs::write(&tmp, &bytes).map_err(io)?;
-        std::fs::rename(&tmp, path).map_err(io)?;
-        Ok(())
+        io::atomic_write_path(path, &bytes)
+            .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))
     }
 
     /// Reads and restores a snapshot from `path`.
@@ -785,10 +848,7 @@ mod tests {
     fn mutated_snapshot_is_version_3_and_compacted_drops_back_to_v2() {
         let snap = sample_snapshot();
         let bytes = snap.to_bytes();
-        assert_eq!(
-            Snapshot::inspect_bytes(&bytes).unwrap().version,
-            FORMAT_VERSION
-        );
+        assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_V3);
         let mut back = Snapshot::from_bytes(&bytes).unwrap();
         back.engine.as_mut().unwrap().compact().unwrap();
         let compacted = back.to_bytes();
@@ -831,15 +891,56 @@ mod tests {
     fn engine_sections_in_v1_are_rejected() {
         // Downgrading the version byte of a v2 file must not silently load.
         let mut bytes = sample_snapshot().to_bytes();
-        assert_eq!(
-            Snapshot::inspect_bytes(&bytes).unwrap().version,
-            FORMAT_VERSION
-        );
+        assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_V3);
         bytes[8..12].copy_from_slice(&FORMAT_V1.to_le_bytes());
         assert!(matches!(
             Snapshot::from_bytes(&bytes).unwrap_err(),
             SdError::SnapshotCorrupt { .. }
         ));
+    }
+
+    #[test]
+    fn durability_section_bumps_to_v4_and_roundtrips() {
+        let mut snap = sample_snapshot();
+        snap.durability = Some(DurabilityInfo {
+            generation: 7,
+            checkpoint_epoch: 3,
+        });
+        let bytes = snap.to_bytes();
+        assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_V4);
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.durability, snap.durability);
+        // Deterministic bytes survive the round trip.
+        assert_eq!(back.to_bytes(), bytes);
+        // Every flipped byte of a v4 file is still detected.
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x01;
+            assert!(
+                Snapshot::from_bytes(&mutated).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn durability_section_in_old_versions_is_rejected() {
+        let mut snap = Snapshot::new();
+        snap.durability = Some(DurabilityInfo {
+            generation: 1,
+            checkpoint_epoch: 0,
+        });
+        let mut bytes = snap.to_bytes();
+        for old in [FORMAT_V1, FORMAT_V2, FORMAT_V3] {
+            bytes[8..12].copy_from_slice(&old.to_le_bytes());
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&bytes).unwrap_err(),
+                    SdError::SnapshotCorrupt { .. }
+                ),
+                "v{old} file with a durability section loaded"
+            );
+        }
     }
 
     #[test]
@@ -933,7 +1034,7 @@ mod tests {
         assert_eq!(back.to_bytes(), snap.to_bytes());
 
         let info = Snapshot::inspect(&path).unwrap();
-        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.version, FORMAT_V3);
         // 6 classic sections + engine manifest + 2 shard sections + delta
         // + tombstones.
         assert_eq!(info.sections.len(), 11);

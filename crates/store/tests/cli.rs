@@ -658,3 +658,212 @@ fn bench_query_shard_mismatch_errors_and_mutate_frac_reports() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ─── Durability: WAL-backed mutation via the CLI ────────────────────────────
+
+/// Builds a small 2-d engine snapshot for the WAL tests.
+fn build_wal_base(dir: &std::path::Path) -> PathBuf {
+    let snap_path = dir.join("wal.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "200",
+            "--dims",
+            "2",
+            "--seed",
+            "11",
+            "--roles",
+            "ar",
+            "--shards",
+            "2",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success(), "sdq build failed");
+    snap_path
+}
+
+#[test]
+fn wal_insert_query_recover_lifecycle() {
+    let dir = temp_dir("wal-lifecycle");
+    let snap_path = build_wal_base(&dir);
+    let wal_path = dir.join("wal.sdq.wal");
+
+    // First --wal mutation promotes the snapshot and creates the sidecar.
+    let csv = dir.join("rows.csv");
+    std::fs::write(&csv, "0.5,0.25\n0.75,0.125\n").unwrap();
+    let out = sdq()
+        .args(["insert", snap_path.to_str().unwrap(), "--csv"])
+        .arg(&csv)
+        .arg("--wal")
+        .output()
+        .expect("spawn sdq insert --wal");
+    assert!(out.status.success(), "insert --wal failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("enabling the WAL"), "{stdout}");
+    assert!(stdout.contains("inserted 2 row(s)"), "{stdout}");
+    assert!(wal_path.exists(), "wal sidecar not created");
+
+    // A second mutation appends to the existing log.
+    let out = sdq()
+        .args(["delete", snap_path.to_str().unwrap(), "--ids", "3", "--wal"])
+        .output()
+        .expect("spawn sdq delete --wal");
+    assert!(out.status.success(), "delete --wal failed");
+
+    // Queries replay the log transparently and see the logged rows.
+    let out = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.25",
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert!(out.status.success(), "query of WAL-backed snapshot failed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("replayed 2 wal record(s)"), "{stderr}");
+
+    // inspect reports the durability status.
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq inspect");
+    assert!(out.status.success(), "inspect failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("durability: generation"), "{stdout}");
+    assert!(stdout.contains("2 record(s)"), "{stdout}");
+
+    // A non-WAL mutation must be refused with a typed error, not applied.
+    let out = sdq()
+        .args(["delete", snap_path.to_str().unwrap(), "--ids", "4"])
+        .output()
+        .expect("spawn sdq delete");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("WAL-backed"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // recover replays, checkpoints, and rotates the log to empty.
+    let out = sdq()
+        .args(["recover", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq recover");
+    assert!(out.status.success(), "recover failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovered"), "{stdout}");
+    assert!(stdout.contains("201 live row(s)"), "{stdout}");
+    let wal_len = std::fs::metadata(&wal_path).unwrap().len();
+    assert_eq!(wal_len, 36, "recover must rotate the wal to header-only");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_missing_wal_fail_cleanly() {
+    let dir = temp_dir("wal-corrupt");
+    let snap_path = build_wal_base(&dir);
+    let wal_path = dir.join("wal.sdq.wal");
+
+    let csv = dir.join("rows.csv");
+    std::fs::write(&csv, "1.0,2.0\n").unwrap();
+    let status = sdq()
+        .args(["insert", snap_path.to_str().unwrap(), "--csv"])
+        .arg(&csv)
+        .arg("--wal")
+        .status()
+        .expect("spawn sdq insert --wal");
+    assert!(status.success());
+
+    // Corrupt the WAL header: open must fail with a typed error (exit 1,
+    // "error:" on stderr, no panic / backtrace).
+    let clean = std::fs::read(&wal_path).unwrap();
+    let mut bad = clean.clone();
+    bad[12] ^= 0xff; // inside the header's CRC-covered region
+    std::fs::write(&wal_path, &bad).unwrap();
+    let out = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0,0",
+            "--k",
+            "1",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert_eq!(out.status.code(), Some(1), "corrupt wal must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+
+    // A missing sidecar on a durable snapshot is refused too: silently
+    // ignoring it would drop acknowledged writes.
+    std::fs::remove_file(&wal_path).unwrap();
+    let out = sdq()
+        .args(["recover", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq recover");
+    assert_eq!(out.status.code(), Some(1), "missing wal must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Restoring the intact log makes the snapshot readable again.
+    std::fs::write(&wal_path, &clean).unwrap();
+    let status = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .status()
+        .expect("spawn sdq inspect");
+    assert!(status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_torn_tail_is_truncated_on_open() {
+    let dir = temp_dir("wal-torn");
+    let snap_path = build_wal_base(&dir);
+    let wal_path = dir.join("wal.sdq.wal");
+
+    // Two separate inserts → two WAL records, so a torn tail still leaves
+    // an intact record to salvage.
+    for row in ["1.0,2.0\n", "3.0,4.0\n"] {
+        let csv = dir.join("rows.csv");
+        std::fs::write(&csv, row).unwrap();
+        let status = sdq()
+            .args(["insert", snap_path.to_str().unwrap(), "--csv"])
+            .arg(&csv)
+            .arg("--wal")
+            .status()
+            .expect("spawn sdq insert --wal");
+        assert!(status.success());
+    }
+
+    // Tear the last record mid-frame, as a crash during append would.
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+    // recover notes the torn tail, salvages the prefix and checkpoints.
+    let out = sdq()
+        .args(["recover", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq recover");
+    assert!(out.status.success(), "recover of torn wal failed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("torn"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 record(s) replayed"), "{stdout}");
+    assert!(stdout.contains("201 live row(s)"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

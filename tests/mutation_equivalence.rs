@@ -251,7 +251,7 @@ proptest! {
         k in 1usize..10,
         shards in 1usize..4,
     ) {
-        use sdq::store::{Snapshot, FORMAT_VERSION};
+        use sdq::store::{Snapshot, FORMAT_V3};
         let q = SdQuery::new(raw_query.0, raw_query.1).unwrap();
         let mut engine = SdEngine::build_with(
             Dataset::from_rows(DIMS, &rows).unwrap(),
@@ -269,7 +269,9 @@ proptest! {
         let mut snap = Snapshot::new();
         snap.engine = Some(engine.clone());
         let bytes = snap.to_bytes();
-        prop_assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_VERSION);
+        // A mutated engine without a durability section stays at v3 — v4 is
+        // reserved for WAL-backed snapshots.
+        prop_assert_eq!(Snapshot::inspect_bytes(&bytes).unwrap().version, FORMAT_V3);
         let back = Snapshot::from_bytes(&bytes).unwrap();
         let restored = back.engine.as_ref().unwrap();
         prop_assert_eq!(restored.delta_rows(), engine.delta_rows());

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use sdq::core::multidim::SdIndex;
 use sdq::core::top1::Top1Index;
 use sdq::core::topk::TopKIndex;
-use sdq::store::{Snapshot, FORMAT_VERSION, MAGIC};
+use sdq::store::{wal, Snapshot, FORMAT_VERSION, MAGIC};
 use sdq::{Dataset, DimRole, SdError, SdQuery};
 
 fn coord() -> impl Strategy<Value = f64> {
@@ -192,4 +192,127 @@ fn snapshot_files_roundtrip_on_disk() {
     );
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ─── WAL corruption sweeps ──────────────────────────────────────────────────
+//
+// The same adversarial treatment the snapshot container gets, applied to
+// the write-ahead log: every flipped byte, every truncation point and any
+// garbage tail must surface a typed `SdError` through the strict reader —
+// and the recovery reader must classify a damaged *tail* as torn (salvaging
+// the intact prefix) without ever panicking.
+
+/// A WAL image with a header and a few records of every kind.
+fn sample_wal() -> Vec<u8> {
+    let header = wal::WalHeader {
+        dims: 2,
+        generation: 3,
+        base_rows: 10,
+    };
+    let mut bytes = header.encode();
+    let records = [
+        wal::WalRecord::Insert(vec![0.5, -1.5]),
+        wal::WalRecord::Delete(4),
+        wal::WalRecord::InsertRows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]),
+        wal::WalRecord::Insert(vec![9.0, 9.5]),
+    ];
+    for r in &records {
+        bytes.extend_from_slice(&r.encode());
+    }
+    bytes
+}
+
+#[test]
+fn every_flipped_wal_byte_is_a_typed_strict_error() {
+    let bytes = sample_wal();
+    assert_eq!(wal::read_strict(&bytes).unwrap().records.len(), 4);
+    for pos in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 0x01;
+        let err = wal::read_strict(&mutated)
+            .err()
+            .unwrap_or_else(|| panic!("flip at wal byte {pos} went undetected"));
+        assert_snapshot_error(&err);
+    }
+}
+
+#[test]
+fn every_wal_truncation_is_strict_error_and_clean_recovery() {
+    let bytes = sample_wal();
+    let contents = wal::read_strict(&bytes).unwrap();
+    let full = contents.records.len();
+    // Cuts that land exactly on a record-frame boundary ARE valid logs —
+    // a header-only file is what rotation writes, and a shorter record list
+    // is simply an older log. Every other cut must be a typed error.
+    let mut boundaries = vec![wal::WAL_HEADER_BYTES];
+    for r in &contents.records {
+        boundaries.push(boundaries.last().unwrap() + r.encode().len());
+    }
+    for cut in 0..bytes.len() {
+        let cut_bytes = &bytes[..cut];
+        if let Some(idx) = boundaries.iter().position(|&b| b == cut) {
+            assert_eq!(wal::read_strict(cut_bytes).unwrap().records.len(), idx);
+        } else {
+            let err = wal::read_strict(cut_bytes)
+                .err()
+                .unwrap_or_else(|| panic!("truncation to {cut} wal bytes went undetected"));
+            assert_snapshot_error(&err);
+        }
+        // Recovery: a truncated header is unrecoverable (typed error); a
+        // truncated record list salvages the intact prefix.
+        match wal::recover(cut_bytes) {
+            Err(e) => {
+                assert!(cut < wal::WAL_HEADER_BYTES, "cut {cut}: {e:?}");
+                assert_snapshot_error(&e);
+            }
+            Ok(rec) => {
+                assert!(rec.records.len() <= full);
+                assert_eq!(rec.valid_len + rec.truncated_bytes, cut as u64);
+                // The salvaged prefix must re-read strictly.
+                let replay = wal::read_strict(&cut_bytes[..rec.valid_len as usize]).unwrap();
+                assert_eq!(replay.records.len(), rec.records.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn wal_garbage_tail_is_truncated_by_recovery_and_rejected_strictly() {
+    let mut bytes = sample_wal();
+    let clean_len = bytes.len() as u64;
+    bytes.extend_from_slice(b"\xde\xad\xbe\xef garbage that is no record");
+    let err = wal::read_strict(&bytes).unwrap_err();
+    assert_snapshot_error(&err);
+    let rec = wal::recover(&bytes).unwrap();
+    assert_eq!(rec.records.len(), 4, "intact records salvaged");
+    assert_eq!(rec.valid_len, clean_len);
+    assert_eq!(
+        rec.truncated_bytes as usize,
+        bytes.len() - clean_len as usize
+    );
+}
+
+#[test]
+fn flipped_final_record_crc_is_torn_not_lost() {
+    let bytes = sample_wal();
+    // Flip one byte inside the *last* record's payload: recovery must drop
+    // exactly that record and keep the first three.
+    let mut mutated = bytes.clone();
+    let last = bytes.len() - 3;
+    mutated[last] ^= 0xff;
+    let rec = wal::recover(&mutated).unwrap();
+    assert_eq!(rec.records.len(), 3);
+    assert!(rec.truncated_bytes > 0);
+}
+
+#[test]
+fn mid_log_corruption_is_a_typed_error_not_a_silent_truncate() {
+    let bytes = sample_wal();
+    // Flip a payload byte of the FIRST record: valid records follow, so
+    // this is real corruption — recovery must refuse rather than silently
+    // truncate three good records away.
+    let mut mutated = bytes.clone();
+    mutated[wal::WAL_HEADER_BYTES + wal::RECORD_PREFIX_BYTES + 2] ^= 0xff;
+    let err = wal::recover(&mutated).unwrap_err();
+    assert_snapshot_error(&err);
 }
