@@ -45,10 +45,12 @@ use std::sync::Arc;
 
 use crate::envelope::{KLevel, Keyed, Tent};
 use crate::geometry::Angle;
+use crate::integrity::{crc32c, SectionIntegrity};
 use crate::multidim::{DimPair, SdIndex, SortedColumn};
 use crate::top1::Top1Index;
 use crate::topk::{AngleBounds, Child, Node, TopKIndex};
 use crate::types::{Dataset, SdError};
+use crate::view::{ColumnarView, Pod, ViewKeep};
 use crate::DimRole;
 
 /// Shorthand used throughout this module.
@@ -63,16 +65,76 @@ pub fn corrupt(detail: impl Into<String>) -> SdError {
 
 // ─── byte-level writer / reader ─────────────────────────────────────────────
 
+/// Alignment of format-v5 array regions (and of v5 section payloads inside
+/// the container). Matches the cache-line alignment of `LaneBlock`, the
+/// widest-aligned mapped type.
+pub const REGION_ALIGN: usize = 64;
+
 /// Append-only little-endian byte sink.
+///
+/// In **aligned mode** (format v5) the writer additionally supports framed
+/// *regions*: `[crc32c u32][len u64]` headers followed by payload bytes,
+/// with array payloads zero-padded to a [`REGION_ALIGN`] boundary so their
+/// file image is the exact in-memory representation, reinterpretable in
+/// place after `mmap`.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    aligned: bool,
 }
 
 impl Writer {
     /// A fresh, empty writer.
     pub fn new() -> Self {
         Writer::default()
+    }
+
+    /// A writer producing the aligned region-framed (format v5) encoding.
+    pub fn new_aligned() -> Self {
+        Writer {
+            buf: Vec::new(),
+            aligned: true,
+        }
+    }
+
+    /// `true` when this writer produces the aligned (v5) encoding.
+    #[inline]
+    pub fn is_aligned(&self) -> bool {
+        self.aligned
+    }
+
+    /// Writes a framed metadata region: scalars written by `f` get a
+    /// `[crc32c][len]` header so corruption is detected without trusting
+    /// any structural field. Only valid in aligned mode; regions must not
+    /// nest.
+    pub fn meta_region(&mut self, f: impl FnOnce(&mut Writer)) {
+        debug_assert!(self.aligned, "meta_region requires an aligned writer");
+        let header_at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 12]);
+        let data_at = self.buf.len();
+        f(self);
+        let len = (self.buf.len() - data_at) as u64;
+        let crc = crc32c(&self.buf[data_at..]);
+        self.buf[header_at..header_at + 4].copy_from_slice(&crc.to_le_bytes());
+        self.buf[header_at + 4..header_at + 12].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Writes a framed, 64-byte-aligned array region: `[crc32c][count]`,
+    /// zero padding to the next [`REGION_ALIGN`] boundary, then the raw
+    /// little-endian element bytes (the exact in-memory representation).
+    pub fn pod_array<T: Pod>(&mut self, vs: &[T]) {
+        debug_assert!(self.aligned, "pod_array requires an aligned writer");
+        // Safety: `Pod` guarantees no padding bytes and no invalid bit
+        // patterns, so the element memory is plain initialized bytes.
+        let bytes: &[u8] = unsafe {
+            std::slice::from_raw_parts(vs.as_ptr().cast::<u8>(), std::mem::size_of_val(vs))
+        };
+        let crc = crc32c(bytes);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(&(vs.len() as u64).to_le_bytes());
+        let pad = self.buf.len().next_multiple_of(REGION_ALIGN) - self.buf.len();
+        self.buf.resize(self.buf.len() + pad, 0);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Consumes the writer, returning the encoded bytes.
@@ -155,16 +217,228 @@ impl Writer {
 }
 
 /// Bounds-checked little-endian reader over a byte slice.
-#[derive(Debug)]
+///
+/// In **aligned mode** (format v5) the reader walks framed regions written
+/// by [`Writer::meta_region`]/[`Writer::pod_array`]. Metadata regions are
+/// checksum-verified eagerly (they are small and drive all further
+/// parsing); array regions become [`ColumnarView`]s — borrowed slices of
+/// the mapped bytes when a keepalive is present (checksums deferred to
+/// first touch via [`SectionIntegrity`]), owned eagerly-verified copies
+/// otherwise.
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    aligned: bool,
+    keep: Option<ViewKeep>,
+    file_offset: u64,
+    prefix: String,
+    regions: Vec<Arc<SectionIntegrity>>,
+}
+
+impl std::fmt::Debug for Reader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader")
+            .field("len", &self.buf.len())
+            .field("pos", &self.pos)
+            .field("aligned", &self.aligned)
+            .field("mapped", &self.keep.is_some())
+            .finish()
+    }
 }
 
 impl<'a> Reader<'a> {
     /// Starts reading at the beginning of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            aligned: false,
+            keep: None,
+            file_offset: 0,
+            prefix: String::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// An aligned-mode reader decoding owned copies with eager checksum
+    /// verification (the v5 `from_bytes` path). `file_offset` is the
+    /// absolute position of `buf[0]` in the snapshot file, used for region
+    /// bookkeeping.
+    pub fn new_aligned(buf: &'a [u8], prefix: impl Into<String>, file_offset: u64) -> Self {
+        let mut r = Reader::new(buf);
+        r.aligned = true;
+        r.prefix = prefix.into();
+        r.file_offset = file_offset;
+        r
+    }
+
+    /// An aligned-mode reader producing mapped views with lazily-verified
+    /// checksums (the `open_mapped` path).
+    ///
+    /// # Safety
+    ///
+    /// `buf` must point into memory owned (and kept immutable and alive)
+    /// by `keep`, and its start must be [`REGION_ALIGN`]-aligned.
+    pub unsafe fn new_mapped(
+        buf: &'a [u8],
+        keep: ViewKeep,
+        prefix: impl Into<String>,
+        file_offset: u64,
+    ) -> Self {
+        let mut r = Reader::new_aligned(buf, prefix, file_offset);
+        r.keep = Some(keep);
+        r
+    }
+
+    /// `true` when this reader decodes the aligned (v5) encoding.
+    #[inline]
+    pub fn is_aligned(&self) -> bool {
+        self.aligned
+    }
+
+    /// `true` when array regions become borrowed mapped views.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.keep.is_some()
+    }
+
+    /// All regions walked so far (for inspection tooling).
+    pub fn take_regions(&mut self) -> Vec<Arc<SectionIntegrity>> {
+        std::mem::take(&mut self.regions)
+    }
+
+    /// Pushes a naming segment for subsequent regions; returns the restore
+    /// token for [`Reader::pop_prefix`].
+    pub fn push_prefix(&mut self, segment: &str) -> usize {
+        let token = self.prefix.len();
+        if !self.prefix.is_empty() {
+            self.prefix.push('/');
+        }
+        self.prefix.push_str(segment);
+        token
+    }
+
+    /// Restores the naming prefix saved by [`Reader::push_prefix`].
+    pub fn pop_prefix(&mut self, token: usize) {
+        self.prefix.truncate(token);
+    }
+
+    fn region_name(&self, label: &str) -> String {
+        if self.prefix.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{label}", self.prefix)
+        }
+    }
+
+    /// Reads a framed metadata region written by [`Writer::meta_region`]:
+    /// verifies the checksum eagerly, then hands `f` a sub-reader that must
+    /// consume the region exactly.
+    pub fn meta_region<T>(
+        &mut self,
+        label: &str,
+        f: impl FnOnce(&mut Reader<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let name = self.region_name(label);
+        let crc = self.u32()?;
+        let len = self.len_prefix(1)?;
+        let off = self.file_offset + self.pos as u64;
+        let data = self.take(len)?;
+        if crc32c(data) != crc {
+            return Err(SdError::SnapshotChecksum { section: name });
+        }
+        self.regions.push(SectionIntegrity::new_verified(
+            name.clone(),
+            off,
+            len as u64,
+            crc,
+        ));
+        let mut sub = Reader::new(data);
+        let v = f(&mut sub)?;
+        if !sub.is_exhausted() {
+            return Err(corrupt(format!(
+                "{} trailing bytes in region {name}",
+                sub.remaining()
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Reads a framed aligned array region written by [`Writer::pod_array`].
+    ///
+    /// Mapped mode borrows the bytes in place and defers checksum
+    /// verification to the returned [`SectionIntegrity`] handle; owned mode
+    /// verifies eagerly and copies.
+    pub fn pod_array<T: Pod>(
+        &mut self,
+        label: &str,
+    ) -> Result<(ColumnarView<T>, Arc<SectionIntegrity>)> {
+        debug_assert!(self.aligned, "pod_array requires an aligned reader");
+        let name = self.region_name(label);
+        let crc = self.u32()?;
+        let count = self.usize()?;
+        // Padding is relative to the payload start, which the container
+        // places on a REGION_ALIGN boundary in the file (and the mapped
+        // pointer-alignment check below enforces it end to end).
+        let pad = self.pos.next_multiple_of(REGION_ALIGN) - self.pos;
+        for &b in self.take(pad)? {
+            if b != 0 {
+                return Err(corrupt(format!("nonzero padding before region {name}")));
+            }
+        }
+        let size = std::mem::size_of::<T>();
+        let len_bytes = count
+            .checked_mul(size)
+            .filter(|&n| n <= self.remaining())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "region {name}: {count} elements inconsistent with {} remaining bytes",
+                    self.remaining()
+                ))
+            })?;
+        let off = self.file_offset + self.pos as u64;
+        let data = self.take(len_bytes)?;
+        #[cfg(target_endian = "big")]
+        {
+            let _ = (data, off, crc);
+            return Err(corrupt(
+                "format v5 stores raw little-endian arrays; unsupported on big-endian targets",
+            ));
+        }
+        #[cfg(target_endian = "little")]
+        if let Some(keep) = &self.keep {
+            if !(data.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+                return Err(corrupt(format!("misaligned mapped region {name}")));
+            }
+            // Safety: the bytes live in `keep`-owned immutable memory
+            // (the `new_mapped` contract) and alignment was just checked.
+            let view =
+                unsafe { ColumnarView::mapped(data.as_ptr().cast::<T>(), count, keep.clone()) };
+            let integrity = unsafe {
+                SectionIntegrity::new_lazy(name, off, data.as_ptr(), len_bytes, crc, keep.clone())
+            };
+            self.regions.push(integrity.clone());
+            Ok((view, integrity))
+        } else {
+            if crc32c(data) != crc {
+                return Err(SdError::SnapshotChecksum { section: name });
+            }
+            let mut v: Vec<T> = Vec::with_capacity(count);
+            // Safety: `T` is `Pod` (any bit pattern valid, no padding), the
+            // source holds exactly `count * size_of::<T>()` bytes, and the
+            // destination allocation was just made with that capacity.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    data.as_ptr(),
+                    v.as_mut_ptr().cast::<u8>(),
+                    len_bytes,
+                );
+                v.set_len(count);
+            }
+            let integrity = SectionIntegrity::new_verified(name, off, len_bytes as u64, crc);
+            self.regions.push(integrity.clone());
+            Ok((ColumnarView::owned(v), integrity))
+        }
     }
 
     /// Bytes not yet consumed.
@@ -443,10 +717,26 @@ fn finite_slice(vs: &[f64], what: &str) -> Result<()> {
 impl Codec for Dataset {
     const MIN_ENCODED_BYTES: usize = 16;
     fn encode(&self, w: &mut Writer) {
+        if w.is_aligned() {
+            w.meta_region(|w| w.usize(self.dims()));
+            w.pod_array(self.flat());
+            return;
+        }
         w.usize(self.dims());
         w.f64s(self.flat());
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        if r.is_aligned() {
+            let dims = r.meta_region("data.meta", |m| m.usize())?;
+            let (coords, _integrity) = r.pod_array::<f64>("data.coords")?;
+            if !r.is_mapped() {
+                // The owned (eager) v5 path keeps the legacy guarantee of
+                // finite coordinates; mapped views defer to lazy checksums.
+                finite_slice(&coords, "coordinate")?;
+            }
+            return Dataset::from_view_trusted(dims, coords)
+                .map_err(|e| corrupt(format!("dataset rejected: {e}")));
+        }
         let dims = r.usize()?;
         let coords = r.f64s()?;
         // `from_flat` re-validates arity and finiteness, turning corrupt
@@ -611,32 +901,234 @@ fn decode_node_record(r: &mut Reader<'_>) -> Result<(Vec<Child>, Vec<AngleBounds
     Ok((children, bounds, xmin, xmax))
 }
 
+/// Writes the node-record run of the legacy wire (`n_nodes` prefix + one
+/// record per node) — also the byte image of a v5 `tree.raw` region.
+fn encode_topk_nodes(
+    w: &mut Writer,
+    nodes: &[Node],
+    node_bounds: &[AngleBounds],
+    node_xr: &[(f64, f64)],
+    m: usize,
+) {
+    w.usize(nodes.len());
+    for (id, node) in nodes.iter().enumerate() {
+        encode_node_record(
+            w,
+            &node.children,
+            &node_bounds[id * m..(id + 1) * m],
+            node_xr[id],
+        );
+    }
+}
+
+/// Parses the node-record run written by [`encode_topk_nodes`] into the
+/// flat node tables (shape checks only; see [`validate_topk_tree`]).
+#[allow(clippy::type_complexity)]
+fn parse_topk_nodes(
+    r: &mut Reader<'_>,
+    m: usize,
+) -> Result<(Vec<Node>, Vec<(f64, f64)>, Vec<AngleBounds>)> {
+    let n_nodes = r.len_prefix(NODE_MIN_ENCODED_BYTES)?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut node_xr = Vec::with_capacity(n_nodes);
+    let mut node_bounds: Vec<AngleBounds> = Vec::new();
+    for i in 0..n_nodes {
+        let (children, bounds, xmin, xmax) = decode_node_record(r)?;
+        ensure(bounds.len() == m, || {
+            format!("node {i}: {} bound tuples for {m} angles", bounds.len())
+        })?;
+        nodes.push(Node { children });
+        node_xr.push((xmin, xmax));
+        node_bounds.extend_from_slice(&bounds);
+    }
+    Ok((nodes, node_xr, node_bounds))
+}
+
+/// Validates a parsed node tree against its point table: child targets in
+/// range, only live points referenced, a consistent free list, and the
+/// reachable structure a genuine tree covering exactly the live slots.
+fn validate_topk_tree(
+    nodes: &[Node],
+    alive: &[bool],
+    n_alive: usize,
+    root: Option<u32>,
+    free_nodes: &[u32],
+) -> Result<()> {
+    let n_slots = alive.len();
+    for (i, node) in nodes.iter().enumerate() {
+        for child in &node.children {
+            match *child {
+                Child::Inner(c) => ensure((c as usize) < nodes.len(), || {
+                    format!("node {i}: child node {c} out of range")
+                })?,
+                Child::Point(p) => {
+                    ensure((p as usize) < n_slots, || {
+                        format!("node {i}: point slot {p} out of range")
+                    })?;
+                    ensure(alive[p as usize], || {
+                        format!("node {i}: dead point slot {p} in tree")
+                    })?;
+                }
+            }
+        }
+    }
+    let mut freed = vec![false; nodes.len()];
+    for &f in free_nodes {
+        ensure((f as usize) < nodes.len(), || {
+            format!("free-list node {f} out of range")
+        })?;
+        ensure(!freed[f as usize], || format!("node {f} freed twice"))?;
+        freed[f as usize] = true;
+    }
+
+    // The reachable structure must be a tree covering exactly the live
+    // slots: every inner node visited once, every live slot seen once.
+    let mut node_seen = vec![false; nodes.len()];
+    let mut slot_seen = vec![false; n_slots];
+    if let Some(root) = root {
+        ensure((root as usize) < nodes.len(), || {
+            format!("root node {root} out of range")
+        })?;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let idx = id as usize;
+            ensure(!node_seen[idx], || {
+                format!("node {id} reachable twice (cycle or DAG)")
+            })?;
+            ensure(!freed[idx], || format!("freed node {id} reachable"))?;
+            node_seen[idx] = true;
+            for child in &nodes[idx].children {
+                match *child {
+                    Child::Inner(c) => stack.push(c),
+                    Child::Point(p) => {
+                        ensure(!slot_seen[p as usize], || {
+                            format!("point slot {p} appears twice")
+                        })?;
+                        slot_seen[p as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+    let reachable_points = slot_seen.iter().filter(|&&s| s).count();
+    ensure(reachable_points == n_alive, || {
+        format!("{reachable_points} points reachable but {n_alive} live")
+    })?;
+    Ok(())
+}
+
+/// Decodes and fully validates a deferred v5 `tree.raw` blob (what
+/// [`TopKIndex::materialize_tree`](crate::topk) runs at the first
+/// mutation). The blob must be exhausted exactly.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_topk_tree(
+    raw: &[u8],
+    m: usize,
+    alive: &[bool],
+    n_alive: usize,
+    root: Option<u32>,
+    free_nodes: &[u32],
+) -> Result<(Vec<Node>, Vec<(f64, f64)>, Vec<AngleBounds>)> {
+    let mut r = Reader::new(raw);
+    let (nodes, node_xr, node_bounds) = parse_topk_nodes(&mut r, m)?;
+    if !r.is_exhausted() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after node records",
+            r.remaining()
+        )));
+    }
+    validate_topk_tree(&nodes, alive, n_alive, root, free_nodes)?;
+    Ok((nodes, node_xr, node_bounds))
+}
+
+/// Packs live flags into little-endian `u64` words, low bit first.
+fn pack_alive(alive: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; alive.len().div_ceil(64)];
+    for (i, &a) in alive.iter().enumerate() {
+        if a {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Expands an alive bitmap, rejecting stray bits past `n_slots`.
+fn unpack_alive(words: &[u64], n_slots: usize) -> Result<Vec<bool>> {
+    ensure(words.len() == n_slots.div_ceil(64), || {
+        format!("{} bitmap words for {n_slots} slots", words.len())
+    })?;
+    let mut alive = Vec::with_capacity(n_slots);
+    for i in 0..n_slots {
+        alive.push(words[i / 64] & (1u64 << (i % 64)) != 0);
+    }
+    let tail_bits = n_slots % 64;
+    if tail_bits != 0 {
+        let tail = words[n_slots / 64] >> tail_bits;
+        ensure(tail == 0, || {
+            "alive bitmap has bits past the end".to_string()
+        })?;
+    }
+    Ok(alive)
+}
+
 impl Codec for TopKIndex {
     fn encode(&self, w: &mut Writer) {
+        let m = self.angles.len();
+        if w.is_aligned() {
+            // Format v5: everything a query touches is an aligned array
+            // region mappable in place; the node tree stays in legacy wire
+            // form inside one lazy region so open() never decodes it.
+            w.meta_region(|w| {
+                w.usize(self.branching);
+                self.angles.encode(w);
+                w.usize(self.pts.len());
+                w.usize(self.n_alive);
+                pack_alive(&self.alive).encode(w);
+                self.root.encode(w);
+                w.u32s(&self.free_nodes);
+                w.usize(self.deep_leaves);
+                w.f64(self.rebuild_threshold);
+                w.bool(self.blocks.is_some());
+                if let Some(b) = &self.blocks {
+                    b.encode_meta(w);
+                }
+            });
+            w.pod_array(&self.pts);
+            match &self.deferred {
+                // A still-deferred tree re-encodes verbatim (the caller —
+                // the store layer — has ensured its checksum).
+                Some(d) => w.pod_array(&d.raw),
+                None => {
+                    let mut tree = Writer::new();
+                    encode_topk_nodes(&mut tree, &self.nodes, &self.node_bounds, &self.node_xr, m);
+                    w.pod_array(&tree.into_bytes());
+                }
+            }
+            if let Some(b) = &self.blocks {
+                b.encode_arrays(w);
+            }
+            return;
+        }
         w.usize(self.branching);
         self.angles.encode(w);
         // Wire format keeps split coordinate arrays (byte-identical to
         // `f64s` on each); the in-memory table is interleaved for query
         // locality, so write the two halves straight from it.
         w.usize(self.pts.len());
-        for p in &self.pts {
+        for p in self.pts.iter() {
             w.f64(p.0);
         }
         w.usize(self.pts.len());
-        for p in &self.pts {
+        for p in self.pts.iter() {
             w.f64(p.1);
         }
         w.bools(&self.alive);
         w.usize(self.n_alive);
-        let m = self.angles.len();
-        w.usize(self.nodes.len());
-        for (id, node) in self.nodes.iter().enumerate() {
-            encode_node_record(
-                w,
-                &node.children,
-                &self.node_bounds[id * m..(id + 1) * m],
-                self.node_xr[id],
-            );
+        match &self.deferred {
+            // Legacy re-encode of a mapped index that never materialised:
+            // the blob already *is* the legacy node-record run.
+            Some(d) => w.bytes(&d.raw),
+            None => encode_topk_nodes(w, &self.nodes, &self.node_bounds, &self.node_xr, m),
         }
         self.root.encode(w);
         w.u32s(&self.free_nodes);
@@ -645,29 +1137,16 @@ impl Codec for TopKIndex {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        if r.is_aligned() {
+            return decode_topk_aligned(r);
+        }
         let branching = r.usize()?;
         let angles = Vec::<Angle>::decode(r)?;
         let xs = r.f64s()?;
         let ys = r.f64s()?;
         let alive = r.bools()?;
         let n_alive = r.usize()?;
-        let n_nodes = r.len_prefix(NODE_MIN_ENCODED_BYTES)?;
-        let mut nodes = Vec::with_capacity(n_nodes);
-        let mut node_xr = Vec::with_capacity(n_nodes);
-        let mut node_bounds: Vec<AngleBounds> = Vec::new();
-        for i in 0..n_nodes {
-            let (children, bounds, xmin, xmax) = decode_node_record(r)?;
-            ensure(bounds.len() == angles.len(), || {
-                format!(
-                    "node {i}: {} bound tuples for {} angles",
-                    bounds.len(),
-                    angles.len()
-                )
-            })?;
-            nodes.push(Node { children });
-            node_xr.push((xmin, xmax));
-            node_bounds.extend_from_slice(&bounds);
-        }
+        let (nodes, node_xr, node_bounds) = parse_topk_nodes(r, angles.len())?;
         let root = Option::<u32>::decode(r)?;
         let free_nodes = r.u32s()?;
         let deep_leaves = r.usize()?;
@@ -697,81 +1176,13 @@ impl Codec for TopKIndex {
         ensure(rebuild_threshold >= 0.0, || {
             format!("negative rebuild threshold {rebuild_threshold}")
         })?;
-
-        // Per-node shape checks.
-        ensure(node_bounds.len() == nodes.len() * angles.len(), || {
-            format!(
-                "{} bound tuples for {} nodes x {} angles",
-                node_bounds.len(),
-                nodes.len(),
-                angles.len()
-            )
-        })?;
-        for (i, node) in nodes.iter().enumerate() {
-            for child in &node.children {
-                match *child {
-                    Child::Inner(c) => ensure((c as usize) < nodes.len(), || {
-                        format!("node {i}: child node {c} out of range")
-                    })?,
-                    Child::Point(p) => {
-                        ensure((p as usize) < xs.len(), || {
-                            format!("node {i}: point slot {p} out of range")
-                        })?;
-                        ensure(alive[p as usize], || {
-                            format!("node {i}: dead point slot {p} in tree")
-                        })?;
-                    }
-                }
-            }
-        }
-        let mut freed = vec![false; nodes.len()];
-        for &f in &free_nodes {
-            ensure((f as usize) < nodes.len(), || {
-                format!("free-list node {f} out of range")
-            })?;
-            ensure(!freed[f as usize], || format!("node {f} freed twice"))?;
-            freed[f as usize] = true;
-        }
-
-        // The reachable structure must be a tree covering exactly the live
-        // slots: every inner node visited once, every live slot seen once.
-        let mut node_seen = vec![false; nodes.len()];
-        let mut slot_seen = vec![false; xs.len()];
-        if let Some(root) = root {
-            ensure((root as usize) < nodes.len(), || {
-                format!("root node {root} out of range")
-            })?;
-            let mut stack = vec![root];
-            while let Some(id) = stack.pop() {
-                let idx = id as usize;
-                ensure(!node_seen[idx], || {
-                    format!("node {id} reachable twice (cycle or DAG)")
-                })?;
-                ensure(!freed[idx], || format!("freed node {id} reachable"))?;
-                node_seen[idx] = true;
-                for child in &nodes[idx].children {
-                    match *child {
-                        Child::Inner(c) => stack.push(c),
-                        Child::Point(p) => {
-                            ensure(!slot_seen[p as usize], || {
-                                format!("point slot {p} appears twice")
-                            })?;
-                            slot_seen[p as usize] = true;
-                        }
-                    }
-                }
-            }
-        }
-        let reachable_points = slot_seen.iter().filter(|&&s| s).count();
-        ensure(reachable_points == n_alive, || {
-            format!("{reachable_points} points reachable but {n_alive} live")
-        })?;
+        validate_topk_tree(&nodes, &alive, n_alive, root, &free_nodes)?;
 
         let pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
         let mut index = TopKIndex {
             branching,
             angles,
-            pts,
+            pts: ColumnarView::owned(pts),
             alive,
             n_alive,
             nodes,
@@ -782,13 +1193,149 @@ impl Codec for TopKIndex {
             deep_leaves,
             rebuild_threshold,
             blocks: None,
+            deferred: None,
+            query_integrity: Vec::new(),
+            mapped_check: Arc::new(std::sync::OnceLock::new()),
         };
-        // The SoA leaf blocks are derived state (never on the wire — the
-        // v1 format is unchanged); reassemble them at decode so a loaded
-        // index queries through the same block-scored path as a built one.
+        // The SoA leaf blocks are derived state (never on the v1 wire);
+        // reassemble them at decode so a loaded index queries through the
+        // same block-scored path as a built one.
         index.refresh_blocks();
         Ok(index)
     }
+}
+
+/// The aligned (format v5) half of `TopKIndex::decode`.
+fn decode_topk_aligned(r: &mut Reader<'_>) -> Result<TopKIndex> {
+    struct Meta {
+        branching: usize,
+        angles: Vec<Angle>,
+        n_slots: usize,
+        n_alive: usize,
+        alive: Vec<bool>,
+        root: Option<u32>,
+        free_nodes: Vec<u32>,
+        deep_leaves: usize,
+        rebuild_threshold: f64,
+        n_blocks: Option<usize>,
+    }
+    let meta = r.meta_region("meta", |m| {
+        let branching = m.usize()?;
+        let angles = Vec::<Angle>::decode(m)?;
+        let n_slots = m.usize()?;
+        let n_alive = m.usize()?;
+        let words = Vec::<u64>::decode(m)?;
+        let alive = unpack_alive(&words, n_slots)?;
+        let root = Option::<u32>::decode(m)?;
+        let free_nodes = m.u32s()?;
+        let deep_leaves = m.usize()?;
+        let rebuild_threshold = finite_f64(m.f64()?, "rebuild threshold")?;
+        let n_blocks = if m.bool()? { Some(m.usize()?) } else { None };
+        Ok(Meta {
+            branching,
+            angles,
+            n_slots,
+            n_alive,
+            alive,
+            root,
+            free_nodes,
+            deep_leaves,
+            rebuild_threshold,
+            n_blocks,
+        })
+    })?;
+    ensure(meta.branching >= 2, || {
+        format!("branching factor {} < 2", meta.branching)
+    })?;
+    ensure(!meta.angles.is_empty(), || "no indexed angles".to_string())?;
+    ensure(meta.n_slots <= u32::MAX as usize, || {
+        format!("{} slots exceed u32 indexing", meta.n_slots)
+    })?;
+    let alive_count = meta.alive.iter().filter(|&&a| a).count();
+    ensure(alive_count == meta.n_alive, || {
+        format!("n_alive {} but {alive_count} live slots", meta.n_alive)
+    })?;
+    ensure(meta.rebuild_threshold >= 0.0, || {
+        format!("negative rebuild threshold {}", meta.rebuild_threshold)
+    })?;
+    if let Some(n_blocks) = meta.n_blocks {
+        ensure(
+            n_blocks == meta.n_alive.div_ceil(crate::kernels::LANES) && n_blocks > 0,
+            || format!("{n_blocks} blocks for {} live points", meta.n_alive),
+        )?;
+    }
+
+    let region_mark = r.regions.len();
+    let (pts, _) = r.pod_array::<(f64, f64)>("pts")?;
+    ensure(pts.len() == meta.n_slots, || {
+        format!(
+            "point table holds {} slots, expected {}",
+            pts.len(),
+            meta.n_slots
+        )
+    })?;
+    if !r.is_mapped() {
+        for &(x, y) in pts.iter() {
+            finite_f64(x, "x coordinate")?;
+            finite_f64(y, "y coordinate")?;
+        }
+    }
+    let (raw, tree_integrity) = r.pod_array::<u8>("tree.raw")?;
+    let blocks = match meta.n_blocks {
+        Some(n_blocks) => Some(Arc::new(crate::topk::blocks::BlockSet::decode_arrays(
+            r,
+            n_blocks,
+            meta.angles.len(),
+        )?)),
+        None => None,
+    };
+    // Everything a query touches except the tree region: the point table
+    // and the block tables.
+    let query_integrity: Vec<Arc<SectionIntegrity>> = r.regions[region_mark..]
+        .iter()
+        .filter(|reg| !Arc::ptr_eq(reg, &tree_integrity))
+        .cloned()
+        .collect();
+
+    let mut index = TopKIndex {
+        branching: meta.branching,
+        angles: meta.angles,
+        pts,
+        alive: meta.alive,
+        n_alive: meta.n_alive,
+        nodes: Vec::new(),
+        node_xr: Vec::new(),
+        node_bounds: Vec::new(),
+        root: meta.root,
+        free_nodes: meta.free_nodes,
+        deep_leaves: meta.deep_leaves,
+        rebuild_threshold: meta.rebuild_threshold,
+        blocks,
+        deferred: Some(crate::topk::DeferredTree {
+            raw,
+            integrity: tree_integrity,
+        }),
+        query_integrity,
+        mapped_check: Arc::new(std::sync::OnceLock::new()),
+    };
+    if !r.is_mapped() {
+        // Owned decode validates everything eagerly (legacy guarantee)
+        // and then drops the integrity set — the regions were verified at
+        // read time, so the index behaves exactly like a legacy load.
+        index.materialize_tree()?;
+        index.ensure_query_integrity()?;
+        index.query_integrity = Vec::new();
+        if index.blocks.is_none() {
+            index.refresh_blocks();
+        }
+    } else if index.blocks.is_none() {
+        // Without blocks the query path needs the real tree, so the
+        // deferral invariant `deferred ⇒ blocks` is restored here.
+        index.materialize_tree()?;
+        index.ensure_query_integrity()?;
+        index.refresh_blocks();
+    }
+    Ok(index)
 }
 
 impl Codec for Tent {
@@ -1009,36 +1556,219 @@ impl Codec for DimPair {
 impl Codec for SortedColumn {
     const MIN_ENCODED_BYTES: usize = 8;
     fn encode(&self, w: &mut Writer) {
-        w.usize(self.entries.len());
-        for &(v, row) in &self.entries {
+        if w.is_aligned() {
+            w.pod_array(&self.values);
+            w.pod_array(&self.rows);
+            return;
+        }
+        w.usize(self.values.len());
+        for (&v, &row) in self.values.iter().zip(self.rows.iter()) {
             w.f64(v);
             w.u32(row);
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        if r.is_aligned() {
+            let (values, _) = r.pod_array::<f64>("values")?;
+            let (rows, _) = r.pod_array::<u32>("rows")?;
+            ensure(values.len() == rows.len(), || {
+                format!("{} values for {} row tags", values.len(), rows.len())
+            })?;
+            if !r.is_mapped() {
+                for &v in values.iter() {
+                    finite_f64(v, "column value")?;
+                }
+                ensure(values.windows(2).all(|w| w[0] <= w[1]), || {
+                    "sorted column out of order".to_string()
+                })?;
+            }
+            // Mapped mode: content checks (finite, sorted, rows-in-range)
+            // run once post-CRC at first query, so open() touches no pages.
+            return Ok(SortedColumn::from_parts(values, rows));
+        }
         let len = r.len_prefix(12)?;
         let raw = r.take(len * 12)?;
-        let entries: Vec<(f64, u32)> = raw
-            .chunks_exact(12)
-            .map(|c| {
-                (
-                    f64::from_bits(u64::from_le_bytes(c[..8].try_into().expect("8 bytes"))),
-                    u32::from_le_bytes(c[8..].try_into().expect("4 bytes")),
-                )
-            })
-            .collect();
-        for &(v, _) in &entries {
+        let mut values = Vec::with_capacity(len);
+        let mut rows = Vec::with_capacity(len);
+        for c in raw.chunks_exact(12) {
+            values.push(f64::from_bits(u64::from_le_bytes(
+                c[..8].try_into().expect("8 bytes"),
+            )));
+            rows.push(u32::from_le_bytes(c[8..].try_into().expect("4 bytes")));
+        }
+        for &v in &values {
             finite_f64(v, "column value")?;
         }
-        ensure(entries.windows(2).all(|w| w[0].0 <= w[1].0), || {
+        ensure(values.windows(2).all(|w| w[0] <= w[1]), || {
             "sorted column out of order".to_string()
         })?;
-        Ok(SortedColumn { entries })
+        Ok(SortedColumn::from_parts(
+            ColumnarView::owned(values),
+            ColumnarView::owned(rows),
+        ))
     }
+}
+
+/// The structural validation shared by both `SdIndex::decode` paths.
+/// `check_rows` additionally scans every sorted column's row ids (the
+/// mapped path defers that scan to the once-per-open check after the
+/// region checksums pass).
+fn validate_sd_parts(
+    data: &Dataset,
+    roles: &[DimRole],
+    pairs: &[DimPair],
+    unpaired: &[usize],
+    pair_indexes: &[TopKIndex],
+    columns: &[SortedColumn],
+    check_rows: bool,
+) -> Result<()> {
+    let dims = data.dims();
+    let n = data.len();
+    ensure(roles.len() == dims, || {
+        format!("{} roles for {dims} dimensions", roles.len())
+    })?;
+    ensure(pair_indexes.len() == pairs.len(), || {
+        format!(
+            "{} pair indexes for {} pairs",
+            pair_indexes.len(),
+            pairs.len()
+        )
+    })?;
+    ensure(columns.len() == unpaired.len(), || {
+        format!(
+            "{} columns for {} unpaired dimensions",
+            columns.len(),
+            unpaired.len()
+        )
+    })?;
+    let mut used = vec![false; dims];
+    let mut mark = |d: usize| -> Result<()> {
+        ensure(d < dims, || format!("dimension {d} out of range"))?;
+        ensure(!used[d], || format!("dimension {d} used twice"))?;
+        used[d] = true;
+        Ok(())
+    };
+    for p in pairs {
+        mark(p.repulsive)?;
+        mark(p.attractive)?;
+        ensure(roles[p.repulsive] == DimRole::Repulsive, || {
+            format!("pair repulsive dim {} has attractive role", p.repulsive)
+        })?;
+        ensure(roles[p.attractive] == DimRole::Attractive, || {
+            format!("pair attractive dim {} has repulsive role", p.attractive)
+        })?;
+    }
+    for &d in unpaired {
+        mark(d)?;
+    }
+    ensure(used.iter().all(|&u| u), || {
+        "some dimensions neither paired nor unpaired".to_string()
+    })?;
+    for (i, index) in pair_indexes.iter().enumerate() {
+        // Tree slots are dataset rows: tables must align exactly.
+        ensure(index.pts.len() == n && index.len() == n, || {
+            format!(
+                "pair index {i} covers {} slots ({} live) for {n} rows",
+                index.pts.len(),
+                index.len()
+            )
+        })?;
+    }
+    for (i, column) in columns.iter().enumerate() {
+        ensure(column.len() == n, || {
+            format!("column {i} holds {} entries for {n} rows", column.len())
+        })?;
+        if check_rows {
+            for &row in column.rows.iter() {
+                ensure((row as usize) < n, || {
+                    format!("column {i} references row {row} out of range")
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The aligned (format v5) half of `SdIndex::decode`. Section layout: one
+/// metadata region (roles / pairs / unpaired — every count below derives
+/// from these), the dataset's regions, each pair tree's regions under a
+/// `pair{i}` prefix, then each sorted column's under `col{i}`.
+fn decode_sd_aligned(r: &mut Reader<'_>) -> Result<SdIndex> {
+    let (roles, pairs, unpaired) = r.meta_region("index.meta", |m| {
+        Ok((
+            Vec::<DimRole>::decode(m)?,
+            Vec::<DimPair>::decode(m)?,
+            Vec::<usize>::decode(m)?,
+        ))
+    })?;
+    let data_mark = r.regions.len();
+    let data = Dataset::decode(r)?;
+    let data_regions: Vec<Arc<SectionIntegrity>> = r.regions[data_mark..].to_vec();
+    let mut pair_indexes = Vec::with_capacity(pairs.len());
+    for i in 0..pairs.len() {
+        let token = r.push_prefix(&format!("pair{i}"));
+        let index = TopKIndex::decode(r);
+        r.pop_prefix(token);
+        pair_indexes.push(index?);
+    }
+    let col_mark = r.regions.len();
+    let mut columns = Vec::with_capacity(unpaired.len());
+    for i in 0..unpaired.len() {
+        let token = r.push_prefix(&format!("col{i}"));
+        let column = SortedColumn::decode(r);
+        r.pop_prefix(token);
+        columns.push(column?);
+    }
+    validate_sd_parts(
+        &data,
+        &roles,
+        &pairs,
+        &unpaired,
+        &pair_indexes,
+        &columns,
+        !r.is_mapped(),
+    )?;
+    // The index's own lazy regions (a query reads coordinates to score
+    // candidates and column tables to stream 1-D subproblems); the pair
+    // trees already carry their own sets. Owned decodes verified
+    // everything eagerly above, so they carry none.
+    let query_integrity = if r.is_mapped() {
+        let mut own = data_regions;
+        own.extend(r.regions[col_mark..].iter().cloned());
+        own
+    } else {
+        Vec::new()
+    };
+    Ok(SdIndex {
+        data: Arc::new(data),
+        roles,
+        pairs,
+        unpaired,
+        pair_indexes,
+        columns,
+        pair_columns: Arc::new(std::sync::OnceLock::new()),
+        query_integrity,
+        mapped_check: Arc::new(std::sync::OnceLock::new()),
+    })
 }
 
 impl Codec for SdIndex {
     fn encode(&self, w: &mut Writer) {
+        if w.is_aligned() {
+            w.meta_region(|m| {
+                self.roles.encode(m);
+                self.pairs.encode(m);
+                self.unpaired.encode(m);
+            });
+            self.data.as_ref().encode(w);
+            for index in &self.pair_indexes {
+                index.encode(w);
+            }
+            for column in &self.columns {
+                column.encode(w);
+            }
+            return;
+        }
         self.data.as_ref().encode(w);
         self.roles.encode(w);
         self.pairs.encode(w);
@@ -1048,75 +1778,24 @@ impl Codec for SdIndex {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        if r.is_aligned() {
+            return decode_sd_aligned(r);
+        }
         let data = Dataset::decode(r)?;
         let roles = Vec::<DimRole>::decode(r)?;
         let pairs = Vec::<DimPair>::decode(r)?;
         let unpaired = Vec::<usize>::decode(r)?;
         let pair_indexes = Vec::<TopKIndex>::decode(r)?;
         let columns = Vec::<SortedColumn>::decode(r)?;
-
-        let dims = data.dims();
-        let n = data.len();
-        ensure(roles.len() == dims, || {
-            format!("{} roles for {dims} dimensions", roles.len())
-        })?;
-        ensure(pair_indexes.len() == pairs.len(), || {
-            format!(
-                "{} pair indexes for {} pairs",
-                pair_indexes.len(),
-                pairs.len()
-            )
-        })?;
-        ensure(columns.len() == unpaired.len(), || {
-            format!(
-                "{} columns for {} unpaired dimensions",
-                columns.len(),
-                unpaired.len()
-            )
-        })?;
-        let mut used = vec![false; dims];
-        let mut mark = |d: usize| -> Result<()> {
-            ensure(d < dims, || format!("dimension {d} out of range"))?;
-            ensure(!used[d], || format!("dimension {d} used twice"))?;
-            used[d] = true;
-            Ok(())
-        };
-        for p in &pairs {
-            mark(p.repulsive)?;
-            mark(p.attractive)?;
-            ensure(roles[p.repulsive] == DimRole::Repulsive, || {
-                format!("pair repulsive dim {} has attractive role", p.repulsive)
-            })?;
-            ensure(roles[p.attractive] == DimRole::Attractive, || {
-                format!("pair attractive dim {} has repulsive role", p.attractive)
-            })?;
-        }
-        for &d in &unpaired {
-            mark(d)?;
-        }
-        ensure(used.iter().all(|&u| u), || {
-            "some dimensions neither paired nor unpaired".to_string()
-        })?;
-        for (i, index) in pair_indexes.iter().enumerate() {
-            // Tree slots are dataset rows: tables must align exactly.
-            ensure(index.pts.len() == n && index.len() == n, || {
-                format!(
-                    "pair index {i} covers {} slots ({} live) for {n} rows",
-                    index.pts.len(),
-                    index.len()
-                )
-            })?;
-        }
-        for (i, column) in columns.iter().enumerate() {
-            ensure(column.len() == n, || {
-                format!("column {i} holds {} entries for {n} rows", column.len())
-            })?;
-            for &(_, row) in &column.entries {
-                ensure((row as usize) < n, || {
-                    format!("column {i} references row {row} out of range")
-                })?;
-            }
-        }
+        validate_sd_parts(
+            &data,
+            &roles,
+            &pairs,
+            &unpaired,
+            &pair_indexes,
+            &columns,
+            true,
+        )?;
 
         // The planner's per-pair 1-D columns are derived state, built
         // lazily on first use — nothing to decode, so the v1 wire format
@@ -1129,6 +1808,8 @@ impl Codec for SdIndex {
             pair_indexes,
             columns,
             pair_columns: Arc::new(std::sync::OnceLock::new()),
+            query_integrity: Vec::new(),
+            mapped_check: Arc::new(std::sync::OnceLock::new()),
         })
     }
 }

@@ -69,6 +69,10 @@ impl Default for LaneBlock {
     }
 }
 
+// Safety: `#[repr(C, align(64))]` over `[f64; LANES]` — no padding (size is
+// a multiple of the alignment), and any bit pattern is a valid f64 array.
+unsafe impl crate::view::Pod for LaneBlock {}
+
 /// The instruction-set level the kernels dispatch to.
 ///
 /// Dispatch is per kernel: the score accumulators have AVX2 and SSE2 arms;

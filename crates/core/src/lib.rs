@@ -60,6 +60,7 @@ pub mod codec;
 pub mod delta;
 pub mod envelope;
 pub mod geometry;
+pub mod integrity;
 pub mod kernels;
 pub mod mask;
 pub mod multidim;
@@ -70,13 +71,16 @@ pub mod threshold;
 pub mod top1;
 pub mod topk;
 mod types;
+pub mod view;
 
+pub use integrity::{CrcState, SectionIntegrity};
 pub use mask::{MaskView, RowMask};
 pub use profile::QueryProfile;
 pub use score::{sd_score, DimRole, SdQuery};
 pub use scratch::QueryScratch;
 pub use threshold::SharedThreshold;
 pub use types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
+pub use view::ColumnarView;
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, SdError>;

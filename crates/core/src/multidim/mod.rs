@@ -47,6 +47,7 @@ pub use plan::{PairAction, PairPlan, QueryPlan};
 pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
 use crate::geometry::Angle;
+use crate::integrity::SectionIntegrity;
 use crate::kernels::{self, LANES};
 use crate::mask::MaskView;
 use crate::profile::QueryProfile;
@@ -247,6 +248,15 @@ pub struct SdIndex {
     /// for them), never serialised — the snapshot wire format is
     /// unchanged. Behind an `Arc` so clones share the cache.
     pub(crate) pair_columns: Arc<OnceLock<Vec<(SortedColumn, SortedColumn)>>>,
+    /// Lazily verified CRC regions owned directly by this index when it was
+    /// decoded from a mapped format-v5 snapshot: the dataset coordinate
+    /// table plus every unpaired sorted column. Empty for built or owned
+    /// indexes. The per-pair trees carry their own sets.
+    pub(crate) query_integrity: Vec<Arc<SectionIntegrity>>,
+    /// Once-shot deferred content validation for mapped decodes (column
+    /// row ids in range) — run after the CRCs pass on the first query.
+    /// `Some(detail)` is a sticky corruption verdict.
+    pub(crate) mapped_check: Arc<OnceLock<Option<String>>>,
 }
 
 impl SdIndex {
@@ -297,7 +307,60 @@ impl SdIndex {
             pair_indexes,
             columns,
             pair_columns: Arc::new(OnceLock::new()),
+            query_integrity: Vec::new(),
+            mapped_check: Arc::new(OnceLock::new()),
         })
+    }
+
+    /// `true` when any part of this index still borrows mapped snapshot
+    /// memory (format v5 `open_mapped` decode).
+    pub fn is_mapped(&self) -> bool {
+        !self.query_integrity.is_empty() || self.pair_indexes.iter().any(TopKIndex::is_mapped)
+    }
+
+    /// Verifies (once) every lazily checksummed region a query can touch:
+    /// the index's own regions, then each pair tree's set, then the
+    /// deferred content checks. Free after the first call — verified
+    /// regions are an atomic load; failures are sticky.
+    pub(crate) fn ensure_query_integrity(&self) -> Result<(), SdError> {
+        if self.query_integrity.is_empty() && self.pair_indexes.iter().all(|t| !t.is_mapped()) {
+            return Ok(());
+        }
+        crate::integrity::ensure_all(&self.query_integrity)?;
+        for tree in &self.pair_indexes {
+            tree.ensure_query_integrity()?;
+        }
+        let n = self.data.len();
+        let failure = self.mapped_check.get_or_init(|| {
+            for (ci, column) in self.columns.iter().enumerate() {
+                for &row in column.rows.iter() {
+                    if row as usize >= n {
+                        return Some(format!(
+                            "sorted column {ci}: row id {row} out of range for {n} rows"
+                        ));
+                    }
+                }
+            }
+            None
+        });
+        match failure {
+            None => Ok(()),
+            Some(detail) => Err(SdError::SnapshotCorrupt {
+                detail: detail.clone(),
+            }),
+        }
+    }
+
+    /// Verifies every lazily checksummed region this index still borrows,
+    /// including each pair tree's deferred node blob. Call before
+    /// re-encoding a mapped index so corruption cannot be laundered into a
+    /// fresh file under fresh checksums. No-op for owned indexes.
+    pub fn verify_integrity(&self) -> Result<(), SdError> {
+        self.ensure_query_integrity()?;
+        for tree in &self.pair_indexes {
+            tree.verify_integrity()?;
+        }
+        Ok(())
     }
 
     /// The lazily built per-pair sorted columns (see the field docs).
@@ -530,6 +593,7 @@ impl SdIndex {
                 got: query.dims(),
             });
         }
+        self.ensure_query_integrity()?;
         let n = self.data.len();
         if n == 0 {
             scratch.profile.reset();
@@ -618,6 +682,7 @@ impl SdIndex {
                 got: query.dims(),
             });
         }
+        self.ensure_query_integrity()?;
         let n = self.data.len();
         let streams = if n == 0 {
             scratch.stream_buf()
@@ -757,16 +822,18 @@ impl SdIndex {
     /// `threads == 0` is **auto mode**: the worker count follows
     /// [`std::thread::available_parallelism`], so a batch saturates
     /// whatever cores the machine (or its cgroup) actually grants instead
-    /// of trusting a caller-fixed number. On a single-core host auto mode
-    /// degenerates to the serial loop — parallel batching cannot beat one
-    /// CPU.
+    /// of trusting a caller-fixed number. Explicit counts are clamped to
+    /// the available parallelism too — oversubscribing a small host only
+    /// adds scheduler churn (and measurably loses QPS on one CPU), never
+    /// throughput. On a single-core host every setting degenerates to the
+    /// serial loop — parallel batching cannot beat one CPU.
     pub fn par_query_batch(
         &self,
         queries: &[SdQuery],
         k: usize,
         threads: usize,
     ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
-        let threads = resolve_threads(threads);
+        let threads = resolve_threads(threads).min(resolve_threads(0));
         if threads <= 1 || queries.len() <= 1 {
             let mut scratch = QueryScratch::new();
             return queries

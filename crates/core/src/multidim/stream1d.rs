@@ -11,11 +11,17 @@
 //! subproblem.
 
 use crate::multidim::SubproblemStream;
+use crate::view::ColumnarView;
 
 /// A dimension's values sorted ascending, each tagged with its row id.
+///
+/// Stored as two parallel columns (values, rows) so the format-v5 snapshot
+/// can map both straight off the file; either column may therefore be a
+/// borrowed [`ColumnarView`] instead of owned memory.
 #[derive(Debug, Clone)]
 pub struct SortedColumn {
-    pub(crate) entries: Vec<(f64, u32)>,
+    pub(crate) values: ColumnarView<f64>,
+    pub(crate) rows: ColumnarView<u32>,
 }
 
 impl SortedColumn {
@@ -31,32 +37,41 @@ impl SortedColumn {
                 .cmp(&crate::types::OrdF64(b.0))
                 .then(a.1.cmp(&b.1))
         });
-        SortedColumn { entries }
+        SortedColumn {
+            values: ColumnarView::owned(entries.iter().map(|e| e.0).collect()),
+            rows: ColumnarView::owned(entries.iter().map(|e| e.1).collect()),
+        }
+    }
+
+    /// Reassembles a column from its two parallel halves (decode path).
+    pub(crate) fn from_parts(values: ColumnarView<f64>, rows: ColumnarView<u32>) -> Self {
+        debug_assert_eq!(values.len(), rows.len());
+        SortedColumn { values, rows }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.values.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.values.is_empty()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (0 while mapped).
     pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<(f64, u32)>()
+        self.values.heap_bytes() + self.rows.heap_bytes()
     }
 
     #[inline]
     fn value(&self, i: usize) -> f64 {
-        self.entries[i].0
+        self.values[i]
     }
 
     #[inline]
     fn row(&self, i: usize) -> u32 {
-        self.entries[i].1
+        self.rows[i]
     }
 }
 
@@ -129,7 +144,7 @@ pub struct AttractiveStream<'a> {
 impl<'a> AttractiveStream<'a> {
     /// Binary-searches the start position around `q` and expands outwards.
     pub fn new(col: &'a SortedColumn, q: f64, weight: f64) -> Self {
-        let right = col.entries.partition_point(|&(v, _)| v < q);
+        let right = col.values.partition_point(|&v| v < q);
         let left = right.checked_sub(1);
         AttractiveStream {
             col,

@@ -28,9 +28,11 @@
 //! fall back to the exact per-point frontier until the next rebuild), and
 //! never serialised — the v1 wire format is unchanged.
 
+use crate::codec::{Reader, Result, Writer};
 use crate::geometry::Angle;
 use crate::kernels::{LaneBlock, LANES};
 use crate::types::OrdF64;
+use crate::view::ColumnarView;
 
 use super::stream::{key_to_score, AngleScratch, FrontierEval, StreamKind};
 use super::AngleBounds;
@@ -42,30 +44,34 @@ pub(crate) const GROUP_FANOUT: usize = 8;
 #[derive(Debug, Clone)]
 struct Level {
     /// Node-major per-angle bounds: `bounds[node * m + angle_i]`.
-    bounds: Vec<AngleBounds>,
+    bounds: ColumnarView<AngleBounds>,
     /// Per-node `(xmin, xmax)`.
-    xr: Vec<(f64, f64)>,
+    xr: ColumnarView<(f64, f64)>,
 }
 
 /// The derived SoA block layout of one tree's live points. See the module
 /// docs.
+///
+/// Every table is a [`ColumnarView`]: owned after a build, possibly
+/// borrowed straight off a mapped format-v5 snapshot after `open_mapped` —
+/// the file image **is** this in-memory representation.
 #[derive(Debug, Clone)]
 pub(crate) struct BlockSet {
     n_blocks: usize,
     /// Number of indexed angles (`bounds` stride).
     m: usize,
     /// Cache-aligned coordinate columns, one [`LaneBlock`] per block.
-    xs: Vec<LaneBlock>,
-    ys: Vec<LaneBlock>,
+    xs: ColumnarView<LaneBlock>,
+    ys: ColumnarView<LaneBlock>,
     /// Originating point slots, `slots[b * LANES + l]`; dead lanes hold
     /// `u32::MAX` and are never read (masked by `live`).
-    slots: Vec<u32>,
+    slots: ColumnarView<u32>,
     /// Per-block live-lane mask (only the tail block can be partial).
-    live: Vec<u32>,
+    live: ColumnarView<u32>,
     /// Block-major per-angle micro-envelopes: `bounds[b * m + angle_i]`.
-    bounds: Vec<AngleBounds>,
+    bounds: ColumnarView<AngleBounds>,
     /// Per-block `(xmin, xmax)` (lanes are x-sorted, so `xs[0]`/`xs[len-1]`).
-    xr: Vec<(f64, f64)>,
+    xr: ColumnarView<(f64, f64)>,
     /// Implicit envelope tree: `levels[0]` groups blocks, each further
     /// level groups the one below, last level has a single root. Empty when
     /// `n_blocks == 1`.
@@ -79,29 +85,24 @@ impl BlockSet {
         debug_assert!(!order.is_empty());
         let m = angles.len();
         let n_blocks = order.len().div_ceil(LANES);
-        let mut set = BlockSet {
-            n_blocks,
-            m,
-            xs: vec![LaneBlock::default(); n_blocks],
-            ys: vec![LaneBlock::default(); n_blocks],
-            slots: vec![u32::MAX; n_blocks * LANES],
-            live: vec![0; n_blocks],
-            bounds: vec![AngleBounds::EMPTY; n_blocks * m],
-            xr: vec![(f64::INFINITY, f64::NEG_INFINITY); n_blocks],
-            levels: Vec::new(),
-        };
+        let mut xs = vec![LaneBlock::default(); n_blocks];
+        let mut ys = vec![LaneBlock::default(); n_blocks];
+        let mut slots = vec![u32::MAX; n_blocks * LANES];
+        let mut live = vec![0u32; n_blocks];
+        let mut bounds = vec![AngleBounds::EMPTY; n_blocks * m];
+        let mut xr = vec![(f64::INFINITY, f64::NEG_INFINITY); n_blocks];
         for (b, chunk) in order.chunks(LANES).enumerate() {
-            let (xb, yb) = (&mut set.xs[b].0, &mut set.ys[b].0);
+            let (xb, yb) = (&mut xs[b].0, &mut ys[b].0);
             for (l, &slot) in chunk.iter().enumerate() {
                 let (x, y) = pts[slot as usize];
                 xb[l] = x;
                 yb[l] = y;
-                set.slots[b * LANES + l] = slot;
-                let xr = &mut set.xr[b];
+                slots[b * LANES + l] = slot;
+                let xr = &mut xr[b];
                 xr.0 = xr.0.min(x);
                 xr.1 = xr.1.max(x);
                 for (i, a) in angles.iter().enumerate() {
-                    set.bounds[b * m + i].extend_point(a.u(x, y), a.v(x, y));
+                    bounds[b * m + i].extend_point(a.u(x, y), a.v(x, y));
                 }
             }
             // Pad dead lanes with the last live point: finite coordinates
@@ -111,7 +112,7 @@ impl BlockSet {
                 xb[l] = xb[last];
                 yb[l] = yb[last];
             }
-            set.live[b] = if chunk.len() == LANES {
+            live[b] = if chunk.len() == LANES {
                 u32::MAX
             } else {
                 (1u32 << chunk.len()) - 1
@@ -119,35 +120,181 @@ impl BlockSet {
         }
         // Envelope tree above the blocks.
         let mut built: Vec<Level> = Vec::new();
-        loop {
-            let level = {
-                let (below_bounds, below_xr): (&[AngleBounds], &[(f64, f64)]) = match built.last() {
-                    None => (&set.bounds, &set.xr),
-                    Some(l) => (&l.bounds, &l.xr),
-                };
+        {
+            type StagedLevel = (Vec<AngleBounds>, Vec<(f64, f64)>);
+            let mut below: (&[AngleBounds], &[(f64, f64)]) = (&bounds, &xr);
+            let mut staged: Vec<StagedLevel> = Vec::new();
+            loop {
+                let (below_bounds, below_xr) = below;
                 if below_xr.len() <= 1 {
                     break;
                 }
                 let len = below_xr.len().div_ceil(GROUP_FANOUT);
-                let mut level = Level {
-                    bounds: vec![AngleBounds::EMPTY; len * m],
-                    xr: vec![(f64::INFINITY, f64::NEG_INFINITY); len],
-                };
+                let mut lb = vec![AngleBounds::EMPTY; len * m];
+                let mut lxr = vec![(f64::INFINITY, f64::NEG_INFINITY); len];
                 for (j, bxr) in below_xr.iter().enumerate() {
                     let g = j / GROUP_FANOUT;
-                    let xr = &mut level.xr[g];
+                    let xr = &mut lxr[g];
                     xr.0 = xr.0.min(bxr.0);
                     xr.1 = xr.1.max(bxr.1);
                     for i in 0..m {
-                        level.bounds[g * m + i].extend(&below_bounds[j * m + i]);
+                        lb[g * m + i].extend(&below_bounds[j * m + i]);
                     }
                 }
-                level
-            };
-            built.push(level);
+                staged.push((lb, lxr));
+                let last = staged.last().expect("just pushed");
+                below = (&last.0, &last.1);
+            }
+            for (lb, lxr) in staged {
+                built.push(Level {
+                    bounds: ColumnarView::owned(lb),
+                    xr: ColumnarView::owned(lxr),
+                });
+            }
         }
-        set.levels = built;
-        set
+        BlockSet {
+            n_blocks,
+            m,
+            xs: ColumnarView::owned(xs),
+            ys: ColumnarView::owned(ys),
+            slots: ColumnarView::owned(slots),
+            live: ColumnarView::owned(live),
+            bounds: ColumnarView::owned(bounds),
+            xr: ColumnarView::owned(xr),
+            levels: built,
+        }
+    }
+
+    /// The per-level sizes of the implicit envelope tree over `n_blocks`
+    /// blocks — the shape every decoded layout must match exactly.
+    pub(crate) fn level_sizes(n_blocks: usize) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        let mut n = n_blocks;
+        while n > 1 {
+            n = n.div_ceil(GROUP_FANOUT);
+            sizes.push(n);
+        }
+        sizes
+    }
+
+    /// Writes the fixed-shape scalars (format v5, inside the index's meta
+    /// region).
+    pub(crate) fn encode_meta(&self, w: &mut Writer) {
+        w.usize(self.n_blocks);
+    }
+
+    /// Writes every table as an aligned array region (format v5).
+    pub(crate) fn encode_arrays(&self, w: &mut Writer) {
+        w.pod_array(&self.xs);
+        w.pod_array(&self.ys);
+        w.pod_array(&self.slots);
+        w.pod_array(&self.live);
+        w.pod_array(&self.bounds);
+        w.pod_array(&self.xr);
+        for level in &self.levels {
+            w.pod_array(&level.bounds);
+            w.pod_array(&level.xr);
+        }
+    }
+
+    /// Reads the table regions written by [`BlockSet::encode_arrays`],
+    /// enforcing the exact shape implied by `n_blocks` and `m`. Contents
+    /// are **not** inspected here: mapped mode defers that to
+    /// [`BlockSet::validate_structure`] after the lazy checksums pass.
+    pub(crate) fn decode_arrays(r: &mut Reader<'_>, n_blocks: usize, m: usize) -> Result<Self> {
+        let fail = |what: &str, got: usize, want: usize| {
+            crate::codec::corrupt(format!(
+                "blocks: {what} holds {got} entries, expected {want}"
+            ))
+        };
+        let (xs, _) = r.pod_array::<LaneBlock>("blocks.xs")?;
+        let (ys, _) = r.pod_array::<LaneBlock>("blocks.ys")?;
+        let (slots, _) = r.pod_array::<u32>("blocks.slots")?;
+        let (live, _) = r.pod_array::<u32>("blocks.live")?;
+        let (bounds, _) = r.pod_array::<AngleBounds>("blocks.bounds")?;
+        let (xr, _) = r.pod_array::<(f64, f64)>("blocks.xr")?;
+        if n_blocks == 0 {
+            return Err(crate::codec::corrupt("blocks: zero blocks"));
+        }
+        if xs.len() != n_blocks {
+            return Err(fail("xs", xs.len(), n_blocks));
+        }
+        if ys.len() != n_blocks {
+            return Err(fail("ys", ys.len(), n_blocks));
+        }
+        if slots.len() != n_blocks * LANES {
+            return Err(fail("slots", slots.len(), n_blocks * LANES));
+        }
+        if live.len() != n_blocks {
+            return Err(fail("live", live.len(), n_blocks));
+        }
+        if bounds.len() != n_blocks * m {
+            return Err(fail("bounds", bounds.len(), n_blocks * m));
+        }
+        if xr.len() != n_blocks {
+            return Err(fail("xr", xr.len(), n_blocks));
+        }
+        let mut levels = Vec::new();
+        for (li, size) in Self::level_sizes(n_blocks).into_iter().enumerate() {
+            let t = r.push_prefix(&format!("blocks.lvl{li}"));
+            let (lb, _) = r.pod_array::<AngleBounds>("bounds")?;
+            let (lxr, _) = r.pod_array::<(f64, f64)>("xr")?;
+            r.pop_prefix(t);
+            if lb.len() != size * m {
+                return Err(fail("level bounds", lb.len(), size * m));
+            }
+            if lxr.len() != size {
+                return Err(fail("level xr", lxr.len(), size));
+            }
+            levels.push(Level {
+                bounds: lb,
+                xr: lxr,
+            });
+        }
+        Ok(BlockSet {
+            n_blocks,
+            m,
+            xs,
+            ys,
+            slots,
+            live,
+            bounds,
+            xr,
+            levels,
+        })
+    }
+
+    /// Content checks a mapped layout must pass once (post-checksum) before
+    /// any query trusts it: live-lane slot ids must stay inside the point
+    /// table and the live lanes must cover exactly `n_alive` points —
+    /// otherwise a forged-but-checksummed file could index out of bounds at
+    /// scoring time.
+    pub(crate) fn validate_structure(
+        &self,
+        n_slots: usize,
+        n_alive: usize,
+    ) -> std::result::Result<(), String> {
+        let mut live_total = 0usize;
+        for b in 0..self.n_blocks {
+            let mask = self.live[b];
+            live_total += mask.count_ones() as usize;
+            for l in 0..LANES {
+                if mask & (1 << l) != 0 {
+                    let slot = self.slots[b * LANES + l];
+                    if slot as usize >= n_slots {
+                        return Err(format!(
+                            "block {b} lane {l}: slot {slot} outside point table of {n_slots}"
+                        ));
+                    }
+                }
+            }
+        }
+        if live_total != n_alive {
+            return Err(format!(
+                "blocks cover {live_total} live lanes for {n_alive} live points"
+            ));
+        }
+        Ok(())
     }
 
     /// Number of blocks.
@@ -181,20 +328,19 @@ impl BlockSet {
     }
 
     /// Approximate heap footprint in bytes (the derived side tables the
-    /// memory report must not undercount).
+    /// memory report must not undercount). Mapped tables count zero: their
+    /// bytes are file pages, not heap.
     pub(crate) fn memory_bytes(&self) -> usize {
-        self.xs.len() * std::mem::size_of::<LaneBlock>() * 2
-            + self.slots.len() * 4
-            + self.live.len() * 4
-            + self.bounds.len() * std::mem::size_of::<AngleBounds>()
-            + self.xr.len() * std::mem::size_of::<(f64, f64)>()
+        self.xs.heap_bytes()
+            + self.ys.heap_bytes()
+            + self.slots.heap_bytes()
+            + self.live.heap_bytes()
+            + self.bounds.heap_bytes()
+            + self.xr.heap_bytes()
             + self
                 .levels
                 .iter()
-                .map(|l| {
-                    l.bounds.len() * std::mem::size_of::<AngleBounds>()
-                        + l.xr.len() * std::mem::size_of::<(f64, f64)>()
-                })
+                .map(|l| l.bounds.heap_bytes() + l.xr.heap_bytes())
                 .sum::<usize>()
     }
 }

@@ -25,12 +25,14 @@ pub(crate) mod blocks;
 pub mod packed;
 pub(crate) mod stream;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::geometry::Angle;
+use crate::integrity::SectionIntegrity;
 use crate::score::sd_score_2d;
 use crate::scratch::QueryScratch;
 use crate::types::{OrdF64, PointId, ScoredPoint, SdError};
+use crate::view::ColumnarView;
 
 pub use packed::PackedTopKIndex;
 pub use stream::AngleQuery;
@@ -45,13 +47,22 @@ pub fn default_angles() -> Vec<Angle> {
 }
 
 /// Per-angle projection bounds of one subtree.
+///
+/// `#[repr(C)]` because format v5 maps bound tables straight off the
+/// snapshot file as `[AngleBounds]`; the field order here **is** the wire
+/// order.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub(crate) struct AngleBounds {
     pub max_u: f64,
     pub min_u: f64,
     pub max_v: f64,
     pub min_v: f64,
 }
+
+// Safety: `#[repr(C)]` over four f64 fields — no padding, any bit pattern
+// is four valid f64s.
+unsafe impl crate::view::Pod for AngleBounds {}
 
 impl AngleBounds {
     const EMPTY: AngleBounds = AngleBounds {
@@ -95,6 +106,17 @@ pub(crate) struct Node {
     pub(crate) children: Vec<Child>,
 }
 
+/// The not-yet-materialised tree of a format-v5 decode: the legacy
+/// node-record bytes (`n_nodes` prefix + per-node records), checksummed
+/// lazily. Queries never need the node tree while the SoA blocks are
+/// current, so `open_mapped` defers record decoding **and** its `O(n)`
+/// validation walk until the first mutation asks for the tree.
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredTree {
+    pub(crate) raw: ColumnarView<u8>,
+    pub(crate) integrity: Arc<SectionIntegrity>,
+}
+
 /// The §4 top-k index over 2-D points (`x` attractive, `y` repulsive).
 ///
 /// Point identity is the insertion slot, as in
@@ -104,8 +126,9 @@ pub struct TopKIndex {
     pub(crate) branching: usize,
     pub(crate) angles: Vec<Angle>,
     /// Interleaved point table: `(x, y)` per slot, one cache line touch per
-    /// random point access on the query hot path.
-    pub(crate) pts: Vec<(f64, f64)>,
+    /// random point access on the query hot path. Possibly a borrowed view
+    /// of a mapped snapshot; the first `insert` copies on write.
+    pub(crate) pts: ColumnarView<(f64, f64)>,
     pub(crate) alive: Vec<bool>,
     pub(crate) n_alive: usize,
     pub(crate) nodes: Vec<Node>,
@@ -126,8 +149,23 @@ pub struct TopKIndex {
     /// bulk load / rebuild / snapshot decode, dropped by point-level
     /// `insert`/`delete` (queries then fall back to the exact per-point
     /// frontier until the next rebuild). Behind an `Arc` so clones share
-    /// it; never serialised — the wire format is unchanged.
+    /// it; format v5 serialises it verbatim (the v1–v4 wire is unchanged).
     pub(crate) blocks: Option<Arc<blocks::BlockSet>>,
+    /// The node tree of a mapped v5 decode, still in wire form; `None`
+    /// once materialised (or after any non-v5 construction). Invariant:
+    /// `deferred.is_some()` implies `blocks.is_some()` — a deferred tree is
+    /// never consulted by queries.
+    pub(crate) deferred: Option<DeferredTree>,
+    /// Lazy checksums over every region a *query* touches (point table +
+    /// block tables); empty unless this index was decoded from a v5
+    /// snapshot. Ensured at each query entry — one atomic load per region
+    /// once verified.
+    pub(crate) query_integrity: Vec<Arc<SectionIntegrity>>,
+    /// One-shot structural validation of mapped block tables (slot ids in
+    /// range, live-lane census), run after the checksums first pass so a
+    /// forged-but-checksummed file cannot index out of bounds. Holds the
+    /// failure detail, `None` when the check passed. Shared across clones.
+    pub(crate) mapped_check: Arc<OnceLock<Option<String>>>,
 }
 
 impl TopKIndex {
@@ -178,7 +216,7 @@ impl TopKIndex {
         let mut idx = TopKIndex {
             branching,
             angles: sorted_angles,
-            pts: points.to_vec(),
+            pts: ColumnarView::owned(points.to_vec()),
             alive: vec![true; points.len()],
             n_alive: points.len(),
             nodes: Vec::new(),
@@ -189,6 +227,9 @@ impl TopKIndex {
             deep_leaves: 0,
             rebuild_threshold: 0.25,
             blocks: None,
+            deferred: None,
+            query_integrity: Vec::new(),
+            mapped_check: Arc::new(OnceLock::new()),
         };
         idx.rebuild();
         Ok(idx)
@@ -236,17 +277,86 @@ impl TopKIndex {
 
     /// Approximate heap footprint in bytes: point table, tree nodes with
     /// their per-angle bound tuples, and the derived SoA leaf-block tables.
+    /// Mapped tables count zero — their bytes are file pages, not heap,
+    /// which is exactly the serving-footprint story of the mmap format.
     pub fn memory_bytes(&self) -> usize {
-        let pts = self.pts.len() * std::mem::size_of::<(f64, f64)>() + self.alive.len();
+        let pts = self.pts.heap_bytes() + self.alive.len();
         let nodes: usize = self
             .nodes
             .iter()
             .map(|n| std::mem::size_of::<Node>() + n.children.len() * std::mem::size_of::<Child>())
             .sum();
         let tables = self.node_xr.len() * std::mem::size_of::<(f64, f64)>()
-            + self.node_bounds.len() * std::mem::size_of::<AngleBounds>();
+            + self.node_bounds.len() * std::mem::size_of::<AngleBounds>()
+            + self.deferred.as_ref().map_or(0, |d| d.raw.heap_bytes());
         let blocks = self.blocks.as_ref().map_or(0, |b| b.memory_bytes());
         pts + nodes + tables + blocks
+    }
+
+    /// `true` when any table is a borrowed view of a mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        !self.query_integrity.is_empty()
+    }
+
+    /// Verifies (once) every region the query path reads, then runs the
+    /// one-shot structural check over the mapped block tables. Steady state
+    /// is one atomic load per region. Every query entry point calls this;
+    /// it is free for built or legacy-decoded indexes.
+    pub(crate) fn ensure_query_integrity(&self) -> Result<(), SdError> {
+        if self.query_integrity.is_empty() {
+            return Ok(());
+        }
+        crate::integrity::ensure_all(&self.query_integrity)?;
+        let failure = self.mapped_check.get_or_init(|| {
+            self.blocks
+                .as_ref()
+                .and_then(|b| b.validate_structure(self.pts.len(), self.n_alive).err())
+        });
+        match failure {
+            None => Ok(()),
+            Some(detail) => Err(SdError::SnapshotCorrupt {
+                detail: detail.clone(),
+            }),
+        }
+    }
+
+    /// Decodes and validates the deferred node tree of a mapped v5 index
+    /// (no-op otherwise). Mutations call this on entry: the tree pays its
+    /// checksum pass, record decode and `O(n)` validation walk here — on
+    /// the first write — instead of at open.
+    pub(crate) fn materialize_tree(&mut self) -> Result<(), SdError> {
+        let Some(d) = &self.deferred else {
+            return Ok(());
+        };
+        d.integrity.ensure()?;
+        // The tree validation cross-references the point table, so the
+        // query set must be trustworthy too.
+        self.ensure_query_integrity()?;
+        let (nodes, node_xr, node_bounds) = crate::codec::decode_topk_tree(
+            &d.raw,
+            self.angles.len(),
+            &self.alive,
+            self.n_alive,
+            self.root,
+            &self.free_nodes,
+        )?;
+        self.nodes = nodes;
+        self.node_xr = node_xr;
+        self.node_bounds = node_bounds;
+        self.deferred = None;
+        Ok(())
+    }
+
+    /// Verifies every lazily checksummed region this index still borrows —
+    /// the query set plus the deferred tree blob. Call before re-encoding
+    /// a mapped index, so corruption cannot be laundered into a fresh file
+    /// under fresh (valid) checksums. No-op for owned indexes.
+    pub fn verify_integrity(&self) -> Result<(), SdError> {
+        self.ensure_query_integrity()?;
+        if let Some(d) = &self.deferred {
+            d.integrity.ensure()?;
+        }
+        Ok(())
     }
 
     /// Number of live tree nodes.
@@ -308,6 +418,7 @@ impl TopKIndex {
                 value: qy,
             });
         }
+        self.ensure_query_integrity()?;
         // One certified frontier search serves both the indexed-angle and
         // the Claim 6 bracketed case ([`arbitrary::query_canonical_with`]
         // picks the evaluation), running over the SoA leaf blocks whenever
@@ -413,11 +524,14 @@ impl TopKIndex {
                 value: y,
             });
         }
+        // A mapped index materialises its node tree before the first write
+        // (checksum + decode + validation, paid once).
+        self.materialize_tree()?;
         // Point-level mutation invalidates the derived block layout; a
         // mid-insert rebalance rebuild re-derives it below.
         self.blocks = None;
         let slot = self.pts.len() as u32;
-        self.pts.push((x, y));
+        self.pts.make_mut().push((x, y));
         self.alive.push(true);
         self.n_alive += 1;
         match self.root {
@@ -440,9 +554,16 @@ impl TopKIndex {
     }
 
     /// Deletes a point by id; `true` on success. `O(b·log_b n)`.
+    ///
+    /// On a mapped index whose deferred tree fails its first-touch
+    /// checksum, this returns `false` (the typed error surface is
+    /// [`TopKIndex::insert`] / the query path).
     pub fn delete(&mut self, id: PointId) -> bool {
         let slot = id.index();
         if slot >= self.pts.len() || !self.alive[slot] {
+            return false;
+        }
+        if self.materialize_tree().is_err() {
             return false;
         }
         let Some(root) = self.root else { return false };
@@ -657,6 +778,9 @@ impl TopKIndex {
     /// Rebuilds the balanced tree over the live points (bulk load) and
     /// re-derives the SoA leaf-block layout.
     pub fn rebuild(&mut self) {
+        // A rebuild derives everything from the point table; a deferred
+        // wire-form tree is simply discarded.
+        self.deferred = None;
         self.nodes.clear();
         self.node_xr.clear();
         self.node_bounds.clear();

@@ -4,6 +4,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::view::ColumnarView;
+
 /// Stable identifier of a point inside a [`Dataset`].
 ///
 /// Indexes are `u32` — a dataset holds at most `u32::MAX` points, which
@@ -194,7 +196,7 @@ impl Ord for OrdF64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dims: usize,
-    coords: Vec<f64>,
+    coords: ColumnarView<f64>,
 }
 
 impl Dataset {
@@ -227,7 +229,43 @@ impl Dataset {
                 });
             }
         }
+        Ok(Dataset {
+            dims,
+            coords: ColumnarView::owned(coords),
+        })
+    }
+
+    /// Wraps an (owned or mapped) coordinate view, checking only structure
+    /// (arity, addressability) — not finiteness. Used by the format-v5
+    /// decode paths, where payload integrity is covered by checksums that
+    /// mapped snapshots verify lazily on first touch.
+    pub(crate) fn from_view_trusted(
+        dims: usize,
+        coords: ColumnarView<f64>,
+    ) -> Result<Self, SdError> {
+        if dims == 0 {
+            return Err(SdError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if !coords.len().is_multiple_of(dims) {
+            return Err(SdError::DimensionMismatch {
+                expected: dims,
+                got: coords.len() % dims,
+            });
+        }
+        let n = coords.len() / dims;
+        if n > u32::MAX as usize {
+            return Err(SdError::TooManyPoints(n));
+        }
         Ok(Dataset { dims, coords })
+    }
+
+    /// `true` when the coordinate buffer borrows mapped storage.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.coords.is_mapped()
     }
 
     /// Builds a dataset from per-point rows.
@@ -292,10 +330,12 @@ impl Dataset {
     /// The flat row-major coordinate buffer.
     #[inline]
     pub fn flat(&self) -> &[f64] {
-        &self.coords
+        self.coords.as_slice()
     }
 
     /// Appends a row, returning its id. Validates arity and finiteness.
+    /// On a mapped dataset this copies the coordinates into owned memory
+    /// first (copy-on-first-write).
     pub fn push_row(&mut self, row: &[f64]) -> Result<PointId, SdError> {
         if row.len() != self.dims {
             return Err(SdError::DimensionMismatch {
@@ -316,7 +356,7 @@ impl Dataset {
                 });
             }
         }
-        self.coords.extend_from_slice(row);
+        self.coords.make_mut().extend_from_slice(row);
         Ok(PointId::new(id as u32))
     }
 

@@ -492,6 +492,17 @@ impl SdEngine {
         &self.shards
     }
 
+    /// `true` when any shard serves queries off borrowed (mapped) memory.
+    pub fn is_mapped(&self) -> bool {
+        self.shards.iter().any(SdIndex::is_mapped)
+    }
+
+    /// Forces checksum verification of every lazily-verified region in
+    /// every shard (a no-op for owned shards).
+    pub fn verify_integrity(&self) -> Result<(), SdError> {
+        self.shards.iter().try_for_each(SdIndex::verify_integrity)
+    }
+
     /// Sets the per-query shard worker count (`0` = auto).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
@@ -889,15 +900,18 @@ impl SdEngine {
     /// Answers a batch of queries in parallel with up to `threads` workers
     /// (`0` = auto), one [`EngineScratch`] per worker; each query executes
     /// its shards sequentially inside its worker so the batch keeps every
-    /// core busy without oversubscription. Results keep the input order and
-    /// are bit-identical to a serial [`SdEngine::query`] loop.
+    /// core busy without oversubscription. Explicit counts are clamped to
+    /// the machine's available parallelism — oversubscribing a batch only
+    /// adds scheduler churn (measured: `threads=4` on one core ran ~7%
+    /// *slower* than serial). Results keep the input order and are
+    /// bit-identical to a serial [`SdEngine::query`] loop.
     pub fn par_query_batch(
         &self,
         queries: &[SdQuery],
         k: usize,
         threads: usize,
     ) -> Result<Vec<Vec<ScoredPoint>>, SdError> {
-        let threads = resolve_threads(threads);
+        let threads = resolve_threads(threads).min(resolve_threads(0));
         if threads <= 1 || queries.len() <= 1 {
             let mut scratch = EngineScratch::new();
             return queries

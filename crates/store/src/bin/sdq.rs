@@ -24,7 +24,8 @@ use sdq_data::{generate, uniform_queries, Distribution};
 use sdq_engine::{CompactionOptions, EngineOptions, EngineScratch, SdEngine};
 use sdq_rstar::RStarTree;
 use sdq_store::{
-    parse_roles, wal, DiskStorage, DurableEngine, DurableOptions, SectionKind, Snapshot, SyncPolicy,
+    parse_roles, wal, DiskStorage, DurableEngine, DurableOptions, SectionKind, Snapshot,
+    SnapshotFormat, SyncPolicy,
 };
 
 const USAGE: &str = "\
@@ -34,9 +35,9 @@ USAGE:
     sdq build --out PATH (--csv FILE | --synthetic DIST --n N --dims D)
               --roles STR [--shards S] [--seed S] [--index LIST]
               [--branching B] [--angles N] [--pairing arbitrary|correlation]
-              [--alpha A] [--beta B] [--k K]
+              [--alpha A] [--beta B] [--k K] [--format v5|legacy]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
-              [--repeat N] [--threads T]
+              [--repeat N] [--threads T] [--mapped]
               [--explain | --profile | --profile-json]
     sdq insert PATH --csv FILE [--out PATH2 | --wal [--sync-every N]]
     sdq delete PATH --ids N,N,... [--out PATH2 | --wal [--sync-every N]]
@@ -45,7 +46,7 @@ USAGE:
     sdq recover PATH
     sdq wal-stress PATH --rows N [--sync-every N] [--seed S]
     sdq inspect PATH
-    sdq bench-load PATH [--iters N]
+    sdq bench-load PATH [--iters N] [--json-out FILE]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
               [--shards S] [--k K] [--queries Q] [--warmup N] [--threads LIST]
               [--seed S] [--mutate-frac F] [--out FILE]
@@ -68,7 +69,10 @@ SUBCOMMANDS:
     inspect      Print the snapshot header, section table, artifact stats
                  and (for engines) the shard layout, per-shard delta and
                  tombstone pressure, and the planner decision.
-    bench-load   Time snapshot load vs. in-memory index rebuild.
+    bench-load   Time snapshot load vs. in-memory index rebuild; for v5
+                 snapshots, also eager owned decode vs. zero-copy
+                 open_mapped cold start (--json-out merges a cold_start
+                 key into the bench-query JSON report).
     bench-query  Measure query latency percentiles and batch QPS against a
                  snapshot's engine/sd-index (or an ad-hoc synthetic build)
                  and write a machine-readable BENCH_queries.json.
@@ -93,6 +97,8 @@ BUILD OPTIONS:
     --alpha A          top1: repulsive weight (default 1).
     --beta B           top1: attractive weight (default 1).
     --k K              top1: fixed k (default 1).
+    --format F         Container format: v5 (zero-copy mmap-native, the
+                       default) or legacy (v1-v4, readable by older builds).
 
 MUTATION OPTIONS (insert / delete / compact):
     --csv FILE         Rows to insert, one comma-separated row per line
@@ -127,6 +133,10 @@ QUERY OPTIONS:
     --profile          Run the query once with per-stage timing and print
                        the execution counter tree plus the pruning funnel.
     --profile-json     Like --profile but machine-readable JSON on stdout.
+    --mapped           Serve the query off an mmap of the file (v5
+                       snapshots): no decode, checksums verified lazily on
+                       the regions the query touches. Not for WAL-backed
+                       snapshots (replay needs the owned path).
 
 BENCH-QUERY OPTIONS:
     --shards S         Shard count for the measured engine (default 1).
@@ -290,12 +300,20 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let mut beta: f64 = 1.0;
     let mut k: usize = 1;
     let mut shards: usize = 1;
+    let mut format = SnapshotFormat::V5;
 
     let mut all_requested = false;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
             "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--format" => {
+                format = match flags.value("--format")? {
+                    "v5" | "5" => SnapshotFormat::V5,
+                    "legacy" | "v1" | "v2" | "v3" | "v4" => SnapshotFormat::Legacy,
+                    other => return Err(usage(format!("--format: unknown format {other:?}"))),
+                }
+            }
             "--shards" => shards = flags.parsed("--shards")?,
             "--csv" => csv = Some(flags.value("--csv")?.to_string()),
             "--synthetic" => {
@@ -469,7 +487,7 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
         println!("note: raw dataset section omitted (rows live in the engine shards)");
     }
 
-    let (saved, save_ms) = timed(|| snap.save(&out));
+    let (saved, save_ms) = timed(|| snap.save_as(&out, format));
     saved.map_err(runtime)?;
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!("wrote {out} ({bytes} bytes) in {save_ms:.1} ms");
@@ -552,6 +570,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut explain = false;
     let mut profile = false;
     let mut profile_json = false;
+    let mut mapped = false;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -564,6 +583,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             "--explain" => explain = true,
             "--profile" => profile = true,
             "--profile-json" => profile_json = true,
+            "--mapped" => mapped = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -582,7 +602,31 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     // real one, not "0 thread(s)".
     let threads = resolve_threads(threads);
 
-    let (snap, load_ms) = timed(|| load_query_snapshot(path));
+    let (snap, load_ms) = if mapped {
+        // A header-only (freshly rotated) log holds nothing to replay, so
+        // mapped opens stay valid right after `sdq recover` / `compact --wal`.
+        let pending_wal = std::fs::metadata(wal_sidecar(path))
+            .map(|md| md.len() > sdq_store::wal::WAL_HEADER_BYTES as u64)
+            .unwrap_or(false);
+        if pending_wal {
+            return Err(runtime(format!(
+                "{path} has unreplayed WAL records; --mapped cannot replay the log (drop \
+                 --mapped, or `sdq recover` first)"
+            )));
+        }
+        let (m, ms) = timed(|| Snapshot::open_mapped(path));
+        let m = m.map_err(runtime)?;
+        if m.version() < sdq_store::FORMAT_V5 {
+            eprintln!(
+                "note: {path} is a format-v{} snapshot — decoded eagerly; rebuild (or \
+                 compact) for a zero-copy v5 open",
+                m.version()
+            );
+        }
+        (Ok(m.snapshot), ms)
+    } else {
+        timed(|| load_query_snapshot(path))
+    };
     let snap = snap?;
 
     // EXPLAIN / ANALYZE modes: the §5 planner and the execution profile
@@ -1074,7 +1118,11 @@ fn save_mutated(mut snap: Snapshot, engine: SdEngine, out: &str) -> Result<(), C
         );
     }
     snap.engine = Some(engine);
-    let (saved, ms) = timed(|| snap.save(out));
+    // Preserve the on-disk format the snapshot was found in: a mutated v5
+    // file stays v5 (verify-before-save guards mapped bytes), a legacy
+    // file stays legacy so older readers keep working.
+    let format = snap.preferred_format();
+    let (saved, ms) = timed(|| snap.save_as(out, format));
     saved.map_err(runtime)?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("wrote {out} ({bytes} bytes) in {ms:.1} ms");
@@ -1280,7 +1328,13 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
         );
         return Ok(());
     }
-    let (snap, mut engine) = load_mutable_engine(path)?;
+    let (mut snap, mut engine) = load_mutable_engine(path)?;
+    // Compaction rewrites every shard anyway — the natural point to
+    // upgrade the container to the mmap-native format.
+    if snap.preferred_format() == SnapshotFormat::Legacy {
+        println!("note: compaction rewrites the container in format v5 (zero-copy)");
+        snap.source_version = None;
+    }
     let (report, ms) = timed(|| engine.compact_with(&options));
     let report = report.map_err(runtime)?;
     println!(
@@ -1432,15 +1486,53 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         "{path}: snapshot format v{} ({} bytes)",
         info.version, info.file_len
     );
-    println!("  {:<16} {:>12}  {:>10}", "section", "bytes", "crc32");
+    let v5 = info.version >= sdq_store::FORMAT_V5;
+    println!(
+        "  {:<16} {:>10} {:>12}  {:>10}",
+        "section", "offset", "bytes", "crc32"
+    );
     for s in &info.sections {
         let name = s.kind.map(SectionKind::name).unwrap_or("<unknown>");
         println!(
-            "  {:<16} {:>12}  {:>10}",
+            "  {:<16} {:>10} {:>12}  {:>10}",
             name,
+            s.offset,
             s.len,
-            format!("{:08x}", s.crc32)
+            if v5 {
+                // v5 table entries carry no CRC; integrity lives in the
+                // per-region CRC-32C headers below.
+                String::from("(regions)")
+            } else {
+                format!("{:08x}", s.crc32)
+            }
         );
+    }
+
+    // v5: the framed regions inside the sections — the things `open_mapped`
+    // serves in place. State shows the lazy-checksum semantics: metadata
+    // regions verify at open, array regions on first touch.
+    if v5 {
+        let m = Snapshot::open_mapped(path).map_err(runtime)?;
+        println!(
+            "  {:<28} {:>10} {:>12}  {:>6} {:>10}  state",
+            "region", "offset", "bytes", "align", "crc32c"
+        );
+        for r in m.regions() {
+            let align = if r.file_offset() % 64 == 0 {
+                "64B"
+            } else {
+                "-"
+            };
+            println!(
+                "  {:<28} {:>10} {:>12}  {:>6} {:>10}  {}",
+                r.name(),
+                r.file_offset(),
+                r.len(),
+                align,
+                format!("{:08x}", r.expected_crc()),
+                r.state().label()
+            );
+        }
     }
 
     // Decode for artifact-level stats (also verifies all checksums).
@@ -1665,10 +1757,12 @@ fn mean_query<'a>(
 fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
     let mut iters: usize = 5;
+    let mut json_out: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
             "--iters" => iters = flags.parsed("--iters")?,
+            "--json-out" => json_out = Some(flags.value("--json-out")?.to_string()),
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -1702,6 +1796,88 @@ fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
         mib / (warm / 1e3),
         iters
     );
+
+    // ── cold start: eager owned decode vs zero-copy open_mapped ────────
+    // "Cold" here = time to the first answer in a fresh process: the owned
+    // path decodes + verifies every section before it can serve; the
+    // mapped path reads metadata only and pays lazy checksums for just the
+    // regions the first query touches.
+    let version = Snapshot::inspect(path).map_err(runtime)?.version;
+    let sample = if let Some(e) = &snap.engine {
+        Some(mean_query(e.shards().iter().map(|s| s.data())).map_err(runtime)?)
+    } else {
+        snap.sd
+            .as_ref()
+            .map(|sd| mean_query(std::iter::once(sd.data())))
+            .transpose()
+            .map_err(runtime)?
+    };
+    if version >= sdq_store::FORMAT_V5 {
+        if let Some(query) = &sample {
+            let k = DEFAULT_K;
+            let (m, open_ms) = timed(|| Snapshot::open_mapped(path));
+            let m = m.map_err(runtime)?;
+            let (mapped_first, mapped_fq_ms) = timed(|| bench_query_once(&m.snapshot, query, k));
+            let mapped_first = mapped_first?;
+            let (owned_first, owned_fq_ms) = timed(|| bench_query_once(&snap, query, k));
+            let owned_first = owned_first?;
+            if mapped_first != owned_first {
+                return Err(runtime(
+                    "mapped and owned decodes answered the same query differently",
+                ));
+            }
+            let owned_cold = cold + owned_fq_ms;
+            let mapped_cold = open_ms + mapped_fq_ms;
+            println!(
+                "cold start to first answer (k = {k}): owned {owned_cold:.2} ms \
+                 (decode {cold:.2} + query {owned_fq_ms:.2}), mapped {mapped_cold:.2} ms \
+                 (open {open_ms:.2} + first query {mapped_fq_ms:.2}) — {:.0}× faster",
+                owned_cold / mapped_cold
+            );
+            // Steady state: same query, scratch-free `query()` on both
+            // sides, nearest-rank p50 over the sample count.
+            const WARM_RUNS: usize = 64;
+            let mut owned_lat = Vec::with_capacity(WARM_RUNS);
+            let mut mapped_lat = Vec::with_capacity(WARM_RUNS);
+            for _ in 0..WARM_RUNS {
+                let (r, ms) = timed(|| bench_query_once(&snap, query, k));
+                r?;
+                owned_lat.push(ms);
+                let (r, ms) = timed(|| bench_query_once(&m.snapshot, query, k));
+                r?;
+                mapped_lat.push(ms);
+            }
+            let owned_p50 = percentile(&mut owned_lat, 50.0);
+            let mapped_p50 = percentile(&mut mapped_lat, 50.0);
+            println!(
+                "warm query p50: owned {owned_p50:.4} ms, mapped {mapped_p50:.4} ms \
+                 ({:+.1}%)",
+                100.0 * (mapped_p50 - owned_p50) / owned_p50
+            );
+            if let Some(out) = &json_out {
+                let entry = format!(
+                    "{{\"file_bytes\": {bytes}, \"format_version\": {version}, \
+                     \"owned_decode_ms\": {cold:.3}, \"owned_first_query_ms\": {owned_fq_ms:.3}, \
+                     \"mapped_open_ms\": {open_ms:.3}, \"mapped_first_query_ms\": {mapped_fq_ms:.3}, \
+                     \"owned_cold_ms\": {owned_cold:.3}, \"mapped_cold_ms\": {mapped_cold:.3}, \
+                     \"cold_speedup\": {:.1}, \
+                     \"owned_warm_p50_ms\": {owned_p50:.4}, \"mapped_warm_p50_ms\": {mapped_p50:.4}}}",
+                    owned_cold / mapped_cold
+                );
+                merge_cold_start(out, &entry)?;
+                println!("merged cold_start into {out}");
+            }
+        } else if json_out.is_some() {
+            return Err(runtime(
+                "--json-out: the snapshot holds no engine or sd-index to time a query against",
+            ));
+        }
+    } else if json_out.is_some() {
+        return Err(runtime(format!(
+            "--json-out: {path} is a format-v{version} snapshot; the cold-start comparison \
+             needs v5 (rebuild with `sdq build` or rewrite with `sdq compact`)"
+        )));
+    }
 
     // Rebuild every index kind the snapshot actually holds, for an
     // apples-to-apples comparison.
@@ -1798,6 +1974,53 @@ fn serve_repeated(
         repeat as f64 / (batch_ms / 1e3)
     );
     Ok(answer)
+}
+
+/// One top-k query against whichever queryable artifact the snapshot
+/// holds (engine preferred, then sd-index) — the bench-load probe.
+fn bench_query_once(
+    snap: &Snapshot,
+    query: &SdQuery,
+    k: usize,
+) -> Result<Vec<ScoredPoint>, CliError> {
+    if let Some(e) = &snap.engine {
+        return e.query(query, k).map_err(runtime);
+    }
+    if let Some(sd) = &snap.sd {
+        return sd.query(query, k).map_err(runtime);
+    }
+    Err(runtime(
+        "snapshot holds no engine or sd-index to query (rebuild with --index sd)",
+    ))
+}
+
+/// Merges a `cold_start` key into the bench JSON report (the file
+/// `bench-query` writes), replacing any cold_start a previous run left.
+/// Creates a fresh report when the file does not exist.
+fn merge_cold_start(out: &str, entry: &str) -> Result<(), CliError> {
+    let base = match std::fs::read_to_string(out) {
+        Ok(s) => {
+            let mut s = s.trim_end().to_string();
+            // A previous merge appended cold_start last; cut it (and its
+            // leading comma) so reruns replace rather than accumulate.
+            if let Some(i) = s.find(",\n  \"cold_start\":") {
+                s.truncate(i);
+                s.push_str("\n}");
+            }
+            s
+        }
+        Err(_) => String::from("{\n  \"source\": \"bench-load\"\n}"),
+    };
+    let Some(stripped) = base.trim_end().strip_suffix('}') else {
+        return Err(runtime(format!(
+            "{out} does not end in a JSON object; cannot merge cold_start"
+        )));
+    };
+    let merged = format!(
+        "{},\n  \"cold_start\": {entry}\n}}\n",
+        stripped.trim_end().trim_end_matches(',')
+    );
+    std::fs::write(out, merged).map_err(|e| runtime(format!("cannot write {out}: {e}")))
 }
 
 fn median(samples: &mut [f64]) -> f64 {

@@ -6,7 +6,7 @@
 //!
 //! A durable engine owns two names inside one [`Storage`] directory:
 //!
-//! * `NAME` — the snapshot (container format v4: the engine plus a
+//! * `NAME` — the snapshot (container format v5, engine plus a
 //!   `durability` section carrying the checkpoint generation).
 //! * `NAME.wal` — the write-ahead log, whose header carries the same
 //!   generation.
@@ -506,7 +506,9 @@ impl<S: Storage> DurableEngine<S> {
     /// pair supersedes whatever was wrong on disk).
     pub fn checkpoint(&mut self) -> Result<(), SdError> {
         let generation = self.generation + 1;
-        let bytes = self.checkpoint_snapshot(generation).to_bytes();
+        // Checkpoints write format v5 natively: the rewritten file is what
+        // a serving process reopens, and `open_mapped` makes that O(1).
+        let bytes = self.checkpoint_snapshot(generation).to_bytes_v5()?;
         let snap_name = self.snap_name.clone();
         self.atomic_replace(&Self::snap_tmp(&snap_name), &snap_name, &bytes)?;
         // The snapshot is durable at the new generation; until the WAL

@@ -31,6 +31,7 @@
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The abstract flat-directory store the durability layer writes to.
 ///
@@ -40,6 +41,15 @@ use std::path::{Path, PathBuf};
 pub trait Storage {
     /// Reads the whole file.
     fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Reads the whole file as a [`MappedBytes`] buffer suitable for
+    /// zero-copy (format v5) snapshot opening: the returned bytes start on
+    /// a 64-byte boundary and stay valid as long as any clone of the
+    /// buffer (or a keepalive derived from it) is alive. The default
+    /// copies through [`Storage::read`]; [`DiskStorage`] overrides it with
+    /// a real file mapping where the platform provides one.
+    fn read_mapped(&self, name: &str) -> io::Result<MappedBytes> {
+        Ok(MappedBytes::copy_from(&self.read(name)?))
+    }
     /// Whether the file currently exists.
     fn exists(&self, name: &str) -> bool;
     /// Current length of the file in bytes.
@@ -95,6 +105,194 @@ pub fn atomic_write_path(path: &Path, bytes: &[u8]) -> io::Result<()> {
     fsync_parent_dir(path)
 }
 
+// ─── MappedBytes ────────────────────────────────────────────────────────────
+
+/// 64-byte-aligned backing storage for the owned [`MappedBytes`] fallback.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct AlignedChunk([u8; 64]);
+
+enum MappedInner {
+    /// A read-only private file mapping (page-aligned, so 64-aligned).
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    },
+    /// An owned copy in 64-aligned storage; `len` is the byte length (the
+    /// final chunk may be partially used).
+    Owned {
+        chunks: Vec<AlignedChunk>,
+        len: usize,
+    },
+}
+
+// Safety: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime and the owned variant is never written after construction.
+unsafe impl Send for MappedInner {}
+unsafe impl Sync for MappedInner {}
+
+impl Drop for MappedInner {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MappedInner::Mapped { ptr, len } = *self {
+            // Safety: `ptr`/`len` are exactly what mmap returned.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only, 64-byte-aligned byte buffer backing a zero-copy snapshot:
+/// either a private file mapping (Unix) or an owned aligned copy. Cheap to
+/// clone; the underlying memory lives until the last clone (or derived
+/// keepalive) drops.
+#[derive(Clone)]
+pub struct MappedBytes {
+    inner: Arc<MappedInner>,
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl MappedBytes {
+    /// An owned, 64-aligned copy of `bytes` (the portable fallback).
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let n_chunks = bytes.len().div_ceil(64);
+        let mut chunks = vec![AlignedChunk([0u8; 64]); n_chunks];
+        // Safety: the chunk storage is `n_chunks * 64 >= bytes.len()`
+        // contiguous bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                chunks.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+        MappedBytes {
+            inner: Arc::new(MappedInner::Owned {
+                chunks,
+                len: bytes.len(),
+            }),
+        }
+    }
+
+    /// Maps the file at `path` read-only. Falls back to an owned aligned
+    /// copy when mapping is unavailable (non-Unix platforms, empty files,
+    /// or a failed `mmap`).
+    pub fn map_file(path: &Path) -> io::Result<Self> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            let len =
+                usize::try_from(len).map_err(|_| io::Error::other("file too large to map"))?;
+            if len > 0 {
+                // Safety: mapping a readable fd PROT_READ/MAP_PRIVATE; the
+                // result (when not MAP_FAILED) is `len` valid bytes that
+                // stay valid until munmap — the fd may close immediately.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr as isize != -1 {
+                    return Ok(MappedBytes {
+                        inner: Arc::new(MappedInner::Mapped { ptr, len }),
+                    });
+                }
+            }
+        }
+        Ok(MappedBytes::copy_from(&std::fs::read(path)?))
+    }
+
+    /// `true` when backed by a real file mapping (RSS scales with touched
+    /// pages, not file size).
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(*self.inner, MappedInner::Mapped { .. })
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// The bytes. The slice start is 64-byte aligned.
+    pub fn as_slice(&self) -> &[u8] {
+        match &*self.inner {
+            #[cfg(unix)]
+            MappedInner::Mapped { ptr, len } => {
+                // Safety: the mapping is alive as long as `self.inner` is.
+                unsafe { std::slice::from_raw_parts(ptr.cast::<u8>().cast_const(), *len) }
+            }
+            MappedInner::Owned { chunks, len } => {
+                // Safety: `len <= chunks.len() * 64` by construction.
+                unsafe { std::slice::from_raw_parts(chunks.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        match &*self.inner {
+            #[cfg(unix)]
+            MappedInner::Mapped { len, .. } => *len,
+            MappedInner::Owned { len, .. } => *len,
+        }
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A type-erased keepalive handle pinning the buffer's memory — what
+    /// mapped [`sdq_core::ColumnarView`]s hold to outlive this value.
+    pub fn keep(&self) -> Arc<dyn std::any::Any + Send + Sync> {
+        self.inner.clone()
+    }
+}
+
+impl std::ops::Deref for MappedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 // ─── DiskStorage ────────────────────────────────────────────────────────────
 
 /// [`Storage`] over one real directory, with honest fsyncs.
@@ -129,6 +327,10 @@ impl DiskStorage {
 impl Storage for DiskStorage {
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
         std::fs::read(self.path(name))
+    }
+
+    fn read_mapped(&self, name: &str) -> io::Result<MappedBytes> {
+        MappedBytes::map_file(&self.path(name))
     }
 
     fn exists(&self, name: &str) -> bool {

@@ -49,6 +49,30 @@
 //! `sdq_core::codec` is the second line of defence: even a checksum
 //! collision cannot produce an index that panics at query time.
 //!
+//! ## File format version 5 (zero-copy / mmap-native)
+//!
+//! Version 5 keeps the container (magic, version, section table, table
+//! CRC-32) but changes the section payloads to the **aligned region
+//! encoding** of `sdq_core::codec`: every section payload starts on a
+//! 64-byte file offset and consists of framed regions — small `[crc32c]
+//! [len]` *metadata* regions verified eagerly at open, and `[crc32c]
+//! [count][pad-to-64]` *array* regions whose payload bytes are the exact
+//! little-endian in-memory representation of the hot structures (point
+//! tables, SoA leaf blocks, sorted columns, coordinate tables). Array
+//! checksums are verified **lazily on first touch** (see
+//! [`sdq_core::SectionIntegrity`]). Table entries of a v5 file carry
+//! `crc32 = 0` — integrity lives in the region headers — and padding bytes
+//! between sections must be zero.
+//!
+//! [`Snapshot::open_mapped`] reinterprets those array regions in place over
+//! an `mmap` of the file: open cost is O(metadata), the first query pays
+//! one checksum pass over only the regions it touches, and resident memory
+//! scales with touched pages rather than file size. [`Snapshot::from_bytes`]
+//! reads v5 eagerly (owned copies, checksums up front) so every reader
+//! understands every version. Writers choose: [`Snapshot::to_bytes`] emits
+//! the newest *legacy* version the content needs (v1–v4, maximum reader
+//! compatibility), [`Snapshot::to_bytes_v5`] emits v5.
+//!
 //! ## Example
 //!
 //! ```
@@ -75,24 +99,29 @@ pub mod io;
 pub mod wal;
 
 use std::path::Path;
+use std::sync::Arc;
 
-use sdq_core::codec::{corrupt, decode_from_slice, encode_to_vec, Codec, Reader, Writer};
+use sdq_core::codec::{
+    corrupt, decode_from_slice, encode_to_vec, Codec, Reader, Writer, REGION_ALIGN,
+};
+use sdq_core::integrity::ensure_all;
 use sdq_core::multidim::SdIndex;
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::TopKIndex;
-use sdq_core::{Dataset, DimRole, SdError};
+use sdq_core::{Dataset, DimRole, SdError, SectionIntegrity};
 use sdq_engine::SdEngine;
 use sdq_rstar::RStarTree;
 
 pub use crc32::crc32;
 pub use durable::{DurableEngine, DurableOptions, RecoveryReport, SyncPolicy, WalStatus};
-pub use io::{DiskStorage, Fault, FaultScript, MemStorage, Storage};
+pub use io::{DiskStorage, Fault, FaultScript, MappedBytes, MemStorage, Storage};
+pub use sdq_core::CrcState;
 
 /// `b"SDQSNAP\0"` — the first 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SDQSNAP\0";
 
 /// The newest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 4;
+pub const FORMAT_VERSION: u32 = 5;
 
 /// The original format (no engine sections). Snapshots without an engine
 /// are still written as version 1 for maximum reader compatibility.
@@ -109,6 +138,22 @@ pub const FORMAT_V3: u32 = 3;
 /// The durability format (checkpoint-generation section tying a snapshot
 /// to its WAL). Only [`DurableEngine`] checkpoints write it.
 pub const FORMAT_V4: u32 = 4;
+
+/// The zero-copy format: 64-byte-aligned region-framed section payloads
+/// whose array regions are the exact in-memory representation, checksummed
+/// lazily (CRC-32C) on first touch. Written by [`Snapshot::to_bytes_v5`];
+/// mappable via [`Snapshot::open_mapped`].
+pub const FORMAT_V5: u32 = 5;
+
+/// Which container encoding a save should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// The newest legacy version the content needs (v1–v4): compact,
+    /// eagerly checksummed, readable by every prior build.
+    Legacy,
+    /// Format v5: mmap-native aligned regions, lazy checksums, O(1) open.
+    V5,
+}
 
 /// Hard cap on the section count, far above anything legitimate; rejects
 /// absurd table sizes from corrupt headers before allocation.
@@ -220,13 +265,9 @@ impl DurabilityInfo {
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
-        let mut r = Reader::new(bytes);
+    fn decode_fields(r: &mut Reader<'_>) -> Result<Self, SdError> {
         let generation = r.u64()?;
         let checkpoint_epoch = r.u64()?;
-        if r.remaining() != 0 {
-            return Err(corrupt("trailing bytes after durability section"));
-        }
         if generation == 0 {
             return Err(corrupt("durability generation 0 is invalid"));
         }
@@ -234,6 +275,15 @@ impl DurabilityInfo {
             generation,
             checkpoint_epoch,
         })
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
+        let mut r = Reader::new(bytes);
+        let info = Self::decode_fields(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after durability section"));
+        }
+        Ok(info)
     }
 }
 
@@ -269,17 +319,13 @@ impl EngineManifest {
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
-        let mut r = Reader::new(bytes);
+    fn decode_fields(r: &mut Reader<'_>) -> Result<Self, SdError> {
         let dims = r.usize()?;
-        let roles = Vec::<DimRole>::decode(&mut r)?;
+        let roles = Vec::<DimRole>::decode(r)?;
         let count = r.len_prefix(8)?;
         let mut shard_rows = Vec::with_capacity(count);
         for _ in 0..count {
             shard_rows.push(r.u64()?);
-        }
-        if r.remaining() != 0 {
-            return Err(corrupt("trailing bytes after engine manifest"));
         }
         if roles.len() != dims {
             return Err(corrupt(format!(
@@ -292,6 +338,15 @@ impl EngineManifest {
             roles,
             shard_rows,
         })
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SdError> {
+        let mut r = Reader::new(bytes);
+        let m = Self::decode_fields(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after engine manifest"));
+        }
+        Ok(m)
     }
 }
 
@@ -317,6 +372,10 @@ pub struct Snapshot {
     /// Durability metadata written by [`DurableEngine`] checkpoints
     /// (snapshot format v4).
     pub durability: Option<DurabilityInfo>,
+    /// The container version this snapshot was decoded from (`None` for a
+    /// freshly built snapshot). [`Snapshot::preferred_format`] uses it so
+    /// mutate-and-save flows preserve the on-disk format they found.
+    pub source_version: Option<u32>,
 }
 
 /// Metadata of one stored section, as reported by [`Snapshot::inspect_bytes`].
@@ -326,6 +385,8 @@ pub struct SectionInfo {
     pub kind: Option<SectionKind>,
     /// Raw kind tag as stored.
     pub raw_kind: u32,
+    /// Absolute file offset of the payload.
+    pub offset: u64,
     /// Payload length in bytes.
     pub len: u64,
     /// Stored CRC-32 of the payload.
@@ -459,6 +520,160 @@ impl Snapshot {
         out
     }
 
+    /// Verifies every lazily-checksummed region reachable from the
+    /// queryable artifacts (mapped §5 indexes, 2-D trees, engine shards).
+    /// A no-op on fully owned snapshots. Called by [`Snapshot::to_bytes_v5`]
+    /// so corrupt mapped bytes are never re-encoded under fresh checksums.
+    pub fn verify_integrity(&self) -> Result<(), SdError> {
+        if let Some(sd) = &self.sd {
+            sd.verify_integrity()?;
+        }
+        if let Some(t) = &self.topk {
+            t.verify_integrity()?;
+        }
+        if let Some(e) = &self.engine {
+            for shard in e.shards() {
+                shard.verify_integrity()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Every present artifact as `(kind, reserved, payload)` in the v5
+    /// encoding: hot artifacts as aligned region streams, small metadata
+    /// kinds as their legacy bytes wrapped in one eager meta region.
+    fn v5_sections(&self) -> Vec<(SectionKind, u32, Vec<u8>)> {
+        fn aligned(f: impl FnOnce(&mut Writer)) -> Vec<u8> {
+            let mut w = Writer::new_aligned();
+            f(&mut w);
+            w.into_bytes()
+        }
+        fn wrapped(f: impl FnOnce(&mut Writer)) -> Vec<u8> {
+            let mut w = Writer::new_aligned();
+            w.meta_region(f);
+            w.into_bytes()
+        }
+        let mut sections: Vec<(SectionKind, u32, Vec<u8>)> = Vec::new();
+        if let Some(d) = &self.dataset {
+            sections.push((SectionKind::Dataset, 0, aligned(|w| d.encode(w))));
+        }
+        if let Some(r) = &self.roles {
+            sections.push((SectionKind::Roles, 0, wrapped(|w| r.encode(w))));
+        }
+        if let Some(i) = &self.sd {
+            sections.push((SectionKind::SdIndex, 0, aligned(|w| i.encode(w))));
+        }
+        if let Some(i) = &self.topk {
+            sections.push((SectionKind::TopKIndex, 0, aligned(|w| i.encode(w))));
+        }
+        if let Some(i) = &self.top1 {
+            sections.push((SectionKind::Top1Index, 0, wrapped(|w| i.encode(w))));
+        }
+        if let Some(t) = &self.rstar {
+            sections.push((SectionKind::RStarTree, 0, wrapped(|w| t.encode(w))));
+        }
+        if let Some(e) = &self.engine {
+            sections.push((
+                SectionKind::EngineManifest,
+                0,
+                wrapped(|w| w.bytes(&EngineManifest::of(e).encode())),
+            ));
+            for (ordinal, shard) in e.shards().iter().enumerate() {
+                sections.push((
+                    SectionKind::EngineShard,
+                    ordinal as u32,
+                    aligned(|w| shard.encode(w)),
+                ));
+            }
+            if !e.delta().is_empty() {
+                sections.push((
+                    SectionKind::MutationDelta,
+                    0,
+                    aligned(|w| e.delta().encode(w)),
+                ));
+            }
+            let tombstones = e.tombstone_ids();
+            if !tombstones.is_empty() {
+                sections.push((
+                    SectionKind::MutationTombstones,
+                    0,
+                    wrapped(|w| {
+                        w.u64(e.total_rows() as u64);
+                        w.u32s(&tombstones);
+                    }),
+                ));
+            }
+        }
+        if let Some(d) = &self.durability {
+            sections.push((
+                SectionKind::Durability,
+                0,
+                wrapped(|w| w.bytes(&d.encode())),
+            ));
+        }
+        sections
+    }
+
+    /// Serialises in format v5: section payloads start on 64-byte file
+    /// offsets (zero-padded gaps), table CRCs are zero (integrity lives in
+    /// the per-region CRC-32C headers) and array payloads are the exact
+    /// in-memory representation, so [`Snapshot::open_mapped`] can serve
+    /// queries straight off the file.
+    ///
+    /// Fails only when this snapshot holds mapped views whose deferred
+    /// checksums turn out bad — corruption must surface, not be laundered
+    /// under fresh checksums.
+    pub fn to_bytes_v5(&self) -> Result<Vec<u8>, SdError> {
+        self.verify_integrity()?;
+        let sections = self.v5_sections();
+        let table_bytes = TABLE_ENTRY_BYTES * sections.len();
+        let header_len = (8 + 4 + 4 + table_bytes + 4) as u64;
+
+        let mut table = Writer::new();
+        let mut offsets = Vec::with_capacity(sections.len());
+        let mut offset = header_len.next_multiple_of(REGION_ALIGN as u64);
+        for (kind, reserved, payload) in &sections {
+            table.u32(*kind as u32);
+            table.u32(*reserved);
+            table.u64(offset);
+            table.u64(payload.len() as u64);
+            table.u32(0);
+            offsets.push(offset);
+            offset = (offset + payload.len() as u64).next_multiple_of(REGION_ALIGN as u64);
+        }
+        let table = table.into_bytes();
+
+        let mut out = Vec::with_capacity(offset as usize);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_V5.to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&crc32(&table).to_le_bytes());
+        for (off, (_, _, payload)) in offsets.iter().zip(&sections) {
+            out.resize(*off as usize, 0);
+            out.extend_from_slice(payload);
+        }
+        Ok(out)
+    }
+
+    /// Serialises in the requested container format.
+    pub fn to_bytes_as(&self, format: SnapshotFormat) -> Result<Vec<u8>, SdError> {
+        match format {
+            SnapshotFormat::Legacy => Ok(self.to_bytes()),
+            SnapshotFormat::V5 => self.to_bytes_v5(),
+        }
+    }
+
+    /// The format a save should default to: whatever this snapshot was
+    /// decoded from (so mutate-and-save flows preserve the on-disk format
+    /// they found), v5 for freshly built snapshots.
+    pub fn preferred_format(&self) -> SnapshotFormat {
+        match self.source_version {
+            Some(v) if v < FORMAT_V5 => SnapshotFormat::Legacy,
+            _ => SnapshotFormat::V5,
+        }
+    }
+
     fn parse_header(bytes: &[u8]) -> Result<(u32, Vec<TableEntry>), SdError> {
         let mut r = Reader::new(bytes);
         let magic = r.take(8).map_err(|_| SdError::SnapshotBadMagic)?;
@@ -524,14 +739,9 @@ impl Snapshot {
         Ok(&bytes[start..end])
     }
 
-    /// Restores a snapshot from container bytes, verifying the magic, the
-    /// format version and every checksum before decoding. Reads both
-    /// format versions: v1 files (no engine sections) load unchanged.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SdError> {
-        let (version, entries) = Self::parse_header(bytes)?;
-        // Payloads are laid out back-to-back after the header; the file must
-        // end exactly where the table says it does — appended garbage is as
-        // suspect as truncation.
+    /// Checks that the file ends exactly where the section table says it
+    /// does — appended garbage is as suspect as truncation.
+    fn check_file_len(bytes: &[u8], entries: &[TableEntry]) -> Result<(), SdError> {
         let header_len = (8 + 4 + 4 + TABLE_ENTRY_BYTES * entries.len() + 4) as u64;
         let expected_len = entries
             .iter()
@@ -542,7 +752,21 @@ impl Snapshot {
                 bytes.len()
             )));
         }
+        Ok(())
+    }
+
+    /// Restores a snapshot from container bytes, verifying the magic, the
+    /// format version and every checksum before decoding. Reads every
+    /// format version; v5 files are decoded eagerly into owned memory
+    /// (use [`Snapshot::open_mapped`] for the zero-copy path).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SdError> {
+        let (version, entries) = Self::parse_header(bytes)?;
+        Self::check_file_len(bytes, &entries)?;
+        if version == FORMAT_V5 {
+            return Self::decode_v5(bytes, &entries, None).map(|(snap, _)| snap);
+        }
         let mut snap = Snapshot::new();
+        snap.source_version = Some(version);
         let mut manifest: Option<EngineManifest> = None;
         let mut engine_shards: Vec<(u32, SdIndex)> = Vec::new();
         let mut delta: Option<Dataset> = None;
@@ -580,6 +804,19 @@ impl Snapshot {
                 SectionKind::Durability => snap.durability = Some(DurabilityInfo::decode(payload)?),
             }
         }
+        Self::finish_engine(&mut snap, manifest, engine_shards, delta, tombstones)?;
+        Ok(snap)
+    }
+
+    /// Reassembles the engine (when present) and restores its mutation
+    /// state — the shared tail of every decode path.
+    fn finish_engine(
+        snap: &mut Snapshot,
+        manifest: Option<EngineManifest>,
+        engine_shards: Vec<(u32, SdIndex)>,
+        delta: Option<Dataset>,
+        tombstones: Option<(u64, Vec<u32>)>,
+    ) -> Result<(), SdError> {
         snap.engine = Self::assemble_engine(manifest, engine_shards)?;
         if delta.is_some() || tombstones.is_some() {
             let Some(engine) = snap.engine.as_mut() else {
@@ -605,19 +842,135 @@ impl Snapshot {
             };
             engine.restore_mutations(delta, &ids)?;
         }
-        Ok(snap)
+        Ok(())
     }
 
-    /// Decodes a `mutation-tombstones` payload: `u64` domain plus sorted
+    /// Decodes a format-v5 file. With `keep = Some(...)` the hot array
+    /// regions become borrowed views of that buffer (checksums lazy);
+    /// otherwise everything is copied and verified eagerly. Returns the
+    /// snapshot plus every region walked, for inspection and
+    /// [`MappedSnapshot::verify_all`].
+    fn decode_v5(
+        bytes: &[u8],
+        entries: &[TableEntry],
+        keep: Option<&MappedBytes>,
+    ) -> Result<(Snapshot, Vec<Arc<SectionIntegrity>>), SdError> {
+        // Layout discipline before any payload is trusted: entries in
+        // ascending offset order, every payload 64-aligned, table CRCs
+        // zeroed (integrity lives in the region headers), gaps zero.
+        let header_len = (8 + 4 + 4 + TABLE_ENTRY_BYTES * entries.len() + 4) as u64;
+        let mut cursor = header_len;
+        for entry in entries {
+            if entry.crc != 0 {
+                return Err(corrupt(
+                    "v5 table entry carries a section CRC (regions carry their own)",
+                ));
+            }
+            if entry.offset % REGION_ALIGN as u64 != 0 {
+                return Err(corrupt(format!(
+                    "v5 section at offset {} is not {REGION_ALIGN}-byte aligned",
+                    entry.offset
+                )));
+            }
+            if entry.offset < cursor {
+                return Err(corrupt(
+                    "v5 sections overlap or are out of table order".to_string(),
+                ));
+            }
+            // The gap is inside the file: offsets were bounds-checked by
+            // `check_file_len` only as max(end); re-check begin here.
+            let (gap_start, gap_end) = (cursor as usize, entry.offset as usize);
+            if gap_end > bytes.len() {
+                return Err(corrupt("v5 section offset beyond end of file"));
+            }
+            if bytes[gap_start..gap_end].iter().any(|&b| b != 0) {
+                return Err(corrupt("nonzero padding between v5 sections"));
+            }
+            cursor = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or_else(|| corrupt("section range overflows"))?;
+        }
+        let mut snap = Snapshot::new();
+        snap.source_version = Some(FORMAT_V5);
+        let mut regions: Vec<Arc<SectionIntegrity>> = Vec::new();
+        let mut manifest: Option<EngineManifest> = None;
+        let mut engine_shards: Vec<(u32, SdIndex)> = Vec::new();
+        let mut delta: Option<Dataset> = None;
+        let mut tombstones: Option<(u64, Vec<u32>)> = None;
+        for entry in entries {
+            let payload = Self::section_slice(bytes, entry)?;
+            let kind = SectionKind::from_u32(entry.raw_kind)
+                .ok_or_else(|| corrupt(format!("unknown section kind {}", entry.raw_kind)))?;
+            let prefix = match kind {
+                SectionKind::EngineShard => format!("{}{}", kind.name(), entry.reserved),
+                _ => kind.name().to_string(),
+            };
+            // Only the hot artifacts are worth borrowing; small metadata
+            // sections (and the delta, which mutations rewrite anyway) are
+            // decoded eagerly even in mapped mode.
+            let map_this = matches!(
+                kind,
+                SectionKind::Dataset
+                    | SectionKind::SdIndex
+                    | SectionKind::TopKIndex
+                    | SectionKind::EngineShard
+            );
+            let mut r = match (keep, map_this) {
+                (Some(mb), true) => {
+                    // Safety: `payload` borrows `mb`'s buffer (64-aligned
+                    // base + 64-aligned section offset) and `mb.keep()`
+                    // pins that memory for as long as any view lives.
+                    unsafe { Reader::new_mapped(payload, mb.keep(), prefix, entry.offset) }
+                }
+                _ => Reader::new_aligned(payload, prefix, entry.offset),
+            };
+            match kind {
+                SectionKind::Dataset => snap.dataset = Some(Dataset::decode(&mut r)?),
+                SectionKind::Roles => {
+                    snap.roles = Some(r.meta_region("legacy", Vec::<DimRole>::decode)?)
+                }
+                SectionKind::SdIndex => snap.sd = Some(SdIndex::decode(&mut r)?),
+                SectionKind::TopKIndex => snap.topk = Some(TopKIndex::decode(&mut r)?),
+                SectionKind::Top1Index => {
+                    snap.top1 = Some(r.meta_region("legacy", Top1Index::decode)?)
+                }
+                SectionKind::RStarTree => {
+                    snap.rstar = Some(r.meta_region("legacy", RStarTree::decode)?)
+                }
+                SectionKind::EngineManifest => {
+                    manifest = Some(r.meta_region("legacy", EngineManifest::decode_fields)?)
+                }
+                SectionKind::EngineShard => {
+                    engine_shards.push((entry.reserved, SdIndex::decode(&mut r)?))
+                }
+                SectionKind::MutationDelta => delta = Some(Dataset::decode(&mut r)?),
+                SectionKind::MutationTombstones => {
+                    tombstones = Some(r.meta_region("legacy", Self::decode_tombstone_fields)?)
+                }
+                SectionKind::Durability => {
+                    snap.durability = Some(r.meta_region("legacy", DurabilityInfo::decode_fields)?)
+                }
+            }
+            if !r.is_exhausted() {
+                return Err(corrupt(format!(
+                    "{} trailing bytes in {} section",
+                    r.remaining(),
+                    kind.name()
+                )));
+            }
+            regions.extend(r.take_regions());
+        }
+        Self::finish_engine(&mut snap, manifest, engine_shards, delta, tombstones)?;
+        Ok((snap, regions))
+    }
+
+    /// Decodes `mutation-tombstones` fields: `u64` domain plus sorted
     /// strictly-ascending `u32` ids (canonical, so bytes stay
     /// deterministic across save→load→save).
-    fn decode_tombstones(payload: &[u8]) -> Result<(u64, Vec<u32>), SdError> {
-        let mut r = Reader::new(payload);
+    fn decode_tombstone_fields(r: &mut Reader<'_>) -> Result<(u64, Vec<u32>), SdError> {
         let domain = r.u64()?;
         let ids = r.u32s()?;
-        if r.remaining() != 0 {
-            return Err(corrupt("trailing bytes after tombstone list"));
-        }
         for pair in ids.windows(2) {
             if pair[0] >= pair[1] {
                 return Err(corrupt(format!(
@@ -627,6 +980,15 @@ impl Snapshot {
             }
         }
         Ok((domain, ids))
+    }
+
+    fn decode_tombstones(payload: &[u8]) -> Result<(u64, Vec<u32>), SdError> {
+        let mut r = Reader::new(payload);
+        let out = Self::decode_tombstone_fields(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after tombstone list"));
+        }
+        Ok(out)
     }
 
     /// Validates the engine manifest against the decoded shard sections and
@@ -680,6 +1042,7 @@ impl Snapshot {
                 .map(|e| SectionInfo {
                     kind: SectionKind::from_u32(e.raw_kind),
                     raw_kind: e.raw_kind,
+                    offset: e.offset,
                     len: e.len,
                     crc32: e.crc,
                 })
@@ -711,6 +1074,101 @@ impl Snapshot {
         let bytes = std::fs::read(path)
             .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))?;
         Self::inspect_bytes(&bytes)
+    }
+
+    /// [`Snapshot::save`] in an explicit container format.
+    pub fn save_as(&self, path: impl AsRef<Path>, format: SnapshotFormat) -> Result<(), SdError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes_as(format)?;
+        io::atomic_write_path(path, &bytes)
+            .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))
+    }
+
+    /// [`Snapshot::save`] in format v5 (the mmap-native encoding).
+    pub fn save_v5(&self, path: impl AsRef<Path>) -> Result<(), SdError> {
+        self.save_as(path, SnapshotFormat::V5)
+    }
+
+    /// Opens the snapshot at `path` zero-copy: the file is `mmap`ed and a
+    /// v5 file's array regions are served straight off the mapping — open
+    /// cost is O(metadata), the first query pays one CRC-32C pass over only
+    /// the regions it touches, and resident memory scales with touched
+    /// pages. Legacy files (v1–v4) fall back to a normal owned decode.
+    pub fn open_mapped(path: impl AsRef<Path>) -> Result<MappedSnapshot, SdError> {
+        let path = path.as_ref();
+        let bytes = MappedBytes::map_file(path)
+            .map_err(|e| SdError::SnapshotIo(format!("{}: {e}", path.display())))?;
+        Self::from_mapped(bytes)
+    }
+
+    /// [`Snapshot::open_mapped`] over an already-acquired buffer. Works
+    /// with the owned [`MappedBytes`] fallback too (its buffer is 64-byte
+    /// aligned and kept alive by the views, so borrowing stays sound).
+    pub fn from_mapped(buffer: MappedBytes) -> Result<MappedSnapshot, SdError> {
+        let bytes: &[u8] = &buffer;
+        let (version, entries) = Self::parse_header(bytes)?;
+        Self::check_file_len(bytes, &entries)?;
+        if version < FORMAT_V5 {
+            // Pre-v5 payloads are not reinterpretable in place; decode the
+            // classic way so every file still opens through this API.
+            let snapshot = Self::from_bytes(bytes)?;
+            return Ok(MappedSnapshot {
+                snapshot,
+                version,
+                mapped: false,
+                sections: Vec::new(),
+            });
+        }
+        let mapped = buffer.is_mapped();
+        let (snapshot, sections) = Self::decode_v5(bytes, &entries, Some(&buffer))?;
+        Ok(MappedSnapshot {
+            snapshot,
+            version,
+            mapped,
+            sections,
+        })
+    }
+}
+
+/// A snapshot opened by [`Snapshot::open_mapped`]: the decoded artifacts
+/// plus the integrity handle of every framed region walked, for inspection
+/// ([`MappedSnapshot::regions`]) and full-file verification
+/// ([`MappedSnapshot::verify_all`]).
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    /// The decoded snapshot; for a v5 file its hot arrays borrow the
+    /// underlying buffer.
+    pub snapshot: Snapshot,
+    version: u32,
+    mapped: bool,
+    sections: Vec<Arc<SectionIntegrity>>,
+}
+
+impl MappedSnapshot {
+    /// The container version of the source file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// `true` when the buffer is a real `mmap` of the file (as opposed to
+    /// the owned in-memory fallback). Either way a v5 decode borrows the
+    /// buffer zero-copy.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// Every framed region of the file, in layout order — name, file
+    /// offset, length and checksum state (lazy / verified / failed).
+    /// Empty for pre-v5 files.
+    pub fn regions(&self) -> &[Arc<SectionIntegrity>] {
+        &self.sections
+    }
+
+    /// Forces checksum verification of every region, including ones no
+    /// query has touched yet. The full-coverage equivalent of the legacy
+    /// eager decode; run it before trusting a file end to end.
+    pub fn verify_all(&self) -> Result<(), SdError> {
+        ensure_all(&self.sections)
     }
 }
 
@@ -1058,5 +1516,271 @@ mod tests {
             vec![DimRole::Attractive, DimRole::Repulsive]
         );
         assert!(parse_roles("ax").is_err());
+    }
+
+    // ── format v5 (zero-copy) ───────────────────────────────────────────
+
+    /// Asserts both snapshots answer identically across every artifact.
+    fn queries_match(a: &Snapshot, b: &Snapshot) {
+        let roles = b.roles.clone().unwrap();
+        let q = SdQuery::uniform_weights(vec![0.2, 3.0, 7.0], &roles);
+        assert_eq!(
+            a.sd.as_ref().unwrap().query(&q, 5).unwrap(),
+            b.sd.as_ref().unwrap().query(&q, 5).unwrap()
+        );
+        assert_eq!(
+            a.topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap(),
+            b.topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap()
+        );
+        assert_eq!(
+            a.top1.as_ref().unwrap().query(0.0, 0.0),
+            b.top1.as_ref().unwrap().query(0.0, 0.0)
+        );
+        assert_eq!(
+            a.engine.as_ref().unwrap().query(&q, 5).unwrap(),
+            b.engine.as_ref().unwrap().query(&q, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn v5_roundtrips_owned() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes_v5().unwrap();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.source_version, Some(FORMAT_V5));
+        assert_eq!(back.preferred_format(), SnapshotFormat::V5);
+        // Owned decode verifies everything eagerly; nothing stays mapped.
+        assert!(!back.sd.as_ref().unwrap().is_mapped());
+        queries_match(&back, &snap);
+        assert_eq!(back.to_bytes_v5().unwrap(), bytes, "nondeterministic");
+        // Layout discipline: 64-aligned payloads, table CRCs zero.
+        let info = Snapshot::inspect_bytes(&bytes).unwrap();
+        assert_eq!(info.version, FORMAT_V5);
+        assert_eq!(info.sections.len(), 11);
+        for s in &info.sections {
+            assert_eq!(s.offset % REGION_ALIGN as u64, 0);
+            assert_eq!(s.crc32, 0);
+        }
+    }
+
+    #[test]
+    fn v5_roundtrips_zero_copy() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes_v5().unwrap();
+        let m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        assert_eq!(m.version(), FORMAT_V5);
+        assert!(!m.regions().is_empty());
+        assert!(m.snapshot.sd.as_ref().unwrap().is_mapped());
+        queries_match(&m.snapshot, &snap);
+        m.verify_all().unwrap();
+        // A mapped snapshot re-encodes to the identical file.
+        assert_eq!(m.snapshot.to_bytes_v5().unwrap(), bytes);
+    }
+
+    #[test]
+    fn v5_crc_state_is_lazy_until_touched() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes_v5().unwrap();
+        let m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        assert!(
+            m.regions().iter().any(|r| r.state() == CrcState::Lazy),
+            "open should defer array checksums"
+        );
+        let q = SdQuery::uniform_weights(vec![0.2, 3.0, 7.0], snap.roles.as_ref().unwrap());
+        m.snapshot.sd.as_ref().unwrap().query(&q, 5).unwrap();
+        assert!(m.regions().iter().any(|r| r.state() == CrcState::Verified));
+        m.verify_all().unwrap();
+        assert!(m.regions().iter().all(|r| r.state() == CrcState::Verified));
+    }
+
+    #[test]
+    fn v5_every_flipped_byte_is_detected() {
+        let bytes = sample_snapshot().to_bytes_v5().unwrap();
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x01;
+            // The owned decode verifies eagerly: the flip surfaces at load.
+            let err = Snapshot::from_bytes(&mutated)
+                .err()
+                .unwrap_or_else(|| panic!("flip at byte {pos} went undetected (owned)"));
+            assert!(
+                matches!(
+                    err,
+                    SdError::SnapshotBadMagic
+                        | SdError::SnapshotVersion { .. }
+                        | SdError::SnapshotChecksum { .. }
+                        | SdError::SnapshotCorrupt { .. }
+                ),
+                "flip at byte {pos}: unexpected owned error {err:?}"
+            );
+            // The zero-copy open defers array checksums, but open +
+            // verify_all must still catch every flip — typed, never UB.
+            let err = match Snapshot::from_mapped(MappedBytes::copy_from(&mutated)) {
+                Err(e) => e,
+                Ok(m) => match m.verify_all() {
+                    Err(e) => e,
+                    Ok(()) => panic!("flip at byte {pos} went undetected (mapped)"),
+                },
+            };
+            assert!(
+                matches!(
+                    err,
+                    SdError::SnapshotBadMagic
+                        | SdError::SnapshotVersion { .. }
+                        | SdError::SnapshotChecksum { .. }
+                        | SdError::SnapshotCorrupt { .. }
+                ),
+                "flip at byte {pos}: unexpected mapped error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_every_truncation_is_detected() {
+        let bytes = sample_snapshot().to_bytes_v5().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..cut]).is_err(),
+                "owned: truncation to {cut} bytes went undetected"
+            );
+            assert!(
+                Snapshot::from_mapped(MappedBytes::copy_from(&bytes[..cut])).is_err(),
+                "mapped: truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_rejects_misaligned_section() {
+        // Shift section 0's payload offset off the 64-byte grid (fixing up
+        // the table CRC so only the alignment rule is violated).
+        let mut bytes = sample_snapshot().to_bytes_v5().unwrap();
+        let n = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let off_at = 16 + 8;
+        let old = u64::from_le_bytes(bytes[off_at..off_at + 8].try_into().unwrap());
+        bytes[off_at..off_at + 8].copy_from_slice(&(old + 8).to_le_bytes());
+        let table_end = 16 + TABLE_ENTRY_BYTES * n;
+        let crc = crc32(&bytes[16..table_end]);
+        bytes[table_end..table_end + 4].copy_from_slice(&crc.to_le_bytes());
+        for result in [
+            Snapshot::from_bytes(&bytes),
+            Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).map(|m| m.snapshot),
+        ] {
+            match result {
+                Err(SdError::SnapshotCorrupt { detail }) => {
+                    assert!(detail.contains("aligned"), "wrong detail: {detail}")
+                }
+                other => panic!("misaligned section accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn open_mapped_reads_legacy_files() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        let m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        assert_eq!(m.version(), FORMAT_V3);
+        assert!(m.regions().is_empty());
+        m.verify_all().unwrap();
+        assert_eq!(m.snapshot.preferred_format(), SnapshotFormat::Legacy);
+        queries_match(&m.snapshot, &snap);
+    }
+
+    #[test]
+    fn mapped_engine_accepts_mutations() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes_v5().unwrap();
+        let mut m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        let mut owned = Snapshot::from_bytes(&bytes).unwrap();
+        let roles = snap.roles.clone().unwrap();
+        let q = SdQuery::uniform_weights(vec![0.2, 3.0, 7.0], &roles);
+        for s in [&mut m.snapshot, &mut owned] {
+            let e = s.engine.as_mut().unwrap();
+            e.insert(&[0.9, 2.0, 3.0]).unwrap();
+            assert!(e.delete(sdq_core::PointId::new(1)).unwrap());
+        }
+        assert_eq!(
+            m.snapshot.engine.as_ref().unwrap().query(&q, 6).unwrap(),
+            owned.engine.as_ref().unwrap().query(&q, 6).unwrap()
+        );
+        // The mutated mapped snapshot saves as v5 and reloads.
+        assert_eq!(m.snapshot.preferred_format(), SnapshotFormat::V5);
+        let rebytes = m.snapshot.to_bytes_v5().unwrap();
+        let back = Snapshot::from_bytes(&rebytes).unwrap();
+        assert_eq!(
+            back.engine.as_ref().unwrap().query(&q, 6).unwrap(),
+            owned.engine.as_ref().unwrap().query(&q, 6).unwrap()
+        );
+        // Compaction folds the mapped base + delta into fresh owned shards
+        // (it renumbers ids, so compact the owned mirror too).
+        let report = m.snapshot.engine.as_mut().unwrap().compact().unwrap();
+        assert!(report.dropped_tombstones > 0 || report.merged_delta_rows > 0);
+        owned.engine.as_mut().unwrap().compact().unwrap();
+        assert_eq!(
+            m.snapshot.engine.as_ref().unwrap().query(&q, 6).unwrap(),
+            owned.engine.as_ref().unwrap().query(&q, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn mapped_topk_materializes_on_mutation() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes_v5().unwrap();
+        let mut m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        let mut owned = Snapshot::from_bytes(&bytes).unwrap();
+        for t in [
+            m.snapshot.topk.as_mut().unwrap(),
+            owned.topk.as_mut().unwrap(),
+        ] {
+            t.insert(2.5, 2.5).unwrap();
+            assert!(t.delete(sdq_core::PointId::new(0)));
+        }
+        assert_eq!(
+            m.snapshot
+                .topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap(),
+            owned
+                .topk
+                .as_ref()
+                .unwrap()
+                .query(1.0, 1.0, 1.0, 0.5, 2)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn v5_empty_roundtrip() {
+        let bytes = Snapshot::new().to_bytes_v5().unwrap();
+        assert!(Snapshot::from_bytes(&bytes).unwrap().is_empty());
+        let m = Snapshot::from_mapped(MappedBytes::copy_from(&bytes)).unwrap();
+        assert!(m.snapshot.is_empty());
+        m.verify_all().unwrap();
+    }
+
+    #[test]
+    fn save_v5_and_open_mapped_via_file() {
+        let dir = std::env::temp_dir().join(format!("sdq-store-v5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample-v5.sdq");
+        let snap = sample_snapshot();
+        snap.save_v5(&path).unwrap();
+        let m = Snapshot::open_mapped(&path).unwrap();
+        assert!(m.is_mapped(), "a real file should arrive via mmap");
+        assert_eq!(m.version(), FORMAT_V5);
+        queries_match(&m.snapshot, &snap);
+        m.verify_all().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -136,7 +136,7 @@ fn sharded_build_then_query_matches_in_memory_index() {
         .expect("spawn sdq inspect");
     assert!(out.status.success());
     let inspect = String::from_utf8(out.stdout).unwrap();
-    assert!(inspect.contains("format v2"), "{inspect}");
+    assert!(inspect.contains("format v5"), "{inspect}");
     assert!(inspect.contains("4 shard(s)"), "{inspect}");
     assert!(inspect.contains("planner"), "{inspect}");
 
@@ -487,14 +487,15 @@ fn mutation_lifecycle_matches_in_memory_engine() {
         mirror.insert(&row).unwrap();
     }
 
-    // Inspect reports the v3 sections and the per-shard mutation pressure.
+    // Inspect reports the mutation sections and the per-shard pressure
+    // (the file stays v5 — mutation preserves the on-disk format).
     let out = sdq()
         .args(["inspect", snap_path.to_str().unwrap()])
         .output()
         .expect("spawn sdq inspect");
     assert!(out.status.success());
     let inspect = String::from_utf8(out.stdout).unwrap();
-    assert!(inspect.contains("format v3"), "{inspect}");
+    assert!(inspect.contains("format v5"), "{inspect}");
     assert!(inspect.contains("mutation-delta"), "{inspect}");
     assert!(inspect.contains("delta: 3 row(s) (0 dead)"), "{inspect}");
 
@@ -548,7 +549,7 @@ fn mutation_lifecycle_matches_in_memory_engine() {
     assert_eq!(out.status.code(), Some(1), "unknown id must fail");
 
     // Compact: delta folds back, tombstones drop, epoch bumps, and the
-    // snapshot returns to format v2.
+    // snapshot stays in format v5 with no mutation sections.
     let out = sdq()
         .args(["compact", snap_path.to_str().unwrap()])
         .output()
@@ -566,9 +567,9 @@ fn mutation_lifecycle_matches_in_memory_engine() {
         .output()
         .expect("spawn sdq inspect");
     let inspect = String::from_utf8(out.stdout).unwrap();
-    // Compacted: back to format v2, no mutation sections, no dead rows.
+    // Compacted: still v5, no mutation sections, no dead rows.
     // (Epoch counters are per-process observability, not persisted.)
-    assert!(inspect.contains("format v2"), "{inspect}");
+    assert!(inspect.contains("format v5"), "{inspect}");
     assert!(!inspect.contains("mutation-delta"), "{inspect}");
     assert!(inspect.contains("delta: 0 row(s)"), "{inspect}");
 
