@@ -146,7 +146,17 @@ impl SectionIntegrity {
         // Safety: `ptr`/`len` valid per `new_lazy`'s contract (a verified-
         // at-decode region never reaches here).
         let data = unsafe { std::slice::from_raw_parts(self.ptr, self.len as usize) };
+        let t0 = std::time::Instant::now();
         let ok = crc32c(data) == self.expected;
+        // First-touch verification is a lifecycle event; regions have no
+        // engine handle, so it lands in the process-global registry.
+        let tel = crate::telemetry::Telemetry::global();
+        tel.verify.record(t0.elapsed());
+        tel.journal.push(crate::telemetry::EventKind::LazyVerify {
+            bytes: self.len,
+            ok,
+            crc: self.expected,
+        });
         self.state.store(
             if ok { STATE_VERIFIED } else { STATE_FAILED },
             Ordering::Release,

@@ -32,6 +32,10 @@
 //! * [`profile`] — always-on per-query execution counters ([`QueryProfile`])
 //!   behind every hot path: pruning effectiveness, kernel batches, floor
 //!   convergence, per-stage timings,
+//! * [`telemetry`] — lock-free log-scale latency histograms
+//!   ([`LatencyHisto`]), the bounded lifecycle [`EventJournal`] and the
+//!   process-global registry ([`Telemetry`]) that the Prometheus exporter
+//!   and slow-query log are built on,
 //! * [`QueryScratch`] — reusable query-execution buffers; the `query_with`
 //!   entry points answer steady-state queries with zero heap allocations,
 //! * [`codec`] — serde-free binary round-trips of datasets and indexes (the
@@ -67,6 +71,7 @@ pub mod multidim;
 pub mod profile;
 pub mod score;
 mod scratch;
+pub mod telemetry;
 pub mod threshold;
 pub mod top1;
 pub mod topk;
@@ -78,6 +83,7 @@ pub use mask::{MaskView, RowMask};
 pub use profile::QueryProfile;
 pub use score::{sd_score, DimRole, SdQuery};
 pub use scratch::QueryScratch;
+pub use telemetry::{EventJournal, EventKind, EventRecord, HistoSnapshot, LatencyHisto, Telemetry};
 pub use threshold::SharedThreshold;
 pub use types::{Dataset, OrdF64, PointId, ScoredPoint, SdError};
 pub use view::ColumnarView;

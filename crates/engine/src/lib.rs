@@ -96,6 +96,7 @@ use std::sync::Arc;
 use sdq_core::mask::{MaskView, RowMask};
 use sdq_core::multidim::{resolve_threads, QueryPlan, SdIndex, SdIndexOptions};
 use sdq_core::score::rank_cmp;
+use sdq_core::telemetry::{bucket_bounds_nanos, EventKind, Telemetry, HISTO_BUCKETS};
 use sdq_core::threshold::{track_floor, SharedThreshold};
 use sdq_core::{
     Dataset, DimRole, OrdF64, PointId, QueryProfile, QueryScratch, ScoredPoint, SdError, SdQuery,
@@ -215,12 +216,34 @@ struct MetricsInner {
 /// [`EngineMetrics::snapshot`] reads a coherent-enough point-in-time copy
 /// for dashboards (individual counters are exact, cross-counter skew is
 /// bounded by in-flight queries).
-#[derive(Debug, Clone, Default)]
+///
+/// The registry also carries the engine's [`Telemetry`] handle — latency
+/// histograms and the lifecycle event journal. By default that is the
+/// process-global registry ([`Telemetry::global`]), so one Prometheus
+/// scrape sees every engine in the process; tests inject an isolated one
+/// via [`SdEngine::set_telemetry`].
+#[derive(Debug, Clone)]
 pub struct EngineMetrics {
     inner: Arc<MetricsInner>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            inner: Arc::default(),
+            telemetry: Arc::clone(Telemetry::global()),
+        }
+    }
 }
 
 impl EngineMetrics {
+    /// The telemetry registry (histograms + event journal) this engine
+    /// records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Folds one completed query's profile into the registry.
     fn record_query(&self, prof: &QueryProfile) {
         self.inner.queries_served.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +318,125 @@ impl EngineMetrics {
             wal_records_replayed: self.inner.wal_records_replayed.load(Ordering::Relaxed),
             wal_checkpoints: self.inner.wal_checkpoints.load(Ordering::Relaxed),
         }
+    }
+
+    /// Renders every counter, latency histogram and the event-journal
+    /// depth in the Prometheus text exposition format (version 0.0.4).
+    /// Histogram buckets are cumulative with `le` bounds in seconds;
+    /// counters carry the `_total` suffix.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(16 * 1024);
+        let counters: [(&str, &str, u64); 9] = [
+            (
+                "sdq_queries_served_total",
+                "Queries answered.",
+                snap.queries_served,
+            ),
+            (
+                "sdq_rows_scored_total",
+                "Points fully scored across all queries.",
+                snap.rows_scored,
+            ),
+            (
+                "sdq_compactions_total",
+                "Compactions performed.",
+                snap.compactions,
+            ),
+            (
+                "sdq_epoch_transitions_total",
+                "Shard epochs advanced by compactions.",
+                snap.epoch_transitions,
+            ),
+            (
+                "sdq_wal_records_appended_total",
+                "WAL records appended.",
+                snap.wal_records_appended,
+            ),
+            (
+                "sdq_wal_bytes_appended_total",
+                "WAL bytes appended.",
+                snap.wal_bytes_appended,
+            ),
+            ("sdq_wal_syncs_total", "WAL fsyncs issued.", snap.wal_syncs),
+            (
+                "sdq_wal_records_replayed_total",
+                "WAL records replayed during recovery.",
+                snap.wal_records_replayed,
+            ),
+            (
+                "sdq_wal_checkpoints_total",
+                "Durable checkpoints taken.",
+                snap.wal_checkpoints,
+            ),
+        ];
+        for (name, help, value) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP sdq_floor_contributions_total Per-shard k-th-score-floor update credits.\n\
+             # TYPE sdq_floor_contributions_total counter\n",
+        );
+        for (slot, &v) in snap.floor_contributions.iter().enumerate() {
+            out.push_str(&format!(
+                "sdq_floor_contributions_total{{slot=\"{}\"}} {v}\n",
+                floor_slot_label(slot)
+            ));
+        }
+        for (name, histo) in self.telemetry.histograms() {
+            let s = histo.snapshot();
+            let metric = format!("sdq_{name}_latency_seconds");
+            out.push_str(&format!(
+                "# HELP {metric} {} latency distribution.\n# TYPE {metric} histogram\n",
+                name.replace('_', " ")
+            ));
+            let mut cum = 0u64;
+            for (i, &n) in s.buckets.iter().enumerate() {
+                cum += n;
+                let (_, hi) = bucket_bounds_nanos(i);
+                if i == HISTO_BUCKETS - 1 {
+                    out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                } else {
+                    out.push_str(&format!(
+                        "{metric}_bucket{{le=\"{}\"}} {cum}\n",
+                        hi as f64 / 1e9
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{metric}_sum {}\n{metric}_count {cum}\n",
+                s.sum_nanos() as f64 / 1e9
+            ));
+        }
+        let journal = &self.telemetry.journal;
+        out.push_str(&format!(
+            "# HELP sdq_event_journal_depth Lifecycle events currently retained in the journal.\n\
+             # TYPE sdq_event_journal_depth gauge\n\
+             sdq_event_journal_depth {}\n\
+             # HELP sdq_event_journal_events_total Lifecycle events ever journaled.\n\
+             # TYPE sdq_event_journal_events_total counter\n\
+             sdq_event_journal_events_total {}\n\
+             # HELP sdq_event_journal_overwritten_total Journaled events lost to ring overwrites.\n\
+             # TYPE sdq_event_journal_overwritten_total counter\n\
+             sdq_event_journal_overwritten_total {}\n",
+            journal.depth(),
+            journal.pushed(),
+            journal.overwritten()
+        ));
+        out
+    }
+}
+
+/// The stable label of one [`FLOOR_HIST_SLOTS`] histogram slot: shard `i`
+/// maps to `shard-i`, with every shard ≥ the last slot folded into
+/// `shard-15+`.
+pub fn floor_slot_label(slot: usize) -> String {
+    if slot >= FLOOR_HIST_SLOTS - 1 {
+        format!("shard-{}+", FLOOR_HIST_SLOTS - 1)
+    } else {
+        format!("shard-{slot}")
     }
 }
 
@@ -515,6 +657,14 @@ impl SdEngine {
         &self.metrics
     }
 
+    /// Redirects this engine's latency histograms and event journal into
+    /// an isolated registry (engines default to [`Telemetry::global`], so
+    /// one scrape sees the whole process). Affects this instance and
+    /// clones made after the call.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics.telemetry = telemetry;
+    }
+
     /// Approximate heap footprint of all shard index structures plus the
     /// write path (delta rows, their SoA block mirror, tombstone bitmap).
     pub fn memory_bytes(&self) -> usize {
@@ -590,7 +740,35 @@ impl SdEngine {
         Ok(&scratch.answers)
     }
 
+    /// Times [`Self::query_core`] into the query-latency histogram and
+    /// journals the full profile when the slow-query threshold trips.
+    /// One `Instant` pair and one relaxed `fetch_add` per query — the
+    /// whole always-on telemetry cost of the clean read path.
     fn query_inner(
+        &self,
+        query: &SdQuery,
+        k: usize,
+        scratch: &mut EngineScratch,
+        workers: usize,
+    ) -> Result<(), SdError> {
+        let t0 = std::time::Instant::now();
+        self.query_core(query, k, scratch, workers)?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let tel = self.metrics.telemetry();
+        tel.query.record_nanos(nanos);
+        let threshold = tel.slow_query_nanos();
+        if threshold > 0 && nanos >= threshold {
+            tel.journal.push(EventKind::SlowQuery {
+                wall_micros: nanos / 1_000,
+                k: k as u64,
+                threshold_micros: threshold / 1_000,
+                profile: scratch.profile,
+            });
+        }
+        Ok(())
+    }
+
+    fn query_core(
         &self,
         query: &SdQuery,
         k: usize,

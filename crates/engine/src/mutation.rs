@@ -94,9 +94,20 @@ use sdq_core::codec::corrupt;
 use sdq_core::delta::DeltaBlocks;
 use sdq_core::mask::RowMask;
 use sdq_core::multidim::SdIndex;
+use sdq_core::telemetry::EventKind;
 use sdq_core::{Dataset, PointId, SdError};
 
 use crate::SdEngine;
+
+/// Mutation-pressure thresholds (percent) that journal a
+/// [`EventKind::DeltaThreshold`]/[`EventKind::TombstoneThreshold`] event
+/// the first time each is crossed between compactions.
+const MUTATION_LEVELS: [u8; 5] = [1, 5, 10, 25, 50];
+
+/// How many of the [`MUTATION_LEVELS`] `pct` has already met.
+fn levels_crossed(pct: u64) -> u8 {
+    MUTATION_LEVELS.iter().filter(|&&l| pct >= l as u64).count() as u8
+}
 
 /// The engine's write-side state: the append-only delta region, the
 /// tombstone mask over the whole (base + delta) id space, and the epoch
@@ -127,6 +138,11 @@ pub(crate) struct MutationState {
     /// Lifetime rows deleted (first-time tombstones only), preserved across
     /// compactions and restores like `inserted_total`.
     pub(crate) deleted_total: u64,
+    /// [`MUTATION_LEVELS`] already journaled for delta growth this
+    /// compaction cycle (an index into the level table).
+    pub(crate) delta_level: u8,
+    /// [`MUTATION_LEVELS`] already journaled for tombstone growth.
+    pub(crate) tomb_level: u8,
 }
 
 impl MutationState {
@@ -140,6 +156,8 @@ impl MutationState {
             epoch: 0,
             inserted_total: 0,
             deleted_total: 0,
+            delta_level: 0,
+            tomb_level: 0,
         }
     }
 
@@ -227,6 +245,7 @@ impl SdEngine {
     /// next query — exactly scored by the delta-scan subproblem and merged
     /// with the indexed shard results.
     pub fn insert(&mut self, row: &[f64]) -> Result<PointId, SdError> {
+        let t0 = std::time::Instant::now();
         let total = self.total_rows();
         if total >= u32::MAX as usize {
             return Err(SdError::TooManyPoints(total + 1));
@@ -238,6 +257,8 @@ impl SdEngine {
             .expect("row was validated by the dataset push");
         self.muts.tombstones.grow(total + 1);
         self.muts.inserted_total += 1;
+        self.note_delta_growth();
+        self.metrics.telemetry().mutation.record(t0.elapsed());
         Ok(PointId::new(total as u32))
     }
 
@@ -252,6 +273,7 @@ impl SdEngine {
     /// The structures keep the row until the next compaction, but no query
     /// can observe it.
     pub fn delete(&mut self, id: PointId) -> Result<bool, SdError> {
+        let t0 = std::time::Instant::now();
         let total = self.total_rows();
         if id.index() >= total {
             return Err(SdError::UnknownRow {
@@ -269,8 +291,57 @@ impl SdEngine {
                     - 1;
                 self.muts.shard_dead[shard] += 1;
             }
+            self.note_tombstone_growth();
         }
+        self.metrics.telemetry().mutation.record(t0.elapsed());
         Ok(newly)
+    }
+
+    /// Journals each delta-region threshold ([`MUTATION_LEVELS`], percent
+    /// of base rows) the first time it is crossed since compaction.
+    fn note_delta_growth(&mut self) {
+        if self.rows == 0 {
+            return;
+        }
+        let pct = self.muts.delta.len() as u64 * 100 / self.rows as u64;
+        while (self.muts.delta_level as usize) < MUTATION_LEVELS.len()
+            && pct >= MUTATION_LEVELS[self.muts.delta_level as usize] as u64
+        {
+            let percent = MUTATION_LEVELS[self.muts.delta_level as usize];
+            self.metrics
+                .telemetry()
+                .journal
+                .push(EventKind::DeltaThreshold {
+                    delta_rows: self.muts.delta.len() as u64,
+                    base_rows: self.rows as u64,
+                    percent,
+                });
+            self.muts.delta_level += 1;
+        }
+    }
+
+    /// Journals each tombstone threshold (percent of addressable rows)
+    /// the first time it is crossed since compaction.
+    fn note_tombstone_growth(&mut self) {
+        let total = self.total_rows();
+        if total == 0 {
+            return;
+        }
+        let pct = self.muts.tombstones.set_count() as u64 * 100 / total as u64;
+        while (self.muts.tomb_level as usize) < MUTATION_LEVELS.len()
+            && pct >= MUTATION_LEVELS[self.muts.tomb_level as usize] as u64
+        {
+            let percent = MUTATION_LEVELS[self.muts.tomb_level as usize];
+            self.metrics
+                .telemetry()
+                .journal
+                .push(EventKind::TombstoneThreshold {
+                    tombstones: self.muts.tombstones.set_count() as u64,
+                    total_rows: total as u64,
+                    percent,
+                });
+            self.muts.tomb_level += 1;
+        }
     }
 
     /// `true` when `id` is addressable and not tombstoned.
@@ -375,6 +446,19 @@ impl SdEngine {
             .map(|(&off, shard)| mask.count_range(off as usize, off as usize + shard.data().len()))
             .collect();
         self.muts.tombstones = mask;
+        // Restored pressure is not a *crossing*: seed the level trackers
+        // silently so only future growth journals threshold events.
+        self.muts.delta_level = if self.rows == 0 {
+            MUTATION_LEVELS.len() as u8
+        } else {
+            levels_crossed(self.muts.delta.len() as u64 * 100 / self.rows as u64)
+        };
+        let total = self.total_rows();
+        self.muts.tomb_level = if total == 0 {
+            MUTATION_LEVELS.len() as u8
+        } else {
+            levels_crossed(self.muts.tombstones.set_count() as u64 * 100 / total as u64)
+        };
         Ok(())
     }
 
@@ -403,6 +487,7 @@ impl SdEngine {
         let t0 = std::time::Instant::now();
         if !self.has_mutations() && options.shards.is_none_or(|s| s == self.shards.len()) {
             self.metrics.record_compaction(0);
+            self.metrics.telemetry().compaction.record(t0.elapsed());
             return Ok(CompactionReport {
                 rebuilt_shards: 0,
                 dropped_tombstones: 0,
@@ -414,6 +499,12 @@ impl SdEngine {
                 duration_micros: t0.elapsed().as_micros() as u64,
             });
         }
+        self.metrics
+            .telemetry()
+            .journal
+            .push(EventKind::CompactionStart {
+                epoch: self.muts.epoch,
+            });
         let dims = self.dims;
         let s = self.shards.len();
         let dropped = self.muts.tombstones.set_count();
@@ -445,7 +536,7 @@ impl SdEngine {
             self.muts.inserted_total = inserted_total;
             self.muts.deleted_total = deleted_total;
             self.metrics.record_compaction(0);
-            return Ok(CompactionReport {
+            let report = CompactionReport {
                 rebuilt_shards: 0,
                 dropped_tombstones: dropped,
                 merged_delta_rows: 0,
@@ -454,7 +545,9 @@ impl SdEngine {
                 live_rows: 0,
                 rows_moved: 0,
                 duration_micros: t0.elapsed().as_micros() as u64,
-            });
+            };
+            self.journal_compaction_finish(&report);
+            return Ok(report);
         }
 
         // Post-merge live counts (delta folds into the tail shard).
@@ -554,13 +647,37 @@ impl SdEngine {
         self.muts.tombstones = RowMask::new(live_total);
         self.muts.shard_dead = vec![0; self.shards.len()];
         self.muts.epoch = epoch_next;
+        self.muts.delta_level = 0;
+        self.muts.tomb_level = 0;
         debug_assert_eq!(self.muts.shard_epochs.len(), self.shards.len());
         self.metrics.record_compaction(report.rebuilt_shards as u64);
         let report = CompactionReport {
             duration_micros: t0.elapsed().as_micros() as u64,
             ..report
         };
+        self.journal_compaction_finish(&report);
         Ok(report)
+    }
+
+    /// Journals the epoch transition and finish record of one effective
+    /// compaction, and folds its wall time into the compaction histogram.
+    fn journal_compaction_finish(&self, report: &CompactionReport) {
+        let tel = self.metrics.telemetry();
+        tel.journal.push(EventKind::EpochTransition {
+            from: report.epoch.saturating_sub(1),
+            to: report.epoch,
+        });
+        tel.journal.push(EventKind::CompactionFinish {
+            epoch: report.epoch,
+            rebuilt_shards: report.rebuilt_shards as u64,
+            merged_delta_rows: report.merged_delta_rows as u64,
+            dropped_tombstones: report.dropped_tombstones as u64,
+            rows_moved: report.rows_moved as u64,
+            duration_micros: report.duration_micros,
+            rebalanced: report.rebalanced,
+        });
+        tel.compaction
+            .record_nanos(report.duration_micros.saturating_mul(1_000));
     }
 
     /// Appends the live coordinates of the given shard range (in logical

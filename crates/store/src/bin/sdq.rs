@@ -13,15 +13,20 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use sdq_core::geometry::Angle;
 use sdq_core::multidim::{resolve_threads, PairingStrategy, QueryPlan, SdIndex, SdIndexOptions};
+use sdq_core::telemetry::{EventKind, EventRecord, HistoSnapshot, Telemetry};
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
 use sdq_core::{Dataset, DimRole, QueryProfile, QueryScratch, ScoredPoint, SdQuery};
 use sdq_data::{generate, uniform_queries, Distribution};
-use sdq_engine::{CompactionOptions, EngineOptions, EngineScratch, SdEngine};
+use sdq_engine::{
+    floor_slot_label, CompactionOptions, EngineMetrics, EngineOptions, EngineScratch,
+    MetricsSnapshot, SdEngine,
+};
 use sdq_rstar::RStarTree;
 use sdq_store::{
     parse_roles, wal, DiskStorage, DurableEngine, DurableOptions, SectionKind, Snapshot,
@@ -37,7 +42,7 @@ USAGE:
               [--branching B] [--angles N] [--pairing arbitrary|correlation]
               [--alpha A] [--beta B] [--k K] [--format v5|legacy]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
-              [--repeat N] [--threads T] [--mapped]
+              [--repeat N] [--threads T] [--mapped] [--slow-query-us U]
               [--explain | --profile | --profile-json]
     sdq insert PATH --csv FILE [--out PATH2 | --wal [--sync-every N]]
     sdq delete PATH --ids N,N,... [--out PATH2 | --wal [--sync-every N]]
@@ -45,11 +50,16 @@ USAGE:
               [--out PATH2 | --wal]
     sdq recover PATH
     sdq wal-stress PATH --rows N [--sync-every N] [--seed S]
-    sdq inspect PATH
+    sdq inspect PATH [--json]
+    sdq metrics PATH [--prometheus | --json] [--queries N] [--k K]
+              [--mutate N] [--compact] [--slow-query-us U] [--seed S]
+    sdq events PATH [--json] [--follow] [--queries N] [--k K]
+              [--mutate N] [--compact] [--slow-query-us U] [--seed S]
     sdq bench-load PATH [--iters N] [--json-out FILE]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
               [--shards S] [--k K] [--queries Q] [--warmup N] [--threads LIST]
-              [--seed S] [--mutate-frac F] [--out FILE]
+              [--seed S] [--mutate-frac F] [--slow-query-us U] [--raw]
+              [--out FILE]
 
 SUBCOMMANDS:
     build        Generate or load a dataset, build the requested indexes and
@@ -68,7 +78,16 @@ SUBCOMMANDS:
                  kill -9 crash-smoke driver.
     inspect      Print the snapshot header, section table, artifact stats
                  and (for engines) the shard layout, per-shard delta and
-                 tombstone pressure, and the planner decision.
+                 tombstone pressure, and the planner decision. --json
+                 renders the same facts machine-readably.
+    metrics      Load a snapshot, run a small probe workload against it,
+                 and render the engine's telemetry: latency histograms,
+                 lifetime counters, per-shard floor provenance and the
+                 event-journal status (human, --prometheus, or --json).
+    events       Like metrics, but print the structured lifecycle event
+                 journal itself (compactions, checkpoints, WAL rotations,
+                 threshold crossings, slow queries). --follow streams
+                 events while the probe workload runs on another thread.
     bench-load   Time snapshot load vs. in-memory index rebuild; for v5
                  snapshots, also eager owned decode vs. zero-copy
                  open_mapped cold start (--json-out merges a cold_start
@@ -137,6 +156,25 @@ QUERY OPTIONS:
                        snapshots): no decode, checksums verified lazily on
                        the regions the query touches. Not for WAL-backed
                        snapshots (replay needs the owned path).
+    --slow-query-us U  Journal any engine query at or above U microseconds
+                       with its full execution profile, and report captured
+                       slow queries on stderr (0 = off).
+
+OBSERVABILITY OPTIONS (metrics / events):
+    --queries N        Probe queries run against the loaded engine so the
+                       histograms hold samples (default 32; 0 = none).
+    --k K              Probe result size (default 5).
+    --mutate N         Insert N synthetic rows and tombstone N/2 victims in
+                       memory before rendering (the file is never touched).
+    --compact          Compact in memory after the mutations (never saved).
+    --slow-query-us U  Slow-query journaling threshold for the probe
+                       queries, in microseconds (0 = off).
+    --seed S           Probe workload seed (default 13).
+    --prometheus       metrics: Prometheus text exposition format 0.0.4.
+    --json             Machine-readable output (metrics: one object;
+                       events: one JSON object per line).
+    --follow           events: run the probe workload on a background
+                       thread and stream events as they are journaled.
 
 BENCH-QUERY OPTIONS:
     --shards S         Shard count for the measured engine (default 1).
@@ -154,6 +192,11 @@ BENCH-QUERY OPTIONS:
                        (default 1,4,8).
     --seed S           Query-workload seed (default 13).
     --build-seed S     Synthetic dataset seed (default 42).
+    --raw              Also report percentiles computed from the sorted
+                       raw per-query samples (key single_query_ms_raw)
+                       next to the default histogram extraction.
+    --slow-query-us U  Journal timed queries at or above U microseconds;
+                       the report counts them under slow_queries.
     --out FILE         JSON report path (default BENCH_queries.json).
     --synthetic/--n/--dims/--roles/--branching/--angles
                        Build an ad-hoc engine instead of loading PATH.
@@ -203,6 +246,8 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "recover" => cmd_recover(rest),
         "wal-stress" => cmd_wal_stress(rest),
         "inspect" => cmd_inspect(rest),
+        "metrics" => cmd_metrics(rest),
+        "events" => cmd_events(rest),
         "bench-load" => cmd_bench_load(rest),
         "bench-query" => cmd_bench_query(rest),
         "--help" | "-h" | "help" => {
@@ -571,6 +616,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut profile = false;
     let mut profile_json = false;
     let mut mapped = false;
+    let mut slow_query_us: u64 = 0;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -584,6 +630,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             "--profile" => profile = true,
             "--profile-json" => profile_json = true,
             "--mapped" => mapped = true,
+            "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -601,6 +648,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     // --threads 0 = auto: resolve once so the printed worker count is the
     // real one, not "0 thread(s)".
     let threads = resolve_threads(threads);
+    // The engine loaded below records into the process-global registry, so
+    // arming the threshold here covers every serving mode (incl. --mapped).
+    if slow_query_us > 0 {
+        Telemetry::global().set_slow_query_micros(slow_query_us);
+    }
 
     let (snap, load_ms) = if mapped {
         // A header-only (freshly rotated) log holds nothing to replay, so
@@ -684,12 +736,18 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             ));
         };
         if profile_json {
-            print!("{}", profile_json_string(&prof, live, k, wall_ms));
+            let floor = snap.engine.as_ref().map(|e| e.metrics().snapshot());
+            print!(
+                "{}",
+                profile_json_string(&prof, live, k, wall_ms, floor.as_ref())
+            );
+            report_slow_queries(slow_query_us);
             return Ok(());
         }
         println!("loaded {path} in {load_ms:.1} ms");
         print_profile(&prof, live, k, wall_ms, &layout);
         print_results(&results);
+        report_slow_queries(slow_query_us);
         return Ok(());
     }
 
@@ -800,7 +858,36 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
 
     println!("loaded {path} in {load_ms:.1} ms");
     print_results(&results);
+    report_slow_queries(slow_query_us);
     Ok(())
+}
+
+/// Reports every slow query the probe armed via `--slow-query-us` captured
+/// in the journal, on stderr so machine-readable stdout stays clean.
+fn report_slow_queries(slow_query_us: u64) {
+    if slow_query_us == 0 {
+        return;
+    }
+    let journal = &Telemetry::global().journal;
+    for rec in journal.snapshot() {
+        if let EventKind::SlowQuery {
+            wall_micros,
+            k,
+            threshold_micros,
+            profile,
+        } = rec.kind
+        {
+            eprintln!(
+                "slow-query: {wall_micros} µs ≥ {threshold_micros} µs (k {k}): \
+                 {} block(s) popped, {} floor-pruned, {} row(s) fetched, {} scored, {} emitted",
+                profile.blocks_popped,
+                profile.blocks_floor_pruned,
+                profile.rows_fetched,
+                profile.points_scored,
+                profile.emitted
+            );
+        }
+    }
 }
 
 /// The ranked answer table shared by the plain and `--profile` query paths.
@@ -914,8 +1001,16 @@ fn print_profile(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f64, lay
 
 /// `--profile-json`: the whole profile machine-readably — every counter,
 /// the funnel and the stage timings. `floor_value` is `null` until k real
-/// scores exist (JSON has no `-inf`).
-fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f64) -> String {
+/// scores exist (JSON has no `-inf`). `metrics` adds the per-shard
+/// floor-provenance histogram (engine snapshots only): which shard slots
+/// raised the shared k-th-score floor while this process served queries.
+fn profile_json_string(
+    p: &QueryProfile,
+    live_points: u64,
+    k: usize,
+    wall_ms: f64,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
     let funnel: Vec<String> = p
         .funnel(live_points)
         .iter()
@@ -926,6 +1021,9 @@ fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f6
     } else {
         String::from("null")
     };
+    let floor_contributions = metrics
+        .map(floor_contributions_json)
+        .unwrap_or_else(|| String::from("{}"));
     format!(
         "{{\n  \"k\": {k},\n  \"wall_ms\": {wall_ms:.4},\n  \"isa\": {isa},\n  \
          \"counters\": {{\n    \
@@ -937,6 +1035,7 @@ fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f6
          \"seen_hits\": {}, \"floor_updates\": {}, \"rounds\": {}, \"merge_rounds\": {},\n    \
          \"emitted\": {}\n  }},\n  \
          \"floor_value\": {floor},\n  \
+         \"floor_contributions\": {floor_contributions},\n  \
          \"funnel\": [{funnel}],\n  \
          \"timings_nanos\": {{\"delta_scan\": {}, \"aggregate\": {}, \"merge\": {}}}\n}}\n",
         p.nodes_visited,
@@ -964,6 +1063,18 @@ fn profile_json_string(p: &QueryProfile, live_points: u64, k: usize, wall_ms: f6
         isa = json_str(p.isa),
         funnel = funnel.join(", "),
     )
+}
+
+/// The per-shard floor-provenance histogram as a JSON object keyed by the
+/// engine's stable slot labels (`shard-0` … `shard-15+`).
+fn floor_contributions_json(m: &MetricsSnapshot) -> String {
+    let slots: Vec<String> = m
+        .floor_contributions
+        .iter()
+        .enumerate()
+        .map(|(slot, v)| format!("{}: {v}", json_str(&floor_slot_label(slot))))
+        .collect();
+    format!("{{{}}}", slots.join(", "))
 }
 
 // ─── insert / delete / compact ──────────────────────────────────────────────
@@ -1472,14 +1583,19 @@ fn cmd_wal_stress(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
+    let mut json = false;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
+            "--json" => json = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
     }
     let path = path.ok_or_else(|| usage("inspect needs a snapshot path"))?;
+    if json {
+        return inspect_json(path);
+    }
 
     let info = Snapshot::inspect(path).map_err(runtime)?;
     println!(
@@ -1610,6 +1726,27 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
             for (i, plan) in plans.iter().enumerate() {
                 println!("    shard {i}: {plan}");
             }
+            // Floor provenance: run the same probe for real once and report
+            // which shard slots raised the shared k-th-score floor.
+            if !engine.is_empty() {
+                engine.query(&sample, DEFAULT_K).map_err(runtime)?;
+                let m = engine.metrics().snapshot();
+                let nz: Vec<String> = m
+                    .floor_contributions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v > 0)
+                    .map(|(slot, v)| format!("{} {v}", floor_slot_label(slot)))
+                    .collect();
+                println!(
+                    "  floor provenance (probe query, k = {DEFAULT_K}): {}",
+                    if nz.is_empty() {
+                        String::from("none")
+                    } else {
+                        nz.join(" · ")
+                    }
+                );
+            }
         }
     }
     if let Some(tk) = &snap.topk {
@@ -1683,6 +1820,678 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         println!("  durability: {wal_file} exists but the snapshot carries no durability section");
     }
     Ok(())
+}
+
+/// `inspect --json`: the same facts machine-readably — header, section
+/// table, v5 region table, artifact stats, shard layout, block stats,
+/// mutation pressure, floor provenance and the durability generation.
+fn inspect_json(path: &str) -> Result<(), CliError> {
+    let info = Snapshot::inspect(path).map_err(runtime)?;
+    let v5 = info.version >= sdq_store::FORMAT_V5;
+    let sections: Vec<String> = info
+        .sections
+        .iter()
+        .map(|s| {
+            let name = s.kind.map(SectionKind::name).unwrap_or("<unknown>");
+            // v5 table entries carry no CRC; integrity lives in the
+            // per-region CRC-32C frames reported below.
+            let crc = if v5 {
+                String::from("null")
+            } else {
+                format!("{}", s.crc32)
+            };
+            format!(
+                "{{\"name\": {}, \"raw_kind\": {}, \"offset\": {}, \"bytes\": {}, \
+                 \"crc32\": {crc}}}",
+                json_str(name),
+                s.raw_kind,
+                s.offset,
+                s.len
+            )
+        })
+        .collect();
+    let regions: Vec<String> = if v5 {
+        let m = Snapshot::open_mapped(path).map_err(runtime)?;
+        m.regions()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\": {}, \"offset\": {}, \"bytes\": {}, \"crc32c\": {}, \
+                     \"state\": {}}}",
+                    json_str(r.name()),
+                    r.file_offset(),
+                    r.len(),
+                    r.expected_crc(),
+                    json_str(r.state().label())
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let snap = Snapshot::load(path).map_err(runtime)?;
+    let mut artifacts: Vec<&str> = Vec::new();
+    if snap.dataset.is_some() {
+        artifacts.push("dataset");
+    }
+    if snap.sd.is_some() {
+        artifacts.push("sd-index");
+    }
+    if snap.engine.is_some() {
+        artifacts.push("engine");
+    }
+    if snap.topk.is_some() {
+        artifacts.push("topk-index");
+    }
+    if snap.top1.is_some() {
+        artifacts.push("top1-index");
+    }
+    if snap.rstar.is_some() {
+        artifacts.push("rstar-tree");
+    }
+    let dataset = snap
+        .dataset
+        .as_ref()
+        .map(|d| format!("{{\"rows\": {}, \"dims\": {}}}", d.len(), d.dims()))
+        .unwrap_or_else(|| String::from("null"));
+    let roles = snap
+        .roles
+        .as_ref()
+        .map(|r| {
+            let spec: String = r
+                .iter()
+                .map(|role| match role {
+                    DimRole::Attractive => 'a',
+                    DimRole::Repulsive => 'r',
+                })
+                .collect();
+            json_str(&spec)
+        })
+        .unwrap_or_else(|| String::from("null"));
+
+    let engine_json = match &snap.engine {
+        Some(engine) => {
+            let shard_layout: Vec<String> = engine
+                .shard_infos()
+                .iter()
+                .enumerate()
+                .map(|(i, si)| {
+                    format!(
+                        "{{\"shard\": {i}, \"offset\": {}, \"rows\": {}, \"dead_rows\": {}, \
+                         \"epoch\": {}, \"memory_bytes\": {}}}",
+                        si.offset, si.rows, si.dead_rows, si.epoch, si.memory_bytes
+                    )
+                })
+                .collect();
+            let (blocks, bytes, stale) = engine
+                .shards()
+                .iter()
+                .map(|s| s.block_stats())
+                .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+            let covered = blocks_covered(engine.shards().iter());
+            let stats = engine.mutation_stats();
+            // Floor provenance: one real probe query at the dataset mean.
+            let floor = if engine.shard_count() > 0 && !engine.is_empty() {
+                let sample =
+                    mean_query(engine.shards().iter().map(|s| s.data())).map_err(runtime)?;
+                engine.query(&sample, DEFAULT_K).map_err(runtime)?;
+                floor_contributions_json(&engine.metrics().snapshot())
+            } else {
+                String::from("{}")
+            };
+            format!(
+                "{{\"live_rows\": {}, \"shards\": {}, \"epoch\": {}, \"memory_bytes\": {}, \
+                 \"shard_layout\": [{}], \
+                 \"block_stats\": {{\"blocks\": {blocks}, \"lanes\": {}, \"bytes\": {bytes}, \
+                 \"stale_trees\": {stale}, \"covered_points\": {covered}}}, \
+                 \"delta\": {{\"rows\": {}, \"dead\": {}}}, \"tombstones\": {}, \
+                 \"floor_contributions\": {floor}}}",
+                engine.len(),
+                engine.shard_count(),
+                stats.epoch,
+                engine.memory_bytes(),
+                shard_layout.join(", "),
+                sdq_core::kernels::LANES,
+                stats.delta_rows,
+                stats.delta_dead,
+                stats.base_dead + stats.delta_dead,
+            )
+        }
+        None => String::from("null"),
+    };
+
+    let durability = match &snap.durability {
+        Some(d) => {
+            let wal_file = wal_sidecar(path);
+            let wal = match std::fs::read(&wal_file) {
+                Err(_) => String::from("{\"present\": false}"),
+                Ok(bytes) => match wal::recover(&bytes) {
+                    Err(e) => format!(
+                        "{{\"present\": true, \"corrupt\": {}}}",
+                        json_str(&e.to_string())
+                    ),
+                    Ok(rec) => format!(
+                        "{{\"present\": true, \"generation\": {}, \"stale\": {}, \
+                         \"records\": {}, \"pending_bytes\": {}, \"torn_bytes\": {}, \
+                         \"file_bytes\": {}}}",
+                        rec.header.generation,
+                        rec.header.generation < d.generation,
+                        rec.records.len(),
+                        rec.valid_len - wal::WAL_HEADER_BYTES as u64,
+                        rec.truncated_bytes,
+                        bytes.len()
+                    ),
+                },
+            };
+            format!(
+                "{{\"generation\": {}, \"checkpoint_epoch\": {}, \"wal\": {wal}}}",
+                d.generation, d.checkpoint_epoch
+            )
+        }
+        None => String::from("null"),
+    };
+
+    print!(
+        "{{\n  \"path\": {},\n  \"format_version\": {},\n  \"file_bytes\": {},\n  \
+         \"sections\": [{}],\n  \"regions\": [{}],\n  \"artifacts\": [{}],\n  \
+         \"dataset\": {dataset},\n  \"roles\": {roles},\n  \"engine\": {engine_json},\n  \
+         \"durability\": {durability}\n}}\n",
+        json_str(path),
+        info.version,
+        info.file_len,
+        sections.join(", "),
+        regions.join(", "),
+        artifacts
+            .iter()
+            .map(|a| json_str(a))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    Ok(())
+}
+
+// ─── metrics / events ───────────────────────────────────────────────────────
+
+/// The in-memory probe workload `metrics` and `events` run so the
+/// telemetry they render holds samples: optional synthetic mutations, an
+/// optional compaction, then a batch of uniform queries. Nothing is saved.
+struct ProbeOpts {
+    queries: usize,
+    k: usize,
+    mutate: usize,
+    compact: bool,
+    seed: u64,
+}
+
+impl Default for ProbeOpts {
+    fn default() -> Self {
+        ProbeOpts {
+            queries: 32,
+            k: DEFAULT_K,
+            mutate: 0,
+            compact: false,
+            seed: 13,
+        }
+    }
+}
+
+impl ProbeOpts {
+    /// Consumes a probe flag from the cursor; `Ok(false)` = not ours.
+    fn parse_flag(&mut self, flag: &str, flags: &mut Flags) -> Result<bool, CliError> {
+        match flag {
+            "--queries" => self.queries = flags.parsed("--queries")?,
+            "--k" => self.k = flags.parsed("--k")?,
+            "--mutate" => self.mutate = flags.parsed("--mutate")?,
+            "--compact" => self.compact = true,
+            "--seed" => self.seed = flags.parsed("--seed")?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Runs the probe workload against a loaded engine, in memory only.
+fn run_probe(engine: &mut SdEngine, p: &ProbeOpts) -> Result<(), CliError> {
+    if p.mutate > 0 {
+        let dims = engine.dims();
+        let fresh = generate(Distribution::Uniform, p.mutate, dims, p.seed ^ 0x5eed);
+        for (_, coords) in fresh.iter() {
+            engine.insert(coords).map_err(runtime)?;
+        }
+        // Tombstone up to mutate/2 victims; the random stream skips ids it
+        // already killed, bounded so collisions cannot loop forever.
+        let victims = engine.total_rows();
+        let mut state = p.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut deleted = 0usize;
+        let mut attempts = 0usize;
+        while deleted < p.mutate / 2 && attempts < 64 * p.mutate {
+            attempts += 1;
+            state = splitmix64(state);
+            let id = (state % victims as u64) as u32;
+            if engine.delete(sdq_core::PointId::new(id)).map_err(runtime)? {
+                deleted += 1;
+            }
+        }
+    }
+    if p.compact {
+        engine
+            .compact_with(&CompactionOptions::default())
+            .map_err(runtime)?;
+    }
+    if p.queries > 0 {
+        let workload = uniform_queries(p.queries, engine.dims(), p.seed);
+        let mut scratch = EngineScratch::new();
+        let mut sink = 0.0f64;
+        for q in &workload {
+            sink += engine
+                .query_with(q, p.k, &mut scratch)
+                .map_err(runtime)?
+                .iter()
+                .map(|sp| sp.score)
+                .sum::<f64>();
+        }
+        std::hint::black_box(sink);
+    }
+    Ok(())
+}
+
+/// Loads snapshot `path` as an engine for the observability probes (a
+/// WAL-backed snapshot replays its log first; an sd-index is promoted).
+fn load_probe_engine(path: &str, what: &str) -> Result<SdEngine, CliError> {
+    let mut snap = load_query_snapshot(path)?;
+    if let Some(engine) = snap.engine.take() {
+        return Ok(engine);
+    }
+    if let Some(sd) = snap.sd.take() {
+        return SdEngine::single(sd).map_err(runtime);
+    }
+    Err(runtime(format!(
+        "{what} needs an engine or sd-index snapshot (rebuild with --index sd)"
+    )))
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut prometheus = false;
+    let mut json = false;
+    let mut slow_query_us: u64 = 0;
+    let mut probe = ProbeOpts::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--prometheus" => prometheus = true,
+            "--json" => json = true,
+            "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
+            other if probe.parse_flag(other, &mut flags)? => {}
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("metrics needs a snapshot path"))?;
+    if prometheus && json {
+        return Err(usage("--prometheus and --json are mutually exclusive"));
+    }
+    if slow_query_us > 0 {
+        Telemetry::global().set_slow_query_micros(slow_query_us);
+    }
+    let mut engine = load_probe_engine(path, "metrics")?;
+    run_probe(&mut engine, &probe)?;
+    let metrics = engine.metrics();
+    if prometheus {
+        print!("{}", metrics.render_prometheus());
+    } else if json {
+        print!("{}", metrics_json(metrics, &probe));
+    } else {
+        print_metrics_human(path, metrics, &probe);
+    }
+    Ok(())
+}
+
+/// The default human rendering of `sdq metrics`.
+fn print_metrics_human(path: &str, metrics: &EngineMetrics, probe: &ProbeOpts) {
+    let snap = metrics.snapshot();
+    let tel = metrics.telemetry();
+    println!(
+        "telemetry for {path} ({} probe queries, k = {}):",
+        probe.queries, probe.k
+    );
+    println!("histograms (µs):");
+    println!(
+        "  {:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "name", "count", "p50", "p90", "p99", "p99.9", "max"
+    );
+    for (name, h) in tel.histograms() {
+        let s = h.snapshot();
+        if s.count() == 0 {
+            println!("  {:<12} {:>8}", name, 0);
+            continue;
+        }
+        println!(
+            "  {:<12} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            s.count(),
+            s.quantile(0.50) / 1e3,
+            s.quantile(0.90) / 1e3,
+            s.quantile(0.99) / 1e3,
+            s.quantile(0.999) / 1e3,
+            s.max_nanos() as f64 / 1e3
+        );
+    }
+    println!("counters:");
+    println!(
+        "  queries_served {} · rows_scored {} · compactions {} · epoch_transitions {}",
+        snap.queries_served, snap.rows_scored, snap.compactions, snap.epoch_transitions
+    );
+    println!(
+        "  wal: records {} · bytes {} · syncs {} · replayed {} · checkpoints {}",
+        snap.wal_records_appended,
+        snap.wal_bytes_appended,
+        snap.wal_syncs,
+        snap.wal_records_replayed,
+        snap.wal_checkpoints
+    );
+    let nz: Vec<String> = snap
+        .floor_contributions
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v > 0)
+        .map(|(slot, v)| format!("{} {v}", floor_slot_label(slot)))
+        .collect();
+    println!(
+        "floor contributions: {}",
+        if nz.is_empty() {
+            String::from("none")
+        } else {
+            nz.join(" · ")
+        }
+    );
+    println!(
+        "event journal: {} event(s) retained ({} pushed, {} overwritten)",
+        tel.journal.depth(),
+        tel.journal.pushed(),
+        tel.journal.overwritten()
+    );
+}
+
+/// One latency histogram snapshot as a JSON object (microsecond units).
+fn histo_json(s: &HistoSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {:.3}, \"p90_us\": {:.3}, \"p99_us\": {:.3}, \
+         \"p999_us\": {:.3}, \"mean_us\": {:.3}, \"max_us\": {:.3}}}",
+        s.count(),
+        s.quantile(0.50) / 1e3,
+        s.quantile(0.90) / 1e3,
+        s.quantile(0.99) / 1e3,
+        s.quantile(0.999) / 1e3,
+        s.mean_nanos() / 1e3,
+        s.max_nanos() as f64 / 1e3
+    )
+}
+
+/// `metrics --json`: counters, floor provenance, every histogram and the
+/// journal status as one JSON object.
+fn metrics_json(metrics: &EngineMetrics, probe: &ProbeOpts) -> String {
+    let snap = metrics.snapshot();
+    let tel = metrics.telemetry();
+    let histograms: Vec<String> = tel
+        .histograms()
+        .iter()
+        .map(|(name, h)| format!("{}: {}", json_str(name), histo_json(&h.snapshot())))
+        .collect();
+    format!(
+        "{{\n  \"probe\": {{\"queries\": {}, \"k\": {}, \"mutate\": {}, \"compact\": {}, \
+         \"seed\": {}}},\n  \
+         \"counters\": {{\"queries_served\": {}, \"rows_scored\": {}, \"compactions\": {}, \
+         \"epoch_transitions\": {}, \"wal_records_appended\": {}, \"wal_bytes_appended\": {}, \
+         \"wal_syncs\": {}, \"wal_records_replayed\": {}, \"wal_checkpoints\": {}}},\n  \
+         \"floor_contributions\": {},\n  \
+         \"histograms\": {{{}}},\n  \
+         \"event_journal\": {{\"depth\": {}, \"pushed\": {}, \"overwritten\": {}}}\n}}\n",
+        probe.queries,
+        probe.k,
+        probe.mutate,
+        probe.compact,
+        probe.seed,
+        snap.queries_served,
+        snap.rows_scored,
+        snap.compactions,
+        snap.epoch_transitions,
+        snap.wal_records_appended,
+        snap.wal_bytes_appended,
+        snap.wal_syncs,
+        snap.wal_records_replayed,
+        snap.wal_checkpoints,
+        floor_contributions_json(&snap),
+        histograms.join(", "),
+        tel.journal.depth(),
+        tel.journal.pushed(),
+        tel.journal.overwritten()
+    )
+}
+
+fn cmd_events(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut follow = false;
+    let mut slow_query_us: u64 = 0;
+    let mut probe = ProbeOpts::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--json" => json = true,
+            "--follow" => follow = true,
+            "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
+            other if probe.parse_flag(other, &mut flags)? => {}
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("events needs a snapshot path"))?;
+    if slow_query_us > 0 {
+        Telemetry::global().set_slow_query_micros(slow_query_us);
+    }
+    let mut engine = load_probe_engine(path, "events")?;
+    // The engine records into this registry; holding the Arc lets the
+    // journal be drained while the workload runs on another thread.
+    let tel = Arc::clone(engine.metrics().telemetry());
+
+    if follow {
+        let worker = std::thread::spawn(move || -> Result<(), String> {
+            run_probe(&mut engine, &probe).map_err(|e| match e {
+                CliError::Usage(m) | CliError::Runtime(m) => m,
+            })
+        });
+        let mut last_seq: Option<u64> = None;
+        loop {
+            let done = worker.is_finished();
+            let mut fresh: Vec<EventRecord> = tel
+                .journal
+                .snapshot()
+                .into_iter()
+                .filter(|r| last_seq.is_none_or(|s| r.seq > s))
+                .collect();
+            fresh.sort_by_key(|r| r.seq);
+            for rec in &fresh {
+                print_event(rec, json);
+                last_seq = Some(rec.seq);
+            }
+            if done {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        worker
+            .join()
+            .map_err(|_| runtime("event workload thread panicked"))?
+            .map_err(runtime)?;
+    } else {
+        run_probe(&mut engine, &probe)?;
+        let mut records = tel.journal.snapshot();
+        records.sort_by_key(|r| r.seq);
+        if records.is_empty() && !json {
+            println!("(no events journaled; --mutate/--compact/--slow-query-us generate some)");
+        }
+        for rec in &records {
+            print_event(rec, json);
+        }
+    }
+    if !json {
+        println!(
+            "({} event(s) journaled, {} overwritten before they could print)",
+            tel.journal.pushed(),
+            tel.journal.overwritten()
+        );
+    }
+    Ok(())
+}
+
+/// Prints one journal record, human (`#seq  epoch-seconds  label  detail`)
+/// or as one JSON object per line.
+fn print_event(rec: &EventRecord, json: bool) {
+    if json {
+        println!(
+            "{{\"seq\": {}, \"unix_micros\": {}, \"event\": {}, {}}}",
+            rec.seq,
+            rec.unix_micros,
+            json_str(rec.kind.label()),
+            event_fields_json(&rec.kind)
+        );
+    } else {
+        println!(
+            "#{:<5} {:>17.6}  {:<20} {}",
+            rec.seq,
+            rec.unix_micros as f64 / 1e6,
+            rec.kind.label(),
+            event_detail_human(&rec.kind)
+        );
+    }
+}
+
+/// The human-readable detail column of one event.
+fn event_detail_human(kind: &EventKind) -> String {
+    match kind {
+        EventKind::CompactionStart { epoch } => format!("epoch {epoch}"),
+        EventKind::CompactionFinish {
+            epoch,
+            rebuilt_shards,
+            merged_delta_rows,
+            dropped_tombstones,
+            rows_moved,
+            duration_micros,
+            rebalanced,
+        } => format!(
+            "epoch {epoch}: rebuilt {rebuilt_shards} shard(s), merged {merged_delta_rows} \
+             delta row(s), dropped {dropped_tombstones} tombstone(s), moved {rows_moved} \
+             row(s) in {duration_micros} µs{}",
+            if *rebalanced { " (rebalanced)" } else { "" }
+        ),
+        EventKind::EpochTransition { from, to } => format!("{from} → {to}"),
+        EventKind::Checkpoint { generation, epoch } => {
+            format!("generation {generation} (epoch {epoch})")
+        }
+        EventKind::WalRotation { generation } => format!("generation {generation}"),
+        EventKind::WalPoison { reason } => String::from(*reason),
+        EventKind::WalRecovery {
+            replayed,
+            truncated_bytes,
+        } => format!("replayed {replayed} record(s), truncated {truncated_bytes} byte(s)"),
+        EventKind::LazyVerify { bytes, ok, crc } => format!(
+            "{bytes} byte(s), crc32c {crc:08x}: {}",
+            if *ok { "ok" } else { "FAILED" }
+        ),
+        EventKind::DeltaThreshold {
+            delta_rows,
+            base_rows,
+            percent,
+        } => format!("{delta_rows} delta row(s) ≥ {percent}% of {base_rows} base row(s)"),
+        EventKind::TombstoneThreshold {
+            tombstones,
+            total_rows,
+            percent,
+        } => format!("{tombstones} tombstone(s) ≥ {percent}% of {total_rows} row(s)"),
+        EventKind::SlowQuery {
+            wall_micros,
+            k,
+            threshold_micros,
+            profile,
+        } => format!(
+            "{wall_micros} µs ≥ {threshold_micros} µs (k {k}): {} popped, {} floor-pruned, \
+             {} fetched, {} scored, {} emitted",
+            profile.blocks_popped,
+            profile.blocks_floor_pruned,
+            profile.rows_fetched,
+            profile.points_scored,
+            profile.emitted
+        ),
+    }
+}
+
+/// The kind-specific JSON fields of one event (no surrounding braces).
+fn event_fields_json(kind: &EventKind) -> String {
+    match kind {
+        EventKind::CompactionStart { epoch } => format!("\"epoch\": {epoch}"),
+        EventKind::CompactionFinish {
+            epoch,
+            rebuilt_shards,
+            merged_delta_rows,
+            dropped_tombstones,
+            rows_moved,
+            duration_micros,
+            rebalanced,
+        } => format!(
+            "\"epoch\": {epoch}, \"rebuilt_shards\": {rebuilt_shards}, \
+             \"merged_delta_rows\": {merged_delta_rows}, \
+             \"dropped_tombstones\": {dropped_tombstones}, \"rows_moved\": {rows_moved}, \
+             \"duration_micros\": {duration_micros}, \"rebalanced\": {rebalanced}"
+        ),
+        EventKind::EpochTransition { from, to } => format!("\"from\": {from}, \"to\": {to}"),
+        EventKind::Checkpoint { generation, epoch } => {
+            format!("\"generation\": {generation}, \"epoch\": {epoch}")
+        }
+        EventKind::WalRotation { generation } => format!("\"generation\": {generation}"),
+        EventKind::WalPoison { reason } => format!("\"reason\": {}", json_str(reason)),
+        EventKind::WalRecovery {
+            replayed,
+            truncated_bytes,
+        } => format!("\"replayed\": {replayed}, \"truncated_bytes\": {truncated_bytes}"),
+        EventKind::LazyVerify { bytes, ok, crc } => {
+            format!("\"bytes\": {bytes}, \"ok\": {ok}, \"crc32c\": {crc}")
+        }
+        EventKind::DeltaThreshold {
+            delta_rows,
+            base_rows,
+            percent,
+        } => format!(
+            "\"delta_rows\": {delta_rows}, \"base_rows\": {base_rows}, \"percent\": {percent}"
+        ),
+        EventKind::TombstoneThreshold {
+            tombstones,
+            total_rows,
+            percent,
+        } => format!(
+            "\"tombstones\": {tombstones}, \"total_rows\": {total_rows}, \"percent\": {percent}"
+        ),
+        EventKind::SlowQuery {
+            wall_micros,
+            k,
+            threshold_micros,
+            profile,
+        } => format!(
+            "\"wall_micros\": {wall_micros}, \"k\": {k}, \
+             \"threshold_micros\": {threshold_micros}, \"profile\": {{\
+             \"blocks_popped\": {}, \"blocks_floor_pruned\": {}, \"rows_fetched\": {}, \
+             \"points_gathered\": {}, \"points_scored\": {}, \"emitted\": {}, \
+             \"rounds\": {}}}",
+            profile.blocks_popped,
+            profile.blocks_floor_pruned,
+            profile.rows_fetched,
+            profile.points_gathered,
+            profile.points_scored,
+            profile.emitted,
+            profile.rounds
+        ),
+    }
 }
 
 /// The SoA block-table line `inspect` prints under an sd-index or engine
@@ -2058,6 +2867,8 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let mut shards: usize = 1;
     let mut shards_set = false;
     let mut mutate_frac: f64 = 0.0;
+    let mut raw = false;
+    let mut slow_query_us: u64 = 0;
     let mut out = String::from("BENCH_queries.json");
 
     let mut flags = Flags::new(args);
@@ -2068,6 +2879,8 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                 shards_set = true;
             }
             "--mutate-frac" => mutate_frac = flags.parsed("--mutate-frac")?,
+            "--raw" => raw = true,
+            "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
             "--synthetic" => {
                 synthetic = Some(match flags.value("--synthetic")? {
                     "uniform" => Distribution::Uniform,
@@ -2226,13 +3039,25 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
 
     // Single-query latency: scratch reuse, `warmup` discarded warm-up
     // queries (default: one full pass), then one timed pass per query.
+    // Percentiles come from the engine's own latency histogram — the same
+    // extraction a live scrape sees — with the sorted raw samples kept
+    // behind --raw as the quantization-free cross-check.
     let warmup = warmup.unwrap_or(queries);
-    let (lat, prof_sum) = measure_single_query(&engine, &workload, k, warmup)?;
+    let clean = measure_single_query(&mut engine, &workload, k, warmup, slow_query_us)?;
+    let lat = &clean.hist;
     println!(
         "single query ({shards} shard(s), k = {k}, {queries} queries, {warmup} warm-up): \
-         p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, mean {:.3} ms",
+         p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, mean {:.3} ms (histogram)",
         lat.p50, lat.p90, lat.p99, lat.p999, lat.mean
     );
+    if raw {
+        println!(
+            "  raw samples: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, \
+             mean {:.3} ms",
+            clean.raw.p50, clean.raw.p90, clean.raw.p99, clean.raw.p999, clean.raw.mean
+        );
+    }
+    let prof_sum = &clean.prof;
     println!(
         "pruning (means/query): {:.0} blocks floor-pruned, {:.0} popped, {:.0} rows fetched, \
          {:.0} scored, {:.0} emitted",
@@ -2304,7 +3129,8 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                  {del_applied} delete(s), harness reports {m} / {deleted}"
             )));
         }
-        let (mlat, _) = measure_single_query(&engine, &workload, k, warmup)?;
+        let mutated = measure_single_query(&mut engine, &workload, k, warmup, slow_query_us)?;
+        let mlat = &mutated.hist;
         println!(
             "single query with {:.1}% delta + {deleted} tombstone(s): p50 {:.3} ms \
              ({:+.1}% vs clean), p99 {:.3} ms, mean {:.3} ms",
@@ -2314,30 +3140,42 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             mlat.p99,
             mlat.mean,
         );
-        format!(
-            ",\n  \"mutations\": {{\"frac\": {mutate_frac}, \"inserted\": {m}, \
-             \"deleted\": {deleted}, \
-             \"single_query_ms\": {}}}",
-            mlat.json()
+        (
+            format!(
+                ",\n  \"mutations\": {{\"frac\": {mutate_frac}, \"inserted\": {m}, \
+                 \"deleted\": {deleted}, \
+                 \"single_query_ms\": {}}}",
+                mlat.json()
+            ),
+            mutated.slow_queries,
         )
     } else {
-        String::new()
+        (String::new(), 0)
     };
+    let (mutations_json, mutated_slow) = mutations_json;
+    let slow_queries = clean.slow_queries + mutated_slow;
 
     // Host keys: trajectory numbers are only comparable when the CPU and
     // the kernels' dispatched ISA level are pinned next to them.
     let cpu = json_str(&cpu_model());
     let simd = json_str(sdq_core::kernels::active().name());
+    let raw_json = if raw {
+        format!(",\n  \"single_query_ms_raw\": {}", clean.raw.json())
+    } else {
+        String::new()
+    };
     let json = format!(
         "{{\n  {source},\n  \"dataset\": {{\"rows\": {clean_rows}, \"dims\": {dims}}},\n  \
          \"shards\": {shards},\n  \
          \"k\": {k},\n  \"queries\": {queries},\n  \"warmup\": {warmup},\n  \"query_seed\": {seed},\n  \
          \"cpu\": {cpu},\n  \"simd\": {simd},\n  \
-         \"single_query_ms\": {lat_json},\n  \
+         \"percentile_source\": \"histogram\",\n  \
+         \"slow_query_us\": {slow_query_us},\n  \"slow_queries\": {slow_queries},\n  \
+         \"single_query_ms\": {lat_json}{raw_json},\n  \
          \"profile\": {profile_json},\n  \
          \"batch\": [{batch}]{mutations_json}\n}}\n",
         lat_json = lat.json(),
-        profile_json = profile_means_json(&prof_sum, queries),
+        profile_json = profile_means_json(prof_sum, queries),
         batch = batch_rows.join(", "),
     );
     std::fs::write(&out, json).map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
@@ -2366,6 +3204,18 @@ impl LatencySummary {
         }
     }
 
+    /// Percentiles extracted from a telemetry histogram snapshot — the
+    /// same numbers a live Prometheus scrape would derive.
+    fn from_histogram(s: &HistoSnapshot) -> LatencySummary {
+        LatencySummary {
+            p50: s.quantile(0.50) / 1e6,
+            p90: s.quantile(0.90) / 1e6,
+            p99: s.quantile(0.99) / 1e6,
+            p999: s.quantile(0.999) / 1e6,
+            mean: s.mean_nanos() / 1e6,
+        }
+    }
+
     fn json(&self) -> String {
         format!(
             "{{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \"mean\": {:.4}}}",
@@ -2374,16 +3224,32 @@ impl LatencySummary {
     }
 }
 
+/// One measured single-query pass: histogram-extracted and raw-sample
+/// latency summaries, summed execution counters, and the slow queries the
+/// pass journaled.
+struct MeasuredPass {
+    /// Percentiles extracted from the pass's isolated latency histogram.
+    hist: LatencySummary,
+    /// Percentiles from the sorted raw wall-clock samples (`--raw`).
+    raw: LatencySummary,
+    /// Execution counters summed over the timed queries.
+    prof: QueryProfile,
+    /// Queries at or above the slow-query threshold during the pass.
+    slow_queries: u64,
+}
+
 /// `warmup` discarded warm-up queries (cycling the workload), then one
-/// timed pass per query with a reused scratch; returns the latency
-/// summary plus the execution counters summed over the timed queries
-/// (divide by `workload.len()` for per-query means).
+/// timed pass per query with a reused scratch. The timed pass runs under
+/// a fresh telemetry registry installed on the engine, so its histogram
+/// holds exactly the measured samples (divide the returned counters by
+/// `workload.len()` for per-query means).
 fn measure_single_query(
-    engine: &SdEngine,
+    engine: &mut SdEngine,
     workload: &[SdQuery],
     k: usize,
     warmup: usize,
-) -> Result<(LatencySummary, QueryProfile), CliError> {
+    slow_query_us: u64,
+) -> Result<MeasuredPass, CliError> {
     let mut scratch = EngineScratch::new();
     let mut sink = 0.0f64;
     for q in workload.iter().cycle().take(warmup) {
@@ -2394,6 +3260,9 @@ fn measure_single_query(
             .map(|sp| sp.score)
             .sum::<f64>();
     }
+    let tel = Telemetry::new();
+    tel.set_slow_query_micros(slow_query_us);
+    engine.set_telemetry(Arc::clone(&tel));
     let mut lat_ms = Vec::with_capacity(workload.len());
     let mut prof_sum = QueryProfile::new();
     for q in workload {
@@ -2403,7 +3272,19 @@ fn measure_single_query(
         lat_ms.push(ms);
     }
     std::hint::black_box(sink);
-    Ok((LatencySummary::from_samples(&mut lat_ms), prof_sum))
+    let hist = tel.query.snapshot();
+    let slow_queries = tel
+        .journal
+        .snapshot()
+        .iter()
+        .filter(|r| matches!(r.kind, EventKind::SlowQuery { .. }))
+        .count() as u64;
+    Ok(MeasuredPass {
+        hist: LatencySummary::from_histogram(&hist),
+        raw: LatencySummary::from_samples(&mut lat_ms),
+        prof: prof_sum,
+        slow_queries,
+    })
 }
 
 /// The BENCH_queries.json `profile` key: mean execution counters per

@@ -43,6 +43,7 @@
 //! past the generation gate because the snapshot's generation only moves
 //! forward.
 
+use sdq_core::telemetry::EventKind;
 use sdq_core::{PointId, ScoredPoint, SdError, SdQuery};
 use sdq_engine::{CompactionOptions, CompactionReport, SdEngine};
 
@@ -277,6 +278,14 @@ impl<S: Storage> DurableEngine<S> {
                     this.engine
                         .metrics()
                         .record_wal_replay(rec.records.len() as u64);
+                    this.engine
+                        .metrics()
+                        .telemetry()
+                        .journal
+                        .push(EventKind::WalRecovery {
+                            replayed: rec.records.len() as u64,
+                            truncated_bytes: rec.truncated_bytes,
+                        });
                     this.appended_records = rec.records.len() as u64;
                     this.durable_records = this.appended_records;
                     this.appended_bytes = rec.valid_len - wal::WAL_HEADER_BYTES as u64;
@@ -346,19 +355,30 @@ impl<S: Storage> DurableEngine<S> {
         }
     }
 
-    fn poison(&mut self, why: impl Into<String>) {
+    fn poison(&mut self, why: &'static str) {
         if self.poisoned.is_none() {
-            self.poisoned = Some(why.into());
+            self.poisoned = Some(why.to_string());
+            self.engine
+                .metrics()
+                .telemetry()
+                .journal
+                .push(EventKind::WalPoison { reason: why });
         }
     }
 
     fn append_record(&mut self, record: &WalRecord) -> Result<(), SdError> {
         let bytes = record.encode();
         let wal_name = Self::wal_name(&self.snap_name);
+        let t0 = std::time::Instant::now();
         if let Err(e) = self.storage.append(&wal_name, &bytes) {
             self.poison("wal append failed; the log tail may be torn");
             return Err(io_err(&wal_name, e));
         }
+        self.engine
+            .metrics()
+            .telemetry()
+            .wal_append
+            .record(t0.elapsed());
         self.appended_records += 1;
         self.appended_bytes += bytes.len() as u64;
         self.wal_len += bytes.len() as u64;
@@ -386,12 +406,15 @@ impl<S: Storage> DurableEngine<S> {
         }
         self.ensure_usable()?;
         let wal_name = Self::wal_name(&self.snap_name);
+        let t0 = std::time::Instant::now();
         if let Err(e) = self.storage.sync_file(&wal_name) {
             self.poison("wal fsync failed; durability of recent writes is unknown");
             return Err(io_err(&wal_name, e));
         }
+        let metrics = self.engine.metrics();
+        metrics.telemetry().wal_fsync.record(t0.elapsed());
         self.durable_records = self.appended_records;
-        self.engine.metrics().record_wal_sync();
+        metrics.record_wal_sync();
         Ok(())
     }
 
@@ -497,6 +520,13 @@ impl<S: Storage> DurableEngine<S> {
         self.durable_records = 0;
         self.appended_bytes = 0;
         self.wal_len = bytes.len() as u64;
+        self.engine
+            .metrics()
+            .telemetry()
+            .journal
+            .push(EventKind::WalRotation {
+                generation: self.generation,
+            });
         Ok(())
     }
 
@@ -505,6 +535,7 @@ impl<S: Storage> DurableEngine<S> {
     /// WAL one generation up. Recovers a poisoned engine (the rewritten
     /// pair supersedes whatever was wrong on disk).
     pub fn checkpoint(&mut self) -> Result<(), SdError> {
+        let t0 = std::time::Instant::now();
         let generation = self.generation + 1;
         // Checkpoints write format v5 natively: the rewritten file is what
         // a serving process reopens, and `open_mapped` makes that O(1).
@@ -522,7 +553,14 @@ impl<S: Storage> DurableEngine<S> {
             return Err(e);
         }
         self.poisoned = None;
-        self.engine.metrics().record_wal_checkpoint();
+        let metrics = self.engine.metrics();
+        metrics.record_wal_checkpoint();
+        let tel = metrics.telemetry();
+        tel.checkpoint.record(t0.elapsed());
+        tel.journal.push(EventKind::Checkpoint {
+            generation,
+            epoch: self.checkpoint_epoch,
+        });
         Ok(())
     }
 

@@ -868,3 +868,299 @@ fn wal_torn_tail_is_truncated_on_open() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Builds a small 4-shard engine snapshot for the observability tests.
+fn build_observed_snapshot(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = temp_dir(tag);
+    let snap_path = dir.join("obs.sdq");
+    let status = sdq()
+        .args([
+            "build",
+            "--synthetic",
+            "uniform",
+            "--n",
+            "4000",
+            "--dims",
+            "4",
+            "--seed",
+            "11",
+            "--roles",
+            "arra",
+            "--shards",
+            "4",
+            "--out",
+        ])
+        .arg(&snap_path)
+        .status()
+        .expect("spawn sdq build");
+    assert!(status.success(), "sdq build failed");
+    (dir, snap_path)
+}
+
+#[test]
+fn metrics_renders_prometheus_json_and_human() {
+    let (dir, snap_path) = build_observed_snapshot("metrics");
+
+    // Prometheus text exposition: HELP/TYPE preambles, cumulative buckets
+    // with an +Inf terminator, all counter families, journal gauge.
+    let out = sdq()
+        .args(["metrics", snap_path.to_str().unwrap(), "--prometheus"])
+        .output()
+        .expect("spawn sdq metrics --prometheus");
+    assert!(out.status.success(), "metrics --prometheus failed");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "# TYPE sdq_query_latency_seconds histogram",
+        "sdq_query_latency_seconds_bucket{le=\"+Inf\"}",
+        "sdq_query_latency_seconds_count",
+        "sdq_wal_fsync_latency_seconds_sum",
+        "# TYPE sdq_queries_served_total counter",
+        "sdq_floor_contributions_total{slot=\"shard-0\"}",
+        "sdq_event_journal_depth",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Every non-comment line is `name{labels} value` with a finite value.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value == "+Inf" || value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+            "unparseable sample line: {line}"
+        );
+    }
+
+    // JSON: probed histograms hold samples, the journal status is present.
+    let out = sdq()
+        .args([
+            "metrics",
+            snap_path.to_str().unwrap(),
+            "--json",
+            "--queries",
+            "16",
+        ])
+        .output()
+        .expect("spawn sdq metrics --json");
+    assert!(out.status.success(), "metrics --json failed");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"histograms\""), "{json}");
+    assert!(json.contains("\"query\": {\"count\": 16"), "{json}");
+    assert!(json.contains("\"event_journal\""), "{json}");
+    assert!(json.contains("\"floor_contributions\""), "{json}");
+
+    // Human mode mentions the histogram table and counters.
+    let out = sdq()
+        .args(["metrics", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq metrics");
+    assert!(out.status.success());
+    let human = String::from_utf8_lossy(&out.stdout);
+    assert!(human.contains("histograms (µs):"), "{human}");
+    assert!(human.contains("queries_served 32"), "{human}");
+
+    // --prometheus and --json are mutually exclusive: usage error, exit 2.
+    let out = sdq()
+        .args([
+            "metrics",
+            snap_path.to_str().unwrap(),
+            "--prometheus",
+            "--json",
+        ])
+        .output()
+        .expect("spawn sdq metrics conflict");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn events_journal_compaction_lifecycle_and_slow_queries() {
+    let (dir, snap_path) = build_observed_snapshot("events");
+
+    // Mutation + compaction probes journal the full lifecycle.
+    let out = sdq()
+        .args([
+            "events",
+            snap_path.to_str().unwrap(),
+            "--mutate",
+            "40",
+            "--compact",
+        ])
+        .output()
+        .expect("spawn sdq events");
+    assert!(out.status.success(), "events failed");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compaction-start"), "{text}");
+    assert!(text.contains("compaction-finish"), "{text}");
+    assert!(text.contains("epoch-transition"), "{text}");
+
+    // JSONL mode: one object per line, slow queries carry their profile.
+    let out = sdq()
+        .args([
+            "events",
+            snap_path.to_str().unwrap(),
+            "--json",
+            "--slow-query-us",
+            "1",
+            "--queries",
+            "4",
+        ])
+        .output()
+        .expect("spawn sdq events --json");
+    assert!(out.status.success(), "events --json failed");
+    let jsonl = String::from_utf8_lossy(&out.stdout);
+    let mut slow_lines = 0;
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with("{\"seq\": "),
+            "not a JSON event line: {line}"
+        );
+        if line.contains("\"event\": \"slow-query\"") {
+            assert!(
+                line.contains("\"profile\": {"),
+                "slow-query without profile: {line}"
+            );
+            slow_lines += 1;
+        }
+    }
+    assert_eq!(
+        slow_lines, 4,
+        "every 1 µs-threshold probe query is slow:\n{jsonl}"
+    );
+
+    // --follow streams the same lifecycle from a background workload.
+    let out = sdq()
+        .args([
+            "events",
+            snap_path.to_str().unwrap(),
+            "--follow",
+            "--mutate",
+            "40",
+            "--compact",
+        ])
+        .output()
+        .expect("spawn sdq events --follow");
+    assert!(out.status.success(), "events --follow failed");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compaction-finish"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_json_reports_layout_and_floor_provenance() {
+    let (dir, snap_path) = build_observed_snapshot("inspectjson");
+
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn sdq inspect --json");
+    assert!(out.status.success(), "inspect --json failed");
+    let json = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"format_version\": 5",
+        "\"sections\": [",
+        "\"regions\": [",
+        "\"shard_layout\": [",
+        "\"block_stats\": {",
+        "\"floor_contributions\": {",
+        "\"shard-0\": ",
+        "\"tombstones\": 0",
+    ] {
+        assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+    }
+
+    // The human rendering names the probe-query floor provenance too.
+    let out = sdq()
+        .args(["inspect", snap_path.to_str().unwrap()])
+        .output()
+        .expect("spawn sdq inspect");
+    assert!(out.status.success());
+    let human = String::from_utf8_lossy(&out.stdout);
+    assert!(human.contains("floor provenance (probe query"), "{human}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_query_extracts_percentiles_from_histogram() {
+    let (dir, snap_path) = build_observed_snapshot("benchhisto");
+    let report = dir.join("bench.json");
+
+    let out = sdq()
+        .args([
+            "bench-query",
+            snap_path.to_str().unwrap(),
+            "--queries",
+            "32",
+            "--warmup",
+            "8",
+            "--threads",
+            "1",
+            "--raw",
+            "--slow-query-us",
+            "1",
+            "--out",
+        ])
+        .arg(&report)
+        .output()
+        .expect("spawn sdq bench-query");
+    assert!(out.status.success(), "bench-query failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(histogram)"), "{stdout}");
+    assert!(stdout.contains("raw samples:"), "{stdout}");
+
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(
+        json.contains("\"percentile_source\": \"histogram\""),
+        "{json}"
+    );
+    assert!(json.contains("\"single_query_ms_raw\""), "{json}");
+    assert!(json.contains("\"slow_query_us\": 1"), "{json}");
+    assert!(json.contains("\"slow_queries\": 32"), "{json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_slow_query_log_reports_on_stderr() {
+    let (dir, snap_path) = build_observed_snapshot("slowq");
+
+    let out = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5,0.5",
+            "--k",
+            "3",
+            "--slow-query-us",
+            "1",
+        ])
+        .output()
+        .expect("spawn sdq query --slow-query-us");
+    assert!(out.status.success(), "query failed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("slow-query:"), "{stderr}");
+    assert!(stderr.contains("µs ≥ 1 µs (k 3)"), "{stderr}");
+
+    // Threshold off: nothing is reported.
+    let out = sdq()
+        .args([
+            "query",
+            snap_path.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5,0.5",
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("spawn sdq query");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("slow-query:"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
