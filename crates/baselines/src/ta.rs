@@ -95,14 +95,7 @@ impl TaIndex {
                 DimRole::Attractive => Subproblem::attractive(col, q, w),
             });
         }
-        Ok(threshold_aggregate_with(
-            &self.data,
-            &self.roles,
-            query,
-            k,
-            streams,
-            scratch,
-        ))
+        threshold_aggregate_with(&self.data, &self.roles, query, k, streams, scratch)
     }
 }
 

@@ -21,6 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::deadline::Deadline;
 use crate::kernels::{self, LaneBlock, LANES};
 use crate::mask::MaskView;
 use crate::profile::QueryProfile;
@@ -135,6 +136,11 @@ impl DeltaBlocks {
 /// weights (cleared here). Scan statistics — rows scanned, blocks
 /// envelope-pruned, tombstoned lanes dropped — accumulate into `prof`
 /// (not reset here: the engine owns the per-query reset).
+///
+/// `deadline` is checked once per block — the same cooperative
+/// granularity as the aggregation loop; a single inlined branch when
+/// unset — and aborts the scan with the typed deadline/cancel error
+/// without touching `out`.
 #[allow(clippy::too_many_arguments)] // scratch-owned buffers, one call site
 pub fn scan_delta_blocks_into(
     blocks: &DeltaBlocks,
@@ -148,7 +154,8 @@ pub fn scan_delta_blocks_into(
     out: &mut Vec<ScoredPoint>,
     sw: &mut Vec<f64>,
     prof: &mut QueryProfile,
-) {
+    deadline: &Deadline,
+) -> Result<(), SdError> {
     debug_assert_eq!(blocks.dims, query.dims());
     debug_assert_eq!(blocks.dims, roles.len());
     pool.clear();
@@ -158,6 +165,7 @@ pub fn scan_delta_blocks_into(
     let mut scores = [0.0f64; LANES];
     let n_blocks = blocks.len.div_ceil(LANES);
     for b in 0..n_blocks {
+        deadline.check()?;
         let base = (b * LANES) as u32;
         let in_block = LANES.min(blocks.len - b * LANES);
         let full = if in_block == LANES {
@@ -228,6 +236,7 @@ pub fn scan_delta_blocks_into(
     }
     // Pops arrive worst-first; flip to canonical order.
     out[start..].reverse();
+    Ok(())
 }
 
 /// Scans the delta region exactly: appends the canonical top-`k` of the
@@ -375,9 +384,20 @@ mod tests {
             let mut sw = Vec::new();
             let mut prof = QueryProfile::new();
             scan_delta_blocks_into(
-                &blocks, &roles, &q, k, 200, view, &mut pool, &mut floor, &mut out, &mut sw,
+                &blocks,
+                &roles,
+                &q,
+                k,
+                200,
+                view,
+                &mut pool,
+                &mut floor,
+                &mut out,
+                &mut sw,
                 &mut prof,
-            );
+                &Deadline::none(),
+            )
+            .unwrap();
             assert_eq!(out.len(), want.len(), "k = {k}");
             assert!(prof.points_scored <= prof.delta_rows_scanned, "k = {k}");
             if prof.delta_blocks_pruned == 0 {

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod codec;
+pub mod deadline;
 pub mod delta;
 pub mod envelope;
 pub mod geometry;
@@ -78,6 +79,7 @@ pub mod topk;
 mod types;
 pub mod view;
 
+pub use deadline::{CancelToken, Deadline};
 pub use integrity::{CrcState, SectionIntegrity};
 pub use mask::{MaskView, RowMask};
 pub use profile::QueryProfile;

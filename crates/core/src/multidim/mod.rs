@@ -46,6 +46,7 @@ pub use pairing::{pair_dimensions, DimPair, PairingStrategy};
 pub use plan::{PairAction, PairPlan, QueryPlan};
 pub use stream1d::{AttractiveStream, RepulsiveStream, SortedColumn};
 
+use crate::deadline::Deadline;
 use crate::geometry::Angle;
 use crate::integrity::SectionIntegrity;
 use crate::kernels::{self, LANES};
@@ -632,7 +633,7 @@ impl SdIndex {
 
         let streams = self.assemble_streams(query, k, scratch)?;
 
-        Ok(threshold_aggregate_masked(
+        threshold_aggregate_masked(
             &self.data,
             &self.roles,
             query,
@@ -641,7 +642,7 @@ impl SdIndex {
             scratch,
             shared,
             mask,
-        ))
+        )
     }
 
     /// Starts a suspended, resumable execution of this index's aggregation
@@ -721,6 +722,7 @@ impl SdIndex {
             scores: std::mem::take(&mut scratch.scores),
             fbuf: std::mem::take(&mut scratch.fbuf),
             profile: scratch.profile,
+            deadline: scratch.deadline.clone(),
             done: n == 0,
         })
     }
@@ -930,7 +932,7 @@ fn aggregate_into(
     scratch: &mut QueryScratch,
     shared: Option<&SharedThreshold>,
     mask: Option<MaskView<'_>>,
-) {
+) -> Result<(), SdError> {
     let QueryScratch {
         pool,
         seen,
@@ -941,6 +943,7 @@ fn aggregate_into(
         scores,
         fbuf,
         profile,
+        deadline,
         ..
     } = &mut *scratch;
     profile.reset();
@@ -980,7 +983,8 @@ fn aggregate_into(
         scores,
         fbuf,
         profile,
-    );
+        deadline,
+    )?;
     debug_assert!(done, "unbounded aggregation must complete");
     answers.sort_unstable_by(rank_cmp);
     for s in streams.iter_mut() {
@@ -991,6 +995,7 @@ fn aggregate_into(
     if let Some(t0) = t0 {
         profile.aggregate_nanos += t0.elapsed().as_nanos() as u64;
     }
+    Ok(())
 }
 
 /// Scores one round's fetched rows — deduplicated, tombstone-masked, then
@@ -1116,6 +1121,11 @@ fn score_rows_batched<F: FnMut(f64)>(
 /// `on_score` observes the exact full score of every newly fetched
 /// distinct row that could still matter to a top-k — the engine feeds
 /// these into its merged cross-shard k-th-score tracker.
+///
+/// `deadline` is consulted once per iteration — block-pop granularity,
+/// one inlined branch when unset — and aborts the aggregation with the
+/// typed deadline/cancel error; the answer buffer keeps the certified
+/// partial prefix emitted so far.
 #[allow(clippy::too_many_arguments)] // internal: one call site per mode
 fn aggregate_rounds<F: FnMut(f64)>(
     data: &Dataset,
@@ -1137,10 +1147,12 @@ fn aggregate_rounds<F: FnMut(f64)>(
     scores: &mut Vec<f64>,
     fbuf: &mut Vec<f64>,
     prof: &mut QueryProfile,
-) -> bool {
+    deadline: &Deadline,
+) -> Result<bool, SdError> {
     while rounds > 0 {
         rounds -= 1;
         prof.rounds += 1;
+        deadline.check()?;
 
         // Threshold over rows unseen by *every* stream; per-stream bounds
         // staged for the block-pruning thresholds below.
@@ -1172,10 +1184,10 @@ fn aggregate_rounds<F: FnMut(f64)>(
             }
         }
         if answers.len() >= k_eff {
-            return true;
+            return Ok(true);
         }
         if any_drained && pool.is_empty() {
-            return true;
+            return Ok(true);
         }
 
         // k-th-score floor: once k exact scores are known — here or in a
@@ -1203,7 +1215,7 @@ fn aggregate_rounds<F: FnMut(f64)>(
                         None => break,
                     }
                 }
-                return true;
+                return Ok(true);
             }
         }
 
@@ -1243,10 +1255,10 @@ fn aggregate_rounds<F: FnMut(f64)>(
                     None => break,
                 }
             }
-            return true;
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// A suspended, resumable execution of one index's §5 aggregation — the
@@ -1277,6 +1289,7 @@ pub struct ShardExecution<'i> {
     scores: Vec<f64>,
     fbuf: Vec<f64>,
     profile: QueryProfile,
+    deadline: Deadline,
     done: bool,
 }
 
@@ -1289,13 +1302,15 @@ impl<'i> ShardExecution<'i> {
     /// Runs up to `rounds` aggregation iterations (one fetch per stream
     /// each). Publishes into / prunes against `shared` exactly like
     /// [`SdIndex::query_shared`]; `on_score` observes every newly scored
-    /// row's exact score. Returns `true` once complete.
+    /// row's exact score. Returns `Ok(true)` once complete; a deadline or
+    /// cancellation carried in the originating scratch aborts with the
+    /// typed error (the execution keeps its certified partial answer).
     pub fn step<F: FnMut(f64)>(
         &mut self,
         rounds: usize,
         shared: Option<&SharedThreshold>,
         mut on_score: F,
-    ) -> bool {
+    ) -> Result<bool, SdError> {
         if !self.done {
             self.done = aggregate_rounds(
                 self.data,
@@ -1317,9 +1332,10 @@ impl<'i> ShardExecution<'i> {
                 &mut self.scores,
                 &mut self.fbuf,
                 &mut self.profile,
-            );
+                &self.deadline,
+            )?;
         }
-        self.done
+        Ok(self.done)
     }
 
     /// Execution counters accumulated so far (finalized counters — floor
@@ -1365,10 +1381,10 @@ pub fn threshold_aggregate(
     query: &SdQuery,
     k: usize,
     streams: &mut [Subproblem<'_>],
-) -> Vec<ScoredPoint> {
+) -> Result<Vec<ScoredPoint>, SdError> {
     let mut scratch = QueryScratch::new();
-    aggregate_into(data, roles, query, k, streams, &mut scratch, None, None);
-    std::mem::take(&mut scratch.answers)
+    aggregate_into(data, roles, query, k, streams, &mut scratch, None, None)?;
+    Ok(std::mem::take(&mut scratch.answers))
 }
 
 /// The §5 aggregation loop with scratch-owned buffers: `streams` must have
@@ -1383,7 +1399,7 @@ pub fn threshold_aggregate_with<'a, 's>(
     k: usize,
     streams: Vec<Subproblem<'a>>,
     scratch: &'s mut QueryScratch,
-) -> &'s [ScoredPoint] {
+) -> Result<&'s [ScoredPoint], SdError> {
     threshold_aggregate_shared(data, roles, query, k, streams, scratch, None)
 }
 
@@ -1403,7 +1419,7 @@ pub fn threshold_aggregate_shared<'a, 's>(
     streams: Vec<Subproblem<'a>>,
     scratch: &'s mut QueryScratch,
     shared: Option<&SharedThreshold>,
-) -> &'s [ScoredPoint] {
+) -> Result<&'s [ScoredPoint], SdError> {
     threshold_aggregate_masked(data, roles, query, k, streams, scratch, shared, None)
 }
 
@@ -1422,13 +1438,16 @@ pub fn threshold_aggregate_masked<'a, 's>(
     scratch: &'s mut QueryScratch,
     shared: Option<&SharedThreshold>,
     mask: Option<MaskView<'_>>,
-) -> &'s [ScoredPoint] {
-    aggregate_into(data, roles, query, k, &mut streams, scratch, shared, mask);
+) -> Result<&'s [ScoredPoint], SdError> {
+    // Recycle the streams before surfacing any error: a deadline abort
+    // must not leak the scratch's recycled buffers.
+    let aggregated = aggregate_into(data, roles, query, k, &mut streams, scratch, shared, mask);
     for s in streams.drain(..) {
         s.recycle(scratch);
     }
     scratch.put_streams(streams);
-    &scratch.answers
+    aggregated?;
+    Ok(&scratch.answers)
 }
 
 /// A 2-D subproblem stream over one §4 tree.

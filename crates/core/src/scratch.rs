@@ -40,6 +40,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::deadline::Deadline;
 use crate::multidim::Subproblem;
 use crate::profile::QueryProfile;
 use crate::topk::stream::{AngleScratch, FastSet};
@@ -127,6 +128,12 @@ pub struct QueryScratch {
     /// [`QueryProfile`]). Set [`QueryProfile::timing`] before querying to
     /// also collect per-stage nanosecond timings.
     pub profile: QueryProfile,
+    /// Cooperative deadline/cancel token of the next query served from
+    /// this scratch, checked once per aggregation round. The default is
+    /// unlimited (a single predictable branch per check); a bounded
+    /// deadline captures its expiry at construction, so set a fresh one
+    /// per query.
+    pub deadline: Deadline,
     /// Spare `(slot, subscore)` staging buffers for block-backed streams
     /// serving the one-point-at-a-time trait path.
     stages: Vec<Vec<(u32, f64)>>,

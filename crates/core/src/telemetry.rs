@@ -370,6 +370,15 @@ pub enum EventKind {
         /// The threshold crossed, in percent of total rows.
         percent: u8,
     },
+    /// The durable engine's health state machine transitioned (healthy ↔
+    /// degraded ↔ poisoned). The detailed reason lives on the engine's
+    /// health state; the journal records the edge.
+    HealthTransition {
+        /// Health label before ("healthy", "degraded", "poisoned").
+        from: &'static str,
+        /// Health label after.
+        to: &'static str,
+    },
     /// A query exceeded the configured slow-query threshold; its full
     /// profile funnel rides along.
     SlowQuery {
@@ -398,6 +407,7 @@ impl EventKind {
             EventKind::LazyVerify { .. } => "lazy-verify",
             EventKind::DeltaThreshold { .. } => "delta-threshold",
             EventKind::TombstoneThreshold { .. } => "tombstone-threshold",
+            EventKind::HealthTransition { .. } => "health-transition",
             EventKind::SlowQuery { .. } => "slow-query",
         }
     }

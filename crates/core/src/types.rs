@@ -86,6 +86,24 @@ pub enum SdError {
     /// Structurally invalid bytes inside a section (truncation, bad tag,
     /// inconsistent lengths, out-of-range index, …).
     SnapshotCorrupt { detail: String },
+    /// A query deadline expired before the aggregation certified its
+    /// answer. The scratch still holds the partial answer computed so far.
+    DeadlineExceeded {
+        /// Wall time spent before the deadline check fired, µs.
+        elapsed_micros: u64,
+        /// The budget the caller granted, µs.
+        budget_micros: u64,
+    },
+    /// The query's cancel token was triggered by another thread.
+    Cancelled,
+    /// The durable engine is degraded: reads are served, writes are
+    /// refused until [`try_recover`] re-checkpoints to fresh files.
+    ///
+    /// [`try_recover`]: https://docs.rs/sdq-store
+    EngineDegraded { reason: String },
+    /// The durable engine is poisoned: in-memory state may disagree with
+    /// the log, so both reads and writes are refused. Reopen from disk.
+    EnginePoisoned { reason: String },
 }
 
 impl fmt::Display for SdError {
@@ -130,6 +148,18 @@ impl fmt::Display for SdError {
                 write!(f, "snapshot checksum mismatch in section {section}")
             }
             SdError::SnapshotCorrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+            SdError::DeadlineExceeded {
+                elapsed_micros,
+                budget_micros,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_micros} µs elapsed of a {budget_micros} µs budget"
+            ),
+            SdError::Cancelled => write!(f, "query cancelled"),
+            SdError::EngineDegraded { reason } => {
+                write!(f, "engine degraded (read-only until recovery): {reason}")
+            }
+            SdError::EnginePoisoned { reason } => write!(f, "engine poisoned: {reason}"),
         }
     }
 }

@@ -99,7 +99,8 @@ use sdq_core::score::rank_cmp;
 use sdq_core::telemetry::{bucket_bounds_nanos, EventKind, Telemetry, HISTO_BUCKETS};
 use sdq_core::threshold::{track_floor, SharedThreshold};
 use sdq_core::{
-    Dataset, DimRole, OrdF64, PointId, QueryProfile, QueryScratch, ScoredPoint, SdError, SdQuery,
+    Dataset, Deadline, DimRole, OrdF64, PointId, QueryProfile, QueryScratch, ScoredPoint, SdError,
+    SdQuery,
 };
 
 pub mod mutation;
@@ -169,6 +170,12 @@ pub struct EngineScratch {
     /// scan and merge statistics. Always on; set [`QueryProfile::timing`]
     /// before querying to also collect per-stage wall times.
     pub profile: QueryProfile,
+    /// Cooperative deadline/cancel token of the next query served through
+    /// this scratch, propagated to every worker and checked once per
+    /// aggregation round and per delta block. Unlimited by default; a
+    /// bounded deadline captures its expiry at construction, so set a
+    /// fresh one per query.
+    pub deadline: Deadline,
 }
 
 impl EngineScratch {
@@ -205,7 +212,21 @@ struct MetricsInner {
     wal_syncs: AtomicU64,
     wal_records_replayed: AtomicU64,
     wal_checkpoints: AtomicU64,
+    retries_attempted: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    scrub_regions_ok: AtomicU64,
+    scrub_regions_failed: AtomicU64,
+    /// Health gauge, not a counter: [`HEALTH_HEALTHY`]/[`HEALTH_DEGRADED`]/
+    /// [`HEALTH_POISONED`].
+    health: AtomicU64,
 }
+
+/// [`EngineMetrics::set_health`] gauge code: fully serving.
+pub const HEALTH_HEALTHY: u64 = 0;
+/// [`EngineMetrics::set_health`] gauge code: read-only until recovery.
+pub const HEALTH_DEGRADED: u64 = 1;
+/// [`EngineMetrics::set_health`] gauge code: refusing all traffic.
+pub const HEALTH_POISONED: u64 = 2;
 
 /// The engine's lifetime metrics registry: monotonic atomic counters fed
 /// by every query and compaction served by this engine (and by all of its
@@ -297,6 +318,38 @@ impl EngineMetrics {
         self.inner.wal_checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one retried storage operation: a transient I/O failure the
+    /// durable layer absorbed with bounded backoff instead of surfacing.
+    pub fn record_retry(&self) {
+        self.inner.retries_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one query aborted by its deadline or cancel token.
+    pub fn record_deadline_exceeded(&self) {
+        self.inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one scrub pass: `ok` regions whose CRCs
+    /// verified and `failed` regions that did not.
+    pub fn record_scrub_regions(&self, ok: u64, failed: u64) {
+        self.inner.scrub_regions_ok.fetch_add(ok, Ordering::Relaxed);
+        self.inner
+            .scrub_regions_failed
+            .fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Publishes the engine health gauge ([`HEALTH_HEALTHY`],
+    /// [`HEALTH_DEGRADED`] or [`HEALTH_POISONED`]). Fed by the durable
+    /// wrapper's state machine on every transition.
+    pub fn set_health(&self, code: u64) {
+        self.inner.health.store(code, Ordering::Relaxed);
+    }
+
+    /// The last health code published via [`EngineMetrics::set_health`].
+    pub fn health_code(&self) -> u64 {
+        self.inner.health.load(Ordering::Relaxed)
+    }
+
     /// A plain point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut floor_contributions = [0u64; FLOOR_HIST_SLOTS];
@@ -317,6 +370,11 @@ impl EngineMetrics {
             wal_syncs: self.inner.wal_syncs.load(Ordering::Relaxed),
             wal_records_replayed: self.inner.wal_records_replayed.load(Ordering::Relaxed),
             wal_checkpoints: self.inner.wal_checkpoints.load(Ordering::Relaxed),
+            retries_attempted: self.inner.retries_attempted.load(Ordering::Relaxed),
+            deadline_exceeded: self.inner.deadline_exceeded.load(Ordering::Relaxed),
+            scrub_regions_ok: self.inner.scrub_regions_ok.load(Ordering::Relaxed),
+            scrub_regions_failed: self.inner.scrub_regions_failed.load(Ordering::Relaxed),
+            engine_health: self.inner.health.load(Ordering::Relaxed),
         }
     }
 
@@ -327,7 +385,7 @@ impl EngineMetrics {
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
         let mut out = String::with_capacity(16 * 1024);
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 13] = [
             (
                 "sdq_queries_served_total",
                 "Queries answered.",
@@ -369,12 +427,38 @@ impl EngineMetrics {
                 "Durable checkpoints taken.",
                 snap.wal_checkpoints,
             ),
+            (
+                "sdq_retries_attempted_total",
+                "Transient storage failures absorbed by retry-with-backoff.",
+                snap.retries_attempted,
+            ),
+            (
+                "sdq_deadline_exceeded_total",
+                "Queries aborted by their deadline or cancel token.",
+                snap.deadline_exceeded,
+            ),
+            (
+                "sdq_scrub_regions_ok_total",
+                "Scrubbed CRC regions that verified clean.",
+                snap.scrub_regions_ok,
+            ),
+            (
+                "sdq_scrub_regions_failed_total",
+                "Scrubbed CRC regions that failed verification.",
+                snap.scrub_regions_failed,
+            ),
         ];
         for (name, help, value) in counters {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
         }
+        out.push_str(&format!(
+            "# HELP sdq_engine_health Engine health (0 = healthy, 1 = degraded/read-only, 2 = poisoned).\n\
+             # TYPE sdq_engine_health gauge\n\
+             sdq_engine_health {}\n",
+            snap.engine_health
+        ));
         out.push_str(
             "# HELP sdq_floor_contributions_total Per-shard k-th-score-floor update credits.\n\
              # TYPE sdq_floor_contributions_total counter\n",
@@ -463,6 +547,17 @@ pub struct MetricsSnapshot {
     pub wal_records_replayed: u64,
     /// Durable checkpoints taken (snapshot + WAL rotation).
     pub wal_checkpoints: u64,
+    /// Transient storage failures absorbed by retry-with-backoff.
+    pub retries_attempted: u64,
+    /// Queries aborted by their deadline or cancel token.
+    pub deadline_exceeded: u64,
+    /// Scrubbed CRC regions that verified clean.
+    pub scrub_regions_ok: u64,
+    /// Scrubbed CRC regions that failed verification.
+    pub scrub_regions_failed: u64,
+    /// Health gauge code: 0 = healthy, 1 = degraded (read-only), 2 =
+    /// poisoned. See [`EngineMetrics::set_health`].
+    pub engine_health: u64,
 }
 
 /// The sharded SD-Query execution engine: the recommended front door for
@@ -752,7 +847,14 @@ impl SdEngine {
         workers: usize,
     ) -> Result<(), SdError> {
         let t0 = std::time::Instant::now();
-        self.query_core(query, k, scratch, workers)?;
+        let res = self.query_core(query, k, scratch, workers);
+        if matches!(
+            res,
+            Err(SdError::DeadlineExceeded { .. }) | Err(SdError::Cancelled)
+        ) {
+            self.metrics.record_deadline_exceeded();
+        }
+        res?;
         let nanos = t0.elapsed().as_nanos() as u64;
         let tel = self.metrics.telemetry();
         tel.query.record_nanos(nanos);
@@ -786,6 +888,7 @@ impl SdEngine {
         }
         scratch.answers.clear();
         scratch.profile.reset();
+        scratch.deadline.check()?;
         let timing = scratch.profile.timing;
         let s = self.shards.len();
         // The write path: a dirty engine scans its delta region exactly
@@ -802,6 +905,7 @@ impl SdEngine {
         for qs in scratch.workers.iter_mut() {
             qs.profile.reset();
             qs.profile.timing = timing;
+            qs.deadline = scratch.deadline.clone();
         }
         let shared = SharedThreshold::new();
         let mask = if self.muts.tombstones.any() {
@@ -823,6 +927,7 @@ impl SdEngine {
                 delta_pool,
                 delta_sw,
                 profile,
+                deadline,
                 ..
             } = &mut *scratch;
             let out = &mut lists[s];
@@ -841,7 +946,8 @@ impl SdEngine {
                     out,
                     delta_sw,
                     profile,
-                );
+                    deadline,
+                )?;
                 if let Some(t0) = t0 {
                     profile.delta_scan_nanos += t0.elapsed().as_nanos() as u64;
                 }
@@ -886,6 +992,7 @@ impl SdEngine {
             for qs in scratch.workers.iter_mut() {
                 qs.profile.reset();
                 qs.profile.timing = timing;
+                qs.deadline = scratch.deadline.clone();
             }
             let EngineScratch {
                 workers,
@@ -912,10 +1019,12 @@ impl SdEngine {
                 let mut all_done = true;
                 for run in runs.iter_mut() {
                     if !run.done() {
-                        run.step(SLICE_ROUNDS, Some(&shared), |score| {
+                        // A deadline abort drops the in-flight executions;
+                        // the scratch buffers they own are lost, which is
+                        // acceptable on this rare error path.
+                        all_done &= run.step(SLICE_ROUNDS, Some(&shared), |score| {
                             track_floor(floor, k, score);
-                        });
-                        all_done &= run.done();
+                        })?;
                     }
                 }
                 if floor.len() == k {

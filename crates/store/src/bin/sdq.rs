@@ -21,7 +21,7 @@ use sdq_core::multidim::{resolve_threads, PairingStrategy, QueryPlan, SdIndex, S
 use sdq_core::telemetry::{EventKind, EventRecord, HistoSnapshot, Telemetry};
 use sdq_core::top1::Top1Index;
 use sdq_core::topk::{default_angles, TopKIndex};
-use sdq_core::{Dataset, DimRole, QueryProfile, QueryScratch, ScoredPoint, SdQuery};
+use sdq_core::{Dataset, Deadline, DimRole, QueryProfile, QueryScratch, ScoredPoint, SdQuery};
 use sdq_data::{generate, uniform_queries, Distribution};
 use sdq_engine::{
     floor_slot_label, CompactionOptions, EngineMetrics, EngineOptions, EngineScratch,
@@ -29,8 +29,8 @@ use sdq_engine::{
 };
 use sdq_rstar::RStarTree;
 use sdq_store::{
-    parse_roles, wal, DiskStorage, DurableEngine, DurableOptions, SectionKind, Snapshot,
-    SnapshotFormat, SyncPolicy,
+    parse_roles, run_chaos, scrub_path, wal, ChaosConfig, DiskStorage, DurableEngine,
+    DurableOptions, ScrubReport, SectionKind, Snapshot, SnapshotFormat, SyncPolicy,
 };
 
 const USAGE: &str = "\
@@ -43,12 +43,14 @@ USAGE:
               [--alpha A] [--beta B] [--k K] [--format v5|legacy]
     sdq query PATH --point X,Y,... [--weights W,W,...] [--k K]
               [--repeat N] [--threads T] [--mapped] [--slow-query-us U]
-              [--explain | --profile | --profile-json]
+              [--timeout-us U] [--explain | --profile | --profile-json]
     sdq insert PATH --csv FILE [--out PATH2 | --wal [--sync-every N]]
     sdq delete PATH --ids N,N,... [--out PATH2 | --wal [--sync-every N]]
     sdq compact PATH [--rebalance-factor F] [--shards S]
               [--out PATH2 | --wal]
-    sdq recover PATH
+    sdq recover PATH [--json]
+    sdq scrub PATH [--repair] [--json]
+    sdq chaos [--seed S] [--ops N] [--json]
     sdq wal-stress PATH --rows N [--sync-every N] [--seed S]
     sdq inspect PATH [--json]
     sdq metrics PATH [--prometheus | --json] [--queries N] [--k K]
@@ -58,8 +60,8 @@ USAGE:
     sdq bench-load PATH [--iters N] [--json-out FILE]
     sdq bench-query (PATH | --synthetic DIST --n N --dims D --roles STR)
               [--shards S] [--k K] [--queries Q] [--warmup N] [--threads LIST]
-              [--seed S] [--mutate-frac F] [--slow-query-us U] [--raw]
-              [--out FILE]
+              [--seed S] [--mutate-frac F] [--slow-query-us U]
+              [--timeout-us U] [--raw] [--out FILE]
 
 SUBCOMMANDS:
     build        Generate or load a dataset, build the requested indexes and
@@ -73,6 +75,23 @@ SUBCOMMANDS:
                  --wal this also rotates the log (a durable checkpoint).
     recover      Open a WAL-backed snapshot, replay the log (truncating a
                  torn tail), checkpoint, and report what was recovered.
+                 Exits 0 when recovery ran, 3 when the snapshot is not
+                 WAL-backed (nothing to recover), 1 when the pair is too
+                 damaged to open. --json prints one machine-readable
+                 object on stdout.
+    scrub        Force-verify every CRC-protected region of the snapshot
+                 and its WAL sidecar, reporting each failure. --repair
+                 additionally truncates a torn WAL tail, promotes a valid
+                 interrupted-checkpoint temp file over a corrupt snapshot,
+                 and quarantines (renames aside) anything unrecoverable.
+                 Exits 0 when clean (or repaired), 1 when defects remain.
+    chaos        Run a seeded randomized workload under randomized fault
+                 injection (write failures, torn appends, crashes, EINTR
+                 transients, ENOSPC/EIO) against an in-memory durable
+                 engine, asserting the durability invariants after every
+                 op: acked writes survive crashes, reads are never torn,
+                 degraded mode is sticky until recovery, deadline queries
+                 stay bounded. Exits 1 with the seed on any violation.
     wal-stress   Insert synthetic rows one by one through the WAL,
                  printing 'acked N' after each acknowledged write — the
                  kill -9 crash-smoke driver.
@@ -159,6 +178,22 @@ QUERY OPTIONS:
     --slow-query-us U  Journal any engine query at or above U microseconds
                        with its full execution profile, and report captured
                        slow queries on stderr (0 = off).
+    --timeout-us U     Abort the query once U microseconds of budget are
+                       spent (engine/sd-index snapshots; checked once per
+                       aggregation round, so overrun is bounded by one
+                       round). A tripped deadline exits 1 with a typed
+                       'deadline exceeded' error. 0 = no deadline. With
+                       --repeat each iteration gets a fresh budget; not
+                       available with --threads > 1.
+
+ROBUSTNESS OPTIONS (scrub / chaos):
+    --repair           scrub: fix what can be fixed (truncate torn WAL
+                       tails, promote valid .tmp checkpoints) and
+                       quarantine the rest as <name>.quarantined.
+    --seed S           chaos: the schedule seed (default 42); a failure
+                       report names the seed that reproduces it.
+    --ops N            chaos: operations to drive (default 1000).
+    --json             Machine-readable report on stdout.
 
 OBSERVABILITY OPTIONS (metrics / events):
     --queries N        Probe queries run against the loaded engine so the
@@ -197,6 +232,9 @@ BENCH-QUERY OPTIONS:
                        next to the default histogram extraction.
     --slow-query-us U  Journal timed queries at or above U microseconds;
                        the report counts them under slow_queries.
+    --timeout-us U     Per-query deadline for the timed passes; deadline
+                       aborts count under deadline_hits in the report
+                       (0 = off, the default).
     --out FILE         JSON report path (default BENCH_queries.json).
     --synthetic/--n/--dims/--roles/--branching/--angles
                        Build an ad-hoc engine instead of loading PATH.
@@ -214,6 +252,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+        Err(CliError::Exit(code)) => ExitCode::from(code),
     }
 }
 
@@ -222,6 +261,10 @@ enum CliError {
     Usage(String),
     /// Valid invocation that failed: message only, exit code 1.
     Runtime(String),
+    /// The command already reported its outcome; exit with this code
+    /// (`recover` uses 3 for "nothing to recover", `scrub` uses 1 for
+    /// "defects found").
+    Exit(u8),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
@@ -244,6 +287,8 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "delete" => cmd_delete(rest),
         "compact" => cmd_compact(rest),
         "recover" => cmd_recover(rest),
+        "scrub" => cmd_scrub(rest),
+        "chaos" => cmd_chaos(rest),
         "wal-stress" => cmd_wal_stress(rest),
         "inspect" => cmd_inspect(rest),
         "metrics" => cmd_metrics(rest),
@@ -617,6 +662,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut profile_json = false;
     let mut mapped = false;
     let mut slow_query_us: u64 = 0;
+    let mut timeout_us: u64 = 0;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
@@ -631,6 +677,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             "--profile-json" => profile_json = true,
             "--mapped" => mapped = true,
             "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
+            "--timeout-us" => timeout_us = flags.parsed("--timeout-us")?,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -643,6 +690,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     if (explain || profile || profile_json) && (repeat > 1 || threads != 1) {
         return Err(usage(
             "--explain/--profile observe one query; drop --repeat/--threads",
+        ));
+    }
+    if timeout_us > 0 && threads != 1 {
+        return Err(usage(
+            "--timeout-us needs --threads 1 (the batch path carries no deadline)",
         ));
     }
     // --threads 0 = auto: resolve once so the printed worker count is the
@@ -704,6 +756,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         let (results, prof, live, wall_ms, layout) = if let Some(engine) = &snap.engine {
             let mut scratch = EngineScratch::new();
             scratch.profile.timing = true;
+            scratch.deadline = Deadline::within_micros(timeout_us);
             let (r, ms) = timed(|| {
                 engine
                     .query_with(&query, k, &mut scratch)
@@ -719,6 +772,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         } else if let Some(sd) = &snap.sd {
             let mut scratch = QueryScratch::new();
             scratch.profile.timing = true;
+            scratch.deadline = Deadline::within_micros(timeout_us);
             let (r, ms) = timed(|| {
                 sd.query_with(&query, k, &mut scratch)
                     .map(<[ScoredPoint]>::to_vec)
@@ -763,6 +817,12 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         }
     };
 
+    if timeout_us > 0 && snap.engine.is_none() && snap.sd.is_none() {
+        return Err(usage(
+            "--timeout-us needs a snapshot with an engine or sd-index (rebuild with --index sd)",
+        ));
+    }
+
     let results = if let Some(engine) = &snap.engine {
         let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
         let query = SdQuery::new(point, weights).map_err(runtime)?;
@@ -775,6 +835,9 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                 repeat,
                 threads,
                 |q, collect| {
+                    // A fresh budget per iteration: the deadline clock
+                    // starts at construction.
+                    scratch.deadline = Deadline::within_micros(timeout_us);
                     let res = engine.query_with(q, k, &mut scratch).map_err(runtime)?;
                     Ok(collect.then(|| res.to_vec()))
                 },
@@ -784,7 +847,12 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                 },
             )?
         } else {
-            engine.query(&query, k).map_err(runtime)?
+            let mut scratch = EngineScratch::new();
+            scratch.deadline = Deadline::within_micros(timeout_us);
+            engine
+                .query_with(&query, k, &mut scratch)
+                .map(<[ScoredPoint]>::to_vec)
+                .map_err(runtime)?
         }
     } else if let Some(sd) = &snap.sd {
         let weights = weights.unwrap_or_else(|| vec![1.0; point.len()]);
@@ -798,6 +866,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                 repeat,
                 threads,
                 |q, collect| {
+                    scratch.deadline = Deadline::within_micros(timeout_us);
                     let res = sd.query_with(q, k, &mut scratch).map_err(runtime)?;
                     Ok(collect.then(|| res.to_vec()))
                 },
@@ -807,7 +876,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                 },
             )?
         } else {
-            sd.query(&query, k).map_err(runtime)?
+            let mut scratch = QueryScratch::new();
+            scratch.deadline = Deadline::within_micros(timeout_us);
+            sd.query_with(&query, k, &mut scratch)
+                .map(<[ScoredPoint]>::to_vec)
+                .map_err(runtime)?
         }
     } else if repeat > 1 || threads != 1 {
         return Err(usage(
@@ -1471,9 +1544,11 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_recover(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
+    let mut json = false;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
+            "--json" => json = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
@@ -1482,21 +1557,266 @@ fn cmd_recover(args: &[String]) -> Result<(), CliError> {
     if !std::path::Path::new(&wal_sidecar(path)).exists() && !std::path::Path::new(path).exists() {
         return Err(runtime(format!("{path}: no such snapshot")));
     }
-    // open_durable replays the log (printing what it truncated or
-    // discarded); the checkpoint folds the replayed state into the
-    // snapshot and starts a clean generation.
-    let mut d = open_durable(path, DurableOptions::default())?;
-    let replayed = d.recovery().replayed_records;
+
+    // "Nothing to recover" (exit 3) must be decided *before* opening as
+    // durable: open_durable would promote a plain snapshot to WAL-backed,
+    // which is an upgrade the operator did not ask `recover` for.
+    let wal_backed = std::path::Path::new(&wal_sidecar(path)).exists()
+        || Snapshot::load(path).map_err(runtime)?.durability.is_some();
+    if !wal_backed {
+        if json {
+            println!(
+                "{{\"path\": {}, \"recovered\": false, \"reason\": \"not wal-backed\"}}",
+                json_str(path)
+            );
+        } else {
+            println!("{path}: not WAL-backed — nothing to recover");
+        }
+        return Err(CliError::Exit(3));
+    }
+
+    // Opening replays the log (truncating a torn tail); the checkpoint
+    // folds the replayed state into the snapshot and starts a clean
+    // generation. A pair too damaged to open errors out (exit 1).
+    let (storage, name) = disk_parts(path)?;
+    let mut d = DurableEngine::open(storage, name, DurableOptions::default()).map_err(runtime)?;
+    let rec = d.recovery();
     d.checkpoint().map_err(runtime)?;
     let status = d.wal_status();
-    println!(
-        "recovered {path}: {} record(s) replayed, {} live row(s); checkpointed as \
-         generation {} (epoch {})",
-        replayed,
-        d.engine().len(),
-        status.generation,
-        status.last_checkpoint_epoch
-    );
+    if json {
+        println!(
+            "{{\"path\": {}, \"recovered\": true, \"records_replayed\": {}, \
+             \"truncated_bytes\": {}, \"stale_wal_reset\": {}, \"live_rows\": {}, \
+             \"generation\": {}, \"epoch\": {}}}",
+            json_str(path),
+            rec.replayed_records,
+            rec.truncated_bytes,
+            rec.stale_wal_reset,
+            d.engine().len(),
+            status.generation,
+            status.last_checkpoint_epoch
+        );
+    } else {
+        if rec.truncated_bytes > 0 {
+            eprintln!(
+                "note: truncated a {}-byte torn tail off {}",
+                rec.truncated_bytes,
+                wal_sidecar(path)
+            );
+        }
+        if rec.stale_wal_reset {
+            eprintln!(
+                "note: discarded a stale pre-checkpoint WAL (its records were already applied)"
+            );
+        }
+        println!(
+            "recovered {path}: {} record(s) replayed, {} live row(s); checkpointed as \
+             generation {} (epoch {})",
+            rec.replayed_records,
+            d.engine().len(),
+            status.generation,
+            status.last_checkpoint_epoch
+        );
+    }
+    Ok(())
+}
+
+// ─── scrub / chaos ──────────────────────────────────────────────────────────
+
+fn scrub_report_json(path: &str, repair: bool, r: &ScrubReport) -> String {
+    let failures: Vec<String> = r
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"region\": {}, \"offset\": {}, \"len\": {}, \"detail\": {}}}",
+                json_str(&f.name),
+                f.offset,
+                f.len,
+                json_str(&f.detail)
+            )
+        })
+        .collect();
+    let strings =
+        |v: &[String]| -> String { v.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", ") };
+    format!(
+        "{{\n  \"path\": {},\n  \"repair\": {repair},\n  \"clean\": {},\n  \
+         \"regions_ok\": {},\n  \"regions_failed\": {},\n  \"snapshot_version\": {},\n  \
+         \"wal_records\": {},\n  \"wal_torn_bytes\": {},\n  \"failures\": [{}],\n  \
+         \"repaired\": [{}],\n  \"quarantined\": [{}],\n  \"data_loss_possible\": {}\n}}",
+        json_str(path),
+        r.clean(),
+        r.regions_ok,
+        r.regions_failed,
+        r.snapshot_version
+            .map_or(String::from("null"), |v| v.to_string()),
+        r.wal_records,
+        r.wal_torn_bytes,
+        failures.join(", "),
+        strings(&r.repaired),
+        strings(&r.quarantined),
+        r.data_loss_possible
+    )
+}
+
+fn cmd_scrub(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut repair = false;
+    let mut json = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--repair" => repair = true,
+            "--json" => json = true,
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let path = path.ok_or_else(|| usage("scrub needs a snapshot path"))?;
+    let report = scrub_path(path, repair).map_err(runtime)?;
+
+    // After a repair, prove the pair actually serves again (and fold the
+    // scrub tallies into that engine's metrics registry) — unless the
+    // snapshot itself had to be quarantined, in which case there is
+    // nothing left to open.
+    let mut validated: Option<bool> = None;
+    if repair && std::path::Path::new(path).is_file() {
+        let (storage, name) = disk_parts(path)?;
+        match DurableEngine::open(storage, name, DurableOptions::default()) {
+            Ok(d) => {
+                d.engine()
+                    .metrics()
+                    .record_scrub_regions(report.regions_ok, report.regions_failed);
+                validated = Some(true);
+            }
+            Err(_) => validated = Some(false),
+        }
+    }
+
+    if json {
+        let body = scrub_report_json(path, repair, &report);
+        match validated {
+            Some(v) => {
+                let trimmed = body.trim_end().trim_end_matches('}');
+                println!(
+                    "{},\n  \"validated\": {v}\n}}",
+                    trimmed.trim_end_matches(',')
+                );
+            }
+            None => println!("{body}"),
+        }
+    } else {
+        println!(
+            "scrubbed {path}: {} region(s) ok, {} failed{}",
+            report.regions_ok,
+            report.regions_failed,
+            report
+                .snapshot_version
+                .map_or(String::new(), |v| format!(" (format v{v})"))
+        );
+        if report.wal_records > 0 || report.wal_torn_bytes > 0 {
+            println!(
+                "  wal: {} intact record(s), {} torn byte(s)",
+                report.wal_records, report.wal_torn_bytes
+            );
+        }
+        for f in &report.failures {
+            println!(
+                "  FAILED {} (offset {}, {} bytes): {}",
+                f.name, f.offset, f.len, f.detail
+            );
+        }
+        for r in &report.repaired {
+            println!("  repaired: {r}");
+        }
+        for q in &report.quarantined {
+            println!("  quarantined: {q}");
+        }
+        if report.data_loss_possible {
+            println!("  WARNING: acknowledged writes may have been lost");
+        }
+        if let Some(v) = validated {
+            println!(
+                "  validation: {}",
+                if v {
+                    "repaired pair opens and serves"
+                } else {
+                    "repaired pair STILL does not open"
+                }
+            );
+        }
+        if report.clean() && !report.data_loss_possible {
+            println!("clean");
+        }
+    }
+
+    // Exit contract: 0 when the store is clean (or was just made clean by
+    // --repair without losing data), 1 when defects remain or acked
+    // writes may be gone.
+    let healthy_now = if repair {
+        report.quarantined.is_empty() && !report.data_loss_possible && validated != Some(false)
+    } else {
+        report.clean()
+    };
+    if healthy_now {
+        Ok(())
+    } else {
+        Err(CliError::Exit(1))
+    }
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    let mut seed: u64 = 42;
+    let mut ops: u64 = 1000;
+    let mut json = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--seed" => seed = flags.parsed("--seed")?,
+            "--ops" => ops = flags.parsed("--ops")?,
+            "--json" => json = true,
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    if ops == 0 {
+        return Err(usage("--ops must be at least 1"));
+    }
+    let (report, ms) = timed(|| run_chaos(ChaosConfig { seed, ops }));
+    let report = report.map_err(runtime)?;
+    if json {
+        println!(
+            "{{\n  \"seed\": {seed},\n  \"ops\": {},\n  \"ops_acked\": {},\n  \
+             \"faults_injected\": {},\n  \"crashes\": {},\n  \"degradations\": {},\n  \
+             \"recoveries\": {},\n  \"probes\": {},\n  \"deadline_probes\": {},\n  \
+             \"deadline_hits\": {},\n  \"retries\": {},\n  \"wall_ms\": {ms:.1}\n}}",
+            report.ops_run,
+            report.ops_acked,
+            report.faults_injected,
+            report.crashes,
+            report.degradations,
+            report.recoveries,
+            report.probes,
+            report.deadline_probes,
+            report.deadline_hits,
+            report.retries
+        );
+    } else {
+        println!(
+            "chaos (seed {seed}): {} op(s) in {ms:.1} ms — {} acked, {} fault(s) injected, \
+             {} crash(es) survived, {} degradation(s) recovered, {} probe(s) bit-identical, \
+             {} deadline probe(s) ({} tripped), {} transparent retry(ies)",
+            report.ops_run,
+            report.ops_acked,
+            report.faults_injected,
+            report.crashes,
+            report.degradations,
+            report.probes,
+            report.deadline_probes,
+            report.deadline_hits,
+            report.retries
+        );
+        println!("all durability invariants held");
+    }
     Ok(())
 }
 
@@ -2191,6 +2511,14 @@ fn print_metrics_human(path: &str, metrics: &EngineMetrics, probe: &ProbeOpts) {
         snap.wal_records_replayed,
         snap.wal_checkpoints
     );
+    println!(
+        "  robustness: health {} · retries {} · deadline_exceeded {} · scrub ok {} / failed {}",
+        health_label(snap.engine_health),
+        snap.retries_attempted,
+        snap.deadline_exceeded,
+        snap.scrub_regions_ok,
+        snap.scrub_regions_failed
+    );
     let nz: Vec<String> = snap
         .floor_contributions
         .iter()
@@ -2212,6 +2540,15 @@ fn print_metrics_human(path: &str, metrics: &EngineMetrics, probe: &ProbeOpts) {
         tel.journal.pushed(),
         tel.journal.overwritten()
     );
+}
+
+/// Human label for the `engine_health` gauge code.
+fn health_label(code: u64) -> &'static str {
+    match code {
+        sdq_engine::HEALTH_DEGRADED => "degraded",
+        sdq_engine::HEALTH_POISONED => "poisoned",
+        _ => "healthy",
+    }
 }
 
 /// One latency histogram snapshot as a JSON object (microsecond units).
@@ -2244,7 +2581,10 @@ fn metrics_json(metrics: &EngineMetrics, probe: &ProbeOpts) -> String {
          \"seed\": {}}},\n  \
          \"counters\": {{\"queries_served\": {}, \"rows_scored\": {}, \"compactions\": {}, \
          \"epoch_transitions\": {}, \"wal_records_appended\": {}, \"wal_bytes_appended\": {}, \
-         \"wal_syncs\": {}, \"wal_records_replayed\": {}, \"wal_checkpoints\": {}}},\n  \
+         \"wal_syncs\": {}, \"wal_records_replayed\": {}, \"wal_checkpoints\": {}, \
+         \"retries_attempted\": {}, \"deadline_exceeded\": {}, \"scrub_regions_ok\": {}, \
+         \"scrub_regions_failed\": {}}},\n  \
+         \"engine_health\": {{\"code\": {}, \"label\": {}}},\n  \
          \"floor_contributions\": {},\n  \
          \"histograms\": {{{}}},\n  \
          \"event_journal\": {{\"depth\": {}, \"pushed\": {}, \"overwritten\": {}}}\n}}\n",
@@ -2262,6 +2602,12 @@ fn metrics_json(metrics: &EngineMetrics, probe: &ProbeOpts) -> String {
         snap.wal_syncs,
         snap.wal_records_replayed,
         snap.wal_checkpoints,
+        snap.retries_attempted,
+        snap.deadline_exceeded,
+        snap.scrub_regions_ok,
+        snap.scrub_regions_failed,
+        snap.engine_health,
+        json_str(health_label(snap.engine_health)),
         floor_contributions_json(&snap),
         histograms.join(", "),
         tel.journal.depth(),
@@ -2300,6 +2646,7 @@ fn cmd_events(args: &[String]) -> Result<(), CliError> {
         let worker = std::thread::spawn(move || -> Result<(), String> {
             run_probe(&mut engine, &probe).map_err(|e| match e {
                 CliError::Usage(m) | CliError::Runtime(m) => m,
+                CliError::Exit(code) => format!("probe exited with code {code}"),
             })
         });
         let mut last_seq: Option<u64> = None;
@@ -2410,6 +2757,7 @@ fn event_detail_human(kind: &EventKind) -> String {
             total_rows,
             percent,
         } => format!("{tombstones} tombstone(s) ≥ {percent}% of {total_rows} row(s)"),
+        EventKind::HealthTransition { from, to } => format!("{from} → {to}"),
         EventKind::SlowQuery {
             wall_micros,
             k,
@@ -2472,6 +2820,9 @@ fn event_fields_json(kind: &EventKind) -> String {
         } => format!(
             "\"tombstones\": {tombstones}, \"total_rows\": {total_rows}, \"percent\": {percent}"
         ),
+        EventKind::HealthTransition { from, to } => {
+            format!("\"from\": {}, \"to\": {}", json_str(from), json_str(to))
+        }
         EventKind::SlowQuery {
             wall_micros,
             k,
@@ -2869,6 +3220,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     let mut mutate_frac: f64 = 0.0;
     let mut raw = false;
     let mut slow_query_us: u64 = 0;
+    let mut timeout_us: u64 = 0;
     let mut out = String::from("BENCH_queries.json");
 
     let mut flags = Flags::new(args);
@@ -2881,6 +3233,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
             "--mutate-frac" => mutate_frac = flags.parsed("--mutate-frac")?,
             "--raw" => raw = true,
             "--slow-query-us" => slow_query_us = flags.parsed("--slow-query-us")?,
+            "--timeout-us" => timeout_us = flags.parsed("--timeout-us")?,
             "--synthetic" => {
                 synthetic = Some(match flags.value("--synthetic")? {
                     "uniform" => Distribution::Uniform,
@@ -3043,7 +3396,13 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
     // extraction a live scrape sees — with the sorted raw samples kept
     // behind --raw as the quantization-free cross-check.
     let warmup = warmup.unwrap_or(queries);
-    let clean = measure_single_query(&mut engine, &workload, k, warmup, slow_query_us)?;
+    let clean = measure_single_query(&mut engine, &workload, k, warmup, slow_query_us, timeout_us)?;
+    if timeout_us > 0 {
+        println!(
+            "deadline {timeout_us} µs: {} of {queries} timed query(ies) tripped it",
+            clean.deadline_hits
+        );
+    }
     let lat = &clean.hist;
     println!(
         "single query ({shards} shard(s), k = {k}, {queries} queries, {warmup} warm-up): \
@@ -3129,7 +3488,8 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                  {del_applied} delete(s), harness reports {m} / {deleted}"
             )));
         }
-        let mutated = measure_single_query(&mut engine, &workload, k, warmup, slow_query_us)?;
+        let mutated =
+            measure_single_query(&mut engine, &workload, k, warmup, slow_query_us, timeout_us)?;
         let mlat = &mutated.hist;
         println!(
             "single query with {:.1}% delta + {deleted} tombstone(s): p50 {:.3} ms \
@@ -3148,12 +3508,14 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
                 mlat.json()
             ),
             mutated.slow_queries,
+            mutated.deadline_hits,
         )
     } else {
-        (String::new(), 0)
+        (String::new(), 0, 0)
     };
-    let (mutations_json, mutated_slow) = mutations_json;
+    let (mutations_json, mutated_slow, mutated_deadline_hits) = mutations_json;
     let slow_queries = clean.slow_queries + mutated_slow;
+    let deadline_hits = clean.deadline_hits + mutated_deadline_hits;
 
     // Host keys: trajectory numbers are only comparable when the CPU and
     // the kernels' dispatched ISA level are pinned next to them.
@@ -3171,6 +3533,7 @@ fn cmd_bench_query(args: &[String]) -> Result<(), CliError> {
          \"cpu\": {cpu},\n  \"simd\": {simd},\n  \
          \"percentile_source\": \"histogram\",\n  \
          \"slow_query_us\": {slow_query_us},\n  \"slow_queries\": {slow_queries},\n  \
+         \"timeout_us\": {timeout_us},\n  \"deadline_hits\": {deadline_hits},\n  \
          \"single_query_ms\": {lat_json}{raw_json},\n  \
          \"profile\": {profile_json},\n  \
          \"batch\": [{batch}]{mutations_json}\n}}\n",
@@ -3236,6 +3599,8 @@ struct MeasuredPass {
     prof: QueryProfile,
     /// Queries at or above the slow-query threshold during the pass.
     slow_queries: u64,
+    /// Queries aborted by the `--timeout-us` deadline during the pass.
+    deadline_hits: u64,
 }
 
 /// `warmup` discarded warm-up queries (cycling the workload), then one
@@ -3249,6 +3614,7 @@ fn measure_single_query(
     k: usize,
     warmup: usize,
     slow_query_us: u64,
+    timeout_us: u64,
 ) -> Result<MeasuredPass, CliError> {
     let mut scratch = EngineScratch::new();
     let mut sink = 0.0f64;
@@ -3265,9 +3631,20 @@ fn measure_single_query(
     engine.set_telemetry(Arc::clone(&tel));
     let mut lat_ms = Vec::with_capacity(workload.len());
     let mut prof_sum = QueryProfile::new();
+    let mut deadline_hits = 0u64;
     for q in workload {
+        // Each timed query gets its own budget (the deadline clock starts
+        // at construction); an aborted query still counts as a sample —
+        // its wall time is the bound the deadline enforced.
+        scratch.deadline = Deadline::within_micros(timeout_us);
         let (r, ms) = timed(|| engine.query_with(q, k, &mut scratch));
-        sink += r.map_err(runtime)?.iter().map(|sp| sp.score).sum::<f64>();
+        match r {
+            Ok(res) => sink += res.iter().map(|sp| sp.score).sum::<f64>(),
+            Err(sdq_core::SdError::DeadlineExceeded { .. }) if timeout_us > 0 => {
+                deadline_hits += 1;
+            }
+            Err(e) => return Err(runtime(e)),
+        }
         prof_sum.merge(&scratch.profile);
         lat_ms.push(ms);
     }
@@ -3284,6 +3661,7 @@ fn measure_single_query(
         raw: LatencySummary::from_samples(&mut lat_ms),
         prof: prof_sum,
         slow_queries,
+        deadline_hits,
     })
 }
 

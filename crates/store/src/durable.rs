@@ -45,11 +45,123 @@
 
 use sdq_core::telemetry::EventKind;
 use sdq_core::{PointId, ScoredPoint, SdError, SdQuery};
-use sdq_engine::{CompactionOptions, CompactionReport, SdEngine};
+use sdq_engine::{
+    CompactionOptions, CompactionReport, EngineMetrics, SdEngine, HEALTH_DEGRADED, HEALTH_HEALTHY,
+    HEALTH_POISONED,
+};
 
 use crate::io::{DiskStorage, Storage};
 use crate::wal::{self, WalHeader, WalRecord};
 use crate::{DurabilityInfo, Snapshot};
+
+/// The durable engine's health state machine.
+///
+/// ```text
+///            write-path failure                  apply failure after a
+///            (exhausted retries,                 durable append (memory
+///            failed fsync, failed                may hold a torn batch)
+///            checkpoint)                ┌─────────────────────────────┐
+///  Healthy ─────────────────► Degraded ┤                             ▼
+///     ▲                          │     └──────────────────────► Poisoned
+///     │    try_recover() /       │
+///     └──── checkpoint() ────────┘         (reopen from disk only)
+/// ```
+///
+/// * **Healthy** — reads and writes both served.
+/// * **Degraded** — *sticky* read-only mode: the on-disk WAL/snapshot pair
+///   is questionable (a torn append, a failed fsync whose page-cache state
+///   is unknowable, an interrupted rotation), so mutations are refused
+///   with [`SdError::EngineDegraded`] while reads keep serving the
+///   in-memory engine — which still holds exactly the acknowledged
+///   prefix. [`DurableEngine::try_recover`] (or any successful
+///   [`DurableEngine::checkpoint`]) rewrites snapshot + WAL from memory
+///   into fresh files and returns to `Healthy`. A failed fsync is never
+///   retried — after an fsync error the kernel may have dropped the dirty
+///   pages, so "retry until it works" silently loses data (the fsyncgate
+///   failure mode); re-checkpointing from memory is the only sound move.
+/// * **Poisoned** — the in-memory engine itself may disagree with the
+///   acknowledged history (a replay-validated record failed to apply, so
+///   a batch may be half-applied). Reads and writes are both refused with
+///   [`SdError::EnginePoisoned`]; the only way out is reopening from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Fully serving.
+    Healthy,
+    /// Read-only until [`DurableEngine::try_recover`]; `reason` is the
+    /// failure that tripped the transition.
+    Degraded {
+        /// What failed.
+        reason: String,
+    },
+    /// Refusing all traffic; reopen from disk.
+    Poisoned {
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl Health {
+    /// Stable lowercase label ("healthy", "degraded", "poisoned").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded { .. } => "degraded",
+            Health::Poisoned { .. } => "poisoned",
+        }
+    }
+
+    /// The `sdq_engine_health` gauge code (0/1/2).
+    pub fn gauge_code(&self) -> u64 {
+        match self {
+            Health::Healthy => HEALTH_HEALTHY,
+            Health::Degraded { .. } => HEALTH_DEGRADED,
+            Health::Poisoned { .. } => HEALTH_POISONED,
+        }
+    }
+}
+
+/// Retries per storage operation for *transient* failures (EINTR-shaped:
+/// [`std::io::ErrorKind::Interrupted`], `WouldBlock`, `TimedOut`) before
+/// the failure is treated as permanent. Permanent errors (ENOSPC, EIO,
+/// CRC mismatches) and fsync failures are never retried.
+pub const RETRY_BUDGET: u32 = 4;
+
+/// First backoff sleep; doubles per retry (50 → 100 → 200 → 400 µs).
+const RETRY_BASE_DELAY_MICROS: u64 = 50;
+
+/// Whether `e` is worth retrying: the EINTR/EAGAIN shapes that a second
+/// attempt can genuinely clear, as opposed to environment failures
+/// (ENOSPC, EIO) where retrying just hammers a broken disk.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op`, absorbing up to [`RETRY_BUDGET`] transient failures with
+/// doubling backoff. Every retry is counted in the metrics registry.
+fn retry_io<T>(
+    metrics: &EngineMetrics,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    let mut delay = RETRY_BASE_DELAY_MICROS;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < RETRY_BUDGET => {
+                attempt += 1;
+                metrics.record_retry();
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+                delay *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// When WAL appends are fsync'd — what an acknowledged write means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,10 +230,8 @@ pub struct DurableEngine<S: Storage = DiskStorage> {
     durable_records: u64,
     appended_bytes: u64,
     wal_len: u64,
-    /// Set when the on-disk WAL may disagree with the in-memory engine
-    /// (failed append/fsync/rotation); every mutation then fails until a
-    /// successful checkpoint or a reopen re-establishes agreement.
-    poisoned: Option<String>,
+    /// The health state machine; see [`Health`] for the transitions.
+    health: Health,
     recovery: RecoveryReport,
 }
 
@@ -162,7 +272,7 @@ impl<S: Storage> DurableEngine<S> {
             durable_records: 0,
             appended_bytes: 0,
             wal_len: 0,
-            poisoned: None,
+            health: Health::Healthy,
             recovery: RecoveryReport {
                 bootstrapped: true,
                 ..Default::default()
@@ -206,7 +316,7 @@ impl<S: Storage> DurableEngine<S> {
             durable_records: 0,
             appended_bytes: 0,
             wal_len: 0,
-            poisoned: None,
+            health: Health::Healthy,
             recovery: RecoveryReport::default(),
         };
 
@@ -346,23 +456,50 @@ impl<S: Storage> DurableEngine<S> {
         Ok(())
     }
 
-    fn ensure_usable(&self) -> Result<(), SdError> {
-        match &self.poisoned {
-            Some(why) => Err(SdError::SnapshotIo(format!(
-                "durable engine needs recovery ({why}); checkpoint or reopen"
-            ))),
-            None => Ok(()),
+    /// `Ok` only when writes may proceed; the typed refusal otherwise.
+    fn ensure_writable(&self) -> Result<(), SdError> {
+        match &self.health {
+            Health::Healthy => Ok(()),
+            Health::Degraded { reason } => Err(SdError::EngineDegraded {
+                reason: reason.clone(),
+            }),
+            Health::Poisoned { reason } => Err(SdError::EnginePoisoned {
+                reason: reason.clone(),
+            }),
         }
     }
 
-    fn poison(&mut self, why: &'static str) {
-        if self.poisoned.is_none() {
-            self.poisoned = Some(why.to_string());
-            self.engine
-                .metrics()
-                .telemetry()
-                .journal
-                .push(EventKind::WalPoison { reason: why });
+    /// Moves the state machine to `to`, journaling the edge and updating
+    /// the health gauge. No-op when the label is unchanged (the first
+    /// reason to trip a state wins — degraded/poisoned are sticky).
+    fn transition(&mut self, to: Health) {
+        let from = self.health.label();
+        if from == to.label() {
+            return;
+        }
+        let metrics = self.engine.metrics();
+        metrics.set_health(to.gauge_code());
+        metrics
+            .telemetry()
+            .journal
+            .push(EventKind::HealthTransition {
+                from,
+                to: to.label(),
+            });
+        self.health = to;
+    }
+
+    /// Healthy → Degraded (read-only); sticky against later failures.
+    fn degrade(&mut self, reason: String) {
+        if matches!(self.health, Health::Healthy) {
+            self.transition(Health::Degraded { reason });
+        }
+    }
+
+    /// Any state → Poisoned (refusing reads too).
+    fn poison(&mut self, reason: String) {
+        if !matches!(self.health, Health::Poisoned { .. }) {
+            self.transition(Health::Poisoned { reason });
         }
     }
 
@@ -370,8 +507,10 @@ impl<S: Storage> DurableEngine<S> {
         let bytes = record.encode();
         let wal_name = Self::wal_name(&self.snap_name);
         let t0 = std::time::Instant::now();
-        if let Err(e) = self.storage.append(&wal_name, &bytes) {
-            self.poison("wal append failed; the log tail may be torn");
+        let metrics = self.engine.metrics().clone();
+        let storage = &mut self.storage;
+        if let Err(e) = retry_io(&metrics, || storage.append(&wal_name, &bytes)) {
+            self.degrade(format!("wal append failed ({e}); the log tail may be torn"));
             return Err(io_err(&wal_name, e));
         }
         self.engine
@@ -401,14 +540,19 @@ impl<S: Storage> DurableEngine<S> {
     /// Forces the WAL to stable storage: after `Ok`, every previously
     /// acknowledged mutation is durable.
     pub fn sync(&mut self) -> Result<(), SdError> {
-        if self.durable_records == self.appended_records && self.poisoned.is_none() {
+        if self.durable_records == self.appended_records && matches!(self.health, Health::Healthy) {
             return Ok(());
         }
-        self.ensure_usable()?;
+        self.ensure_writable()?;
         let wal_name = Self::wal_name(&self.snap_name);
         let t0 = std::time::Instant::now();
+        // Never retried: after a failed fsync the kernel may already have
+        // discarded the dirty pages, so a retry that "succeeds" proves
+        // nothing. Degrade and re-checkpoint from memory instead.
         if let Err(e) = self.storage.sync_file(&wal_name) {
-            self.poison("wal fsync failed; durability of recent writes is unknown");
+            self.degrade(format!(
+                "wal fsync failed ({e}); durability of recent writes is unknown"
+            ));
             return Err(io_err(&wal_name, e));
         }
         let metrics = self.engine.metrics();
@@ -418,19 +562,33 @@ impl<S: Storage> DurableEngine<S> {
         Ok(())
     }
 
+    /// Applies an already-logged mutation to the in-memory engine. A
+    /// failure here means a durably logged record did not apply — memory
+    /// may hold a torn batch, so the engine poisons (validation happens
+    /// *before* logging, making this path defensively unreachable).
+    fn apply_logged<T>(&mut self, res: Result<T, SdError>) -> Result<T, SdError> {
+        if let Err(e) = &res {
+            self.poison(format!(
+                "a logged mutation failed to apply ({e}); in-memory state may be torn"
+            ));
+        }
+        res
+    }
+
     /// Durably inserts one row; the returned id is assigned exactly as
     /// [`SdEngine::insert`] would.
     pub fn insert(&mut self, row: &[f64]) -> Result<PointId, SdError> {
-        self.ensure_usable()?;
+        self.ensure_writable()?;
         self.validate_row(row)?;
         self.append_record(&WalRecord::Insert(row.to_vec()))?;
-        self.engine.insert(row)
+        let res = self.engine.insert(row);
+        self.apply_logged(res)
     }
 
     /// Durably inserts a batch as one WAL record (one fsync under
     /// [`SyncPolicy::Always`], however many rows).
     pub fn insert_rows(&mut self, rows: &[Vec<f64>]) -> Result<Vec<PointId>, SdError> {
-        self.ensure_usable()?;
+        self.ensure_writable()?;
         if rows.is_empty() {
             return Ok(Vec::new());
         }
@@ -438,12 +596,13 @@ impl<S: Storage> DurableEngine<S> {
             self.validate_row(row)?;
         }
         self.append_record(&WalRecord::InsertRows(rows.to_vec()))?;
-        self.engine.insert_rows(rows)
+        let res = self.engine.insert_rows(rows);
+        self.apply_logged(res)
     }
 
     /// Durably tombstones a row; `Ok(true)` when newly dead.
     pub fn delete(&mut self, id: PointId) -> Result<bool, SdError> {
-        self.ensure_usable()?;
+        self.ensure_writable()?;
         if id.index() >= self.engine.total_rows() {
             return Err(SdError::UnknownRow {
                 row: id.index(),
@@ -451,7 +610,8 @@ impl<S: Storage> DurableEngine<S> {
             });
         }
         self.append_record(&WalRecord::Delete(id.raw()))?;
-        self.engine.delete(id)
+        let res = self.engine.delete(id);
+        self.apply_logged(res)
     }
 
     /// Mutations are validated *before* they are logged, so the WAL never
@@ -490,15 +650,16 @@ impl<S: Storage> DurableEngine<S> {
         snap
     }
 
+    /// Temp write → fsync → rename → dir fsync. The write and the rename
+    /// absorb transient failures with bounded backoff; the two fsyncs are
+    /// deliberately *not* retried (see [`Health`]).
     fn atomic_replace(&mut self, tmp: &str, target: &str, bytes: &[u8]) -> Result<(), SdError> {
-        self.storage
-            .write_file(tmp, bytes)
-            .map_err(|e| io_err(tmp, e))?;
-        self.storage.sync_file(tmp).map_err(|e| io_err(tmp, e))?;
-        self.storage
-            .rename(tmp, target)
-            .map_err(|e| io_err(target, e))?;
-        self.storage.sync_dir().map_err(|e| io_err(target, e))?;
+        let metrics = self.engine.metrics().clone();
+        let storage = &mut self.storage;
+        retry_io(&metrics, || storage.write_file(tmp, bytes)).map_err(|e| io_err(tmp, e))?;
+        storage.sync_file(tmp).map_err(|e| io_err(tmp, e))?;
+        retry_io(&metrics, || storage.rename(tmp, target)).map_err(|e| io_err(target, e))?;
+        storage.sync_dir().map_err(|e| io_err(target, e))?;
         Ok(())
     }
 
@@ -535,24 +696,36 @@ impl<S: Storage> DurableEngine<S> {
     /// WAL one generation up. Recovers a poisoned engine (the rewritten
     /// pair supersedes whatever was wrong on disk).
     pub fn checkpoint(&mut self) -> Result<(), SdError> {
+        if let Health::Poisoned { reason } = &self.health {
+            // Memory itself is untrustworthy; checkpointing it would
+            // persist the damage.
+            return Err(SdError::EnginePoisoned {
+                reason: reason.clone(),
+            });
+        }
         let t0 = std::time::Instant::now();
         let generation = self.generation + 1;
         // Checkpoints write format v5 natively: the rewritten file is what
         // a serving process reopens, and `open_mapped` makes that O(1).
         let bytes = self.checkpoint_snapshot(generation).to_bytes_v5()?;
         let snap_name = self.snap_name.clone();
-        self.atomic_replace(&Self::snap_tmp(&snap_name), &snap_name, &bytes)?;
+        if let Err(e) = self.atomic_replace(&Self::snap_tmp(&snap_name), &snap_name, &bytes) {
+            self.degrade(format!("checkpoint write failed ({e})"));
+            return Err(e);
+        }
         // The snapshot is durable at the new generation; until the WAL
         // rotates too, the old log is stale (open() discards it by the
-        // generation gate). A failure past this point therefore poisons:
+        // generation gate). A failure past this point therefore degrades:
         // in-memory appends would land in a log recovery ignores.
         self.generation = generation;
         self.checkpoint_epoch = self.engine.epoch();
         if let Err(e) = self.reset_wal() {
-            self.poison("wal rotation failed after the snapshot rename");
+            self.degrade(format!(
+                "wal rotation failed after the snapshot rename ({e})"
+            ));
             return Err(e);
         }
-        self.poisoned = None;
+        self.transition(Health::Healthy);
         let metrics = self.engine.metrics();
         metrics.record_wal_checkpoint();
         let tel = metrics.telemetry();
@@ -571,12 +744,12 @@ impl<S: Storage> DurableEngine<S> {
         &mut self,
         options: &CompactionOptions,
     ) -> Result<CompactionReport, SdError> {
-        self.ensure_usable()?;
+        self.ensure_writable()?;
         let report = self.engine.compact_with(options)?;
-        if let Err(e) = self.checkpoint() {
-            self.poison("checkpoint after compaction failed; row ids diverge from the log");
-            return Err(e);
-        }
+        // A checkpoint failure here leaves memory compacted (renumbered
+        // ids) ahead of disk: reads stay correct, writes are refused, and
+        // `try_recover` re-checkpoints — `checkpoint()` already degraded.
+        self.checkpoint()?;
         Ok(report)
     }
 
@@ -586,9 +759,41 @@ impl<S: Storage> DurableEngine<S> {
     }
 
     /// Answers a query from the in-memory engine (acknowledged writes are
-    /// immediately visible).
+    /// immediately visible). Served in `Healthy` *and* `Degraded` states —
+    /// degraded mode is read-only, not read-refusing — but refused when
+    /// `Poisoned` (memory may hold a torn batch).
     pub fn query(&self, query: &SdQuery, k: usize) -> Result<Vec<ScoredPoint>, SdError> {
+        if let Health::Poisoned { reason } = &self.health {
+            return Err(SdError::EnginePoisoned {
+                reason: reason.clone(),
+            });
+        }
         self.engine.query(query, k)
+    }
+
+    /// The current health state.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// Explicit recovery from degraded mode: re-checkpoints the in-memory
+    /// engine (which still holds exactly the acknowledged prefix) into
+    /// fresh snapshot + WAL files, superseding whatever was questionable
+    /// on disk. Returns `Ok(true)` when a recovery checkpoint ran,
+    /// `Ok(false)` when the engine was already healthy, and an error when
+    /// recovery is impossible (`Poisoned`) or the checkpoint itself failed
+    /// (the engine stays degraded and `try_recover` can be called again).
+    pub fn try_recover(&mut self) -> Result<bool, SdError> {
+        match &self.health {
+            Health::Healthy => Ok(false),
+            Health::Poisoned { reason } => Err(SdError::EnginePoisoned {
+                reason: reason.clone(),
+            }),
+            Health::Degraded { .. } => {
+                self.checkpoint()?;
+                Ok(true)
+            }
+        }
     }
 
     /// The wrapped engine (read-only — mutations must go through the WAL).
@@ -621,6 +826,12 @@ impl<S: Storage> DurableEngine<S> {
     /// The underlying storage (fault-injection tests inspect it).
     pub fn storage(&self) -> &S {
         &self.storage
+    }
+
+    /// Mutable access to the underlying storage (fault-injection tests and
+    /// the chaos harness script failpoints mid-run).
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.storage
     }
 
     /// Consumes the engine, returning the storage.
@@ -788,11 +999,13 @@ mod tests {
         d.insert(&[0.1, 0.1]).unwrap();
         let err = d.insert(&[0.2, 0.2]).unwrap_err();
         assert!(matches!(err, SdError::SnapshotIo(_)), "got {err:?}");
-        // Poisoned: no further mutations until recovery.
+        // Degraded: read-only until recovery.
+        assert!(matches!(d.health(), Health::Degraded { .. }));
         assert!(matches!(
             d.insert(&[0.3, 0.3]).unwrap_err(),
-            SdError::SnapshotIo(_)
+            SdError::EngineDegraded { .. }
         ));
+        assert_eq!(d.query(&probe(), 3).unwrap().len(), 3, "reads still serve");
         // Reopen: the torn tail is truncated, the acknowledged insert
         // survives.
         let back =
@@ -827,16 +1040,119 @@ mod tests {
         .unwrap();
         let err = d.insert(&[0.1, 0.1]).unwrap_err();
         assert!(matches!(err, SdError::SnapshotIo(_)));
-        assert!(d.insert(&[0.2, 0.2]).is_err(), "poisoned");
+        assert!(
+            matches!(
+                d.insert(&[0.2, 0.2]).unwrap_err(),
+                SdError::EngineDegraded { .. }
+            ),
+            "degraded"
+        );
         // The failed insert was logged but never applied (append-first
         // ordering) and never acknowledged. Checkpoint persists the
         // in-memory truth — without that phantom row — and rotates past
-        // the questionable log, clearing the poison.
-        d.checkpoint().unwrap();
+        // the questionable log, returning to healthy.
+        assert!(d.try_recover().unwrap(), "recovery checkpoint ran");
+        assert_eq!(*d.health(), Health::Healthy);
         d.insert(&[0.2, 0.2]).unwrap();
         let back =
             DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
         assert_eq!(back.engine().total_rows(), 21);
+    }
+
+    /// Creates a store, then re-creates it with `script` installed so the
+    /// failpoint clock is positioned at the first post-create operation
+    /// (the next insert's WAL append).
+    fn scripted_engine(make: impl Fn(u64) -> FaultScript) -> DurableEngine<MemStorage> {
+        let mut storage = MemStorage::new();
+        let d = DurableEngine::create(
+            storage.clone(),
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        storage.set_script(make(d.storage().io_points()));
+        DurableEngine::create(
+            storage,
+            "idx.sdq",
+            sample_engine(),
+            DurableOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transient_append_failures_are_absorbed_by_retries() {
+        let mut d = scripted_engine(|next| FaultScript::transient_at(next, 2));
+        d.insert(&[0.1, 0.1]).unwrap();
+        assert_eq!(*d.health(), Health::Healthy);
+        assert_eq!(
+            d.engine().metrics().snapshot().retries_attempted,
+            2,
+            "two transient failures, two counted retries"
+        );
+        assert_eq!(d.engine().total_rows(), 21);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_and_recovers() {
+        let mut d = scripted_engine(|next| FaultScript::transient_at(next, RETRY_BUDGET + 1));
+        let err = d.insert(&[0.1, 0.1]).unwrap_err();
+        assert!(matches!(err, SdError::SnapshotIo(_)), "got {err:?}");
+        assert!(matches!(d.health(), Health::Degraded { .. }));
+        assert_eq!(d.query(&probe(), 3).unwrap().len(), 3, "reads still serve");
+        assert!(d.try_recover().unwrap(), "recovery checkpoint ran");
+        assert_eq!(*d.health(), Health::Healthy);
+        d.insert(&[0.1, 0.1]).unwrap();
+        assert_eq!(
+            d.engine().total_rows(),
+            21,
+            "the failed insert never applied"
+        );
+    }
+
+    #[test]
+    fn permanent_errno_is_not_retried() {
+        let mut d = scripted_engine(|next| FaultScript::errno_at(next, 28)); // ENOSPC
+        let before = d.storage().ops_attempted();
+        let err = d.insert(&[0.1, 0.1]).unwrap_err();
+        assert!(matches!(err, SdError::SnapshotIo(_)), "got {err:?}");
+        assert_eq!(
+            d.storage().ops_attempted() - before,
+            1,
+            "ENOSPC must surface on the first attempt, not hammer the disk"
+        );
+        assert_eq!(d.engine().metrics().snapshot().retries_attempted, 0);
+        assert!(matches!(d.health(), Health::Degraded { .. }));
+        assert!(d.try_recover().unwrap());
+        assert_eq!(*d.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn failed_fsync_is_never_retried() {
+        // The fsync after the first insert's append fails once with a
+        // *transient*-shaped error; were fsync retried, the next attempt
+        // would succeed and the insert would be acknowledged. It must not
+        // be: a failed fsync means the page-cache state is unknowable.
+        let mut d = scripted_engine(|next| FaultScript::transient_at(next + 1, 1));
+        let before = d.storage().ops_attempted();
+        let err = d.insert(&[0.1, 0.1]).unwrap_err();
+        assert!(matches!(err, SdError::SnapshotIo(_)), "got {err:?}");
+        assert_eq!(
+            d.storage().ops_attempted() - before,
+            2,
+            "one append + exactly one fsync attempt"
+        );
+        assert!(matches!(d.health(), Health::Degraded { .. }));
+        // Recovery re-checkpoints from memory to fresh files instead.
+        assert!(d.try_recover().unwrap());
+        let back =
+            DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default()).unwrap();
+        assert_eq!(
+            back.engine().total_rows(),
+            20,
+            "unacked insert not resurrected"
+        );
     }
 
     #[test]
@@ -870,7 +1186,7 @@ mod tests {
                 durable_records: d.durable_records,
                 appended_bytes: d.appended_bytes,
                 wal_len: d.wal_len,
-                poisoned: None,
+                health: Health::Healthy,
                 recovery: RecoveryReport::default(),
             };
             assert!(victim.checkpoint().is_err(), "crash point {crash}");

@@ -401,12 +401,25 @@ pub enum Fault {
     /// later operation fails, and [`MemStorage::crash_image`] yields what
     /// survived.
     Crash { at: u64 },
+    /// I/O points `at..at + times` fail with a *transient* error
+    /// ([`io::ErrorKind::Interrupted`], the EINTR shape) and have no
+    /// effect; the next attempt succeeds. Because every attempt consumes
+    /// one I/O point, this models "op N fails its first M attempts, then
+    /// succeeds" — the deterministic test bed for retry-with-backoff.
+    Transient { at: u64, times: u32 },
+    /// The I/O at this point fails with `io::Error::from_raw_os_error`
+    /// (e.g. 28 = ENOSPC, 5 = EIO) and has no effect — a *permanent*
+    /// environment failure the durable layer must not retry through.
+    Errno { at: u64, errno: i32 },
 }
 
 impl Fault {
-    fn at(&self) -> u64 {
+    /// Whether this failpoint fires at I/O point `point`.
+    fn hits(&self, point: u64) -> bool {
         match *self {
-            Fault::Fail { at } | Fault::Torn { at, .. } | Fault::Crash { at } => at,
+            Fault::Fail { at } | Fault::Torn { at, .. } | Fault::Crash { at } => at == point,
+            Fault::Transient { at, times } => point >= at && point - at < u64::from(times),
+            Fault::Errno { at, .. } => at == point,
         }
     }
 }
@@ -430,13 +443,29 @@ impl FaultScript {
         }
     }
 
+    /// A script where the op at point `at` fails transiently for its first
+    /// `times` attempts (each retry consumes one point), then succeeds.
+    pub fn transient_at(at: u64, times: u32) -> Self {
+        FaultScript {
+            faults: vec![Fault::Transient { at, times }],
+        }
+    }
+
+    /// A script with exactly one permanent-errno failure (`ENOSPC` = 28,
+    /// `EIO` = 5, …) at I/O point `at`.
+    pub fn errno_at(at: u64, errno: i32) -> Self {
+        FaultScript {
+            faults: vec![Fault::Errno { at, errno }],
+        }
+    }
+
     /// Adds a failpoint.
     pub fn push(&mut self, fault: Fault) {
         self.faults.push(fault);
     }
 
     fn fault_at(&self, point: u64) -> Option<Fault> {
-        self.faults.iter().copied().find(|f| f.at() == point)
+        self.faults.iter().copied().find(|f| f.hits(point))
     }
 }
 
@@ -487,6 +516,10 @@ pub struct MemStorage {
     dirty_entries: BTreeMap<String, u64>,
     next_id: u64,
     ops: u64,
+    /// Mutating operations *attempted*, including ones refused because the
+    /// store had already crashed (unlike `ops`, the failpoint clock, which
+    /// only advances while alive). Retry tests assert against this.
+    attempted: u64,
     script: FaultScript,
     crashed_at: Option<u64>,
 }
@@ -505,6 +538,12 @@ impl MemStorage {
     /// Mutating I/O operations performed so far (the failpoint clock).
     pub fn io_points(&self) -> u64 {
         self.ops
+    }
+
+    /// Mutating I/O operations *attempted* so far, retries and post-crash
+    /// refusals included — the counter retry logic is asserted against.
+    pub fn ops_attempted(&self) -> u64 {
+        self.attempted
     }
 
     /// Whether a scripted crash has fired.
@@ -582,6 +621,7 @@ impl MemStorage {
     /// Consumes one I/O point; returns the fault scheduled for it, if any,
     /// with `Crash` already latched.
     fn step(&mut self) -> io::Result<Option<Fault>> {
+        self.attempted += 1;
         self.check_alive()?;
         let point = self.ops;
         self.ops += 1;
@@ -590,6 +630,11 @@ impl MemStorage {
                 self.crashed_at = Some(point);
                 Err(injected("crash"))
             }
+            Some(Fault::Transient { .. }) => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient fault",
+            )),
+            Some(Fault::Errno { errno, .. }) => Err(io::Error::from_raw_os_error(errno)),
             other => Ok(other),
         }
     }
@@ -774,6 +819,30 @@ mod tests {
         s.set_script(script);
         assert!(s.append("a", b"wxyz").is_err());
         assert_eq!(s.read("a").unwrap(), b"basewx");
+    }
+
+    #[test]
+    fn transient_fault_fails_then_succeeds() {
+        let mut s = MemStorage::new();
+        s.write_file("a", b"base").unwrap(); // point 0
+        s.set_script(FaultScript::transient_at(1, 2));
+        for _ in 0..2 {
+            let err = s.append("a", b"x").unwrap_err(); // points 1, 2
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        s.append("a", b"x").unwrap(); // point 3
+        assert_eq!(s.read("a").unwrap(), b"basex");
+        assert_eq!(s.ops_attempted(), 4);
+    }
+
+    #[test]
+    fn errno_fault_surfaces_raw_os_error() {
+        let mut s = MemStorage::new();
+        s.set_script(FaultScript::errno_at(0, 28)); // ENOSPC
+        let err = s.write_file("a", b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(!s.exists("a"));
+        s.write_file("a", b"x").unwrap(); // point 1 is clean
     }
 
     #[test]

@@ -93,9 +93,11 @@
 //! assert_eq!(top[0].id.index(), 0);
 //! ```
 
+pub mod chaos;
 mod crc32;
 pub mod durable;
 pub mod io;
+pub mod scrub;
 pub mod wal;
 
 use std::path::Path;
@@ -112,9 +114,13 @@ use sdq_core::{Dataset, DimRole, SdError, SectionIntegrity};
 use sdq_engine::SdEngine;
 use sdq_rstar::RStarTree;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use crc32::crc32;
-pub use durable::{DurableEngine, DurableOptions, RecoveryReport, SyncPolicy, WalStatus};
+pub use durable::{
+    DurableEngine, DurableOptions, Health, RecoveryReport, SyncPolicy, WalStatus, RETRY_BUDGET,
+};
 pub use io::{DiskStorage, Fault, FaultScript, MappedBytes, MemStorage, Storage};
+pub use scrub::{scrub_path, RegionFinding, ScrubReport};
 pub use sdq_core::CrcState;
 
 /// `b"SDQSNAP\0"` — the first 8 bytes of every snapshot file.

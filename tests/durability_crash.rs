@@ -303,3 +303,134 @@ fn group_commit_crash_recovers_to_a_prefix() {
         );
     }
 }
+
+/// Permanent environment failures (ENOSPC, EIO) swept over every I/O
+/// point of a fixed op sequence: each one must land the engine in
+/// degraded (read-only) mode without a panic, leave reads bit-identical
+/// to the acknowledged prefix, and — after `try_recover` on a repaired
+/// disk — apply the remaining ops exactly once (no double-apply of the
+/// op that failed mid-flight).
+#[test]
+fn permanent_errors_degrade_at_every_io_point_and_recover_cleanly() {
+    use sdq::store::{FaultScript as Script, Health};
+
+    let ops = [
+        Op::Insert(2.0, -1.0),
+        Op::Delete(5),
+        Op::Insert(-3.5, 3.5),
+        Op::Checkpoint,
+        Op::Insert(0.1, 0.9),
+        Op::Delete(20),
+        Op::Insert(7.0, -7.0),
+    ];
+    let d = DurableEngine::create(
+        MemStorage::new(),
+        "idx.sdq",
+        base_engine(),
+        DurableOptions::default(),
+    )
+    .unwrap();
+    let clean = d.into_storage();
+    let base_points = clean.io_points();
+
+    // Oracle states after every prefix.
+    let mut oracle = base_engine();
+    let mut expected = vec![oracle.clone()];
+    for &op in &ops {
+        apply_plain(&mut oracle, op);
+        expected.push(oracle.clone());
+    }
+
+    // Fault-free dry run measures the point span.
+    let mut d = DurableEngine::open(clean.clone(), "idx.sdq", DurableOptions::default()).unwrap();
+    for &op in &ops {
+        apply_durable(&mut d, op).unwrap();
+    }
+    let total_points = d.storage().io_points() - base_points;
+    assert!(total_points > 10, "sequence must exercise many I/O points");
+
+    for errno in [28i32, 5] {
+        for fail_at in base_points..base_points + total_points {
+            let mut storage = clean.clone();
+            storage.set_script(Script::errno_at(fail_at, errno));
+            let mut d = DurableEngine::open(storage, "idx.sdq", DurableOptions::default()).unwrap();
+
+            let mut acked = 0usize;
+            let mut failed = false;
+            for &op in &ops {
+                if apply_durable(&mut d, op).is_err() {
+                    failed = true;
+                    break;
+                }
+                acked += 1;
+            }
+            assert!(
+                failed,
+                "errno {errno} at point {fail_at}: the fault was never hit"
+            );
+
+            // The typed contract: degraded, not poisoned, not panicked.
+            assert!(
+                matches!(d.health(), Health::Degraded { .. }),
+                "errno {errno} at point {fail_at}: health is {:?}",
+                d.health()
+            );
+            // A permanent errno must not be retried: exactly one attempt
+            // per I/O point (retries would show extra attempted ops).
+            assert_eq!(
+                d.engine().metrics().snapshot().retries_attempted,
+                0,
+                "errno {errno} at point {fail_at}: a permanent error was retried"
+            );
+
+            // Reads still serve, bit-identical to the acked prefix.
+            assert_eq!(
+                fingerprint(d.engine()),
+                fingerprint(&expected[acked]),
+                "errno {errno} at point {fail_at}: degraded state is not the acked prefix"
+            );
+            assert_eq!(
+                d.query(&probe(), 5).unwrap(),
+                expected[acked].query(&probe(), 5).unwrap(),
+                "errno {errno} at point {fail_at}: degraded reads diverge"
+            );
+
+            // Repair the disk, recover, and the failed op must NOT have
+            // been half-applied.
+            d.storage_mut().set_script(Script::none());
+            assert!(
+                d.try_recover().unwrap(),
+                "errno {errno} at point {fail_at}: try_recover refused a healthy disk"
+            );
+            assert!(matches!(d.health(), Health::Healthy));
+            assert_eq!(
+                fingerprint(d.engine()),
+                fingerprint(&expected[acked]),
+                "errno {errno} at point {fail_at}: recovery double-applied the failed op"
+            );
+
+            // The remaining ops (including the one that failed) apply
+            // exactly once and land on the full-sequence state.
+            for &op in &ops[acked..] {
+                apply_durable(&mut d, op).unwrap();
+            }
+            assert_eq!(
+                fingerprint(d.engine()),
+                fingerprint(&expected[ops.len()]),
+                "errno {errno} at point {fail_at}: resumed sequence diverged"
+            );
+            assert_eq!(
+                d.query(&probe(), 5).unwrap(),
+                expected[ops.len()].query(&probe(), 5).unwrap()
+            );
+
+            // And the final state round-trips through a clean reopen.
+            let back = DurableEngine::open(d.into_storage(), "idx.sdq", DurableOptions::default())
+                .unwrap();
+            assert_eq!(
+                fingerprint(back.engine()),
+                fingerprint(&expected[ops.len()])
+            );
+        }
+    }
+}
